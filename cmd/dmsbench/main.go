@@ -1,0 +1,85 @@
+// Command dmsbench regenerates the evaluation figures of "Distributed
+// Modulo Scheduling" (Fernandes, Llosa, Topham; HPCA 1999) on the
+// synthetic Perfect Club substitute corpus.
+//
+// Usage:
+//
+//	dmsbench [-fig all|4|5|6] [-n 1258] [-seed 19990109] [-par N]
+//
+// The full corpus takes a few minutes; use -n for a quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/perfect"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dmsbench: ")
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 4, 5 or 6")
+		n       = flag.Int("n", perfect.CorpusSize, "number of corpus loops to schedule")
+		seed    = flag.Int64("seed", perfect.DefaultSeed, "corpus seed")
+		par     = flag.Int("par", 0, "worker parallelism (0 = GOMAXPROCS)")
+		compare = flag.String("compare", "", "extended study instead of the figures: twophase or pressure")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	loops := perfect.CorpusN(*seed, *n)
+	if *compare != "" {
+		cfg := experiment.Config{Parallelism: *par}
+		switch *compare {
+		case "twophase":
+			rows, err := experiment.CompareDMSTwoPhase(loops, experiment.Clusters, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiment.FormatComparison(rows))
+		case "pressure":
+			rows, err := experiment.ComparePressure(loops, experiment.Clusters, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiment.FormatPressure(rows))
+		default:
+			log.Fatalf("unknown comparison %q (want twophase or pressure)", *compare)
+		}
+		return
+	}
+	fmt.Printf("scheduling %d loops on %d machine pairs (clusters %v)...\n",
+		len(loops), len(experiment.Clusters), experiment.Clusters)
+	start := time.Now()
+	res, err := experiment.Run(loops, experiment.Clusters, experiment.Config{Parallelism: *par})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	switch *fig {
+	case "4":
+		fmt.Print(experiment.FormatFigure4(res.Figure4()))
+	case "5":
+		fmt.Print(experiment.FormatFigure5(res.Figure5()))
+	case "6":
+		fmt.Print(experiment.FormatFigure6(res.Figure6()))
+	case "all":
+		fmt.Print(experiment.FormatFigure4(res.Figure4()))
+		fmt.Println()
+		fmt.Print(experiment.FormatFigure5(res.Figure5()))
+		fmt.Println()
+		fmt.Print(experiment.FormatFigure6(res.Figure6()))
+	default:
+		log.Fatalf("unknown figure %q (want all, 4, 5 or 6)", *fig)
+	}
+}

@@ -1,0 +1,82 @@
+// Command loopgen emits loops from the synthetic Perfect Club
+// substitute corpus in the textual loop format, or summarises the
+// corpus statistics.
+//
+// Usage:
+//
+//	loopgen [-n 10] [-seed 19990109] [-stats] [-kernels]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/ddg"
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/perfect"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loopgen: ")
+	var (
+		n       = flag.Int("n", 10, "number of corpus loops to print")
+		seed    = flag.Int64("seed", perfect.DefaultSeed, "corpus seed")
+		stats   = flag.Bool("stats", false, "print corpus statistics instead of loops")
+		kernels = flag.Bool("kernels", false, "print the hand-written kernels instead of corpus loops")
+	)
+	flag.Parse()
+
+	if *stats {
+		printStats(perfect.CorpusN(*seed, perfect.CorpusSize))
+		return
+	}
+	var loops []*loop.Loop
+	if *kernels {
+		loops = perfect.Kernels()
+	} else {
+		loops = perfect.CorpusN(*seed, *n)
+	}
+	for i, l := range loops {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(loop.Format(l))
+	}
+}
+
+func printStats(loops []*loop.Loop) {
+	lat := machine.DefaultLatencies()
+	var ops int
+	var byClass [machine.NumOpClasses]int
+	rec := 0
+	minOps, maxOps := 1<<30, 0
+	for _, l := range loops {
+		ops += l.NumOps()
+		c := l.ClassCount()
+		for i := range byClass {
+			byClass[i] += c[i]
+		}
+		if ddg.FromLoop(l, lat).HasRecurrence() {
+			rec++
+		}
+		if l.NumOps() < minOps {
+			minOps = l.NumOps()
+		}
+		if l.NumOps() > maxOps {
+			maxOps = l.NumOps()
+		}
+	}
+	fmt.Printf("loops:        %d\n", len(loops))
+	fmt.Printf("operations:   %d total, %.1f avg, %d..%d per loop\n",
+		ops, float64(ops)/float64(len(loops)), minOps, maxOps)
+	for c := machine.OpClass(0); c < machine.NumOpClasses; c++ {
+		if byClass[c] > 0 {
+			fmt.Printf("  %-6s %6d (%4.1f%%)\n", c.String(), byClass[c], 100*float64(byClass[c])/float64(ops))
+		}
+	}
+	fmt.Printf("recurrences:  %d loops (%.1f%%) — set 2 holds the other %d\n",
+		rec, 100*float64(rec)/float64(len(loops)), len(loops)-rec)
+}

@@ -1,0 +1,58 @@
+// clustersweep reproduces the paper's evaluation in miniature: for a
+// handful of representative kernels it schedules the same (unrolled)
+// loop body with IMS on unclustered machines and with DMS on clustered
+// machines from 1 to 10 clusters, printing the II and IPC trajectories
+// — the per-loop view of Figures 5 and 6.
+//
+//	go run ./examples/clustersweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiment"
+	"repro/internal/perfect"
+)
+
+func main() {
+	kernels := []string{"saxpy", "fir4", "lk1-hydro", "dot", "lk5-tridiag"}
+	fmt.Println("per-kernel view of Figures 5/6: II (IMS/DMS) and DMS IPC by cluster count")
+	fmt.Printf("%-16s", "kernel")
+	for _, c := range experiment.Clusters {
+		fmt.Printf(" %7dc", c)
+	}
+	fmt.Println()
+
+	for _, name := range kernels {
+		k, err := perfect.KernelByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results := make([]experiment.LoopResult, len(experiment.Clusters))
+		for i, c := range experiment.Clusters {
+			r, err := experiment.RunOne(k, c, experiment.Config{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[i] = r
+		}
+		fmt.Printf("%-16s", name+" II")
+		for _, r := range results {
+			fmt.Printf(" %3d/%-4d", r.UnclusteredII, r.ClusteredII)
+		}
+		fmt.Println()
+		fmt.Printf("%-16s", "  IPC(DMS)")
+		for _, r := range results {
+			fmt.Printf(" %8.2f", float64(r.UsefulInstr)/float64(r.ClusteredCycles))
+		}
+		fmt.Println()
+		fmt.Printf("%-16s", "  unroll")
+		for _, r := range results {
+			fmt.Printf(" %8d", r.Unroll)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nrecurrence-bound kernels (dot, lk5-tridiag) saturate early;")
+	fmt.Println("vectorizable kernels keep scaling — the set 1 / set 2 contrast of the paper.")
+}

@@ -1,0 +1,201 @@
+// Package codegen turns a modulo schedule into executable VLIW code:
+// the prologue that fills the software pipeline, the steady-state
+// kernel of II instruction bundles, and the epilogue that drains it.
+// The emitted program is symbolic (node IDs, clusters, stages) — the
+// form a clustered VLIW assembler would consume — and its instruction
+// accounting backs the paper's IPC measurements.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schedule"
+)
+
+// SlotOp is one operation instance inside a bundle.
+type SlotOp struct {
+	// Node is the dependence-graph node being issued.
+	Node int
+	// Cluster executes the operation.
+	Cluster int
+	// Stage is the pipeline stage the operation belongs to
+	// (issue time / II); in the kernel, stage k serves iteration
+	// base+k counting backwards.
+	Stage int
+	// Iteration is the source-loop iteration the instance belongs to;
+	// meaningful in the prologue and epilogue, -1 inside the kernel
+	// (which is iteration-generic).
+	Iteration int
+}
+
+// Bundle is the set of operations issued in one cycle.
+type Bundle struct {
+	// Cycle is the absolute issue cycle for prologue/epilogue bundles
+	// and the slot offset (0..II-1) for kernel bundles.
+	Cycle int
+	Ops   []SlotOp
+}
+
+// Program is the emitted pipelined loop.
+type Program struct {
+	Name   string
+	II     int
+	Stages int
+	Trip   int
+	// KernelRuns is how many times the kernel body executes
+	// (trip − stages + 1, or 0 for trips shorter than the pipeline).
+	KernelRuns int
+	Prologue   []Bundle
+	Kernel     []Bundle
+	Epilogue   []Bundle
+}
+
+// Emit generates the program for the given trip count from a complete
+// schedule. Trips shorter than the pipeline depth produce a fully
+// unrolled prologue and no kernel.
+func Emit(s *schedule.Schedule, trip int) (*Program, error) {
+	if trip < 1 {
+		return nil, fmt.Errorf("codegen: trip count %d < 1", trip)
+	}
+	if !s.Complete() {
+		return nil, fmt.Errorf("codegen: schedule for %s is incomplete", s.Graph().Name())
+	}
+	g, ii := s.Graph(), s.II()
+	sc := s.Stages()
+	p := &Program{Name: g.Name(), II: ii, Stages: sc, Trip: trip}
+
+	// issuesAt returns the instances issued at absolute cycle tau.
+	issuesAt := func(tau int) []SlotOp {
+		var ops []SlotOp
+		for _, id := range g.NodeIDs() {
+			pl, _ := s.At(id)
+			if d := tau - pl.Time; d >= 0 && d%ii == 0 && d/ii < trip {
+				ops = append(ops, SlotOp{
+					Node:      id,
+					Cluster:   pl.Cluster,
+					Stage:     pl.Time / ii,
+					Iteration: d / ii,
+				})
+			}
+		}
+		sortOps(ops)
+		return ops
+	}
+
+	total := (trip-1)*ii + s.Len()
+	if trip < sc {
+		// Too short to reach steady state: emit the full trace.
+		for tau := 0; tau < total; tau++ {
+			p.Prologue = append(p.Prologue, Bundle{Cycle: tau, Ops: issuesAt(tau)})
+		}
+		return p, nil
+	}
+
+	p.KernelRuns = trip - sc + 1
+	for tau := 0; tau < (sc-1)*ii; tau++ {
+		p.Prologue = append(p.Prologue, Bundle{Cycle: tau, Ops: issuesAt(tau)})
+	}
+	// Kernel: one iteration-generic bundle per slot. Stage k ops serve
+	// the (base−k)-th iteration when the kernel runs with base
+	// iteration `base`.
+	for slot := 0; slot < ii; slot++ {
+		b := Bundle{Cycle: slot}
+		for _, id := range g.NodeIDs() {
+			pl, _ := s.At(id)
+			if pl.Time%ii == slot {
+				b.Ops = append(b.Ops, SlotOp{
+					Node:      id,
+					Cluster:   pl.Cluster,
+					Stage:     pl.Time / ii,
+					Iteration: -1,
+				})
+			}
+		}
+		sortOps(b.Ops)
+		p.Kernel = append(p.Kernel, b)
+	}
+	for tau := trip * ii; tau < total; tau++ {
+		p.Epilogue = append(p.Epilogue, Bundle{Cycle: tau, Ops: issuesAt(tau)})
+	}
+	return p, nil
+}
+
+func sortOps(ops []SlotOp) {
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Cluster != ops[j].Cluster {
+			return ops[i].Cluster < ops[j].Cluster
+		}
+		return ops[i].Node < ops[j].Node
+	})
+}
+
+// Cycles returns the total execution time of the program, which must
+// equal the schedule's dynamic model (N−1)·II + Len.
+func (p *Program) Cycles() int64 {
+	if p.KernelRuns == 0 {
+		return int64(len(p.Prologue))
+	}
+	return int64(len(p.Prologue)) + int64(p.KernelRuns)*int64(p.II) + int64(len(p.Epilogue))
+}
+
+// IssuedOps counts every operation instance the program issues; it must
+// equal trip × (static operations).
+func (p *Program) IssuedOps() int64 {
+	var n int64
+	for _, b := range p.Prologue {
+		n += int64(len(b.Ops))
+	}
+	for _, b := range p.Kernel {
+		n += int64(len(b.Ops)) * int64(p.KernelRuns)
+	}
+	for _, b := range p.Epilogue {
+		n += int64(len(b.Ops))
+	}
+	return n
+}
+
+// Render pretty-prints the program with the schedule's node names.
+func (p *Program) Render(s *schedule.Schedule) string {
+	g := s.Graph()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "loop %s: II=%d stages=%d trip=%d\n", p.Name, p.II, p.Stages, p.Trip)
+	section := func(title string, bundles []Bundle, generic bool) {
+		if len(bundles) == 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "%s:\n", title)
+		for _, b := range bundles {
+			if generic {
+				fmt.Fprintf(&sb, "  +%d:", b.Cycle)
+			} else {
+				fmt.Fprintf(&sb, "  %4d:", b.Cycle)
+			}
+			for _, op := range b.Ops {
+				nd := g.Node(op.Node)
+				if generic {
+					fmt.Fprintf(&sb, " [c%d %s %s s%d]", op.Cluster, nd.Class, nd.Name, op.Stage)
+				} else {
+					fmt.Fprintf(&sb, " [c%d %s %s i%d]", op.Cluster, nd.Class, nd.Name, op.Iteration)
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	section("prologue", p.Prologue, false)
+	if p.KernelRuns > 0 {
+		fmt.Fprintf(&sb, "kernel (runs %d times):\n", p.KernelRuns)
+		section("", nil, true)
+		for _, b := range p.Kernel {
+			fmt.Fprintf(&sb, "  +%d:", b.Cycle)
+			for _, op := range b.Ops {
+				nd := g.Node(op.Node)
+				fmt.Fprintf(&sb, " [c%d %s %s s%d]", op.Cluster, nd.Class, nd.Name, op.Stage)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	section("epilogue", p.Epilogue, false)
+	return sb.String()
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// chain records one string of move operations routing a value from a
+// producer to a consumer through intermediate clusters (paper §3). All
+// members of a live chain are scheduled; unscheduling any of them
+// dissolves the chain.
+type chain struct {
+	id                 int
+	producer, consumer int
+	moves              []int // move node IDs in hop order
+	edges              []int // created edges: producer→m1, m1→m2, ..., mk→consumer
+	orig               ddg.Edge
+}
+
+// plannedChain is a chain option that has been verified feasible but
+// not yet committed.
+type plannedChain struct {
+	edge    ddg.Edge          // the far producer→op edge to replace
+	path    machine.ChainPath // clusters the moves run in
+	mvTimes []int             // chosen issue times, one per Via cluster
+}
+
+// tentativeUse tracks hypothetical reservations while chain options are
+// costed, without touching the real reservation table.
+type tentativeUse map[tentKey]int
+
+type tentKey struct {
+	slot, cluster int
+	kind          machine.FUKind
+}
+
+func (w *worker) tentFree(t, cluster int, class machine.OpClass, tent tentativeUse) bool {
+	if !w.s.Table().Free(t, cluster, class) {
+		return false
+	}
+	k := class.FU()
+	slot := ((t % w.ii) + w.ii) % w.ii
+	used := w.s.Table().Used(t, cluster, k) + tent[tentKey{slot, cluster, k}]
+	return used < w.m.Capacity(cluster, k)
+}
+
+func (w *worker) tentReserve(t, cluster int, class machine.OpClass, tent tentativeUse) {
+	slot := ((t % w.ii) + w.ii) % w.ii
+	tent[tentKey{slot, cluster, class.FU()}]++
+}
+
+// findSlotTentative scans the II-wide window from estart for a slot
+// free both in the reservation table and in the tentative ledger.
+func (w *worker) findSlotTentative(estart, cluster int, class machine.OpClass, tent tentativeUse) (int, bool) {
+	for t := estart; t < estart+w.ii; t++ {
+		if w.tentFree(t, cluster, class, tent) {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// strategy2 tries to schedule op by building chains of moves between op
+// and each scheduled true-dependence predecessor left in an
+// indirectly-connected cluster. For every candidate cluster (successor
+// communication must hold without chains) it enumerates the ring
+// directions per far predecessor, keeps only options whose moves all
+// find free copy-unit slots, and picks the option that maximises the
+// number of free copy slots remaining in the tightest cluster, then the
+// fewest moves, then the earliest op slot (paper §3).
+func (w *worker) strategy2(op int) bool {
+	class := w.g.Node(op).Class
+	moveLat := w.g.Lat().Of(machine.Move)
+	var best *chainOption
+
+	for heurIdx, c := range w.candidateClusters(op) {
+		if !w.succCommOK(op, c) {
+			continue
+		}
+		// Split scheduled predecessors: near ones constrain the start
+		// time directly; far true-dependence ones need chains.
+		var farEdges []ddg.Edge
+		nearEstart := 0
+		for _, e := range w.g.In(op) {
+			if e.From == op {
+				continue
+			}
+			p, ok := w.s.At(e.From)
+			if !ok {
+				continue
+			}
+			if e.Carries && !w.m.Adjacent(p.Cluster, c) {
+				farEdges = append(farEdges, e)
+				continue
+			}
+			if t := p.Time + e.Delay - w.ii*e.Distance; t > nearEstart {
+				nearEstart = t
+			}
+		}
+		if len(farEdges) == 0 {
+			continue // nothing for chains to fix in this cluster
+		}
+
+		// Enumerate direction combinations (≤ 2 per far predecessor;
+		// fan-in is bounded by the copy prepass, so this stays tiny).
+		pathChoices := make([][]machine.ChainPath, len(farEdges))
+		for i, e := range farEdges {
+			p, _ := w.s.At(e.From)
+			paths := w.m.ChainPaths(p.Cluster, c)
+			if w.opt.OneDirectionOnly && len(paths) > 1 {
+				paths = paths[:1]
+			}
+			pathChoices[i] = paths
+		}
+		for _, combo := range cartesian(pathChoices) {
+			tent := make(tentativeUse)
+			est := nearEstart
+			planned := make([]plannedChain, 0, len(farEdges))
+			feasible := true
+			totalMoves := 0
+			for i, e := range farEdges {
+				p, _ := w.s.At(e.From)
+				pc := plannedChain{edge: e, path: combo[i]}
+				tPrev, delayPrev, distNext := p.Time, e.Delay, e.Distance
+				for _, via := range pc.path.Via {
+					mvEst := tPrev + delayPrev - w.ii*distNext
+					if mvEst < 0 {
+						mvEst = 0
+					}
+					tmv, ok := w.findSlotTentative(mvEst, via, machine.Move, tent)
+					if !ok {
+						feasible = false
+						break
+					}
+					w.tentReserve(tmv, via, machine.Move, tent)
+					pc.mvTimes = append(pc.mvTimes, tmv)
+					tPrev, delayPrev, distNext = tmv, moveLat, 0
+					totalMoves++
+				}
+				if !feasible {
+					break
+				}
+				if t := tPrev + delayPrev - w.ii*distNext; t > est {
+					est = t
+				}
+				planned = append(planned, pc)
+			}
+			if !feasible {
+				continue
+			}
+			if est < 0 {
+				est = 0
+			}
+			tOp, ok := w.findSlotTentative(est, c, class, tent)
+			if !ok {
+				continue
+			}
+			// Score: free copy slots left in the tightest cluster after
+			// the tentative reservations.
+			minFree := int(^uint(0) >> 1)
+			for cl := 0; cl < w.m.Clusters; cl++ {
+				free := w.s.Table().FreeKindSlots(cl, machine.FUCopy)
+				for k, n := range tent {
+					if k.cluster == cl && k.kind == machine.FUCopy {
+						free -= n
+					}
+				}
+				if free < minFree {
+					minFree = free
+				}
+			}
+			cand := &chainOption{cluster: c, opTime: tOp, chains: planned, nMoves: totalMoves, minFree: minFree, heurIdx: heurIdx}
+			if cand.better(best) {
+				best = cand
+			}
+		}
+	}
+	if best == nil {
+		return false
+	}
+	w.commitChains(op, best.cluster, best.opTime, best.chains)
+	return true
+}
+
+// chainOption is one feasible way of scheduling op with chains.
+type chainOption struct {
+	cluster int
+	opTime  int
+	chains  []plannedChain
+	nMoves  int
+	minFree int
+	heurIdx int
+}
+
+// better orders strategy-2 options: maximise the free copy slots left
+// in the tightest cluster, then minimise move count, then take the
+// earliest op slot, then follow the cluster heuristic (paper §3: "the
+// selected option is the one that maximizes the number of free slots
+// left available to schedule move operations in any cluster. If two or
+// more possibilities are equivalent regarding this criteria, the
+// smallest number of move operations defines the choice").
+func (a *chainOption) better(b *chainOption) bool {
+	if b == nil {
+		return true
+	}
+	if a.minFree != b.minFree {
+		return a.minFree > b.minFree
+	}
+	if a.nMoves != b.nMoves {
+		return a.nMoves < b.nMoves
+	}
+	if a.opTime != b.opTime {
+		return a.opTime < b.opTime
+	}
+	return a.heurIdx < b.heurIdx
+}
+
+// commitChains inserts the chains into the graph, schedules their moves
+// at the verified times, and finally places op (ejecting any
+// dependence-violated successors).
+func (w *worker) commitChains(op, cluster, opTime int, planned []plannedChain) {
+	moveLat := w.g.Lat().Of(machine.Move)
+	for _, pc := range planned {
+		ch := &chain{
+			id:       w.nextChainID,
+			producer: pc.edge.From,
+			consumer: op,
+			orig:     pc.edge,
+		}
+		w.nextChainID++
+		w.g.RemoveEdge(pc.edge.ID)
+		prev, prevDelay, prevDist := pc.edge.From, pc.edge.Delay, pc.edge.Distance
+		for h, via := range pc.path.Via {
+			mv := w.g.AddNode(machine.Move, ddg.MoveNode,
+				fmt.Sprintf("%s.mv%d.%d", w.g.Node(pc.edge.From).Name, ch.id, h), -1)
+			ch.moves = append(ch.moves, mv)
+			ch.edges = append(ch.edges, w.g.AddEdge(prev, mv, prevDelay, prevDist, true))
+			w.s.Place(mv, schedule.Placement{Time: pc.mvTimes[h], Cluster: via})
+			w.prevTime[mv] = pc.mvTimes[h]
+			prev, prevDelay, prevDist = mv, moveLat, 0
+		}
+		ch.edges = append(ch.edges, w.g.AddEdge(prev, op, prevDelay, prevDist, true))
+		w.chains[ch.id] = ch
+		w.chainsByNode[ch.producer] = append(w.chainsByNode[ch.producer], ch.id)
+		w.chainsByNode[op] = append(w.chainsByNode[op], ch.id)
+		for _, mv := range ch.moves {
+			w.chainsByNode[mv] = append(w.chainsByNode[mv], ch.id)
+		}
+		w.st.ChainsBuilt++
+		w.st.MovesInserted += len(ch.moves)
+	}
+	w.place(op, opTime, cluster)
+}
+
+// dissolveChain tears a chain down: every move is unscheduled and
+// removed from the graph, the original producer→consumer edge is
+// restored, and — if both endpoints are still scheduled — the restored
+// edge is re-checked for adjacency and timing, evicting the consumer on
+// violation (paper §3's backtracking rules for chains).
+func (w *worker) dissolveChain(cid int) {
+	ch, ok := w.chains[cid]
+	if !ok {
+		return // already dissolved by a cascade
+	}
+	delete(w.chains, cid)
+	w.st.ChainsDissolved++
+	w.removeChainRef(ch.producer, cid)
+	w.removeChainRef(ch.consumer, cid)
+	for _, mv := range ch.moves {
+		w.removeChainRef(mv, cid)
+	}
+	for _, e := range ch.edges {
+		if w.g.EdgeAlive(e) {
+			w.g.RemoveEdge(e)
+		}
+	}
+	for _, mv := range ch.moves {
+		if w.s.Scheduled(mv) {
+			w.s.Evict(mv)
+			w.st.Evictions++
+		}
+		w.g.RemoveNode(mv)
+	}
+	w.g.AddEdge(ch.orig.From, ch.orig.To, ch.orig.Delay, ch.orig.Distance, true)
+	pf, okF := w.s.At(ch.orig.From)
+	pt, okT := w.s.At(ch.orig.To)
+	if okF && okT {
+		if !w.m.Adjacent(pf.Cluster, pt.Cluster) || pt.Time < pf.Time+ch.orig.Delay-w.ii*ch.orig.Distance {
+			w.evictNode(ch.orig.To)
+		}
+	}
+}
+
+func (w *worker) removeChainRef(node, cid int) {
+	refs := w.chainsByNode[node]
+	for i, id := range refs {
+		if id == cid {
+			w.chainsByNode[node] = append(refs[:i], refs[i+1:]...)
+			break
+		}
+	}
+	if len(w.chainsByNode[node]) == 0 {
+		delete(w.chainsByNode, node)
+	}
+}
+
+// cartesian enumerates one choice per slice position.
+func cartesian(choices [][]machine.ChainPath) [][]machine.ChainPath {
+	if len(choices) == 0 {
+		return nil
+	}
+	out := [][]machine.ChainPath{{}}
+	for _, cs := range choices {
+		var next [][]machine.ChainPath
+		for _, prefix := range out {
+			for _, c := range cs {
+				row := make([]machine.ChainPath, len(prefix), len(prefix)+1)
+				copy(row, prefix)
+				next = append(next, append(row, c))
+			}
+		}
+		out = next
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+// Package core implements Distributed Modulo Scheduling (DMS), the
+// contribution of Fernandes, Llosa and Topham (HPCA 1999): a modulo
+// scheduler that integrates code partitioning for clustered VLIW
+// machines into the scheduling loop itself.
+//
+// DMS extends Rau's Iterative Modulo Scheduling with a communication
+// constraint: two operations joined by a true data dependence must be
+// placed in directly-connected clusters of the bi-directional ring.
+// Each operation is placed by a cascade of three strategies (paper
+// Figure 2):
+//
+//  1. find a slot whose cluster is directly connected to every
+//     scheduled true-dependence neighbour;
+//  2. otherwise build chains of move operations through intermediate
+//     clusters between the operation and each too-distant scheduled
+//     predecessor (both ring directions are considered, paper Figure
+//     3), choosing the option that leaves the most free copy-unit
+//     slots, then the fewest moves;
+//  3. otherwise force the placement and unschedule operations that
+//     conflict on resources, dependences, or communication.
+//
+// Unscheduling a chain member dissolves the whole chain: its moves are
+// unscheduled and deleted from the dependence graph and the original
+// producer→consumer edge is restored (with a consistency re-check),
+// implementing the paper's producer/move/consumer backtracking rules.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/ims"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// Options tune the scheduler and expose the ablation switches used by
+// the benchmarks.
+type Options struct {
+	// BudgetRatio bounds scheduling attempts at BudgetRatio × ops per
+	// candidate II. 0 means ims.DefaultBudgetRatio.
+	BudgetRatio int
+	// MaxII caps the candidate initiation interval; 0 derives a safe
+	// bound from the graph.
+	MaxII int
+	// DisableChains turns strategy 2 off, approximating the authors'
+	// earlier single-phase algorithm (IPPS'98) that could not route
+	// values between indirectly-connected clusters.
+	DisableChains bool
+	// OneDirectionOnly restricts chains to the shortest ring direction,
+	// an ablation of the bi-directional flexibility of paper Figure 3.
+	OneDirectionOnly bool
+}
+
+func (o Options) budgetRatio() int {
+	if o.BudgetRatio <= 0 {
+		return ims.DefaultBudgetRatio
+	}
+	return o.BudgetRatio
+}
+
+// Stats reports how the scheduler worked.
+type Stats struct {
+	MII        int
+	II         int
+	IIsTried   int
+	Placements int
+	Evictions  int
+
+	// Strategy1/2/3 count successful placements per strategy.
+	Strategy1, Strategy2, Strategy3 int
+
+	// ChainsBuilt / ChainsDissolved / MovesInserted track strategy-2
+	// activity across the winning II attempt and all failed ones.
+	ChainsBuilt     int
+	ChainsDissolved int
+	MovesInserted   int
+}
+
+// Schedule runs DMS for the graph on a clustered machine. The input
+// graph is treated as immutable: every candidate II works on a clone,
+// and the returned schedule references the clone that succeeded (whose
+// extra move nodes are part of the final code). Run the copy-insertion
+// prepass (ddg.InsertCopies) first for machines with ≥ 2 clusters.
+func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	var st Stats
+	if err := m.Validate(); err != nil {
+		return nil, st, err
+	}
+	mii, err := g.MII(m)
+	if err != nil {
+		return nil, st, err
+	}
+	st.MII = mii
+	maxII := opt.MaxII
+	if maxII <= 0 {
+		maxII = ims.MaxIIBound(g)
+	}
+	if maxII < mii {
+		maxII = mii
+	}
+	for ii := mii; ii <= maxII; ii++ {
+		st.IIsTried++
+		w := newWorker(g.Clone(), m, ii, opt, &st)
+		if s, ok := w.run(); ok {
+			st.II = ii
+			return s, st, nil
+		}
+	}
+	return nil, st, fmt.Errorf("core: %s did not schedule on %s within MaxII %d", g.Name(), m.Name, maxII)
+}
+
+// worker holds the state of one candidate-II attempt.
+type worker struct {
+	g   *ddg.Graph
+	m   *machine.Machine
+	ii  int
+	opt Options
+	st  *Stats
+
+	s        *schedule.Schedule
+	heights  []int
+	q        *schedule.Queue
+	prevTime map[int]int // last placement time per node; presence = scheduled before
+	budget   int
+
+	chains       map[int]*chain
+	chainsByNode map[int][]int
+	nextChainID  int
+}
+
+func newWorker(g *ddg.Graph, m *machine.Machine, ii int, opt Options, st *Stats) *worker {
+	return &worker{
+		g:            g,
+		m:            m,
+		ii:           ii,
+		opt:          opt,
+		st:           st,
+		s:            schedule.New(g, m, ii),
+		heights:      g.Heights(ii),
+		q:            schedule.NewQueue(),
+		prevTime:     make(map[int]int),
+		chains:       make(map[int]*chain),
+		chainsByNode: make(map[int][]int),
+	}
+}
+
+// run attempts to schedule every node; ok=false means the budget ran
+// out and the caller should try a larger II.
+func (w *worker) run() (*schedule.Schedule, bool) {
+	ids := w.g.NodeIDs()
+	for _, n := range ids {
+		w.q.Push(n, w.heights[n])
+	}
+	w.budget = w.opt.budgetRatio() * len(ids)
+	for w.q.Len() > 0 {
+		if w.budget == 0 {
+			return nil, false
+		}
+		w.budget--
+		op := w.q.Pop()
+		if !w.g.Alive(op) {
+			continue // dissolved move re-queued defensively; cannot happen for originals
+		}
+		w.st.Placements++
+		w.scheduleOp(op)
+	}
+	return w.s, true
+}
+
+// scheduleOp places one operation via the three-strategy cascade. It
+// always succeeds (strategy 3 forces a placement).
+func (w *worker) scheduleOp(op int) {
+	estart := w.earliestStart(op)
+	if w.strategy1(op, estart) {
+		w.st.Strategy1++
+		return
+	}
+	if !w.opt.DisableChains && w.strategy2(op) {
+		w.st.Strategy2++
+		return
+	}
+	w.strategy3(op, estart)
+	w.st.Strategy3++
+}
+
+// earliestStart is the smallest dependence-feasible issue time given
+// the currently scheduled predecessors (self edges excluded: they are
+// satisfied by II ≥ RecMII).
+func (w *worker) earliestStart(op int) int {
+	estart := 0
+	for _, e := range w.g.In(op) {
+		if e.From == op {
+			continue
+		}
+		if p, ok := w.s.At(e.From); ok {
+			if t := p.Time + e.Delay - w.ii*e.Distance; t > estart {
+				estart = t
+			}
+		}
+	}
+	return estart
+}
+
+// place books the node and ejects scheduled successors whose dependence
+// constraints the placement violates.
+func (w *worker) place(op, t, cluster int) {
+	w.s.Place(op, schedule.Placement{Time: t, Cluster: cluster})
+	w.prevTime[op] = t
+	var victims []int
+	for _, e := range w.g.Out(op) {
+		if e.To == op {
+			continue
+		}
+		if p, ok := w.s.At(e.To); ok && p.Time < t+e.Delay-w.ii*e.Distance {
+			victims = append(victims, e.To)
+		}
+	}
+	for _, v := range victims {
+		w.evictNode(v)
+	}
+}
+
+// evictNode removes a node from the partial schedule, requeues original
+// and copy operations, and dissolves every chain the node participates
+// in (paper §3: "distinct actions must be taken when the unscheduled
+// operation is the original producer, a move operation, or the original
+// consumer"). It is a no-op for already-unscheduled nodes, which makes
+// cascaded dissolution re-entrant.
+func (w *worker) evictNode(n int) {
+	if !w.s.Scheduled(n) {
+		return
+	}
+	w.s.Evict(n)
+	w.st.Evictions++
+	if w.g.Node(n).Kind != ddg.MoveNode {
+		w.q.Push(n, w.heightOf(n))
+	}
+	// Dissolve chains last: dissolution may recursively evict this
+	// node's neighbours, and n itself is already off the schedule.
+	for _, cid := range append([]int(nil), w.chainsByNode[n]...) {
+		w.dissolveChain(cid)
+	}
+}
+
+func (w *worker) heightOf(n int) int {
+	if n < len(w.heights) {
+		return w.heights[n]
+	}
+	return int(^uint(0) >> 1) // moves added after height computation
+}
+
+// lowestPriority picks the eviction victim among slot occupants: the
+// smallest height, ties toward the larger (younger) node ID. Moves rank
+// highest so chains are only torn down when nothing else occupies the
+// slot.
+func (w *worker) lowestPriority(occupants []int) int {
+	victim := occupants[0]
+	for _, n := range occupants[1:] {
+		hn, hv := w.heightOf(n), w.heightOf(victim)
+		if hn < hv || (hn == hv && n > victim) {
+			victim = n
+		}
+	}
+	return victim
+}

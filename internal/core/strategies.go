@@ -1,0 +1,151 @@
+package core
+
+import "sort"
+
+// candidateClusters orders every cluster by scheduling desirability for
+// op: first by total ring distance to op's scheduled true-dependence
+// neighbours (placing the op near the values it exchanges), then by
+// current load on the functional unit kind it needs, then by index for
+// determinism.
+func (w *worker) candidateClusters(op int) []int {
+	kind := w.g.Node(op).Class.FU()
+	type scored struct {
+		cluster, dist, load int
+	}
+	cs := make([]scored, w.m.Clusters)
+	for c := 0; c < w.m.Clusters; c++ {
+		cs[c] = scored{
+			cluster: c,
+			dist:    w.neighbourDistance(op, c),
+			load:    w.s.Table().KindUsage(c, kind),
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].dist != cs[j].dist {
+			return cs[i].dist < cs[j].dist
+		}
+		if cs[i].load != cs[j].load {
+			return cs[i].load < cs[j].load
+		}
+		return cs[i].cluster < cs[j].cluster
+	})
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = c.cluster
+	}
+	return out
+}
+
+// neighbourDistance sums the ring distance from cluster c to every
+// scheduled true-dependence neighbour of op.
+func (w *worker) neighbourDistance(op, c int) int {
+	sum := 0
+	for _, e := range w.g.In(op) {
+		if e.Carries && e.From != op {
+			if p, ok := w.s.At(e.From); ok {
+				sum += w.m.RingDistance(p.Cluster, c)
+			}
+		}
+	}
+	for _, e := range w.g.Out(op) {
+		if e.Carries && e.To != op {
+			if p, ok := w.s.At(e.To); ok {
+				sum += w.m.RingDistance(c, p.Cluster)
+			}
+		}
+	}
+	return sum
+}
+
+// commOK reports whether placing op in cluster c keeps every scheduled
+// true-dependence neighbour directly connected.
+func (w *worker) commOK(op, c int) bool {
+	for _, e := range w.g.In(op) {
+		if e.Carries && e.From != op {
+			if p, ok := w.s.At(e.From); ok && !w.m.Adjacent(p.Cluster, c) {
+				return false
+			}
+		}
+	}
+	return w.succCommOK(op, c)
+}
+
+// succCommOK checks only the scheduled true-dependence successors.
+func (w *worker) succCommOK(op, c int) bool {
+	for _, e := range w.g.Out(op) {
+		if e.Carries && e.To != op {
+			if p, ok := w.s.At(e.To); ok && !w.m.Adjacent(c, p.Cluster) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// strategy1 looks for a (cluster, slot) with a free functional unit in
+// the II-wide window from estart such that no communication conflict
+// arises with any scheduled predecessor or successor. Among feasible
+// clusters it picks the earliest slot (ties follow the candidate
+// ordering heuristic). Dependence-violated successors are ejected by
+// place.
+func (w *worker) strategy1(op, estart int) bool {
+	class := w.g.Node(op).Class
+	bestT, bestC := -1, -1
+	for _, c := range w.candidateClusters(op) {
+		if !w.commOK(op, c) {
+			continue
+		}
+		for t := estart; t < estart+w.ii; t++ {
+			if w.s.Table().Free(t, c, class) {
+				if bestT < 0 || t < bestT {
+					bestT, bestC = t, c
+				}
+				break
+			}
+		}
+	}
+	if bestT < 0 {
+		return false
+	}
+	w.place(op, bestT, bestC)
+	return true
+}
+
+// strategy3 forces op into the heuristically best cluster at
+// max(estart, previous placement time + 1), unscheduling whatever
+// conflicts: slot occupants (resources), dependence-violated
+// successors, and true-dependence neighbours left in
+// indirectly-connected clusters (communication conflicts).
+func (w *worker) strategy3(op, estart int) {
+	t := estart
+	if prev, ok := w.prevTime[op]; ok && prev+1 > t {
+		t = prev + 1
+	}
+	c := w.candidateClusters(op)[0]
+	class := w.g.Node(op).Class
+	kind := class.FU()
+	for !w.s.Table().Free(t, c, class) {
+		w.evictNode(w.lowestPriority(w.s.Table().Occupants(t, c, kind)))
+	}
+	w.place(op, t, c)
+
+	// Communication conflicts with the remaining scheduled neighbours.
+	var victims []int
+	for _, e := range w.g.In(op) {
+		if e.Carries && e.From != op {
+			if p, ok := w.s.At(e.From); ok && !w.m.Adjacent(p.Cluster, c) {
+				victims = append(victims, e.From)
+			}
+		}
+	}
+	for _, e := range w.g.Out(op) {
+		if e.Carries && e.To != op {
+			if p, ok := w.s.At(e.To); ok && !w.m.Adjacent(c, p.Cluster) {
+				victims = append(victims, e.To)
+			}
+		}
+	}
+	for _, v := range victims {
+		w.evictNode(v)
+	}
+}

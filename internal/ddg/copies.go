@@ -1,0 +1,107 @@
+package ddg
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// MaxUses is the fan-out limit enforced by the copy-insertion prepass.
+// The paper fixes it at 2: "This transformation has also the effect of
+// limiting the number of immediate successors of any operation to 2,
+// which simplifies the code partitioning among clusters with limited
+// connectivity" (§3).
+const MaxUses = 2
+
+// InsertCopies rewrites every multiple-use lifetime into a chain of
+// copy operations so that no node keeps more than maxUses immediate
+// data-dependent successors (paper §3). A producer P with uses
+// u1..uk (k > maxUses) becomes
+//
+//	P → u1, P → c1;  c1 → u2, c1 → c2;  ...  c(k-2) → u(k-1), c(k-2) → uk
+//
+// with each copy executing on the producer's cluster-local copy unit
+// one cycle after its input is available. Copies therefore lengthen the
+// paths to late uses — the copy overhead the paper observes at 2 and 3
+// clusters — and can raise RecMII when a recurrence passes through one.
+// To protect recurrences, self-dependences are kept directly on the
+// producer (first position) before other uses.
+//
+// The pass returns the number of copies inserted. It must run before
+// scheduling on clustered machines with ≥ 2 clusters; the degenerate
+// 1-cluster machine behaves like the unclustered one and needs no
+// copies (Figure 4 shows 0% overhead at 1 cluster).
+func InsertCopies(g *Graph, maxUses int) int {
+	if maxUses < 2 {
+		panic(fmt.Sprintf("ddg %s: InsertCopies needs maxUses ≥ 2, got %d", g.name, maxUses))
+	}
+	inserted := 0
+	copyLat := g.lat.Of(machine.Copy)
+	// Snapshot the original node IDs: inserted copies always satisfy
+	// the limit by construction.
+	for _, id := range g.NodeIDs() {
+		var uses []Edge
+		for _, e := range g.Out(id) {
+			if e.Carries {
+				uses = append(uses, e)
+			}
+		}
+		if len(uses) <= maxUses {
+			continue
+		}
+		// Keep self-dependences (recurrence back-edges) on the
+		// producer itself; stable order otherwise.
+		ordered := make([]Edge, 0, len(uses))
+		for _, e := range uses {
+			if e.To == id {
+				ordered = append(ordered, e)
+			}
+		}
+		for _, e := range uses {
+			if e.To != id {
+				ordered = append(ordered, e)
+			}
+		}
+		// The producer keeps the first maxUses-1 uses plus the head of
+		// the copy chain. Each copy takes maxUses-1 uses and forwards
+		// the value, except the last, which absorbs the final maxUses
+		// uses and forwards nothing.
+		prev := id
+		prevDelay := g.lat.Of(g.nodes[id].Class)
+		remaining := ordered[maxUses-1:]
+		for len(remaining) > 0 {
+			c := g.AddNode(machine.Copy, CopyNode, fmt.Sprintf("%s.cp%d", g.nodes[id].Name, inserted), -1)
+			inserted++
+			g.AddEdge(prev, c, prevDelay, 0, true)
+			take := maxUses - 1
+			if len(remaining) <= maxUses {
+				take = len(remaining)
+			}
+			for _, e := range remaining[:take] {
+				g.RemoveEdge(e.ID)
+				g.AddEdge(c, e.To, copyLat, e.Distance, true)
+			}
+			remaining = remaining[take:]
+			prev, prevDelay = c, copyLat
+		}
+	}
+	return inserted
+}
+
+// MaxFanout returns the largest number of carried out-edges of any live
+// node — 2 or less after InsertCopies(g, 2).
+func (g *Graph) MaxFanout() int {
+	maxN := 0
+	for _, id := range g.NodeIDs() {
+		n := 0
+		for _, e := range g.Out(id) {
+			if e.Carries {
+				n++
+			}
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	return maxN
+}

@@ -1,0 +1,44 @@
+package ddg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the live graph in Graphviz DOT format: original
+// operations as boxes, compiler-inserted copies as ellipses, moves as
+// diamonds; loop-carried edges are dashed and labelled with their
+// distance, memory ordering edges are grey.
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [fontsize=10];\n", g.name)
+	g.Nodes(func(n Node) {
+		shape := "box"
+		switch n.Kind {
+		case CopyNode:
+			shape = "ellipse"
+		case MoveNode:
+			shape = "diamond"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\\n%s\" shape=%s];\n", n.ID, n.Name, n.Class, shape)
+	})
+	g.Edges(func(e Edge) {
+		var attrs []string
+		if e.Distance > 0 {
+			attrs = append(attrs, "style=dashed", fmt.Sprintf("label=\"@%d\"", e.Distance))
+		}
+		if !e.Carries {
+			attrs = append(attrs, "color=grey", "fontcolor=grey")
+			if e.Distance == 0 {
+				attrs = append(attrs, "label=\"mem\"")
+			}
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&sb, "  n%d -> n%d [%s];\n", e.From, e.To, strings.Join(attrs, " "))
+		} else {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	})
+	sb.WriteString("}\n")
+	return sb.String()
+}

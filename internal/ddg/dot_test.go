@@ -1,0 +1,37 @@
+package ddg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loop"
+	"repro/internal/machine"
+)
+
+func TestDot(t *testing.T) {
+	b := loop.NewBuilder("viz")
+	x := b.Load("x")
+	a := b.Add("a", x)
+	b.Carried(a, a, 1)
+	st := b.Store("st", a)
+	b.Mem(st, x, 1)
+	g := FromLoop(b.MustBuild(), machine.DefaultLatencies())
+	g.AddNode(machine.Move, MoveNode, "mv", -1)
+	g.AddNode(machine.Copy, CopyNode, "cp", -1)
+
+	out := g.Dot()
+	for _, want := range []string{
+		"digraph \"viz\"",
+		"shape=box",     // originals
+		"shape=diamond", // move
+		"shape=ellipse", // copy
+		"style=dashed",  // carried edge
+		"label=\"@1\"",  // distance label
+		"color=grey",    // mem edge
+		"n0 -> n1",      // x -> a
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dot missing %q:\n%s", want, out)
+		}
+	}
+}

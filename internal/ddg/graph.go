@@ -1,0 +1,296 @@
+// Package ddg builds and manipulates the data dependence graphs that
+// drive modulo scheduling.
+//
+// A Graph starts as a one-to-one image of a loop body (package loop)
+// and is then transformed by compiler passes: the copy-insertion
+// prepass limits every operation to at most two immediate
+// data-dependent successors (paper §3), and the DMS scheduler inserts
+// and removes chains of move operations while it works (paper Figure
+// 3). Nodes and edges therefore support dynamic insertion and removal;
+// removed entities keep their IDs but are marked dead.
+//
+// The package also computes the classic modulo-scheduling lower bounds
+// (ResMII, RecMII, MII), height-based scheduling priorities, and
+// strongly connected components (recurrences).
+package ddg
+
+import (
+	"fmt"
+
+	"repro/internal/loop"
+	"repro/internal/machine"
+)
+
+// MemDelay is the serialisation delay of a memory ordering dependence:
+// a dependent memory operation may issue one cycle after its
+// predecessor (same-iteration case).
+const MemDelay = 1
+
+// NodeKind says how a node came to exist.
+type NodeKind int
+
+const (
+	// Original nodes mirror operations of the source loop.
+	Original NodeKind = iota
+	// CopyNode nodes are inserted by the pre-scheduling pass that
+	// rewrites multiple-use lifetimes (paper §3).
+	CopyNode
+	// MoveNode nodes belong to a DMS chain forwarding a value across
+	// intermediate clusters.
+	MoveNode
+)
+
+// String names the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case Original:
+		return "original"
+	case CopyNode:
+		return "copy"
+	case MoveNode:
+		return "move"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is one operation in the dependence graph.
+type Node struct {
+	ID    int
+	Class machine.OpClass
+	Name  string
+	Kind  NodeKind
+	// Orig is the source-loop operation for Original nodes, -1
+	// otherwise.
+	Orig loop.ID
+}
+
+// Edge is a dependence: t(To) ≥ t(From) + Delay − II·Distance in any
+// valid schedule with initiation interval II.
+type Edge struct {
+	ID       int
+	From, To int
+	// Delay is the minimum issue separation in cycles (producer
+	// latency for value flows, MemDelay for memory ordering).
+	Delay int
+	// Distance is the iteration distance.
+	Distance int
+	// Carries marks true data dependences, which move a register value
+	// and are therefore subject to the clustered machine's
+	// communication constraints. Memory ordering edges do not carry.
+	Carries bool
+}
+
+// Graph is a mutable data dependence graph.
+type Graph struct {
+	name      string
+	lat       machine.Latencies
+	nodes     []Node
+	nodeAlive []bool
+	edges     []Edge
+	edgeAlive []bool
+	out, in   [][]int // edge IDs, may contain dead entries
+	aliveN    int
+	aliveE    int
+}
+
+// FromLoop builds the dependence graph of a validated loop: one node
+// per operation, one edge per dependence. Flow edges get the producer's
+// latency as delay; memory edges get MemDelay.
+func FromLoop(l *loop.Loop, lat machine.Latencies) *Graph {
+	g := &Graph{name: l.Name, lat: lat}
+	for _, op := range l.Ops {
+		g.addNode(Node{Class: op.Class, Name: op.Name, Kind: Original, Orig: op.ID})
+	}
+	for _, d := range l.Deps {
+		switch d.Kind {
+		case loop.Flow:
+			g.AddEdge(int(d.From), int(d.To), lat.Of(l.Ops[d.From].Class), d.Distance, true)
+		case loop.MemOrder:
+			g.AddEdge(int(d.From), int(d.To), MemDelay, d.Distance, false)
+		}
+	}
+	return g
+}
+
+// Name returns the name of the source loop.
+func (g *Graph) Name() string { return g.name }
+
+// Lat returns the latency model the graph was built with.
+func (g *Graph) Lat() machine.Latencies { return g.lat }
+
+// Clone returns a deep copy (dead entities included, so IDs coincide).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{name: g.name, lat: g.lat, aliveN: g.aliveN, aliveE: g.aliveE}
+	c.nodes = append([]Node(nil), g.nodes...)
+	c.nodeAlive = append([]bool(nil), g.nodeAlive...)
+	c.edges = append([]Edge(nil), g.edges...)
+	c.edgeAlive = append([]bool(nil), g.edgeAlive...)
+	c.out = make([][]int, len(g.out))
+	c.in = make([][]int, len(g.in))
+	for i := range g.out {
+		c.out[i] = append([]int(nil), g.out[i]...)
+		c.in[i] = append([]int(nil), g.in[i]...)
+	}
+	return c
+}
+
+func (g *Graph) addNode(n Node) int {
+	n.ID = len(g.nodes)
+	if n.Kind != Original {
+		n.Orig = -1
+	}
+	g.nodes = append(g.nodes, n)
+	g.nodeAlive = append(g.nodeAlive, true)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.aliveN++
+	return n.ID
+}
+
+// AddNode appends a live node of the given class and kind and returns
+// its ID. Orig is recorded only for Original nodes.
+func (g *Graph) AddNode(class machine.OpClass, kind NodeKind, name string, orig loop.ID) int {
+	return g.addNode(Node{Class: class, Name: name, Kind: kind, Orig: orig})
+}
+
+// AddEdge appends a live edge and returns its ID.
+func (g *Graph) AddEdge(from, to, delay, distance int, carries bool) int {
+	g.checkNode(from)
+	g.checkNode(to)
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Delay: delay, Distance: distance, Carries: carries})
+	g.edgeAlive = append(g.edgeAlive, true)
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	g.aliveE++
+	return id
+}
+
+// RemoveEdge marks an edge dead.
+func (g *Graph) RemoveEdge(id int) {
+	if !g.edgeAlive[id] {
+		panic(fmt.Sprintf("ddg %s: edge %d removed twice", g.name, id))
+	}
+	g.edgeAlive[id] = false
+	g.aliveE--
+}
+
+// RemoveNode marks a node dead. All its edges must already be removed.
+func (g *Graph) RemoveNode(id int) {
+	if !g.nodeAlive[id] {
+		panic(fmt.Sprintf("ddg %s: node %d removed twice", g.name, id))
+	}
+	for _, e := range g.out[id] {
+		if g.edgeAlive[e] {
+			panic(fmt.Sprintf("ddg %s: removing node %d with live out-edge %d", g.name, id, e))
+		}
+	}
+	for _, e := range g.in[id] {
+		if g.edgeAlive[e] {
+			panic(fmt.Sprintf("ddg %s: removing node %d with live in-edge %d", g.name, id, e))
+		}
+	}
+	g.nodeAlive[id] = false
+	g.aliveN--
+}
+
+// NumIDs returns the ID space size (live and dead nodes).
+func (g *Graph) NumIDs() int { return len(g.nodes) }
+
+// NumNodes returns the number of live nodes.
+func (g *Graph) NumNodes() int { return g.aliveN }
+
+// NumEdges returns the number of live edges.
+func (g *Graph) NumEdges() int { return g.aliveE }
+
+// Alive reports whether node id is live.
+func (g *Graph) Alive(id int) bool { return g.nodeAlive[id] }
+
+// EdgeAlive reports whether edge id is live.
+func (g *Graph) EdgeAlive(id int) bool { return g.edgeAlive[id] }
+
+// Node returns node metadata. The node may be dead.
+func (g *Graph) Node(id int) Node { return g.nodes[id] }
+
+// Edge returns edge metadata. The edge may be dead.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Nodes calls f for every live node ID in increasing order.
+func (g *Graph) Nodes(f func(Node)) {
+	for i, alive := range g.nodeAlive {
+		if alive {
+			f(g.nodes[i])
+		}
+	}
+}
+
+// NodeIDs returns the live node IDs in increasing order.
+func (g *Graph) NodeIDs() []int {
+	ids := make([]int, 0, g.aliveN)
+	for i, alive := range g.nodeAlive {
+		if alive {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// Out returns the live out-edges of a node, in insertion order.
+func (g *Graph) Out(id int) []Edge {
+	var out []Edge
+	for _, e := range g.out[id] {
+		if g.edgeAlive[e] {
+			out = append(out, g.edges[e])
+		}
+	}
+	return out
+}
+
+// In returns the live in-edges of a node, in insertion order. For
+// carried (flow) edges this is the node's operand list.
+func (g *Graph) In(id int) []Edge {
+	var in []Edge
+	for _, e := range g.in[id] {
+		if g.edgeAlive[e] {
+			in = append(in, g.edges[e])
+		}
+	}
+	return in
+}
+
+// Edges calls f for every live edge in ID order.
+func (g *Graph) Edges(f func(Edge)) {
+	for i, alive := range g.edgeAlive {
+		if alive {
+			f(g.edges[i])
+		}
+	}
+}
+
+// CountKinds returns the number of live nodes per functional unit kind;
+// the input of ResMII.
+func (g *Graph) CountKinds() [machine.NumFUKinds]int {
+	var n [machine.NumFUKinds]int
+	g.Nodes(func(nd Node) { n[nd.Class.FU()]++ })
+	return n
+}
+
+// UsefulOps returns the number of live nodes that perform useful
+// computation (everything but copies and moves); the numerator of the
+// paper's IPC metric.
+func (g *Graph) UsefulOps() int {
+	n := 0
+	g.Nodes(func(nd Node) {
+		if nd.Class.Useful() {
+			n++
+		}
+	})
+	return n
+}
+
+func (g *Graph) checkNode(id int) {
+	if id < 0 || id >= len(g.nodes) || !g.nodeAlive[id] {
+		panic(fmt.Sprintf("ddg %s: node %d is not live", g.name, id))
+	}
+}

@@ -1,0 +1,464 @@
+package ddg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/loop"
+	"repro/internal/machine"
+)
+
+func lat() machine.Latencies { return machine.DefaultLatencies() }
+
+// dot: x,y loads; m = x*y; acc += m (recurrence); store acc.
+func dotGraph(t testing.TB) *Graph {
+	t.Helper()
+	b := loop.NewBuilder("dot")
+	x := b.Load("x")
+	y := b.Load("y")
+	m := b.Mul("m", x, y)
+	acc := b.Add("acc", m)
+	b.Carried(acc, acc, 1)
+	b.Store("out", acc)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromLoop(l, lat())
+}
+
+func TestFromLoopStructure(t *testing.T) {
+	g := dotGraph(t)
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	// Edge delays are the producer latencies.
+	for _, e := range g.Out(0) { // load x
+		if e.Delay != lat().Of(machine.Load) {
+			t.Errorf("load out-edge delay = %d, want %d", e.Delay, lat().Of(machine.Load))
+		}
+		if !e.Carries {
+			t.Error("flow edge must carry")
+		}
+	}
+	// acc self edge.
+	self := false
+	for _, e := range g.Out(3) {
+		if e.To == 3 && e.Distance == 1 {
+			self = true
+		}
+	}
+	if !self {
+		t.Error("missing acc self-recurrence edge")
+	}
+}
+
+func TestFromLoopMemEdges(t *testing.T) {
+	l, err := loop.ParseString(`
+loop m trip 10
+x = load
+s = store x
+mem s -> x @1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromLoop(l, lat())
+	var memEdges int
+	g.Edges(func(e Edge) {
+		if !e.Carries {
+			memEdges++
+			if e.Delay != MemDelay {
+				t.Errorf("mem edge delay = %d, want %d", e.Delay, MemDelay)
+			}
+		}
+	})
+	if memEdges != 1 {
+		t.Fatalf("mem edges = %d, want 1", memEdges)
+	}
+}
+
+func TestResMII(t *testing.T) {
+	g := dotGraph(t)
+	// 2 loads + 1 store = 3 mem ops; 1 add; 1 mul.
+	cases := []struct {
+		m    *machine.Machine
+		want int
+	}{
+		{machine.Unclustered(1), 3}, // 3 mem ops / 1 L/S unit
+		{machine.Unclustered(3), 1},
+		{machine.Clustered(1), 3},
+		{machine.Clustered(3), 1},
+	}
+	for _, c := range cases {
+		got, err := g.ResMII(c.m)
+		if err != nil {
+			t.Fatalf("%s: %v", c.m.Name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: ResMII = %d, want %d", c.m.Name, got, c.want)
+		}
+	}
+}
+
+func TestResMIIErrorsWithoutUnits(t *testing.T) {
+	g := dotGraph(t)
+	InsertCopies(g, 2) // no copies needed here, but grow fanout first
+	// Force a copy node, then remove copy FUs.
+	g.AddNode(machine.Copy, CopyNode, "c", -1)
+	if _, err := g.ResMII(machine.Unclustered(2)); err == nil {
+		t.Fatal("ResMII accepted copy ops on a machine without copy units")
+	}
+}
+
+func TestRecMIIAccumulator(t *testing.T) {
+	g := dotGraph(t)
+	// acc -> acc with delay 1 (add latency), distance 1: RecMII 1.
+	if got := g.RecMII(); got != 1 {
+		t.Errorf("RecMII = %d, want 1", got)
+	}
+}
+
+func TestRecMIIMulRecurrence(t *testing.T) {
+	b := loop.NewBuilder("mulrec")
+	x := b.Load("x")
+	p := b.Mul("p", x)
+	b.Carried(p, p, 1)
+	b.Store("s", p)
+	l := b.MustBuild()
+	g := FromLoop(l, lat())
+	if got := g.RecMII(); got != lat().Of(machine.Mul) {
+		t.Errorf("RecMII = %d, want %d", got, lat().Of(machine.Mul))
+	}
+}
+
+func TestRecMIITwoOpCycleDistanceTwo(t *testing.T) {
+	// a -> b (delay 1), b -> a distance 2 (delay 1):
+	// cycle delay 2 over distance 2 -> RecMII 1.
+	// With a mul in the cycle (delay 3 + 1 = 4 over 2) -> RecMII 2.
+	b := loop.NewBuilder("cyc")
+	x := b.Load("x")
+	a := b.Add("a", x)
+	m := b.Mul("m", a)
+	b.Carried(m, a, 2)
+	b.Store("s", m)
+	l := b.MustBuild()
+	g := FromLoop(l, lat())
+	want := (lat().Of(machine.Add) + lat().Of(machine.Mul) + 1) / 2 // ceil(4/2)
+	if got := g.RecMII(); got != want {
+		t.Errorf("RecMII = %d, want %d", got, want)
+	}
+}
+
+func TestRecMIIAcyclic(t *testing.T) {
+	b := loop.NewBuilder("acyclic")
+	x := b.Load("x")
+	y := b.Mul("y", x)
+	b.Store("s", y)
+	g := FromLoop(b.MustBuild(), lat())
+	if got := g.RecMII(); got != 1 {
+		t.Errorf("RecMII = %d, want 1", got)
+	}
+	if g.HasRecurrence() {
+		t.Error("acyclic graph reported a recurrence")
+	}
+}
+
+func TestMII(t *testing.T) {
+	g := dotGraph(t)
+	mii, err := g.MII(machine.Unclustered(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mii != 3 { // ResMII dominates
+		t.Errorf("MII = %d, want 3", mii)
+	}
+}
+
+func TestHeightsChain(t *testing.T) {
+	// x(load,2) -> m(mul,3) -> s(store): H(s)=0, H(m)=3, H(x)=5.
+	b := loop.NewBuilder("chain")
+	x := b.Load("x")
+	m := b.Mul("m", x)
+	b.Store("s", m)
+	g := FromLoop(b.MustBuild(), lat())
+	h := g.Heights(1)
+	if h[2] != 0 || h[1] != 3 || h[0] != 5 {
+		t.Errorf("heights = %v, want [5 3 0]", h)
+	}
+}
+
+func TestHeightsRespectII(t *testing.T) {
+	g := dotGraph(t)
+	h1 := g.Heights(1)
+	h5 := g.Heights(5)
+	// The self-recurrence contributes delay - II; larger II can only
+	// lower heights along carried edges.
+	for i := range h1 {
+		if h5[i] > h1[i] {
+			t.Errorf("node %d: height grew with II (%d -> %d)", i, h1[i], h5[i])
+		}
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	g := dotGraph(t)
+	sccs := g.SCCs()
+	total := 0
+	for _, c := range sccs {
+		total += len(c)
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("SCCs cover %d nodes, want %d", total, g.NumNodes())
+	}
+	if !g.HasRecurrence() {
+		t.Error("dot has an accumulator recurrence")
+	}
+}
+
+func TestSCCsMultiNodeComponent(t *testing.T) {
+	b := loop.NewBuilder("cyc2")
+	x := b.Load("x")
+	a := b.Add("a", x)
+	c := b.Add("c", a)
+	b.Carried(c, a, 1)
+	b.Store("s", c)
+	g := FromLoop(b.MustBuild(), lat())
+	found := false
+	for _, comp := range g.SCCs() {
+		if len(comp) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a 2-node SCC {a,c}")
+	}
+	if !g.HasRecurrence() {
+		t.Error("cycle not reported as recurrence")
+	}
+}
+
+func TestGraphMutation(t *testing.T) {
+	g := dotGraph(t)
+	n := g.AddNode(machine.Move, MoveNode, "mv", -1)
+	e := g.AddEdge(0, n, 2, 0, true)
+	if g.NumNodes() != 6 || !g.Alive(n) {
+		t.Fatal("AddNode failed")
+	}
+	g.RemoveEdge(e)
+	if g.EdgeAlive(e) {
+		t.Fatal("RemoveEdge failed")
+	}
+	g.RemoveNode(n)
+	if g.Alive(n) {
+		t.Fatal("RemoveNode failed")
+	}
+	mustPanic(t, "double edge removal", func() { g.RemoveEdge(e) })
+	mustPanic(t, "double node removal", func() { g.RemoveNode(n) })
+	mustPanic(t, "edge to dead node", func() { g.AddEdge(0, n, 1, 0, true) })
+}
+
+func TestRemoveNodeWithLiveEdgesPanics(t *testing.T) {
+	g := dotGraph(t)
+	n := g.AddNode(machine.Move, MoveNode, "mv", -1)
+	g.AddEdge(0, n, 2, 0, true)
+	mustPanic(t, "live in-edge", func() { g.RemoveNode(n) })
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := dotGraph(t)
+	c := g.Clone()
+	n := c.AddNode(machine.Copy, CopyNode, "cp", -1)
+	c.AddEdge(0, n, 2, 0, true)
+	if g.NumNodes() == c.NumNodes() {
+		t.Fatal("clone shares node storage")
+	}
+	origEdges := g.NumEdges()
+	c.RemoveEdge(0)
+	if g.NumEdges() != origEdges {
+		t.Fatal("clone shares edge storage")
+	}
+}
+
+func TestUsefulOps(t *testing.T) {
+	g := dotGraph(t)
+	if got := g.UsefulOps(); got != 5 {
+		t.Fatalf("UsefulOps = %d, want 5", got)
+	}
+	g.AddNode(machine.Copy, CopyNode, "cp", -1)
+	g.AddNode(machine.Move, MoveNode, "mv", -1)
+	if got := g.UsefulOps(); got != 5 {
+		t.Fatalf("UsefulOps after copies = %d, want 5 (copies excluded)", got)
+	}
+}
+
+// fanLoop builds a producer with the given number of uses.
+func fanLoop(t testing.TB, uses int) *Graph {
+	t.Helper()
+	b := loop.NewBuilder("fan")
+	x := b.Load("x")
+	ids := make([]loop.ID, uses)
+	for i := 0; i < uses; i++ {
+		ids[i] = b.Add(addName(i), x)
+	}
+	// Merge them so the loop has one sink.
+	acc := ids[0]
+	for i := 1; i < uses; i++ {
+		acc = b.Add(addName(100+i), acc, ids[i])
+	}
+	b.Store("s", acc)
+	return FromLoop(b.MustBuild(), lat())
+}
+
+func addName(i int) string { return "a" + string(rune('A'+i%26)) + string(rune('0'+i/26)) }
+
+func TestInsertCopiesCounts(t *testing.T) {
+	for _, uses := range []int{1, 2, 3, 4, 7} {
+		g := fanLoop(t, uses)
+		got := InsertCopies(g, 2)
+		want := 0
+		if uses > 2 {
+			want = uses - 2
+		}
+		if got != want {
+			t.Errorf("uses=%d: inserted %d copies, want %d", uses, got, want)
+		}
+		if f := g.MaxFanout(); f > 2 {
+			t.Errorf("uses=%d: max fanout %d after insertion", uses, f)
+		}
+	}
+}
+
+func TestInsertCopiesKeepsSelfEdgeOnProducer(t *testing.T) {
+	b := loop.NewBuilder("rec")
+	x := b.Load("x")
+	acc := b.Add("acc", x)
+	b.Carried(acc, acc, 1)
+	u1 := b.Add("u1", acc)
+	u2 := b.Add("u2", acc)
+	b.Store("s", b.Add("u3", u1, u2))
+	g := FromLoop(b.MustBuild(), lat())
+	rec0 := g.RecMII()
+	InsertCopies(g, 2)
+	self := false
+	for _, e := range g.Out(int(acc)) {
+		if e.To == int(acc) {
+			self = true
+		}
+	}
+	if !self {
+		t.Fatal("self-recurrence edge was moved off the producer")
+	}
+	if got := g.RecMII(); got != rec0 {
+		t.Errorf("RecMII changed from %d to %d; copies must not lengthen the kept recurrence", rec0, got)
+	}
+}
+
+// After copy insertion, every original consumer must still receive the
+// producer's value through a path of copies with an unchanged total
+// distance, and path length (extra copy delay) must equal the number of
+// copies traversed.
+func TestInsertCopiesPreservesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		g, orig := randomGraph(t, rng)
+		InsertCopies(g, 2)
+		if g.MaxFanout() > 2 {
+			t.Fatalf("trial %d: fanout %d > 2", trial, g.MaxFanout())
+		}
+		for _, oe := range orig {
+			if !copyPathExists(g, oe.From, oe.To, oe.Distance) {
+				t.Fatalf("trial %d: lost dependence %d -> %d @%d", trial, oe.From, oe.To, oe.Distance)
+			}
+		}
+	}
+}
+
+// copyPathExists walks carried edges through copy nodes only.
+func copyPathExists(g *Graph, from, to, dist int) bool {
+	type state struct{ node, dist int }
+	queue := []state{{from, 0}}
+	seen := map[state]bool{}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		for _, e := range g.Out(s.node) {
+			if !e.Carries {
+				continue
+			}
+			nd := s.dist + e.Distance
+			if e.To == to && nd == dist {
+				return true
+			}
+			if g.Node(e.To).Kind == CopyNode && nd <= dist {
+				queue = append(queue, state{e.To, nd})
+			}
+		}
+	}
+	return false
+}
+
+// randomGraph builds a random valid loop graph and returns the original
+// carried edges for later verification.
+func randomGraph(t testing.TB, rng *rand.Rand) (*Graph, []Edge) {
+	t.Helper()
+	b := loop.NewBuilder("rand")
+	n := 3 + rng.Intn(12)
+	ids := make([]loop.ID, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i == 0 || rng.Intn(4) == 0:
+			ids = append(ids, b.Load(name2("ld", i)))
+		default:
+			// 1-2 operands from earlier ops.
+			k := 1 + rng.Intn(2)
+			ops := make([]loop.ID, 0, k)
+			for j := 0; j < k; j++ {
+				ops = append(ops, ids[rng.Intn(len(ids))])
+			}
+			if rng.Intn(3) == 0 {
+				ids = append(ids, b.Mul(name2("mu", i), ops...))
+			} else {
+				ids = append(ids, b.Add(name2("ad", i), ops...))
+			}
+		}
+	}
+	// Random carried edges.
+	for e := 0; e < rng.Intn(3); e++ {
+		from := ids[rng.Intn(len(ids))]
+		to := ids[rng.Intn(len(ids))]
+		b.Flow(from, to, 1+rng.Intn(2))
+	}
+	b.Store("st", ids[len(ids)-1])
+	l, err := b.Build()
+	if err != nil {
+		t.Fatalf("random loop invalid: %v", err)
+	}
+	g := FromLoop(l, lat())
+	var orig []Edge
+	g.Edges(func(e Edge) {
+		if e.Carries {
+			orig = append(orig, e)
+		}
+	})
+	return g, orig
+}
+
+func name2(p string, i int) string { return p + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

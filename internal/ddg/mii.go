@@ -1,0 +1,140 @@
+package ddg
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// ResMII returns the resource-constrained lower bound on the initiation
+// interval for machine m: the most heavily used functional unit kind
+// must fit its operations into II slots machine-wide,
+//
+//	ResMII = max over kinds k of ⌈ops(k) / units(k)⌉.
+//
+// The bound pools units across clusters, so for clustered machines it
+// is a lower bound on what any partitioning can achieve.
+func (g *Graph) ResMII(m *machine.Machine) (int, error) {
+	counts := g.CountKinds()
+	res := 1
+	for k := machine.FUKind(0); int(k) < machine.NumFUKinds; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		units := m.TotalFUs(k)
+		if units == 0 {
+			return 0, fmt.Errorf("ddg %s: %d %v operations but machine %s has no %v units",
+				g.name, counts[k], k, m.Name, k)
+		}
+		if need := (counts[k] + units - 1) / units; need > res {
+			res = need
+		}
+	}
+	return res, nil
+}
+
+// RecMII returns the recurrence-constrained lower bound on the
+// initiation interval: the smallest II ≥ 1 such that no dependence
+// cycle violates its timing budget, i.e. for every cycle c,
+// delay(c) ≤ II·distance(c). Equivalently, the smallest II for which
+// the graph with edge weights delay − II·distance has no positive
+// cycle. Acyclic graphs yield 1.
+func (g *Graph) RecMII() int {
+	// Upper bound: any cycle has distance ≥ 1 (distance-0 subgraphs
+	// are acyclic by loop validation), so II = Σ delays is feasible.
+	hi := 1
+	g.Edges(func(e Edge) { hi += e.Delay })
+	lo := 1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.hasPositiveCycle(mid) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// MII returns max(ResMII, RecMII), the starting candidate II of both
+// IMS and DMS.
+func (g *Graph) MII(m *machine.Machine) (int, error) {
+	res, err := g.ResMII(m)
+	if err != nil {
+		return 0, err
+	}
+	if rec := g.RecMII(); rec > res {
+		return rec, nil
+	}
+	return res, nil
+}
+
+// FeasibleII reports whether the initiation interval satisfies every
+// dependence cycle (it says nothing about resources; combine with
+// ResMII). RecMII is the smallest feasible value.
+func (g *Graph) FeasibleII(ii int) bool {
+	if ii < 1 {
+		return false
+	}
+	return !g.hasPositiveCycle(ii)
+}
+
+// hasPositiveCycle runs Bellman-Ford longest-path relaxation with edge
+// weights delay − II·distance; a relaxation still possible after
+// |V| passes proves a positive-weight cycle.
+func (g *Graph) hasPositiveCycle(ii int) bool {
+	dist := make(map[int]int, g.aliveN)
+	for i, alive := range g.nodeAlive {
+		if alive {
+			dist[i] = 0
+		}
+	}
+	for pass := 0; pass <= g.aliveN; pass++ {
+		changed := false
+		for i, alive := range g.edgeAlive {
+			if !alive {
+				continue
+			}
+			e := g.edges[i]
+			w := e.Delay - ii*e.Distance
+			if d := dist[e.From] + w; d > dist[e.To] {
+				dist[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	return true
+}
+
+// Heights returns the height-based scheduling priority of every node at
+// the given II: the longest weighted path from the node to any sink,
+// with weights delay − II·distance. Rau's IMS schedules operations in
+// decreasing height order so that operations on long dependence paths
+// (and recurrences) are placed first. The result is indexed by node ID;
+// dead nodes get 0.
+//
+// Heights requires II ≥ RecMII; it panics on positive cycles (which
+// would make heights unbounded).
+func (g *Graph) Heights(ii int) []int {
+	h := make([]int, len(g.nodes))
+	for pass := 0; pass <= g.aliveN; pass++ {
+		changed := false
+		for i, alive := range g.edgeAlive {
+			if !alive {
+				continue
+			}
+			e := g.edges[i]
+			if v := h[e.To] + e.Delay - ii*e.Distance; v > h[e.From] {
+				h[e.From] = v
+				changed = true
+			}
+		}
+		if !changed {
+			return h
+		}
+	}
+	panic(fmt.Sprintf("ddg %s: Heights(%d) called below RecMII", g.name, ii))
+}

@@ -1,0 +1,115 @@
+package ddg_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/perfect"
+)
+
+func mustUnroll(t *testing.T, l *loop.Loop, u int) *loop.Loop {
+	t.Helper()
+	ul, err := loop.Unroll(l, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ul
+}
+
+// RecMII must be the exact feasibility boundary: feasible at RecMII,
+// infeasible one below (unless it is already 1).
+func TestRecMIIIsTightBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		g := ddg.FromLoop(perfect.Generate(rng, "p"), machine.DefaultLatencies())
+		rec := g.RecMII()
+		if !g.FeasibleII(rec) {
+			t.Fatalf("trial %d: RecMII %d reported infeasible", i, rec)
+		}
+		if rec > 1 && g.FeasibleII(rec-1) {
+			t.Fatalf("trial %d: RecMII %d is not minimal", i, rec)
+		}
+		if g.FeasibleII(0) {
+			t.Fatal("II 0 can never be feasible")
+		}
+	}
+}
+
+// Feasibility is monotone in II.
+func TestFeasibilityMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		g := ddg.FromLoop(perfect.Generate(rng, "p"), machine.DefaultLatencies())
+		prev := false
+		for ii := 1; ii < g.RecMII()+4; ii++ {
+			cur := g.FeasibleII(ii)
+			if prev && !cur {
+				t.Fatalf("trial %d: feasibility dropped from II %d to %d", i, ii-1, ii)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Copy insertion must never touch RecMII when no recurrence passes
+// through a high-fanout producer, and never decrease it in any case;
+// ResMII may only grow (copies add copy-unit work, never remove work).
+func TestInsertCopiesBoundsOnMII(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := machine.Clustered(4)
+	for i := 0; i < 200; i++ {
+		g := ddg.FromLoop(perfect.Generate(rng, "p"), machine.DefaultLatencies())
+		recBefore := g.RecMII()
+		resBefore, err := g.ResMII(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ddg.InsertCopies(g, ddg.MaxUses)
+		if got := g.RecMII(); got < recBefore {
+			t.Fatalf("trial %d: copies lowered RecMII %d -> %d", i, recBefore, got)
+		}
+		resAfter, err := g.ResMII(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resAfter < resBefore {
+			t.Fatalf("trial %d: copies lowered ResMII %d -> %d", i, resBefore, resAfter)
+		}
+	}
+}
+
+// Unrolling by u multiplies ResMII roughly by u (each FU kind has u×
+// the work) and never changes the per-iteration recurrence rate:
+// RecMII(unrolled)/u ≤ RecMII + 1 slack for rounding.
+func TestUnrolledMIIScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := machine.Unclustered(2)
+	for i := 0; i < 60; i++ {
+		l := perfect.Generate(rng, "p")
+		g1 := ddg.FromLoop(l, machine.DefaultLatencies())
+		res1, err := g1.ResMII(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := 2 + rng.Intn(3)
+		ul := mustUnroll(t, l, u)
+		gu := ddg.FromLoop(ul, machine.DefaultLatencies())
+		resU, err := gu.ResMII(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resU < res1 || resU > u*res1 {
+			t.Fatalf("trial %d: ResMII went %d -> %d under unroll %d", i, res1, resU, u)
+		}
+		// Per-original-iteration recurrence cost can only improve or
+		// stay within rounding of the original.
+		recU := gu.RecMII()
+		rec1 := g1.RecMII()
+		if recU > u*rec1 {
+			t.Fatalf("trial %d: RecMII %d exceeds %d×%d after unrolling", i, recU, u, rec1)
+		}
+	}
+}

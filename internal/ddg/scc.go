@@ -1,0 +1,103 @@
+package ddg
+
+// SCCs returns the strongly connected components of the live graph
+// (Tarjan's algorithm, iterative). Components are returned in reverse
+// topological order; singleton components without a self-edge are
+// included.
+func (g *Graph) SCCs() [][]int {
+	const unvisited = -1
+	n := len(g.nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int
+		sccs    [][]int
+		counter int
+	)
+
+	type frame struct {
+		node int
+		ei   int // next out-edge offset to examine
+	}
+	for root, alive := range g.nodeAlive {
+		if !alive || index[root] != unvisited {
+			continue
+		}
+		work := []frame{{node: root}}
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			advanced := false
+			for f.ei < len(g.out[f.node]) {
+				eid := g.out[f.node][f.ei]
+				f.ei++
+				if !g.edgeAlive[eid] {
+					continue
+				}
+				to := g.edges[eid].To
+				if index[to] == unvisited {
+					index[to], low[to] = counter, counter
+					counter++
+					stack = append(stack, to)
+					onStack[to] = true
+					work = append(work, frame{node: to})
+					advanced = true
+					break
+				}
+				if onStack[to] && index[to] < low[f.node] {
+					low[f.node] = index[to]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All edges examined: close the frame.
+			v := f.node
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].node
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}
+
+// HasRecurrence reports whether the graph contains any dependence
+// cycle. The paper's "set 2" holds the loops for which this is false —
+// highly vectorizable loops in the sense of Rau's classification.
+func (g *Graph) HasRecurrence() bool {
+	for i, alive := range g.edgeAlive {
+		if alive && g.edges[i].From == g.edges[i].To {
+			return true
+		}
+	}
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ims"
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/regpress"
+	"repro/internal/sms"
+	"repro/internal/twophase"
+)
+
+// CompareRow pits DMS against the two-phase partition-then-schedule
+// baseline (paper §2) on one cluster count.
+type CompareRow struct {
+	Clusters                    int
+	Loops                       int
+	DMSWins, Ties, TwoPhaseWins int
+	DMSIISum, TwoPhaseIISum     int
+	TwoPhaseFailures            int
+}
+
+// CompareDMSTwoPhase schedules every loop with both algorithms on the
+// clustered machines and tallies who achieves the lower II. Loops the
+// two-phase baseline cannot schedule count as failures (and as DMS
+// wins in the II tallies they are excluded from).
+func CompareDMSTwoPhase(loops []*loop.Loop, clusters []int, cfg Config) ([]CompareRow, error) {
+	lat := cfg.lat()
+	rows := make([]CompareRow, len(clusters))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	sem := make(chan struct{}, cfg.parallelism())
+	for ci, c := range clusters {
+		rows[ci].Clusters = c
+		for _, l := range loops {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ci, c int, l *loop.Loop) {
+				defer func() { <-sem; wg.Done() }()
+				g1 := ddg.FromLoop(l, lat)
+				if c >= 2 {
+					ddg.InsertCopies(g1, ddg.MaxUses)
+				}
+				_, dmsStats, err := core.Schedule(g1, machine.Clustered(c), core.Options{BudgetRatio: cfg.BudgetRatio})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s on %d clusters: %w", l.Name, c, err)
+					}
+					mu.Unlock()
+					return
+				}
+				g2 := ddg.FromLoop(l, lat)
+				if c >= 2 {
+					ddg.InsertCopies(g2, ddg.MaxUses)
+				}
+				tpSched, tpStats, tpErr := twophase.Schedule(g2, machine.Clustered(c), twophase.Options{BudgetRatio: cfg.BudgetRatio})
+				_ = tpSched
+				mu.Lock()
+				defer mu.Unlock()
+				rows[ci].Loops++
+				if tpErr != nil {
+					rows[ci].TwoPhaseFailures++
+					return
+				}
+				rows[ci].DMSIISum += dmsStats.II
+				rows[ci].TwoPhaseIISum += tpStats.II
+				switch {
+				case tpStats.II > dmsStats.II:
+					rows[ci].DMSWins++
+				case tpStats.II < dmsStats.II:
+					rows[ci].TwoPhaseWins++
+				default:
+					rows[ci].Ties++
+				}
+			}(ci, c, l)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rows, nil
+}
+
+// FormatComparison renders the DMS vs two-phase table.
+func FormatComparison(rows []CompareRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extended — single-phase DMS vs partition-first baseline (II)\n")
+	sb.WriteString("clusters  dms-wins  ties  2phase-wins  2phase-fail  IIsum dms/2phase\n")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.DMSIISum > 0 {
+			ratio = float64(r.TwoPhaseIISum) / float64(r.DMSIISum)
+		}
+		fmt.Fprintf(&sb, "%8d  %8d  %4d  %11d  %11d  %5d/%d (%.3f)\n",
+			r.Clusters, r.DMSWins, r.Ties, r.TwoPhaseWins, r.TwoPhaseFailures,
+			r.DMSIISum, r.TwoPhaseIISum, ratio)
+	}
+	return sb.String()
+}
+
+// PressureRow compares IMS and SMS register pressure on one
+// unclustered machine width.
+type PressureRow struct {
+	Width                    int // cluster-equivalents (3·Width FUs)
+	Loops                    int
+	IMSIISum, SMSIISum       int
+	IMSMaxLives, SMSMaxLives int
+}
+
+// ComparePressure grounds the paper's §1 motivation: modulo scheduling
+// inflates register requirements, and lifetime-sensitive scheduling
+// (SMS, by one of the paper's authors) reduces MaxLives at equal II.
+func ComparePressure(loops []*loop.Loop, widths []int, cfg Config) ([]PressureRow, error) {
+	lat := cfg.lat()
+	rows := make([]PressureRow, len(widths))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	sem := make(chan struct{}, cfg.parallelism())
+	for wi, width := range widths {
+		rows[wi].Width = width
+		for _, l := range loops {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(wi, width int, l *loop.Loop) {
+				defer func() { <-sem; wg.Done() }()
+				m := machine.Unclustered(width)
+				g := ddg.FromLoop(l, lat)
+				sIMS, stIMS, err1 := ims.Schedule(g, m, ims.Options{BudgetRatio: cfg.BudgetRatio})
+				sSMS, stSMS, err2 := sms.Schedule(g, m, sms.Options{})
+				mu.Lock()
+				defer mu.Unlock()
+				if firstErr != nil {
+					return
+				}
+				if err1 != nil {
+					firstErr = err1
+					return
+				}
+				if err2 != nil {
+					firstErr = err2
+					return
+				}
+				rows[wi].Loops++
+				rows[wi].IMSIISum += stIMS.II
+				rows[wi].SMSIISum += stSMS.II
+				rows[wi].IMSMaxLives += regpress.Analyze(sIMS).MaxLives
+				rows[wi].SMSMaxLives += regpress.Analyze(sSMS).MaxLives
+			}(wi, width, l)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rows, nil
+}
+
+// FormatPressure renders the IMS vs SMS register pressure table.
+func FormatPressure(rows []PressureRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extended — register pressure: IMS vs lifetime-sensitive SMS (unclustered)\n")
+	sb.WriteString("FUs      IIsum ims/sms    MaxLives ims/sms   sms saving\n")
+	for _, r := range rows {
+		saving := 0.0
+		if r.IMSMaxLives > 0 {
+			saving = 100 * (1 - float64(r.SMSMaxLives)/float64(r.IMSMaxLives))
+		}
+		fmt.Fprintf(&sb, "%3d      %6d/%-6d     %8d/%-8d  %5.1f%%\n",
+			3*r.Width, r.IMSIISum, r.SMSIISum, r.IMSMaxLives, r.SMSMaxLives, saving)
+	}
+	return sb.String()
+}

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/perfect"
+)
+
+func TestCompareDMSTwoPhase(t *testing.T) {
+	loops := perfect.CorpusN(perfect.DefaultSeed, 30)
+	rows, err := CompareDMSTwoPhase(loops, []int{2, 6}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Loops != 30 {
+			t.Errorf("%d clusters: %d loops counted", r.Clusters, r.Loops)
+		}
+		scheduled := r.Loops - r.TwoPhaseFailures
+		if r.DMSWins+r.Ties+r.TwoPhaseWins != scheduled {
+			t.Errorf("%d clusters: tallies do not add up: %+v", r.Clusters, r)
+		}
+		// The integrated scheduler must not lose on aggregate.
+		if r.TwoPhaseIISum < r.DMSIISum {
+			t.Errorf("%d clusters: two-phase total II %d beats DMS %d", r.Clusters, r.TwoPhaseIISum, r.DMSIISum)
+		}
+	}
+	out := FormatComparison(rows)
+	if !strings.Contains(out, "dms-wins") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestComparePressure(t *testing.T) {
+	loops := perfect.CorpusN(perfect.DefaultSeed, 30)
+	rows, err := ComparePressure(loops, []int{1, 4}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Loops != 30 {
+			t.Errorf("width %d: %d loops", r.Width, r.Loops)
+		}
+		if r.SMSMaxLives > r.IMSMaxLives {
+			t.Errorf("width %d: SMS pressure %d above IMS %d", r.Width, r.SMSMaxLives, r.IMSMaxLives)
+		}
+		if r.SMSIISum < r.IMSIISum {
+			t.Errorf("width %d: SMS total II %d below IMS %d (suspicious: SMS never backtracks)", r.Width, r.SMSIISum, r.IMSIISum)
+		}
+	}
+	out := FormatPressure(rows)
+	if !strings.Contains(out, "MaxLives") {
+		t.Errorf("format:\n%s", out)
+	}
+}

@@ -1,0 +1,246 @@
+// Package experiment regenerates the evaluation of the paper (§4):
+// Figure 4 (fraction of loops whose II increases under DMS
+// partitioning), Figure 5 (relative dynamic cycle counts) and Figure 6
+// (IPC), over machine configurations of 1 to 10 clusters (3 to 30
+// useful functional units).
+//
+// For every (loop, cluster count) pair the harness runs the paper's
+// full tool chain on both machines:
+//
+//	unroll (if necessary) → [copy insertion] → IMS (unclustered)
+//	                                         → DMS (clustered)
+//
+// using the same unrolled body for both so that II differences isolate
+// the partitioning cost. Dynamic cycles and IPC use the trip counts
+// attached to the loops and count kernel, prologue and epilogue issue
+// slots; copy and move operations are excluded from IPC, as in the
+// paper.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ims"
+	"repro/internal/loop"
+	"repro/internal/machine"
+)
+
+// Clusters lists the machine sizes of the paper's evaluation.
+var Clusters = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+
+// Config tunes a run.
+type Config struct {
+	// MaxUnroll caps the unroll factor (default 8).
+	MaxUnroll int
+	// MaxUnrolledOps skips unroll factors that would exceed this body
+	// size (default 256).
+	MaxUnrolledOps int
+	// BudgetRatio is passed to both schedulers (0 = default).
+	BudgetRatio int
+	// Parallelism is the worker count (0 = GOMAXPROCS).
+	Parallelism int
+	// Latencies defaults to machine.DefaultLatencies().
+	Latencies *machine.Latencies
+}
+
+func (c Config) maxUnroll() int {
+	if c.MaxUnroll <= 0 {
+		return 8
+	}
+	return c.MaxUnroll
+}
+
+func (c Config) maxUnrolledOps() int {
+	if c.MaxUnrolledOps <= 0 {
+		return 256
+	}
+	return c.MaxUnrolledOps
+}
+
+func (c Config) lat() machine.Latencies {
+	if c.Latencies != nil {
+		return *c.Latencies
+	}
+	return machine.DefaultLatencies()
+}
+
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// LoopResult holds the measurements of one loop on one machine pair.
+type LoopResult struct {
+	Name     string
+	Clusters int
+	Unroll   int
+	Trip     int // trip count of the unrolled loop
+	HasRec   bool
+
+	// Unclustered machine (IMS).
+	UnclusteredII     int
+	UnclusteredCycles int64
+	// Clustered machine (DMS).
+	ClusteredII     int
+	ClusteredCycles int64
+
+	// UsefulInstr is trip × useful static ops — identical for both
+	// machines because copies and moves are excluded.
+	UsefulInstr int64
+
+	// Scheduler behaviour, for the ablation reports.
+	Chains int
+	Moves  int
+}
+
+// Results is the full evaluation matrix.
+type Results struct {
+	Cfg      Config
+	Clusters []int
+	// PerLoop[i][j] is loop i on Clusters[j].
+	PerLoop [][]LoopResult
+}
+
+// Run evaluates every loop on every cluster count.
+func Run(loops []*loop.Loop, clusters []int, cfg Config) (*Results, error) {
+	res := &Results{Cfg: cfg, Clusters: clusters}
+	res.PerLoop = make([][]LoopResult, len(loops))
+	type task struct{ li, ci int }
+	tasks := make(chan task)
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+
+	for i := range loops {
+		res.PerLoop[i] = make([]LoopResult, len(clusters))
+	}
+	for w := 0; w < cfg.parallelism(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				r, err := RunOne(loops[t.li], clusters[t.ci], cfg)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("%s on %d clusters: %w", loops[t.li].Name, clusters[t.ci], err):
+					default:
+					}
+					continue
+				}
+				res.PerLoop[t.li][t.ci] = r
+			}
+		}()
+	}
+	for li := range loops {
+		for ci := range clusters {
+			tasks <- task{li, ci}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return res, nil
+}
+
+// RunOne evaluates one loop on the unclustered/clustered machine pair
+// with the given cluster count.
+func RunOne(l *loop.Loop, clusters int, cfg Config) (LoopResult, error) {
+	lat := cfg.lat()
+	um := machine.Unclustered(clusters)
+	cm := machine.Clustered(clusters)
+
+	u, err := ChooseUnroll(l, um, cfg)
+	if err != nil {
+		return LoopResult{}, err
+	}
+	ul, err := loop.Unroll(l, u)
+	if err != nil {
+		return LoopResult{}, err
+	}
+
+	ug := ddg.FromLoop(ul, lat)
+	r := LoopResult{
+		Name:     l.Name,
+		Clusters: clusters,
+		Unroll:   u,
+		Trip:     ul.Trip,
+		HasRec:   ddg.FromLoop(l, lat).HasRecurrence(),
+	}
+
+	us, ust, err := ims.Schedule(ug, um, ims.Options{BudgetRatio: cfg.BudgetRatio})
+	if err != nil {
+		return r, fmt.Errorf("ims: %w", err)
+	}
+	um1 := us.Measure(ul.Trip)
+	r.UnclusteredII = ust.II
+	r.UnclusteredCycles = um1.Cycles
+	r.UsefulInstr = int64(um1.Useful) * int64(ul.Trip)
+
+	cg := ddg.FromLoop(ul, lat)
+	if clusters >= 2 {
+		ddg.InsertCopies(cg, ddg.MaxUses)
+	}
+	cs, cst, err := core.Schedule(cg, cm, core.Options{BudgetRatio: cfg.BudgetRatio})
+	if err != nil {
+		return r, fmt.Errorf("dms: %w", err)
+	}
+	cm1 := cs.Measure(ul.Trip)
+	r.ClusteredII = cst.II
+	r.ClusteredCycles = cm1.Cycles
+	r.Chains = cst.ChainsBuilt - cst.ChainsDissolved
+	r.Moves = cst.MovesInserted
+	if int64(cm1.Useful)*int64(ul.Trip) != r.UsefulInstr {
+		return r, fmt.Errorf("useful-instruction accounting diverged (%d vs %d)", cm1.Useful, um1.Useful)
+	}
+	return r, nil
+}
+
+// ChooseUnroll implements the paper's "unrolling whenever necessary"
+// policy (§4, citing Lavery & Hwu): unroll until the theoretical
+// initiation rate u/MII(u) on the unclustered machine stops improving,
+// preferring the smallest factor within 95% of the best rate. The
+// factor is shared by the clustered run so II differences isolate
+// partitioning effects.
+func ChooseUnroll(l *loop.Loop, um *machine.Machine, cfg Config) (int, error) {
+	lat := cfg.lat()
+	type cand struct {
+		u    int
+		rate float64
+	}
+	var cands []cand
+	for u := 1; u <= cfg.maxUnroll(); u++ {
+		if u > 1 && l.NumOps()*u > cfg.maxUnrolledOps() {
+			break
+		}
+		ul, err := loop.Unroll(l, u)
+		if err != nil {
+			return 0, err
+		}
+		mii, err := ddg.FromLoop(ul, lat).MII(um)
+		if err != nil {
+			return 0, err
+		}
+		cands = append(cands, cand{u: u, rate: float64(u) / float64(mii)})
+	}
+	best := 0.0
+	for _, c := range cands {
+		if c.rate > best {
+			best = c.rate
+		}
+	}
+	for _, c := range cands {
+		if c.rate >= 0.95*best {
+			return c.u, nil
+		}
+	}
+	return 1, nil
+}

@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/perfect"
+)
+
+func smallRun(t testing.TB, n int, clusters []int) *Results {
+	t.Helper()
+	loops := perfect.CorpusN(perfect.DefaultSeed, n)
+	res, err := Run(loops, clusters, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunOneBasics(t *testing.T) {
+	r, err := RunOne(perfect.KernelDot(), 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UnclusteredII < 1 || r.ClusteredII < r.UnclusteredII {
+		// Clustered II can equal but never beat the unclustered II on
+		// the same unrolled body: the unclustered machine has strictly
+		// more freedom.
+		t.Errorf("IIs: unclustered %d, clustered %d", r.UnclusteredII, r.ClusteredII)
+	}
+	if !r.HasRec {
+		t.Error("dot must be classified as a recurrence loop")
+	}
+	if r.UsefulInstr <= 0 || r.UnclusteredCycles <= 0 || r.ClusteredCycles <= 0 {
+		t.Errorf("bad accounting: %+v", r)
+	}
+}
+
+func TestChooseUnrollGrowsForSmallLoops(t *testing.T) {
+	// saxpy (6 ops, no recurrence) cannot saturate 24 FUs without
+	// unrolling.
+	u, err := ChooseUnroll(perfect.KernelSAXPY(), machine.Unclustered(8), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 2 {
+		t.Errorf("unroll = %d, want ≥ 2 on a 24-FU machine", u)
+	}
+	// On the 3-FU machine the body is already resource bound.
+	u1, err := ChooseUnroll(perfect.KernelSAXPY(), machine.Unclustered(1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 != 1 {
+		t.Errorf("unroll = %d on 3 FUs, want 1", u1)
+	}
+}
+
+func TestChooseUnrollRespectsRecurrenceBound(t *testing.T) {
+	// prefix sum is recurrence bound: unrolling cannot improve the rate
+	// beyond 1 add per cycle, so the policy must stay at 1 on a narrow
+	// machine.
+	u, err := ChooseUnroll(perfect.KernelPrefixSum(), machine.Unclustered(1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1 {
+		t.Errorf("unroll = %d, want 1", u)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res := smallRun(t, 40, []int{1, 2, 4, 8})
+	rows := res.Figure4()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Clusters != 1 || rows[0].Increased != 0 {
+		t.Errorf("1 cluster must have zero overhead, got %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.Total != 40 {
+			t.Errorf("row %d counts %d loops", r.Clusters, r.Total)
+		}
+		if r.Pct() < 0 || r.Pct() > 100 {
+			t.Errorf("bad percentage %v", r.Pct())
+		}
+	}
+	// The headline claim, scaled to the sample: most loops keep their
+	// II through 8 clusters.
+	last := rows[len(rows)-1]
+	if last.Pct() > 50 {
+		t.Errorf("%.1f%% of loops lost II at 8 clusters; paper reports <20%%", last.Pct())
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	res := smallRun(t, 40, []int{1, 2, 4, 8})
+	fig := res.Figure5()
+	if fig.Set1Unclustered[0].Value != 100 || fig.Set2Unclustered[0].Value != 100 {
+		t.Fatalf("normalisation broken: %+v", fig.Set1Unclustered[0])
+	}
+	// Cycle counts must be non-increasing in machine width, and the
+	// clustered machine can never beat the unclustered one.
+	check := func(name string, unc, clu []SeriesPoint) {
+		for i := 1; i < len(unc); i++ {
+			if unc[i].Value > unc[i-1].Value+1e-9 {
+				t.Errorf("%s unclustered cycles rise at %d FUs", name, unc[i].FUs)
+			}
+		}
+		for i := range clu {
+			if clu[i].Value < unc[i].Value-1e-9 {
+				t.Errorf("%s clustered beats unclustered at %d FUs", name, clu[i].FUs)
+			}
+		}
+	}
+	check("set1", fig.Set1Unclustered, fig.Set1Clustered)
+	check("set2", fig.Set2Unclustered, fig.Set2Clustered)
+}
+
+func TestFigure6Shape(t *testing.T) {
+	res := smallRun(t, 40, []int{1, 2, 4, 8})
+	fig := res.Figure6()
+	for i := 1; i < len(fig.Set1Unclustered); i++ {
+		if fig.Set1Unclustered[i].Value < fig.Set1Unclustered[i-1].Value-1e-9 {
+			t.Errorf("set1 unclustered IPC fell at %d FUs", fig.Set1Unclustered[i].FUs)
+		}
+	}
+	for i := range fig.Set1Clustered {
+		if fig.Set1Clustered[i].Value > fig.Set1Unclustered[i].Value+1e-9 {
+			t.Errorf("clustered IPC above unclustered at %d FUs", fig.Set1Clustered[i].FUs)
+		}
+	}
+	// IPC must stay within the issue width.
+	for _, p := range fig.Set2Unclustered {
+		if p.Value > float64(p.FUs) {
+			t.Errorf("IPC %v exceeds %d FUs", p.Value, p.FUs)
+		}
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	res := smallRun(t, 12, []int{1, 2})
+	f4 := FormatFigure4(res.Figure4())
+	if !strings.Contains(f4, "Figure 4") || !strings.Contains(f4, "clusters") {
+		t.Errorf("figure 4 format:\n%s", f4)
+	}
+	f5 := FormatFigure5(res.Figure5())
+	if !strings.Contains(f5, "Set 1 - Unclustered") || !strings.Contains(f5, "100.0") {
+		t.Errorf("figure 5 format:\n%s", f5)
+	}
+	f6 := FormatFigure6(res.Figure6())
+	if !strings.Contains(f6, "IPC") {
+		t.Errorf("figure 6 format:\n%s", f6)
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	loops := perfect.CorpusN(perfect.DefaultSeed, 12)
+	a, err := Run(loops, []int{2, 4}, Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(loops, []int{2, 4}, Config{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerLoop {
+		for j := range a.PerLoop[i] {
+			if a.PerLoop[i][j] != b.PerLoop[i][j] {
+				t.Fatalf("loop %d cluster idx %d differs across parallelism: %+v vs %+v",
+					i, j, a.PerLoop[i][j], b.PerLoop[i][j])
+			}
+		}
+	}
+}
+
+func TestRunOnKernels(t *testing.T) {
+	var loops []*loop.Loop
+	loops = append(loops, perfect.Kernels()...)
+	res, err := Run(loops, []int{1, 4, 8}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.PerLoop {
+		for _, r := range row {
+			if r.ClusteredII < r.UnclusteredII {
+				t.Errorf("%s: clustered II %d beats unclustered %d at %d clusters",
+					loops[i].Name, r.ClusteredII, r.UnclusteredII, r.Clusters)
+			}
+		}
+	}
+}

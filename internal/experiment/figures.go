@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure4Row is one bar of paper Figure 4: the percentage of loops
+// whose II increased when DMS partitioned them for the clustered
+// machine, relative to IMS on the equivalent unclustered machine.
+type Figure4Row struct {
+	Clusters  int
+	Increased int
+	Total     int
+}
+
+// Pct returns the percentage of loops with an II increase.
+func (r Figure4Row) Pct() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Increased) / float64(r.Total)
+}
+
+// Figure4 derives the II-overhead distribution.
+func (r *Results) Figure4() []Figure4Row {
+	rows := make([]Figure4Row, len(r.Clusters))
+	for ci, c := range r.Clusters {
+		rows[ci].Clusters = c
+		for li := range r.PerLoop {
+			lr := r.PerLoop[li][ci]
+			rows[ci].Total++
+			if lr.ClusteredII > lr.UnclusteredII {
+				rows[ci].Increased++
+			}
+		}
+	}
+	return rows
+}
+
+// SeriesPoint is one x,y point of Figures 5 and 6.
+type SeriesPoint struct {
+	Clusters int
+	FUs      int
+	Value    float64
+}
+
+// Figure5 holds the four execution-time series of paper Figure 5,
+// normalised so that each set's unclustered 3-FU total is 100.
+type Figure5 struct {
+	Set1Unclustered, Set1Clustered []SeriesPoint
+	Set2Unclustered, Set2Clustered []SeriesPoint
+}
+
+// Figure6 holds the four IPC series of paper Figure 6 (absolute IPC).
+type Figure6 struct {
+	Set1Unclustered, Set1Clustered []SeriesPoint
+	Set2Unclustered, Set2Clustered []SeriesPoint
+}
+
+// inSet2 selects the loops without recurrences.
+func inSet2(lr LoopResult) bool { return !lr.HasRec }
+
+// Figure5 derives the relative total cycle counts.
+func (r *Results) Figure5() Figure5 {
+	var fig Figure5
+	sum := func(ci int, set2, clustered bool) float64 {
+		var total int64
+		for li := range r.PerLoop {
+			lr := r.PerLoop[li][ci]
+			if set2 && !inSet2(lr) {
+				continue
+			}
+			if clustered {
+				total += lr.ClusteredCycles
+			} else {
+				total += lr.UnclusteredCycles
+			}
+		}
+		return float64(total)
+	}
+	base1 := sum(0, false, false)
+	base2 := sum(0, true, false)
+	for ci, c := range r.Clusters {
+		p := func(v, base float64) SeriesPoint {
+			return SeriesPoint{Clusters: c, FUs: 3 * c, Value: 100 * v / base}
+		}
+		fig.Set1Unclustered = append(fig.Set1Unclustered, p(sum(ci, false, false), base1))
+		fig.Set1Clustered = append(fig.Set1Clustered, p(sum(ci, false, true), base1))
+		fig.Set2Unclustered = append(fig.Set2Unclustered, p(sum(ci, true, false), base2))
+		fig.Set2Clustered = append(fig.Set2Clustered, p(sum(ci, true, true), base2))
+	}
+	return fig
+}
+
+// Figure6 derives aggregate IPC: total useful instructions over total
+// cycles, per set and machine.
+func (r *Results) Figure6() Figure6 {
+	var fig Figure6
+	ipc := func(ci int, set2, clustered bool) float64 {
+		var instr, cycles int64
+		for li := range r.PerLoop {
+			lr := r.PerLoop[li][ci]
+			if set2 && !inSet2(lr) {
+				continue
+			}
+			instr += lr.UsefulInstr
+			if clustered {
+				cycles += lr.ClusteredCycles
+			} else {
+				cycles += lr.UnclusteredCycles
+			}
+		}
+		if cycles == 0 {
+			return 0
+		}
+		return float64(instr) / float64(cycles)
+	}
+	for ci, c := range r.Clusters {
+		p := func(v float64) SeriesPoint { return SeriesPoint{Clusters: c, FUs: 3 * c, Value: v} }
+		fig.Set1Unclustered = append(fig.Set1Unclustered, p(ipc(ci, false, false)))
+		fig.Set1Clustered = append(fig.Set1Clustered, p(ipc(ci, false, true)))
+		fig.Set2Unclustered = append(fig.Set2Unclustered, p(ipc(ci, true, false)))
+		fig.Set2Clustered = append(fig.Set2Clustered, p(ipc(ci, true, true)))
+	}
+	return fig
+}
+
+// FormatFigure4 renders the rows like the paper's bar chart.
+func FormatFigure4(rows []Figure4Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4 — II increase due to partitioning (% of loops)\n")
+	sb.WriteString("clusters   loops%   (increased/total)\n")
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(r.Pct()/2+0.5))
+		fmt.Fprintf(&sb, "%8d   %5.1f%%  (%d/%d) %s\n", r.Clusters, r.Pct(), r.Increased, r.Total, bar)
+	}
+	return sb.String()
+}
+
+func formatSeries(name string, pts []SeriesPoint, digits int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s", name)
+	for _, p := range pts {
+		fmt.Fprintf(&sb, " %8.*f", digits, p.Value)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func formatFUHeader(pts []SeriesPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s", "FUs")
+	for _, p := range pts {
+		fmt.Fprintf(&sb, " %8d", p.FUs)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// FormatFigure5 renders the execution time series.
+func FormatFigure5(f Figure5) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5 — execution time (cycles, relative; 3-FU unclustered = 100 per set)\n")
+	sb.WriteString(formatFUHeader(f.Set1Unclustered))
+	sb.WriteString(formatSeries("Set 1 - Unclustered", f.Set1Unclustered, 1))
+	sb.WriteString(formatSeries("Set 1 - Clustered", f.Set1Clustered, 1))
+	sb.WriteString(formatSeries("Set 2 - Unclustered", f.Set2Unclustered, 1))
+	sb.WriteString(formatSeries("Set 2 - Clustered", f.Set2Clustered, 1))
+	return sb.String()
+}
+
+// FormatFigure6 renders the IPC series.
+func FormatFigure6(f Figure6) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — IPC (useful instructions per cycle, dynamic)\n")
+	sb.WriteString(formatFUHeader(f.Set1Unclustered))
+	sb.WriteString(formatSeries("Set 1 - Unclustered", f.Set1Unclustered, 2))
+	sb.WriteString(formatSeries("Set 1 - Clustered", f.Set1Clustered, 2))
+	sb.WriteString(formatSeries("Set 2 - Unclustered", f.Set2Unclustered, 2))
+	sb.WriteString(formatSeries("Set 2 - Clustered", f.Set2Clustered, 2))
+	return sb.String()
+}

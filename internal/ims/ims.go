@@ -1,0 +1,214 @@
+// Package ims implements Rau's Iterative Modulo Scheduling (IMS,
+// "Iterative Modulo Scheduling", International Journal of Parallel
+// Programming, 1996) — the base algorithm DMS extends and the
+// unclustered baseline of the paper's evaluation.
+//
+// IMS schedules one loop iteration at a candidate initiation interval
+// II, starting at MII = max(ResMII, RecMII). Operations are placed in
+// decreasing height order. Each operation searches the II-wide window
+// starting at its earliest dependence-feasible time for a
+// resource-conflict-free slot; if none exists it is placed anyway
+// (forced) and conflicting operations are unscheduled and retried. A
+// budget bounds the total number of placements; when it is exhausted,
+// II is incremented and scheduling restarts.
+package ims
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// DefaultBudgetRatio is the scheduling-attempts budget per operation;
+// Rau reports ratios in the 2..6 range work well, and the evaluation
+// uses the generous end so II increases reflect real resource or
+// recurrence pressure rather than a starved search.
+const DefaultBudgetRatio = 6
+
+// Options tune the scheduler.
+type Options struct {
+	// BudgetRatio bounds scheduling attempts at BudgetRatio × ops per
+	// candidate II. 0 means DefaultBudgetRatio.
+	BudgetRatio int
+	// MaxII caps the candidate initiation interval. 0 derives a safe
+	// bound (sum of edge delays + number of operations) at which any
+	// loop schedules trivially.
+	MaxII int
+}
+
+func (o Options) budgetRatio() int {
+	if o.BudgetRatio <= 0 {
+		return DefaultBudgetRatio
+	}
+	return o.BudgetRatio
+}
+
+// Stats reports how the scheduler worked.
+type Stats struct {
+	MII        int // lower bound it started from
+	II         int // achieved initiation interval
+	IIsTried   int // candidate IIs attempted
+	Placements int // total placement operations across all IIs
+	Evictions  int // operations unscheduled by backtracking
+}
+
+// MaxIIBound returns the default MaxII for a graph: the sequential-
+// schedule II at which no backtracking is ever needed.
+func MaxIIBound(g *ddg.Graph) int {
+	sum := g.NumNodes()
+	g.Edges(func(e ddg.Edge) { sum += e.Delay })
+	return sum
+}
+
+// Schedule modulo-schedules the graph on an unclustered machine
+// (m.Clusters must be 1; clustered machines need DMS). The graph is
+// not modified.
+func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	var st Stats
+	if m.Clusters != 1 {
+		return nil, st, fmt.Errorf("ims: machine %s has %d clusters; IMS handles unclustered machines only", m.Name, m.Clusters)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, st, err
+	}
+	mii, err := g.MII(m)
+	if err != nil {
+		return nil, st, err
+	}
+	st.MII = mii
+	maxII := opt.MaxII
+	if maxII <= 0 {
+		maxII = MaxIIBound(g)
+	}
+	if maxII < mii {
+		maxII = mii
+	}
+	for ii := mii; ii <= maxII; ii++ {
+		st.IIsTried++
+		s, ok := tryII(g, m, ii, opt.budgetRatio(), &st)
+		if ok {
+			st.II = ii
+			return s, st, nil
+		}
+	}
+	return nil, st, fmt.Errorf("ims: %s did not schedule within MaxII %d", g.Name(), maxII)
+}
+
+// tryII attempts one candidate II. It returns ok=false when the budget
+// is exhausted.
+func tryII(g *ddg.Graph, m *machine.Machine, ii, budgetRatio int, st *Stats) (*schedule.Schedule, bool) {
+	s := schedule.New(g, m, ii)
+	heights := g.Heights(ii)
+	prevTime := make([]int, g.NumIDs())
+	neverScheduled := make([]bool, g.NumIDs())
+	for i := range neverScheduled {
+		neverScheduled[i] = true
+	}
+
+	q := schedule.NewQueue()
+	ids := g.NodeIDs()
+	for _, n := range ids {
+		q.Push(n, heights[n])
+	}
+	budget := budgetRatio * len(ids)
+
+	for q.Len() > 0 {
+		if budget == 0 {
+			return nil, false
+		}
+		budget--
+		op := q.Pop()
+		st.Placements++
+
+		estart := earliestStart(g, s, op, ii)
+		timeSlot, found := findSlot(g, s, op, estart, ii)
+		forced := false
+		if !found {
+			forced = true
+			timeSlot = estart
+			if !neverScheduled[op] && prevTime[op]+1 > timeSlot {
+				timeSlot = prevTime[op] + 1
+			}
+		}
+
+		if forced {
+			// Make room: evict the lowest-priority occupant(s) of the
+			// target slot.
+			kind := g.Node(op).Class.FU()
+			for !s.Table().Free(timeSlot, 0, g.Node(op).Class) {
+				victim := lowestPriority(s.Table().Occupants(timeSlot, 0, kind), heights)
+				s.Evict(victim)
+				q.Push(victim, heights[victim])
+				st.Evictions++
+			}
+		}
+		s.Place(op, schedule.Placement{Time: timeSlot, Cluster: 0})
+		prevTime[op] = timeSlot
+		neverScheduled[op] = false
+
+		// Unschedule successors whose dependence constraints the new
+		// placement violates (their earliest start moved past them).
+		for _, e := range g.Out(op) {
+			if e.To == op {
+				continue
+			}
+			if p, ok := s.At(e.To); ok && p.Time < timeSlot+e.Delay-ii*e.Distance {
+				s.Evict(e.To)
+				q.Push(e.To, heights[e.To])
+				st.Evictions++
+			}
+		}
+	}
+	return s, true
+}
+
+// earliestStart returns the smallest dependence-feasible issue time of
+// op given its currently scheduled predecessors.
+func earliestStart(g *ddg.Graph, s *schedule.Schedule, op, ii int) int {
+	estart := 0
+	for _, e := range g.In(op) {
+		if e.From == op {
+			continue // self edges are satisfied by II ≥ RecMII
+		}
+		if p, ok := s.At(e.From); ok {
+			if t := p.Time + e.Delay - ii*e.Distance; t > estart {
+				estart = t
+			}
+		}
+	}
+	return estart
+}
+
+// findSlot scans the II-wide window for a resource-free slot.
+func findSlot(g *ddg.Graph, s *schedule.Schedule, op, estart, ii int) (int, bool) {
+	class := g.Node(op).Class
+	for t := estart; t < estart+ii; t++ {
+		if s.Table().Free(t, 0, class) {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// lowestPriority picks the eviction victim: the occupant with the
+// smallest height (ties broken toward the larger node ID, i.e. the one
+// scheduled with less downstream work).
+func lowestPriority(occupants []int, heights []int) int {
+	victim := occupants[0]
+	for _, n := range occupants[1:] {
+		hn, hv := heightOf(n, heights), heightOf(victim, heights)
+		if hn < hv || (hn == hv && n > victim) {
+			victim = n
+		}
+	}
+	return victim
+}
+
+func heightOf(n int, heights []int) int {
+	if n < len(heights) {
+		return heights[n]
+	}
+	return int(^uint(0) >> 1) // nodes added after height computation (moves) rank highest
+}

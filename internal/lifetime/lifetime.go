@@ -1,0 +1,343 @@
+// Package lifetime analyses the register lifetimes of a modulo
+// schedule and allocates them to the queue register files of the
+// clustered machine: the per-cluster Local Register Files (LRFs) and
+// the directional Communication Queue Register Files (CQRFs) between
+// adjacent clusters (paper §2; the allocation discipline follows the
+// authors' companion work "Allocating lifetimes to queues in software
+// pipelined architectures", Euro-Par 1997).
+//
+// Every true data dependence of the scheduled graph is one lifetime:
+// the value enters its register file when the producer completes and
+// leaves when the consumer reads it. Queue register files are FIFO and
+// read-once, so two lifetimes may share a queue only if every dynamic
+// instance is written and read in a consistent order; the allocator
+// partitions the lifetimes of each file into a minimal-ish set of
+// FIFO-compatible queues greedily and reports queue counts and depths —
+// the register requirements the paper's architecture was designed
+// around.
+package lifetime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/schedule"
+)
+
+// Lifetime is one value flight from a producer to a single consumer.
+// Times are absolute cycles in the frame of the producer's iteration 0;
+// in steady state iteration i shifts everything by i·II.
+type Lifetime struct {
+	EdgeID             int
+	Producer, Consumer int
+	// Write is the cycle the value enters the file (producer issue +
+	// latency); Read is the cycle the consumer issues and pops it
+	// (consumer time + II·distance, folded into the producer frame).
+	Write, Read int
+	// Src and Dst are the producer/consumer clusters. Src == Dst means
+	// the lifetime lives in the LRF; otherwise in the CQRF Src→Dst.
+	Src, Dst int
+	// Distance is the dependence's iteration distance; instances for
+	// consumer iterations below Distance are pre-loop initial values.
+	Distance int
+}
+
+// Span returns the number of cycles the value stays in its file.
+func (l Lifetime) Span() int { return l.Read - l.Write }
+
+// FileKind distinguishes the two register file flavours.
+type FileKind int
+
+const (
+	// LRF is a cluster's local queue register file.
+	LRF FileKind = iota
+	// CQRF is the directional queue file between two adjacent
+	// clusters: write-only for Src, read-only for Dst.
+	CQRF
+)
+
+// String names the kind.
+func (k FileKind) String() string {
+	if k == LRF {
+		return "LRF"
+	}
+	return "CQRF"
+}
+
+// File is one register file with its allocated queues.
+type File struct {
+	Kind FileKind
+	// Src is the owning cluster (LRF) or the writing cluster (CQRF).
+	Src int
+	// Dst is the reading cluster for CQRFs; equal to Src for LRFs.
+	Dst int
+	// Queues partitions the file's lifetimes; each queue is FIFO and
+	// listed in write order.
+	Queues [][]Lifetime
+	// Depths holds the maximum steady-state occupancy of each queue.
+	Depths []int
+}
+
+// Name labels the file in reports.
+func (f *File) Name() string {
+	if f.Kind == LRF {
+		return fmt.Sprintf("LRF%d", f.Src)
+	}
+	return fmt.Sprintf("CQRF%d->%d", f.Src, f.Dst)
+}
+
+// MaxDepth returns the deepest queue of the file.
+func (f *File) MaxDepth() int {
+	d := 0
+	for _, q := range f.Depths {
+		if q > d {
+			d = q
+		}
+	}
+	return d
+}
+
+// Allocation is the complete queue assignment of one schedule.
+type Allocation struct {
+	II    int
+	Files []*File // deterministic order: LRFs by cluster, then CQRFs by (src,dst)
+	// ByEdge locates each lifetime: file index and queue index.
+	ByEdge map[int]Place
+}
+
+// Place locates a lifetime inside an Allocation.
+type Place struct {
+	File, Queue int
+}
+
+// TotalQueues sums the queues across all files.
+func (a *Allocation) TotalQueues() int {
+	n := 0
+	for _, f := range a.Files {
+		n += len(f.Queues)
+	}
+	return n
+}
+
+// MaxDepth returns the deepest queue anywhere.
+func (a *Allocation) MaxDepth() int {
+	d := 0
+	for _, f := range a.Files {
+		if m := f.MaxDepth(); m > d {
+			d = m
+		}
+	}
+	return d
+}
+
+// Analyze extracts the lifetimes of a complete, verified schedule and
+// allocates them to queues. It fails if a value-carrying edge connects
+// indirectly-connected clusters (i.e. on unverified schedules).
+func Analyze(s *schedule.Schedule) (*Allocation, error) {
+	g, m, ii := s.Graph(), s.Machine(), s.II()
+	lat := g.Lat()
+
+	type fileKey struct{ src, dst int }
+	byFile := make(map[fileKey][]Lifetime)
+	var err error
+	g.Edges(func(e ddg.Edge) {
+		if err != nil || !e.Carries {
+			return
+		}
+		pf, okF := s.At(e.From)
+		pt, okT := s.At(e.To)
+		if !okF || !okT {
+			err = fmt.Errorf("lifetime: edge %d endpoints not scheduled", e.ID)
+			return
+		}
+		if !m.Adjacent(pf.Cluster, pt.Cluster) {
+			err = fmt.Errorf("lifetime: edge %s→%s crosses non-adjacent clusters %d,%d",
+				g.Node(e.From).Name, g.Node(e.To).Name, pf.Cluster, pt.Cluster)
+			return
+		}
+		lt := Lifetime{
+			EdgeID:   e.ID,
+			Producer: e.From,
+			Consumer: e.To,
+			Write:    pf.Time + lat.Of(g.Node(e.From).Class),
+			Read:     pt.Time + ii*e.Distance,
+			Src:      pf.Cluster,
+			Dst:      pt.Cluster,
+			Distance: e.Distance,
+		}
+		if lt.Span() < 0 {
+			err = fmt.Errorf("lifetime: negative span on edge %s→%s", g.Node(e.From).Name, g.Node(e.To).Name)
+			return
+		}
+		byFile[fileKey{lt.Src, lt.Dst}] = append(byFile[fileKey{lt.Src, lt.Dst}], lt)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	keys := make([]fileKey, 0, len(byFile))
+	for k := range byFile {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		li, lj := keys[i].src == keys[i].dst, keys[j].src == keys[j].dst
+		if li != lj {
+			return li // LRFs first
+		}
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+
+	alloc := &Allocation{II: ii, ByEdge: make(map[int]Place)}
+	stages := s.Stages()
+	for _, k := range keys {
+		f := &File{Kind: CQRF, Src: k.src, Dst: k.dst}
+		if k.src == k.dst {
+			f.Kind = LRF
+		}
+		f.Queues = packQueues(byFile[k], ii, stages)
+		for qi, q := range f.Queues {
+			f.Depths = append(f.Depths, queueDepth(q, ii))
+			for _, lt := range q {
+				alloc.ByEdge[lt.EdgeID] = Place{File: len(alloc.Files), Queue: qi}
+			}
+		}
+		alloc.Files = append(alloc.Files, f)
+	}
+	return alloc, nil
+}
+
+// packQueues greedily partitions lifetimes into FIFO-compatible queues:
+// lifetimes are considered in write order and placed into the first
+// queue whose members they are pairwise compatible with.
+func packQueues(lts []Lifetime, ii, stages int) [][]Lifetime {
+	sort.Slice(lts, func(i, j int) bool {
+		if lts[i].Write != lts[j].Write {
+			return lts[i].Write < lts[j].Write
+		}
+		if lts[i].Read != lts[j].Read {
+			return lts[i].Read < lts[j].Read
+		}
+		return lts[i].EdgeID < lts[j].EdgeID
+	})
+	var queues [][]Lifetime
+next:
+	for _, lt := range lts {
+		for qi, q := range queues {
+			ok := true
+			for _, other := range q {
+				if !Compatible(lt, other, ii, stages) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				queues[qi] = append(queues[qi], lt)
+				continue next
+			}
+		}
+		queues = append(queues, []Lifetime{lt})
+	}
+	return queues
+}
+
+// Compatible decides whether two lifetimes may share one FIFO queue.
+// Runtime instance i ≥ 0 of a lifetime writes at Write + i·II and reads
+// at Read + i·II; pre-loop instances of loop-carried lifetimes are
+// pushed by the prologue before the loop starts. FIFO order therefore
+// requires:
+//
+//   - no two writes and no two reads may collide on the same cycle
+//     (colliding pushes/pops have no defined order),
+//   - the write order of runtime instances must match their read order
+//     for every instance offset,
+//   - a loop-carried lifetime's last pre-loop value (read at Read − II)
+//     must be read before the other lifetime's first runtime value,
+//     because the prologue pushed it before everything else.
+func Compatible(a, b Lifetime, ii, stages int) bool {
+	if mod(a.Write-b.Write, ii) == 0 || mod(a.Read-b.Read, ii) == 0 {
+		return false
+	}
+	// Instances at offset k interact only while |k|·II does not exceed
+	// the write distance plus the longer span; beyond that both the
+	// write and the read comparisons settle to the same side. The
+	// stage count alone underestimates this for long loop-carried
+	// spans, so derive the window from the lifetimes themselves.
+	window := stages + 2
+	span := a.Span()
+	if b.Span() > span {
+		span = b.Span()
+	}
+	dw := a.Write - b.Write
+	if dw < 0 {
+		dw = -dw
+	}
+	if w := (dw+span)/ii + 2; w > window {
+		window = w
+	}
+	for k := -window; k <= window; k++ {
+		wOrder := a.Write < b.Write+k*ii
+		rOrder := a.Read < b.Read+k*ii
+		if wOrder != rOrder {
+			return false
+		}
+	}
+	if a.Distance > 0 && a.Read-ii >= b.Read {
+		return false
+	}
+	if b.Distance > 0 && b.Read-ii >= a.Read {
+		return false
+	}
+	return true
+}
+
+// queueDepth returns the maximum number of values simultaneously
+// resident in the queue over the whole execution. A value occupies its
+// entry from the cycle it is written through the cycle it is read,
+// inclusive (the entry frees at the end of the read cycle). Runtime
+// instance i ≥ 0 of a lifetime is written at Write + i·II; pre-loop
+// instances of loop-carried lifetimes sit in the queue from cycle 0.
+// Occupancy becomes II-periodic once every lifetime is in steady state,
+// so scanning a bounded horizon finds the true maximum.
+func queueDepth(q []Lifetime, ii int) int {
+	horizon := 0
+	for _, lt := range q {
+		if lt.Read > horizon {
+			horizon = lt.Read
+		}
+	}
+	horizon += 2 * ii
+	depth := 0
+	for tau := 0; tau <= horizon; tau++ {
+		n := 0
+		for _, lt := range q {
+			for i := -lt.Distance; ; i++ {
+				push := 0
+				if i >= 0 {
+					push = lt.Write + i*ii
+				}
+				if push > tau {
+					break
+				}
+				if lt.Read+i*ii >= tau {
+					n++
+				}
+			}
+		}
+		if n > depth {
+			depth = n
+		}
+	}
+	return depth
+}
+
+func mod(x, m int) int {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

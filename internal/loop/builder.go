@@ -1,0 +1,127 @@
+package loop
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Builder assembles loops programmatically. Errors are accumulated and
+// reported once by Build, so call sites stay linear:
+//
+//	b := loop.NewBuilder("dot")
+//	x := b.Load("x")
+//	y := b.Load("y")
+//	m := b.Mul("m", x, y)
+//	acc := b.Add("acc", m)
+//	b.Carried(acc, acc, 1) // acc += m (recurrence)
+//	b.Store("s", acc)
+//	l, err := b.Build()
+type Builder struct {
+	l      Loop
+	byName map[string]ID
+	err    error
+}
+
+// NewBuilder returns a builder for a loop with the given name and a
+// default trip count of 100.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		l:      Loop{Name: name, Trip: 100},
+		byName: make(map[string]ID),
+	}
+}
+
+// Trip sets the representative trip count.
+func (b *Builder) Trip(n int) *Builder {
+	b.l.Trip = n
+	return b
+}
+
+// Op appends an operation of the given class with same-iteration
+// operands and returns its ID.
+func (b *Builder) Op(class machine.OpClass, name string, operands ...ID) ID {
+	id := ID(len(b.l.Ops))
+	if _, dup := b.byName[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("loop %s: duplicate op name %q", b.l.Name, name)
+	}
+	b.byName[name] = id
+	b.l.Ops = append(b.l.Ops, Op{ID: id, Class: class, Name: name})
+	for _, src := range operands {
+		b.Flow(src, id, 0)
+	}
+	return id
+}
+
+// Load appends a load with no register operands.
+func (b *Builder) Load(name string) ID { return b.Op(machine.Load, name) }
+
+// Store appends a store of the given operands.
+func (b *Builder) Store(name string, operands ...ID) ID {
+	return b.Op(machine.Store, name, operands...)
+}
+
+// Add appends an ALU operation.
+func (b *Builder) Add(name string, operands ...ID) ID {
+	return b.Op(machine.Add, name, operands...)
+}
+
+// Mul appends a multiply.
+func (b *Builder) Mul(name string, operands ...ID) ID {
+	return b.Op(machine.Mul, name, operands...)
+}
+
+// Div appends a divide.
+func (b *Builder) Div(name string, operands ...ID) ID {
+	return b.Op(machine.Div, name, operands...)
+}
+
+// Flow records that to consumes the value of from produced distance
+// iterations earlier.
+func (b *Builder) Flow(from, to ID, distance int) *Builder {
+	b.l.Deps = append(b.l.Deps, Dep{From: from, To: to, Kind: Flow, Distance: distance})
+	return b
+}
+
+// Carried is Flow with an explicit reminder that distance ≥ 1 closes a
+// recurrence when from is reachable from to.
+func (b *Builder) Carried(from, to ID, distance int) *Builder {
+	if distance < 1 && b.err == nil {
+		b.err = fmt.Errorf("loop %s: carried dependence needs distance ≥ 1", b.l.Name)
+	}
+	return b.Flow(from, to, distance)
+}
+
+// Mem records a memory ordering constraint.
+func (b *Builder) Mem(from, to ID, distance int) *Builder {
+	b.l.Deps = append(b.l.Deps, Dep{From: from, To: to, Kind: MemOrder, Distance: distance})
+	return b
+}
+
+// Named returns the ID of a previously defined operation.
+func (b *Builder) Named(name string) (ID, bool) {
+	id, ok := b.byName[name]
+	return id, ok
+}
+
+// Build validates and returns the loop.
+func (b *Builder) Build() (*Loop, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	l := b.l.Clone()
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// MustBuild is Build for loops known correct by construction; it panics
+// on error. Intended for tests, examples and the built-in kernels.
+func (b *Builder) MustBuild() *Loop {
+	l, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

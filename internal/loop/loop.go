@@ -1,0 +1,235 @@
+// Package loop defines the intermediate representation of innermost
+// loops consumed by the modulo schedulers.
+//
+// A Loop is a list of typed operations plus a list of dependences.
+// Flow dependences carry a register value from a producer to a
+// consumer and have an iteration distance: distance 0 is a
+// same-iteration use, distance d > 0 is a loop-carried use of the value
+// produced d iterations earlier (a recurrence, when it closes a cycle).
+// Memory dependences only order operations (store→load, store→store)
+// and carry no value, so they are exempt from the clustered machine's
+// communication constraints.
+//
+// The operand order of an operation is the order of its incoming flow
+// dependences in Loop.Deps; the reference executor and the VLIW
+// simulator both rely on that order, which makes loop semantics
+// deterministic without a full expression language.
+package loop
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// ID names an operation within its loop; it is the operation's index
+// in Loop.Ops.
+type ID int
+
+// Op is one operation of the loop body.
+type Op struct {
+	// ID is the operation's index in Loop.Ops.
+	ID ID
+	// Class determines the functional unit and latency.
+	Class machine.OpClass
+	// Name is the symbolic name used by the textual format. Names are
+	// unique within a loop.
+	Name string
+}
+
+// DepKind distinguishes value-carrying dependences from pure ordering
+// constraints.
+type DepKind int
+
+const (
+	// Flow is a true data dependence: To consumes the value produced
+	// by From. Flow dependences are subject to the communication
+	// constraints of the clustered machine.
+	Flow DepKind = iota
+	// MemOrder serialises two memory operations without moving a
+	// value between clusters (e.g. a store followed by a load from a
+	// possibly-aliasing address).
+	MemOrder
+)
+
+// String returns "flow" or "mem".
+func (k DepKind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case MemOrder:
+		return "mem"
+	default:
+		return fmt.Sprintf("DepKind(%d)", int(k))
+	}
+}
+
+// Dep is a dependence edge between two operations of the loop body.
+type Dep struct {
+	From, To ID
+	Kind     DepKind
+	// Distance is the iteration distance: the instance of To in
+	// iteration i depends on the instance of From in iteration
+	// i-Distance. Distance 0 is a same-iteration dependence.
+	Distance int
+}
+
+// Loop is an innermost loop eligible for software pipelining.
+type Loop struct {
+	// Name identifies the loop in reports and corpora.
+	Name string
+	// Trip is the representative trip count used for dynamic cycle and
+	// IPC accounting (the paper measures with an "iteration counter").
+	Trip int
+	// Ops is the loop body; Ops[i].ID == ID(i).
+	Ops []Op
+	// Deps lists all dependences. The relative order of flow
+	// dependences sharing the same To defines that operation's operand
+	// order.
+	Deps []Dep
+}
+
+// NumOps returns the number of operations in the body.
+func (l *Loop) NumOps() int { return len(l.Ops) }
+
+// Clone returns a deep copy of the loop.
+func (l *Loop) Clone() *Loop {
+	c := &Loop{Name: l.Name, Trip: l.Trip}
+	c.Ops = append([]Op(nil), l.Ops...)
+	c.Deps = append([]Dep(nil), l.Deps...)
+	return c
+}
+
+// Operands returns the producers of op's register operands, in operand
+// order, together with their iteration distances.
+func (l *Loop) Operands(op ID) []Dep {
+	var out []Dep
+	for _, d := range l.Deps {
+		if d.To == op && d.Kind == Flow {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Uses returns the flow dependences rooted at op, in Deps order.
+func (l *Loop) Uses(op ID) []Dep {
+	var out []Dep
+	for _, d := range l.Deps {
+		if d.From == op && d.Kind == Flow {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ClassCount returns how many operations of each class the body holds.
+func (l *Loop) ClassCount() [machine.NumOpClasses]int {
+	var n [machine.NumOpClasses]int
+	for _, op := range l.Ops {
+		n[op.Class]++
+	}
+	return n
+}
+
+// Validate checks the structural invariants of the IR:
+//
+//   - ops are densely numbered and named uniquely,
+//   - source loops contain no compiler-inserted copy/move operations,
+//   - dependences reference valid operations with non-negative
+//     distances,
+//   - flow dependences originate at value-producing operations,
+//   - the distance-0 dependence subgraph is acyclic (an iteration must
+//     be executable in some order).
+func (l *Loop) Validate() error {
+	if l.Name == "" {
+		return fmt.Errorf("loop: empty name")
+	}
+	if l.Trip < 1 {
+		return fmt.Errorf("loop %s: trip count %d < 1", l.Name, l.Trip)
+	}
+	names := make(map[string]bool, len(l.Ops))
+	for i, op := range l.Ops {
+		if op.ID != ID(i) {
+			return fmt.Errorf("loop %s: op %d has ID %d", l.Name, i, op.ID)
+		}
+		if op.Class < 0 || op.Class >= machine.NumOpClasses {
+			return fmt.Errorf("loop %s: op %s has invalid class", l.Name, op.Name)
+		}
+		if op.Class == machine.Copy || op.Class == machine.Move {
+			return fmt.Errorf("loop %s: op %s: %v operations are compiler-inserted and may not appear in source loops", l.Name, op.Name, op.Class)
+		}
+		if op.Name == "" {
+			return fmt.Errorf("loop %s: op %d has empty name", l.Name, i)
+		}
+		if names[op.Name] {
+			return fmt.Errorf("loop %s: duplicate op name %q", l.Name, op.Name)
+		}
+		names[op.Name] = true
+	}
+	for i, d := range l.Deps {
+		if d.From < 0 || int(d.From) >= len(l.Ops) || d.To < 0 || int(d.To) >= len(l.Ops) {
+			return fmt.Errorf("loop %s: dep %d references missing op", l.Name, i)
+		}
+		if d.Distance < 0 {
+			return fmt.Errorf("loop %s: dep %d has negative distance", l.Name, i)
+		}
+		if d.From == d.To && d.Distance == 0 {
+			return fmt.Errorf("loop %s: op %s depends on itself within one iteration", l.Name, l.Ops[d.From].Name)
+		}
+		switch d.Kind {
+		case Flow:
+			if !l.Ops[d.From].Class.Produces() {
+				return fmt.Errorf("loop %s: flow dep from %s, which produces no value", l.Name, l.Ops[d.From].Name)
+			}
+		case MemOrder:
+			if l.Ops[d.From].Class.FU() != machine.FUMem || l.Ops[d.To].Class.FU() != machine.FUMem {
+				return fmt.Errorf("loop %s: mem dep %d must connect memory operations", l.Name, i)
+			}
+		default:
+			return fmt.Errorf("loop %s: dep %d has invalid kind", l.Name, i)
+		}
+	}
+	if cyc := l.sameIterationCycle(); cyc != nil {
+		return fmt.Errorf("loop %s: distance-0 dependence cycle through %s", l.Name, l.Ops[cyc[0]].Name)
+	}
+	return nil
+}
+
+// sameIterationCycle returns a node on a distance-0 cycle, or nil.
+func (l *Loop) sameIterationCycle() []ID {
+	adj := make([][]ID, len(l.Ops))
+	indeg := make([]int, len(l.Ops))
+	for _, d := range l.Deps {
+		if d.Distance == 0 {
+			adj[d.From] = append(adj[d.From], d.To)
+			indeg[d.To]++
+		}
+	}
+	queue := make([]ID, 0, len(l.Ops))
+	for i := range l.Ops {
+		if indeg[i] == 0 {
+			queue = append(queue, ID(i))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, s := range adj[n] {
+			if indeg[s]--; indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if seen == len(l.Ops) {
+		return nil
+	}
+	for i := range l.Ops {
+		if indeg[i] > 0 {
+			return []ID{ID(i)}
+		}
+	}
+	return nil
+}

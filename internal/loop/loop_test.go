@@ -1,0 +1,358 @@
+package loop
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func dotLoop(t testing.TB) *Loop {
+	t.Helper()
+	b := NewBuilder("dot")
+	x := b.Load("x")
+	y := b.Load("y")
+	m := b.Mul("m", x, y)
+	acc := b.Add("acc", m)
+	b.Carried(acc, acc, 1)
+	b.Store("out", acc)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatalf("build dot: %v", err)
+	}
+	return l
+}
+
+func TestBuilderBuildsValidLoop(t *testing.T) {
+	l := dotLoop(t)
+	if got := l.NumOps(); got != 5 {
+		t.Fatalf("NumOps = %d, want 5", got)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	counts := l.ClassCount()
+	if counts[machine.Load] != 2 || counts[machine.Mul] != 1 || counts[machine.Add] != 1 || counts[machine.Store] != 1 {
+		t.Errorf("unexpected class counts: %v", counts)
+	}
+}
+
+func TestBuilderRejectsDuplicateNames(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Load("x")
+	b.Load("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestBuilderRejectsZeroDistanceCarried(t *testing.T) {
+	b := NewBuilder("bad")
+	x := b.Load("x")
+	a := b.Add("a", x)
+	b.Carried(a, a, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("zero-distance carried dependence accepted")
+	}
+}
+
+func TestValidateRejectsSameIterationCycle(t *testing.T) {
+	b := NewBuilder("cycle")
+	x := b.Load("x")
+	a := b.Add("a", x)
+	c := b.Add("c", a)
+	b.Flow(c, a, 0) // a <- c <- a within one iteration
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("distance-0 cycle accepted (err = %v)", err)
+	}
+}
+
+func TestValidateRejectsFlowFromStore(t *testing.T) {
+	l := &Loop{
+		Name: "bad", Trip: 1,
+		Ops: []Op{
+			{ID: 0, Class: machine.Store, Name: "s"},
+			{ID: 1, Class: machine.Add, Name: "a"},
+		},
+		Deps: []Dep{{From: 0, To: 1, Kind: Flow}},
+	}
+	if err := l.Validate(); err == nil {
+		t.Fatal("flow dependence from a store accepted")
+	}
+}
+
+func TestValidateRejectsCompilerClasses(t *testing.T) {
+	l := &Loop{
+		Name: "bad", Trip: 1,
+		Ops: []Op{{ID: 0, Class: machine.Copy, Name: "c"}},
+	}
+	if err := l.Validate(); err == nil {
+		t.Fatal("source loop with a copy op accepted")
+	}
+}
+
+func TestValidateRejectsMemDepBetweenALUOps(t *testing.T) {
+	b := NewBuilder("bad")
+	x := b.Load("x")
+	a := b.Add("a", x)
+	c := b.Add("c", x)
+	b.Mem(a, c, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("mem dep between ALU ops accepted")
+	}
+}
+
+func TestOperandsOrderFollowsDeclaration(t *testing.T) {
+	b := NewBuilder("ops")
+	x := b.Load("x")
+	y := b.Load("y")
+	b.Add("a", y, x) // y first, then x
+	l := b.MustBuild()
+	got := l.Operands(2)
+	if len(got) != 2 || got[0].From != y || got[1].From != x {
+		t.Fatalf("Operands = %+v, want [y x]", got)
+	}
+}
+
+func TestUses(t *testing.T) {
+	l := dotLoop(t)
+	acc, _ := ID(3), ID(4)
+	uses := l.Uses(acc)
+	if len(uses) != 2 {
+		t.Fatalf("acc has %d uses, want 2 (self-recurrence + store)", len(uses))
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	l := dotLoop(t)
+	text := Format(l)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("Parse(Format(dot)): %v\ntext:\n%s", err, text)
+	}
+	if Format(back) != text {
+		t.Fatalf("round trip changed loop:\nfirst:\n%s\nsecond:\n%s", text, Format(back))
+	}
+	if back.Trip != l.Trip || back.NumOps() != l.NumOps() || len(back.Deps) != len(l.Deps) {
+		t.Fatal("round trip changed loop shape")
+	}
+}
+
+func TestParseRecurrenceAndMemDeps(t *testing.T) {
+	l, err := ParseString(`
+# three-point stencil with a carried store->load dependence
+loop stencil trip 64
+x    = load
+prev = add x, cur@1
+cur  = add prev, x
+out  = store cur
+mem out -> x @1
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if l.Name != "stencil" || l.Trip != 64 {
+		t.Errorf("header parsed as %q/%d", l.Name, l.Trip)
+	}
+	var mems, carried int
+	for _, d := range l.Deps {
+		if d.Kind == MemOrder {
+			mems++
+		}
+		if d.Kind == Flow && d.Distance > 0 {
+			carried++
+		}
+	}
+	if mems != 1 || carried != 1 {
+		t.Errorf("mems=%d carried=%d, want 1 and 1", mems, carried)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing header":    "x = load\n",
+		"bad trip":          "loop l trip many\n",
+		"unknown class":     "loop l trip 1\nx = frobnicate\n",
+		"unknown operand":   "loop l trip 1\nx = add nosuch\n",
+		"bad distance":      "loop l trip 1\nx = load\ny = add x@one\n",
+		"duplicate name":    "loop l trip 1\nx = load\nx = load\n",
+		"malformed mem":     "loop l trip 1\nx = load\nmem x\n",
+		"mem unknown op":    "loop l trip 1\nx = load\nmem x -> nosuch\n",
+		"empty operand":     "loop l trip 1\nx = load\ny = add x,,x\n",
+		"mem trailing junk": "loop l trip 1\nx = load\ny = store x\nmem y -> x @1 extra\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseString(text); err == nil {
+			t.Errorf("%s: parse accepted %q", name, text)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	l := dotLoop(t)
+	c := l.Clone()
+	c.Ops[0].Name = "mutated"
+	c.Deps[0].Distance = 9
+	if l.Ops[0].Name == "mutated" || l.Deps[0].Distance == 9 {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+func TestUnrollIdentity(t *testing.T) {
+	l := dotLoop(t)
+	u, err := Unroll(l, 1)
+	if err != nil {
+		t.Fatalf("Unroll(1): %v", err)
+	}
+	if u.NumOps() != l.NumOps() || len(u.Deps) != len(l.Deps) {
+		t.Fatal("Unroll(1) changed the loop")
+	}
+}
+
+func TestUnrollRejectsBadFactor(t *testing.T) {
+	if _, err := Unroll(dotLoop(t), 0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+}
+
+func TestUnrollAccumulator(t *testing.T) {
+	// acc(i) = acc(i-1) + m(i). Unrolled by 3, instance k of acc must
+	// read instance k-1 (same iteration) except instance 0, which reads
+	// instance 2 of the previous unrolled iteration.
+	l := dotLoop(t)
+	u, err := Unroll(l, 3)
+	if err != nil {
+		t.Fatalf("Unroll(3): %v", err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatalf("unrolled loop invalid: %v", err)
+	}
+	if u.NumOps() != 15 {
+		t.Fatalf("NumOps = %d, want 15", u.NumOps())
+	}
+	if u.Trip != (100+2)/3 {
+		t.Errorf("Trip = %d, want %d", u.Trip, (100+2)/3)
+	}
+	accID := func(k int) ID { return ID(k*5 + 3) }
+	type key struct {
+		from, to ID
+		dist     int
+	}
+	want := []key{
+		{accID(2), accID(0), 1},
+		{accID(0), accID(1), 0},
+		{accID(1), accID(2), 0},
+	}
+	have := map[key]bool{}
+	for _, d := range u.Deps {
+		if d.Kind == Flow && d.From >= 3 && d.From%5 == 3 && d.To%5 == 3 {
+			have[key{d.From, d.To, d.Distance}] = true
+		}
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("missing unrolled recurrence edge %+v (have %v)", w, have)
+		}
+	}
+}
+
+func TestUnrollLongDistance(t *testing.T) {
+	// A distance-5 dependence unrolled by 2: consumer instance k reads
+	// producer instance (k-5) mod 2 at distance ceil((5-k)/2).
+	b := NewBuilder("far")
+	x := b.Load("x")
+	a := b.Add("a", x)
+	b.Carried(a, a, 5)
+	b.Store("s", a)
+	l := b.MustBuild()
+	u, err := Unroll(l, 2)
+	if err != nil {
+		t.Fatalf("Unroll: %v", err)
+	}
+	// The loop has 3 ops, so instances of a (op 1) are at IDs 1 and 4.
+	type key struct {
+		from, to ID
+		dist     int
+	}
+	have := map[key]bool{}
+	for _, d := range u.Deps {
+		if d.Kind == Flow && (d.From == 1 || d.From == 4) && (d.To == 1 || d.To == 4) {
+			have[key{d.From, d.To, d.Distance}] = true
+		}
+	}
+	if !have[key{4, 1, 3}] { // k=0: j=-5, instance 1, dist 3
+		t.Errorf("missing edge a.1 -> a.0 @3; have %v", have)
+	}
+	if !have[key{1, 4, 2}] { // k=1: j=-4, instance 0, dist 2
+		t.Errorf("missing edge a.0 -> a.1 @2; have %v", have)
+	}
+}
+
+func TestUnrollPreservesClassMix(t *testing.T) {
+	l := dotLoop(t)
+	u, err := Unroll(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, uc := l.ClassCount(), u.ClassCount()
+	for c := machine.OpClass(0); c < machine.NumOpClasses; c++ {
+		if uc[c] != 4*lc[c] {
+			t.Errorf("class %v: unrolled count %d, want %d", c, uc[c], 4*lc[c])
+		}
+	}
+}
+
+func TestUnrollSemantics(t *testing.T) {
+	// Structural property on random-ish factors: every unrolled dep
+	// must correspond to the original producer/consumer instance
+	// arithmetic I_to - I_from = d, where I = iter*factor + instance.
+	l, err := ParseString(`
+loop mix trip 60
+a = load
+b = load
+c = mul a, b
+d = add c, d@2
+e = add d, c@1
+s = store e
+mem s -> a @3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := l.NumOps()
+	origDeps := make(map[[3]int]int) // (from, to, kind) -> multiset count over distances packed
+	type odep struct{ from, to, kind, dist int }
+	var origin []odep
+	for _, d := range l.Deps {
+		origin = append(origin, odep{int(d.From), int(d.To), int(d.Kind), d.Distance})
+	}
+	_ = origDeps
+	for factor := 1; factor <= 6; factor++ {
+		u, err := Unroll(l, factor)
+		if err != nil {
+			t.Fatalf("factor %d: %v", factor, err)
+		}
+		if len(u.Deps) != factor*len(l.Deps) {
+			t.Fatalf("factor %d: %d deps, want %d", factor, len(u.Deps), factor*len(l.Deps))
+		}
+		for _, d := range u.Deps {
+			fromOp, fromInst := int(d.From)%n, int(d.From)/n
+			toOp, toInst := int(d.To)%n, int(d.To)/n
+			// Original distance recovered from instance arithmetic.
+			origDist := toInst - fromInst + d.Distance*factor
+			found := false
+			for _, o := range origin {
+				if o.from == fromOp && o.to == toOp && o.kind == int(d.Kind) && o.dist == origDist {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("factor %d: unrolled dep %+v maps to no original dep (orig dist %d)", factor, d, origDist)
+			}
+			if d.Distance < 0 {
+				t.Fatalf("factor %d: negative unrolled distance %+v", factor, d)
+			}
+		}
+	}
+}

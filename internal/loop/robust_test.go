@@ -1,0 +1,110 @@
+package loop
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Parse must reject or accept arbitrary input without panicking.
+func TestParseNeverPanics(t *testing.T) {
+	prop := func(raw []byte) bool {
+		// A recovered panic would fail the property via testing/quick's
+		// panic propagation, so simply calling Parse is the check.
+		_, _ = ParseString(string(raw))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Structured garbage: mutate a valid loop's text and make sure the
+// parser either accepts a still-valid loop or errors cleanly.
+func TestParseMutatedText(t *testing.T) {
+	base := Format(mustDot(t))
+	rng := rand.New(rand.NewSource(21))
+	mutations := []func(string) string{
+		func(s string) string { return strings.ReplaceAll(s, "=", "") },
+		func(s string) string { return strings.ReplaceAll(s, "load", "lod") },
+		func(s string) string { return strings.ReplaceAll(s, "@1", "@-1") },
+		func(s string) string { return strings.ReplaceAll(s, "trip 100", "trip 0") },
+		func(s string) string { return s + "\nmem nosuch -> out\n" },
+		func(s string) string { return strings.Repeat(s, 2) }, // duplicate names
+		func(s string) string {
+			i := rng.Intn(len(s))
+			return s[:i] + "#" + s[i:]
+		},
+	}
+	for i, mutate := range mutations {
+		text := mutate(base)
+		l, err := ParseString(text)
+		if err == nil {
+			if verr := l.Validate(); verr != nil {
+				t.Errorf("mutation %d: parser accepted an invalid loop: %v", i, verr)
+			}
+		}
+	}
+}
+
+// Every corpus-style random loop must round-trip exactly.
+func TestFormatParseRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 200; i++ {
+		l := randomValidLoop(rng)
+		text := Format(l)
+		back, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", i, err, text)
+		}
+		if Format(back) != text {
+			t.Fatalf("trial %d: round trip diverged:\n%s\n%s", i, text, Format(back))
+		}
+	}
+}
+
+func mustDot(t *testing.T) *Loop {
+	t.Helper()
+	b := NewBuilder("dot")
+	x := b.Load("x")
+	y := b.Load("y")
+	m := b.Mul("m", x, y)
+	acc := b.Add("acc", m)
+	b.Carried(acc, acc, 1)
+	b.Store("out", acc)
+	return b.MustBuild()
+}
+
+func randomValidLoop(rng *rand.Rand) *Loop {
+	b := NewBuilder("r")
+	b.Trip(1 + rng.Intn(50))
+	var prod []ID
+	var loads []ID
+	n := 2 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		switch {
+		case len(prod) == 0 || rng.Intn(3) == 0:
+			id := b.Load(name(i))
+			prod = append(prod, id)
+			loads = append(loads, id)
+		case rng.Intn(4) == 0:
+			b.Store(name(i), prod[rng.Intn(len(prod))])
+		default:
+			id := b.Add(name(i), prod[rng.Intn(len(prod))])
+			prod = append(prod, id)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		src := prod[rng.Intn(len(prod))]
+		dst := prod[rng.Intn(len(prod))]
+		b.Carried(src, dst, 1+rng.Intn(3))
+	}
+	l, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func name(i int) string { return "n" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }

@@ -1,0 +1,61 @@
+package loop
+
+import "fmt"
+
+// Unroll replicates the loop body factor times and rewires every
+// dependence. The paper unrolls loops that do not expose enough
+// parallelism to saturate a wide machine (§4, citing Lavery & Hwu).
+//
+// Instance k of the unrolled body stands for original iteration
+// i·factor + k. A dependence with original distance d from producer p
+// to consumer t becomes, for each consumer instance k, a dependence
+// from producer instance ((k-d) mod factor) with unrolled distance
+// ceil((d-k)/factor). Same-iteration dependences stay inside the
+// instance; short loop-carried dependences become same-iteration
+// dependences between instances; only dependences crossing the new,
+// wider iteration boundary remain loop-carried.
+//
+// The unrolled trip count is ceil(trip/factor): the remainder
+// iterations are folded into the last unrolled iteration, a ≤ factor/trip
+// relative accounting error acknowledged in DESIGN.md.
+func Unroll(l *Loop, factor int) (*Loop, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("loop %s: unroll factor %d < 1", l.Name, factor)
+	}
+	if factor == 1 {
+		return l.Clone(), nil
+	}
+	n := len(l.Ops)
+	u := &Loop{
+		Name: fmt.Sprintf("%s.x%d", l.Name, factor),
+		Trip: (l.Trip + factor - 1) / factor,
+	}
+	newID := func(op ID, k int) ID { return ID(k*n + int(op)) }
+	for k := 0; k < factor; k++ {
+		for _, op := range l.Ops {
+			u.Ops = append(u.Ops, Op{
+				ID:    newID(op.ID, k),
+				Class: op.Class,
+				Name:  fmt.Sprintf("%s.%d", op.Name, k),
+			})
+		}
+	}
+	for k := 0; k < factor; k++ {
+		for _, d := range l.Deps {
+			j := k - d.Distance
+			srcInstance := ((j % factor) + factor) % factor
+			// floor division of j by factor, correct for negative j.
+			floorDiv := (j - srcInstance) / factor
+			u.Deps = append(u.Deps, Dep{
+				From:     newID(d.From, srcInstance),
+				To:       newID(d.To, k),
+				Kind:     d.Kind,
+				Distance: -floorDiv,
+			})
+		}
+	}
+	if err := u.Validate(); err != nil {
+		return nil, fmt.Errorf("loop %s: unroll by %d produced invalid loop: %w", l.Name, factor, err)
+	}
+	return u, nil
+}

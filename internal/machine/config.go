@@ -1,0 +1,96 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// config is the JSON wire form of a Machine. Latencies and unit counts
+// are keyed by mnemonic so files stay readable and stable if the
+// internal enums move.
+type config struct {
+	Name       string         `json:"name"`
+	Clusters   int            `json:"clusters"`
+	PerCluster map[string]int `json:"units_per_cluster"`
+	Latencies  map[string]int `json:"latencies"`
+}
+
+var fuKindKeys = map[string]FUKind{
+	"mem":  FUMem,
+	"add":  FUAdd,
+	"mul":  FUMul,
+	"copy": FUCopy,
+}
+
+// MarshalJSON encodes the machine in the textual config format.
+func (m *Machine) MarshalJSON() ([]byte, error) {
+	c := config{
+		Name:       m.Name,
+		Clusters:   m.Clusters,
+		PerCluster: make(map[string]int, NumFUKinds),
+		Latencies:  make(map[string]int, NumOpClasses),
+	}
+	for key, k := range fuKindKeys {
+		c.PerCluster[key] = m.PerCluster[k]
+	}
+	for cl := OpClass(0); cl < NumOpClasses; cl++ {
+		c.Latencies[cl.String()] = m.Lat[cl]
+	}
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// UnmarshalJSON decodes the textual config format. Omitted latency
+// entries fall back to the defaults; omitted unit counts to zero.
+func (m *Machine) UnmarshalJSON(data []byte) error {
+	var c config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	m.Name = c.Name
+	m.Clusters = c.Clusters
+	m.PerCluster = [NumFUKinds]int{}
+	for key, n := range c.PerCluster {
+		k, ok := fuKindKeys[key]
+		if !ok {
+			return fmt.Errorf("machine: unknown unit kind %q (want mem, add, mul or copy)", key)
+		}
+		m.PerCluster[k] = n
+	}
+	m.Lat = DefaultLatencies()
+	for key, n := range c.Latencies {
+		cl, err := ParseOpClass(key)
+		if err != nil {
+			return err
+		}
+		m.Lat[cl] = n
+	}
+	return nil
+}
+
+// ReadConfig parses and validates a machine description.
+func ReadConfig(r io.Reader) (*Machine, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	m := &Machine{}
+	if err := m.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteConfig emits the machine description.
+func WriteConfig(w io.Writer, m *Machine) error {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

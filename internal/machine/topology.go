@@ -1,0 +1,83 @@
+package machine
+
+import "fmt"
+
+// RingDistance returns the minimum number of ring hops between clusters
+// a and b. Clusters at distance 0 or 1 are directly connected: they
+// share a CQRF (or are the same cluster) and can exchange values
+// without explicit move operations.
+func (m *Machine) RingDistance(a, b int) int {
+	m.checkCluster(a)
+	m.checkCluster(b)
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if alt := m.Clusters - d; alt < d {
+		d = alt
+	}
+	return d
+}
+
+// Adjacent reports whether clusters a and b are directly connected
+// (ring distance ≤ 1). A true data dependence between operations in
+// non-adjacent clusters is a communication conflict (paper §2).
+func (m *Machine) Adjacent(a, b int) bool { return m.RingDistance(a, b) <= 1 }
+
+// Neighbour returns the cluster reached from c by one hop in direction
+// dir (+1 clockwise, -1 counter-clockwise).
+func (m *Machine) Neighbour(c, dir int) int {
+	m.checkCluster(c)
+	if dir != 1 && dir != -1 {
+		panic(fmt.Sprintf("machine: invalid ring direction %d", dir))
+	}
+	return ((c+dir)%m.Clusters + m.Clusters) % m.Clusters
+}
+
+// ChainPath describes one way of routing a value from cluster Src to
+// cluster Dst around the ring: the sequence of intermediate clusters
+// that must each execute one move operation (paper Figure 3). A path
+// with no intermediates means the clusters are directly connected.
+type ChainPath struct {
+	Src, Dst int
+	// Dir is +1 (clockwise) or -1 (counter-clockwise).
+	Dir int
+	// Via lists the intermediate clusters in hop order, excluding Src
+	// and Dst. One move operation is required per entry.
+	Via []int
+}
+
+// Moves returns the number of move operations the path requires.
+func (p ChainPath) Moves() int { return len(p.Via) }
+
+// ChainPaths enumerates the candidate routes from cluster src to
+// cluster dst. The bi-directional ring gives exactly two options (paper
+// Figure 3: "Option 1" and "Option 2"), one per direction, except for
+// the degenerate same-cluster case which has a single empty route. The
+// shorter route is listed first; equal-length routes are listed
+// clockwise first.
+func (m *Machine) ChainPaths(src, dst int) []ChainPath {
+	m.checkCluster(src)
+	m.checkCluster(dst)
+	if src == dst {
+		return []ChainPath{{Src: src, Dst: dst, Dir: +1}}
+	}
+	mk := func(dir int) ChainPath {
+		p := ChainPath{Src: src, Dst: dst, Dir: dir}
+		for c := m.Neighbour(src, dir); c != dst; c = m.Neighbour(c, dir) {
+			p.Via = append(p.Via, c)
+		}
+		return p
+	}
+	cw, ccw := mk(+1), mk(-1)
+	if len(ccw.Via) < len(cw.Via) {
+		return []ChainPath{ccw, cw}
+	}
+	return []ChainPath{cw, ccw}
+}
+
+func (m *Machine) checkCluster(c int) {
+	if c < 0 || c >= m.Clusters {
+		panic(fmt.Sprintf("machine %s: cluster %d out of range [0,%d)", m.Name, c, m.Clusters))
+	}
+}

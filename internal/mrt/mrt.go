@@ -1,0 +1,132 @@
+// Package mrt implements the modulo reservation table used by modulo
+// schedulers: machine resources are booked at cycle mod II, so a
+// conflict-free placement of one iteration guarantees conflict-free
+// steady-state execution when the loop is initiated every II cycles.
+//
+// The table tracks which graph node occupies each slot so that
+// backtracking schedulers (IMS, DMS) can pick eviction victims.
+package mrt
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Table books functional units of one machine at one initiation
+// interval.
+type Table struct {
+	ii int
+	m  *machine.Machine
+	// occ[slot][cluster][kind] lists the occupant node IDs.
+	occ [][][][]int
+	pos map[int]position
+}
+
+type position struct {
+	slot, cluster int
+	kind          machine.FUKind
+}
+
+// New returns an empty table for machine m at initiation interval ii.
+func New(m *machine.Machine, ii int) *Table {
+	if ii < 1 {
+		panic(fmt.Sprintf("mrt: initiation interval %d < 1", ii))
+	}
+	t := &Table{ii: ii, m: m, pos: make(map[int]position)}
+	t.occ = make([][][][]int, ii)
+	for s := range t.occ {
+		t.occ[s] = make([][][]int, m.Clusters)
+		for c := range t.occ[s] {
+			t.occ[s][c] = make([][]int, machine.NumFUKinds)
+		}
+	}
+	return t
+}
+
+// II returns the initiation interval the table was built for.
+func (t *Table) II() int { return t.ii }
+
+// Machine returns the machine the table books resources for.
+func (t *Table) Machine() *machine.Machine { return t.m }
+
+func (t *Table) slot(time int) int {
+	s := time % t.ii
+	if s < 0 {
+		s += t.ii
+	}
+	return s
+}
+
+// Free reports whether an operation of the given class can issue at the
+// given absolute time in the cluster.
+func (t *Table) Free(time, cluster int, class machine.OpClass) bool {
+	k := class.FU()
+	return len(t.occ[t.slot(time)][cluster][k]) < t.m.Capacity(cluster, k)
+}
+
+// Used returns the number of booked units at time/cluster for the kind.
+func (t *Table) Used(time, cluster int, k machine.FUKind) int {
+	return len(t.occ[t.slot(time)][cluster][k])
+}
+
+// Occupants returns a copy of the node IDs occupying the slot.
+func (t *Table) Occupants(time, cluster int, k machine.FUKind) []int {
+	return append([]int(nil), t.occ[t.slot(time)][cluster][k]...)
+}
+
+// Place books one unit for the node. It panics if the node is already
+// placed or the slot is full: callers check Free (or evict) first.
+func (t *Table) Place(node, time, cluster int, class machine.OpClass) {
+	if _, dup := t.pos[node]; dup {
+		panic(fmt.Sprintf("mrt: node %d placed twice", node))
+	}
+	k := class.FU()
+	s := t.slot(time)
+	if len(t.occ[s][cluster][k]) >= t.m.Capacity(cluster, k) {
+		panic(fmt.Sprintf("mrt: slot %d cluster %d %v over capacity", s, cluster, k))
+	}
+	t.occ[s][cluster][k] = append(t.occ[s][cluster][k], node)
+	t.pos[node] = position{slot: s, cluster: cluster, kind: k}
+}
+
+// Remove releases the node's unit. It panics if the node is not placed.
+func (t *Table) Remove(node int) {
+	p, ok := t.pos[node]
+	if !ok {
+		panic(fmt.Sprintf("mrt: node %d not placed", node))
+	}
+	delete(t.pos, node)
+	list := t.occ[p.slot][p.cluster][p.kind]
+	for i, n := range list {
+		if n == node {
+			t.occ[p.slot][p.cluster][p.kind] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("mrt: node %d missing from its slot", node))
+}
+
+// Placed reports whether the node currently books a unit.
+func (t *Table) Placed(node int) bool {
+	_, ok := t.pos[node]
+	return ok
+}
+
+// KindUsage returns the number of booked units of kind k in the cluster
+// across all II slots.
+func (t *Table) KindUsage(cluster int, k machine.FUKind) int {
+	n := 0
+	for s := 0; s < t.ii; s++ {
+		n += len(t.occ[s][cluster][k])
+	}
+	return n
+}
+
+// FreeKindSlots returns the number of free unit-slots of kind k in the
+// cluster across all II slots — the quantity DMS maximises when it
+// selects among chain options ("maximizes the number of free slots left
+// available to schedule move operations", paper §3).
+func (t *Table) FreeKindSlots(cluster int, k machine.FUKind) int {
+	return t.ii*t.m.Capacity(cluster, k) - t.KindUsage(cluster, k)
+}

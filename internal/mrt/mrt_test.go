@@ -1,0 +1,104 @@
+package mrt
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestPlaceFreeRemove(t *testing.T) {
+	m := machine.Clustered(2)
+	tab := New(m, 3)
+	if tab.II() != 3 || tab.Machine() != m {
+		t.Fatal("constructor lost parameters")
+	}
+	if !tab.Free(5, 1, machine.Add) {
+		t.Fatal("fresh table not free")
+	}
+	tab.Place(42, 5, 1, machine.Add) // slot 5 mod 3 = 2
+	if tab.Free(2, 1, machine.Add) {
+		t.Error("slot 2 must be taken: times 5 and 2 alias mod 3")
+	}
+	if tab.Free(8, 1, machine.Add) {
+		t.Error("time 8 aliases slot 2 and must be taken")
+	}
+	if !tab.Free(5, 0, machine.Add) {
+		t.Error("other cluster must be free")
+	}
+	if !tab.Free(5, 1, machine.Mul) {
+		t.Error("other kind must be free")
+	}
+	if !tab.Placed(42) || tab.Placed(7) {
+		t.Error("Placed bookkeeping wrong")
+	}
+	if got := tab.Occupants(2, 1, machine.FUAdd); len(got) != 1 || got[0] != 42 {
+		t.Errorf("Occupants = %v, want [42]", got)
+	}
+	tab.Remove(42)
+	if !tab.Free(5, 1, machine.Add) {
+		t.Error("Remove did not release the slot")
+	}
+}
+
+func TestNegativeTimesAlias(t *testing.T) {
+	tab := New(machine.Clustered(1), 4)
+	tab.Place(1, -1, 0, machine.Mul) // -1 mod 4 -> slot 3
+	if tab.Free(3, 0, machine.Mul) {
+		t.Error("negative time must alias slot 3")
+	}
+	if tab.Free(7, 0, machine.Mul) {
+		t.Error("time 7 must alias slot 3")
+	}
+}
+
+func TestCapacityGreaterThanOne(t *testing.T) {
+	m := machine.Unclustered(3) // 3 units of each useful kind
+	tab := New(m, 2)
+	tab.Place(1, 0, 0, machine.Load)
+	tab.Place(2, 0, 0, machine.Store)
+	if !tab.Free(0, 0, machine.Load) {
+		t.Fatal("third L/S slot should be free")
+	}
+	tab.Place(3, 0, 0, machine.Load)
+	if tab.Free(0, 0, machine.Store) {
+		t.Fatal("L/S capacity 3 exhausted; store must not fit")
+	}
+	if got := tab.Used(0, 0, machine.FUMem); got != 3 {
+		t.Errorf("Used = %d, want 3", got)
+	}
+}
+
+func TestKindUsageAndFreeSlots(t *testing.T) {
+	m := machine.Clustered(3)
+	tab := New(m, 4)
+	tab.Place(1, 0, 2, machine.Move)
+	tab.Place(2, 1, 2, machine.Copy)
+	if got := tab.KindUsage(2, machine.FUCopy); got != 2 {
+		t.Errorf("KindUsage = %d, want 2", got)
+	}
+	if got := tab.FreeKindSlots(2, machine.FUCopy); got != 2 {
+		t.Errorf("FreeKindSlots = %d, want 2 (4 slots - 2 used)", got)
+	}
+	if got := tab.FreeKindSlots(0, machine.FUCopy); got != 4 {
+		t.Errorf("untouched cluster FreeKindSlots = %d, want 4", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	tab := New(machine.Clustered(1), 1)
+	tab.Place(1, 0, 0, machine.Add)
+	mustPanic(t, "double place", func() { tab.Place(1, 0, 0, machine.Add) })
+	mustPanic(t, "over capacity", func() { tab.Place(2, 0, 0, machine.Add) })
+	mustPanic(t, "remove unplaced", func() { tab.Remove(9) })
+	mustPanic(t, "bad ii", func() { New(machine.Clustered(1), 0) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,243 @@
+package perfect
+
+import (
+	"fmt"
+
+	"repro/internal/loop"
+)
+
+// Kernels returns the hand-written loop bodies: classic DSP and numeric
+// inner loops of the kind the paper's introduction motivates. They are
+// used by the examples, the integration tests, and the
+// micro-benchmarks.
+func Kernels() []*loop.Loop {
+	return []*loop.Loop{
+		KernelDot(),
+		KernelFIR4(),
+		KernelSAXPY(),
+		KernelIIRBiquad(),
+		KernelStencil3(),
+		KernelComplexMul(),
+		KernelHorner4(),
+		KernelMatVecRow(),
+		KernelLivermoreHydro(),
+		KernelLivermoreTridiag(),
+		KernelPrefixSum(),
+		KernelVectorNorm(),
+	}
+}
+
+// KernelByName returns the named kernel, or an error listing the
+// available names.
+func KernelByName(name string) (*loop.Loop, error) {
+	var names []string
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+		names = append(names, k.Name)
+	}
+	return nil, fmt.Errorf("perfect: unknown kernel %q (have %v)", name, names)
+}
+
+// KernelDot is an inner product: acc += x[i]*y[i].
+func KernelDot() *loop.Loop {
+	b := loop.NewBuilder("dot")
+	b.Trip(128)
+	x := b.Load("x")
+	y := b.Load("y")
+	m := b.Mul("m", x, y)
+	acc := b.Add("acc", m)
+	b.Carried(acc, acc, 1)
+	b.Store("out", acc)
+	return b.MustBuild()
+}
+
+// KernelFIR4 is a 4-tap FIR filter: y[i] = Σ c[k]·x[i+k]. Fully
+// vectorizable (no recurrence) — a paper "set 2" style DSP loop.
+func KernelFIR4() *loop.Loop {
+	b := loop.NewBuilder("fir4")
+	b.Trip(256)
+	var taps [4]loop.ID
+	for k := 0; k < 4; k++ {
+		x := b.Load(fmt.Sprintf("x%d", k))
+		c := b.Load(fmt.Sprintf("c%d", k))
+		taps[k] = b.Mul(fmt.Sprintf("m%d", k), x, c)
+	}
+	s01 := b.Add("s01", taps[0], taps[1])
+	s23 := b.Add("s23", taps[2], taps[3])
+	y := b.Add("y", s01, s23)
+	b.Store("sy", y)
+	return b.MustBuild()
+}
+
+// KernelSAXPY is y[i] = a·x[i] + y[i].
+func KernelSAXPY() *loop.Loop {
+	b := loop.NewBuilder("saxpy")
+	b.Trip(200)
+	a := b.Load("a")
+	x := b.Load("x")
+	y := b.Load("y")
+	ax := b.Mul("ax", a, x)
+	sum := b.Add("sum", ax, y)
+	b.Store("sy", sum)
+	return b.MustBuild()
+}
+
+// KernelIIRBiquad is a direct-form-I biquad filter section with
+// feedback through y[i-1] and y[i-2] — a recurrence-bound DSP loop.
+func KernelIIRBiquad() *loop.Loop {
+	b := loop.NewBuilder("iir")
+	b.Trip(256)
+	x := b.Load("x")
+	b0 := b.Load("b0")
+	a1 := b.Load("a1")
+	a2 := b.Load("a2")
+	fwd := b.Mul("fwd", x, b0)
+	y1 := b.Mul("y1t", a1) // operand wired below (y@1)
+	y2 := b.Mul("y2t", a2) // operand wired below (y@2)
+	fb := b.Add("fb", y1, y2)
+	y := b.Add("y", fwd, fb)
+	b.Carried(y, y1, 1)
+	b.Carried(y, y2, 2)
+	b.Store("sy", y)
+	return b.MustBuild()
+}
+
+// KernelStencil3 is a 3-point stencil: out[i] = (in[i-1]+in[i]+in[i+1])·w.
+func KernelStencil3() *loop.Loop {
+	b := loop.NewBuilder("stencil3")
+	b.Trip(150)
+	l := b.Load("l")
+	c := b.Load("c")
+	r := b.Load("r")
+	w := b.Load("w")
+	s1 := b.Add("s1", l, c)
+	s2 := b.Add("s2", s1, r)
+	o := b.Mul("o", s2, w)
+	b.Store("so", o)
+	return b.MustBuild()
+}
+
+// KernelComplexMul multiplies two complex vectors element-wise.
+func KernelComplexMul() *loop.Loop {
+	b := loop.NewBuilder("cmul")
+	b.Trip(128)
+	ar := b.Load("ar")
+	ai := b.Load("ai")
+	br := b.Load("br")
+	bi := b.Load("bi")
+	rr := b.Mul("rr", ar, br)
+	ii := b.Mul("ii", ai, bi)
+	ri := b.Mul("ri", ar, bi)
+	ir := b.Mul("ir", ai, br)
+	re := b.Add("re", rr, ii)
+	im := b.Add("im", ri, ir)
+	b.Store("sre", re)
+	b.Store("sim", im)
+	return b.MustBuild()
+}
+
+// KernelHorner4 evaluates a degree-4 polynomial by Horner's rule —
+// a long same-iteration dependence chain.
+func KernelHorner4() *loop.Loop {
+	b := loop.NewBuilder("horner4")
+	b.Trip(100)
+	x := b.Load("x")
+	c4 := b.Load("c4")
+	c3 := b.Load("c3")
+	c2 := b.Load("c2")
+	c1 := b.Load("c1")
+	c0 := b.Load("c0")
+	t4 := b.Mul("t4", c4, x)
+	s3 := b.Add("s3", t4, c3)
+	t3 := b.Mul("t3", s3, x)
+	s2 := b.Add("s2", t3, c2)
+	t2 := b.Mul("t2", s2, x)
+	s1 := b.Add("s1", t2, c1)
+	t1 := b.Mul("t1", s1, x)
+	s0 := b.Add("s0", t1, c0)
+	b.Store("sp", s0)
+	return b.MustBuild()
+}
+
+// KernelMatVecRow is one row of a matrix-vector product with the
+// accumulator recurrence.
+func KernelMatVecRow() *loop.Loop {
+	b := loop.NewBuilder("matvec")
+	b.Trip(64)
+	a0 := b.Load("a0")
+	x0 := b.Load("x0")
+	a1 := b.Load("a1")
+	x1 := b.Load("x1")
+	m0 := b.Mul("m0", a0, x0)
+	m1 := b.Mul("m1", a1, x1)
+	s := b.Add("s", m0, m1)
+	acc := b.Add("acc", s)
+	b.Carried(acc, acc, 1)
+	b.Store("sacc", acc)
+	return b.MustBuild()
+}
+
+// KernelLivermoreHydro is Livermore kernel 1 (hydro fragment):
+// x[k] = q + y[k]·(r·z[k+10] + t·z[k+11]). Vectorizable.
+func KernelLivermoreHydro() *loop.Loop {
+	b := loop.NewBuilder("lk1-hydro")
+	b.Trip(400)
+	q := b.Load("q")
+	r := b.Load("r")
+	tt := b.Load("t")
+	y := b.Load("y")
+	z10 := b.Load("z10")
+	z11 := b.Load("z11")
+	rz := b.Mul("rz", r, z10)
+	tz := b.Mul("tz", tt, z11)
+	in := b.Add("in", rz, tz)
+	yy := b.Mul("yy", y, in)
+	x := b.Add("x", q, yy)
+	b.Store("sx", x)
+	return b.MustBuild()
+}
+
+// KernelLivermoreTridiag is Livermore kernel 5 (tri-diagonal
+// elimination): x[i] = z[i]·(y[i] − x[i-1]) — a tight recurrence.
+func KernelLivermoreTridiag() *loop.Loop {
+	b := loop.NewBuilder("lk5-tridiag")
+	b.Trip(100)
+	y := b.Load("y")
+	z := b.Load("z")
+	d := b.Add("d", y) // y - x@1, second operand wired below
+	x := b.Mul("x", z, d)
+	b.Carried(x, d, 1)
+	b.Store("sx", x)
+	return b.MustBuild()
+}
+
+// KernelPrefixSum computes s[i] = s[i-1] + x[i].
+func KernelPrefixSum() *loop.Loop {
+	b := loop.NewBuilder("prefix")
+	b.Trip(256)
+	x := b.Load("x")
+	s := b.Add("s", x)
+	b.Carried(s, s, 1)
+	b.Store("ss", s)
+	return b.MustBuild()
+}
+
+// KernelVectorNorm accumulates Σ x[i]² with two partial sums to relax
+// the recurrence.
+func KernelVectorNorm() *loop.Loop {
+	b := loop.NewBuilder("vnorm")
+	b.Trip(128)
+	x0 := b.Load("x0")
+	x1 := b.Load("x1")
+	s0 := b.Mul("s0", x0, x0)
+	s1 := b.Mul("s1", x1, x1)
+	a0 := b.Add("a0", s0)
+	b.Carried(a0, a0, 1)
+	a1 := b.Add("a1", s1)
+	b.Carried(a1, a1, 1)
+	t := b.Add("t", a0, a1)
+	b.Store("st", t)
+	return b.MustBuild()
+}

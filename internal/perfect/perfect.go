@@ -1,0 +1,193 @@
+// Package perfect provides the workload of the paper's evaluation.
+//
+// The paper schedules "all eligible innermost loops from the Perfect
+// Club Benchmark ... a total of 1258 loops suitable for software
+// pipelining" (§4). The Perfect Club suite (Fortran numeric codes) and
+// the authors' compiler front end are not available, so this package
+// substitutes a deterministic synthetic corpus of 1258 loop bodies
+// whose dependence-graph characteristics mimic published
+// characterisations of numeric innermost loops:
+//
+//   - body sizes follow a geometric-ish distribution between 4 and 64
+//     operations (most loops small, a heavy tail of wide unrolled-style
+//     bodies),
+//   - the operation mix is ≈ 1/3 memory operations (loads dominating
+//     stores ~3:1), ≈ 45% ALU operations and ≈ 20% multiplies with
+//     occasional divides,
+//   - values have realistic fan-out (address and induction values are
+//     reused), so the copy-insertion prepass has real work to do,
+//   - ≈ 45% of loops carry at least one recurrence (accumulators and
+//     short cross-iteration chains); the remainder are fully
+//     vectorizable and form the paper's "set 2",
+//   - a few percent carry store→load memory ordering edges,
+//   - trip counts are drawn between 20 and 200.
+//
+// The schedulers consume only dependence-graph shape, and the paper's
+// figures aggregate over the loop population, so matching the shape
+// distribution is what preserves the experiments' behaviour (see
+// DESIGN.md, "Substitutions").
+//
+// The package also provides hand-written kernels (FIR, dot product,
+// SAXPY, IIR biquad, stencils, reductions, Livermore-style fragments)
+// used by the examples, tests and micro-benchmarks.
+package perfect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ddg"
+	"repro/internal/loop"
+	"repro/internal/machine"
+)
+
+// CorpusSize is the number of loops in the paper's workload.
+const CorpusSize = 1258
+
+// DefaultSeed pins the corpus used by the experiments; the whole
+// evaluation is deterministic.
+const DefaultSeed = 19990109 // HPCA-5, January 1999
+
+// Corpus returns the full synthetic workload: CorpusSize loops,
+// deterministically derived from the seed.
+func Corpus(seed int64) []*loop.Loop {
+	return CorpusN(seed, CorpusSize)
+}
+
+// CorpusN returns the first n loops of the corpus. Smaller prefixes are
+// used by tests and micro-benchmarks; cmd/dmsbench uses the full
+// corpus.
+func CorpusN(seed int64, n int) []*loop.Loop {
+	rng := rand.New(rand.NewSource(seed))
+	loops := make([]*loop.Loop, 0, n)
+	for i := 0; i < n; i++ {
+		loops = append(loops, Generate(rng, fmt.Sprintf("pc%04d", i)))
+	}
+	return loops
+}
+
+// Generate draws one synthetic innermost loop from the distribution
+// described in the package comment.
+func Generate(rng *rand.Rand, name string) *loop.Loop {
+	for {
+		l, err := generate(rng, name)
+		if err == nil {
+			return l
+		}
+		// Extremely rare (duplicate-name class bugs only); retry with
+		// fresh randomness rather than failing the corpus build.
+	}
+}
+
+func generate(rng *rand.Rand, name string) (*loop.Loop, error) {
+	b := loop.NewBuilder(name)
+	b.Trip(20 + rng.Intn(181))
+
+	// Body size: geometric-ish with mean ~14, clamped to [4, 64].
+	size := 4
+	for size < 64 && rng.Float64() < 0.90 {
+		size++
+		if size >= 8 && rng.Float64() < 0.10 {
+			break
+		}
+	}
+
+	var (
+		producers []loop.ID // ops that define a register value
+		computes  []loop.ID // non-load producers (candidates for stores/recurrences)
+		stores    []loop.ID
+		loads     []loop.ID
+	)
+	pick := func(from []loop.ID) loop.ID {
+		// Bias toward recent values: numeric code reuses what it just
+		// computed.
+		n := len(from)
+		i := n - 1 - int(float64(n)*rng.Float64()*rng.Float64())
+		if i < 0 {
+			i = 0
+		}
+		return from[i]
+	}
+
+	for i := 0; i < size; i++ {
+		r := rng.Float64()
+		switch {
+		case len(producers) == 0 || r < 0.26: // load
+			id := b.Load(fmt.Sprintf("v%d", i))
+			producers = append(producers, id)
+			loads = append(loads, id)
+		case r < 0.26+0.09 && len(computes) > 0: // store
+			stores = append(stores, b.Store(fmt.Sprintf("v%d", i), pick(computes)))
+		case r < 0.26+0.09+0.45 || len(producers) < 2: // add-class
+			id := b.Add(fmt.Sprintf("v%d", i), pickOperands(rng, pick, producers)...)
+			producers = append(producers, id)
+			computes = append(computes, id)
+		case r < 0.26+0.09+0.45+0.18: // mul
+			id := b.Mul(fmt.Sprintf("v%d", i), pickOperands(rng, pick, producers)...)
+			producers = append(producers, id)
+			computes = append(computes, id)
+		default: // div (rare)
+			id := b.Div(fmt.Sprintf("v%d", i), pick(producers))
+			producers = append(producers, id)
+			computes = append(computes, id)
+		}
+	}
+	if len(stores) == 0 && len(computes) > 0 {
+		stores = append(stores, b.Store("vout", pick(computes)))
+	}
+
+	// Recurrences: ~45% of loops carry at least one.
+	if rng.Float64() < 0.45 && len(computes) > 0 {
+		n := 1
+		if rng.Float64() < 0.25 {
+			n = 2
+		}
+		for r := 0; r < n; r++ {
+			dist := 1
+			if rng.Float64() < 0.2 {
+				dist = 2
+			}
+			src := computes[rng.Intn(len(computes))]
+			if rng.Float64() < 0.6 {
+				// Accumulator: the op consumes its own previous value.
+				b.Carried(src, src, dist)
+			} else {
+				// Cross-iteration chain into an earlier op.
+				dst := computes[rng.Intn(len(computes))]
+				b.Carried(src, dst, dist)
+			}
+		}
+	}
+
+	// Occasional memory ordering edge (possible aliasing): a store may
+	// alias a load of the next iteration.
+	if len(stores) > 0 && len(loads) > 0 && rng.Float64() < 0.15 {
+		st := stores[rng.Intn(len(stores))]
+		b.Mem(st, loads[rng.Intn(len(loads))], 1)
+	}
+
+	return b.Build()
+}
+
+func pickOperands(rng *rand.Rand, pick func([]loop.ID) loop.ID, producers []loop.ID) []loop.ID {
+	k := 1 + rng.Intn(2)
+	ops := make([]loop.ID, 0, k)
+	for j := 0; j < k; j++ {
+		ops = append(ops, pick(producers))
+	}
+	return ops
+}
+
+// Sets splits a corpus into the paper's two evaluation sets: set 1 is
+// every loop; set 2 holds only the loops without recurrences (highly
+// vectorizable, "characteristics similar to the ones usually found in
+// DSP applications", §4).
+func Sets(loops []*loop.Loop, lat machine.Latencies) (set1, set2 []*loop.Loop) {
+	set1 = loops
+	for _, l := range loops {
+		if !ddg.FromLoop(l, lat).HasRecurrence() {
+			set2 = append(set2, l)
+		}
+	}
+	return set1, set2
+}

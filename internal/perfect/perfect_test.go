@@ -1,0 +1,172 @@
+package perfect
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := CorpusN(DefaultSeed, 50)
+	b := CorpusN(DefaultSeed, 50)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("loop %d differs between identical seeds", i)
+		}
+	}
+	c := CorpusN(DefaultSeed+1, 50)
+	same := 0
+	for i := range a {
+		if a[i].String() == c[i].String() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusAllValid(t *testing.T) {
+	for _, l := range CorpusN(DefaultSeed, 300) {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if l.NumOps() < 4 || l.NumOps() > 64 {
+			t.Errorf("%s: %d ops outside [4,64]", l.Name, l.NumOps())
+		}
+		if l.Trip < 20 || l.Trip > 200 {
+			t.Errorf("%s: trip %d outside [20,200]", l.Name, l.Trip)
+		}
+	}
+}
+
+func TestCorpusDistribution(t *testing.T) {
+	loops := CorpusN(DefaultSeed, 500)
+	var ops, mem, alu, mul int
+	rec := 0
+	lat := machine.DefaultLatencies()
+	for _, l := range loops {
+		c := l.ClassCount()
+		ops += l.NumOps()
+		mem += c[machine.Load] + c[machine.Store]
+		alu += c[machine.Add]
+		mul += c[machine.Mul] + c[machine.Div]
+		if ddg.FromLoop(l, lat).HasRecurrence() {
+			rec++
+		}
+	}
+	memFrac := float64(mem) / float64(ops)
+	aluFrac := float64(alu) / float64(ops)
+	mulFrac := float64(mul) / float64(ops)
+	recFrac := float64(rec) / float64(len(loops))
+	if memFrac < 0.20 || memFrac > 0.50 {
+		t.Errorf("memory fraction %.2f outside [0.20,0.50]", memFrac)
+	}
+	if aluFrac < 0.30 || aluFrac > 0.60 {
+		t.Errorf("ALU fraction %.2f outside [0.30,0.60]", aluFrac)
+	}
+	if mulFrac < 0.08 || mulFrac > 0.35 {
+		t.Errorf("multiply fraction %.2f outside [0.08,0.35]", mulFrac)
+	}
+	if recFrac < 0.30 || recFrac > 0.60 {
+		t.Errorf("recurrence fraction %.2f outside [0.30,0.60] — set 2 would not match the paper", recFrac)
+	}
+}
+
+func TestSets(t *testing.T) {
+	loops := CorpusN(DefaultSeed, 200)
+	lat := machine.DefaultLatencies()
+	set1, set2 := Sets(loops, lat)
+	if len(set1) != 200 {
+		t.Fatalf("set 1 has %d loops, want all 200", len(set1))
+	}
+	if len(set2) == 0 || len(set2) == 200 {
+		t.Fatalf("set 2 has %d loops; expected a strict non-empty subset", len(set2))
+	}
+	for _, l := range set2 {
+		if ddg.FromLoop(l, lat).HasRecurrence() {
+			t.Fatalf("%s: set 2 loop has a recurrence", l.Name)
+		}
+	}
+}
+
+func TestGenerateManySeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		l := Generate(rng, "g")
+		if err := l.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestKernelsValid(t *testing.T) {
+	ks := Kernels()
+	if len(ks) < 10 {
+		t.Fatalf("only %d kernels", len(ks))
+	}
+	names := map[string]bool{}
+	for _, k := range ks {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+		if names[k.Name] {
+			t.Errorf("duplicate kernel name %s", k.Name)
+		}
+		names[k.Name] = true
+	}
+}
+
+func TestKernelRecurrenceClassification(t *testing.T) {
+	lat := machine.DefaultLatencies()
+	wantRec := map[string]bool{
+		"dot":         true,
+		"fir4":        false,
+		"saxpy":       false,
+		"iir":         true,
+		"stencil3":    false,
+		"cmul":        false,
+		"horner4":     false,
+		"matvec":      true,
+		"lk1-hydro":   false,
+		"lk5-tridiag": true,
+		"prefix":      true,
+		"vnorm":       true,
+	}
+	for _, k := range Kernels() {
+		want, ok := wantRec[k.Name]
+		if !ok {
+			t.Errorf("kernel %s missing from classification table", k.Name)
+			continue
+		}
+		if got := ddg.FromLoop(k, lat).HasRecurrence(); got != want {
+			t.Errorf("%s: HasRecurrence = %v, want %v", k.Name, got, want)
+		}
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	k, err := KernelByName("fir4")
+	if err != nil || k.Name != "fir4" {
+		t.Fatalf("KernelByName(fir4) = %v, %v", k, err)
+	}
+	if _, err := KernelByName("nope"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestIIRRecMIIMatchesFeedback(t *testing.T) {
+	// The biquad's y -> y1t -> fb -> y cycle at distance 1 bounds the
+	// II at mul+add+add latency = 3+1+1 = 5.
+	lat := machine.DefaultLatencies()
+	g := ddg.FromLoop(KernelIIRBiquad(), lat)
+	want := lat.Of(machine.Mul) + 2*lat.Of(machine.Add)
+	if got := g.RecMII(); got != want {
+		t.Errorf("iir RecMII = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,134 @@
+// Package regpress measures the register requirements of modulo
+// schedules — the quantity the paper's whole architecture is designed
+// around: "the scalability of VLIW architectures is still constrained
+// by the size and number of ports of the register file required by a
+// large number of functional units" (§1, citing Llosa et al. [10] and
+// Farkas et al. [4]).
+//
+// For a conventional (rotating) register file, a value occupies one
+// register from its definition until its last use, across however many
+// in-flight iterations overlap; MaxLives is the peak simultaneous
+// count and equals the registers a rotating file needs. For the
+// clustered machine the same computation runs per cluster, showing how
+// partitioning divides both storage and — because each functional unit
+// only connects to its own cluster's files — the port requirement.
+package regpress
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// Pressure summarises the register requirements of one schedule.
+type Pressure struct {
+	// MaxLives is the machine-wide peak number of simultaneously live
+	// values — the size of the monolithic rotating register file an
+	// unclustered machine would need.
+	MaxLives int
+	// PerCluster is the peak live-value count per cluster: the local
+	// register file size the clustered machine needs. (Values consumed
+	// remotely are charged to the producer's cluster; CQRF storage is
+	// reported by package lifetime.)
+	PerCluster []int
+	// ReadPorts and WritePorts are the port counts of a monolithic
+	// register file serving every useful functional unit (2 reads and
+	// 1 write per unit — the RF-access-time pressure of §1).
+	ReadPorts, WritePorts int
+	// ClusterReadPorts and ClusterWritePorts are the per-cluster
+	// equivalents on the clustered machine.
+	ClusterReadPorts, ClusterWritePorts int
+}
+
+// Analyze computes the pressure of a complete schedule.
+func Analyze(s *schedule.Schedule) Pressure {
+	g, m, ii := s.Graph(), s.Machine(), s.II()
+	lat := g.Lat()
+
+	// Conventional-register lifetime per producing node: birth at
+	// definition, death at the last (iteration-folded) use.
+	type life struct {
+		birth, death, cluster int
+	}
+	var lives []life
+	g.Nodes(func(n ddg.Node) {
+		if !n.Class.Produces() {
+			return
+		}
+		p, ok := s.At(n.ID)
+		if !ok {
+			return
+		}
+		birth := p.Time + lat.Of(n.Class)
+		death := birth
+		for _, e := range g.Out(n.ID) {
+			if !e.Carries {
+				continue
+			}
+			cp, ok := s.At(e.To)
+			if !ok {
+				continue
+			}
+			if end := cp.Time + ii*e.Distance; end > death {
+				death = end
+			}
+		}
+		lives = append(lives, life{birth: birth, death: death, cluster: p.Cluster})
+	})
+
+	pr := Pressure{PerCluster: make([]int, m.Clusters)}
+	// Peak overlap, counting the in-flight copies of loop-carried
+	// values: a value alive for span cycles has floor(span/II)+1
+	// instances present during part of every II window (inclusive
+	// [birth, death] occupancy, matching the queue model).
+	for slot := 0; slot < ii; slot++ {
+		total := 0
+		per := make([]int, m.Clusters)
+		for _, l := range lives {
+			occupied := l.death - l.birth + 1
+			n := occupied / ii
+			if inWindow(slot, l.birth%ii, occupied%ii, ii) {
+				n++
+			}
+			total += n
+			per[l.cluster] += n
+		}
+		if total > pr.MaxLives {
+			pr.MaxLives = total
+		}
+		for c, n := range per {
+			if n > pr.PerCluster[c] {
+				pr.PerCluster[c] = n
+			}
+		}
+	}
+
+	useful := m.TotalFUs(machine.FUMem) + m.TotalFUs(machine.FUAdd) + m.TotalFUs(machine.FUMul)
+	pr.ReadPorts, pr.WritePorts = 2*useful, useful
+	perUseful := m.PerCluster[machine.FUMem] + m.PerCluster[machine.FUAdd] + m.PerCluster[machine.FUMul]
+	pr.ClusterReadPorts, pr.ClusterWritePorts = 2*perUseful, perUseful
+	return pr
+}
+
+// MaxPerCluster returns the largest per-cluster requirement.
+func (p Pressure) MaxPerCluster() int {
+	maxN := 0
+	for _, n := range p.PerCluster {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	return maxN
+}
+
+// inWindow reports slot ∈ [start, start+length) on the II ring.
+func inWindow(slot, start, length, ii int) bool {
+	if length == 0 {
+		return false
+	}
+	end := (start + length) % ii
+	if start < end {
+		return slot >= start && slot < end
+	}
+	return slot >= start || slot < end
+}

@@ -1,0 +1,204 @@
+// Package rotating allocates the values of a modulo schedule onto a
+// conventional rotating register file — the storage model the paper's
+// queue register files are an alternative to (§1–2; the authors'
+// Euro-Par'97 companion paper compares lifetimes-in-queues against
+// exactly this).
+//
+// A rotating file renames its registers every initiation interval, so
+// the instance of a value from iteration i lives at physical register
+// (base + i) mod R. Two values may share a base register only if their
+// lifetime intervals never overlap in that rotated address space,
+// which makes allocation a circular-arc colouring problem on a circle
+// of circumference R·II. The allocator searches the smallest feasible
+// R ≥ MaxLives by first-fit over lifetimes sorted by birth — the
+// standard heuristic family from Rau's register allocation work for
+// modulo schedules, adequate for measuring register requirements.
+package rotating
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/regpress"
+	"repro/internal/schedule"
+)
+
+// Assignment maps every value-producing node to a base register of the
+// rotating file.
+type Assignment struct {
+	// Registers is the size of the rotating file.
+	Registers int
+	// II is the initiation interval the schedule was built for.
+	II int
+	// Base maps producing node ID → base register.
+	Base map[int]int
+	// MaxLives is the lower bound the search started from.
+	MaxLives int
+}
+
+type value struct {
+	node        int
+	birth, span int // birth cycle and inclusive occupancy length
+}
+
+// Allocate assigns rotating registers to a complete schedule.
+func Allocate(s *schedule.Schedule) (*Assignment, error) {
+	g, ii := s.Graph(), s.II()
+	lat := g.Lat()
+	if !s.Complete() {
+		return nil, fmt.Errorf("rotating: incomplete schedule for %s", g.Name())
+	}
+
+	var vals []value
+	var err error
+	g.Nodes(func(n ddg.Node) {
+		if err != nil || !n.Class.Produces() {
+			return
+		}
+		p, _ := s.At(n.ID)
+		birth := p.Time + lat.Of(n.Class)
+		death := birth
+		for _, e := range g.Out(n.ID) {
+			if !e.Carries {
+				continue
+			}
+			cp, ok := s.At(e.To)
+			if !ok {
+				err = fmt.Errorf("rotating: consumer of %s not scheduled", n.Name)
+				return
+			}
+			if end := cp.Time + ii*e.Distance; end > death {
+				death = end
+			}
+		}
+		vals = append(vals, value{node: n.ID, birth: birth, span: death - birth + 1})
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(vals, func(i, j int) bool {
+		if vals[i].birth != vals[j].birth {
+			return vals[i].birth < vals[j].birth
+		}
+		return vals[i].node < vals[j].node
+	})
+
+	lower := regpress.Analyze(s).MaxLives
+	if lower < 1 {
+		lower = 1
+	}
+	// First-fit on progressively larger files. The search is bounded:
+	// R = Σ ceil(span/II) + 1 gives every value its own disjoint base
+	// range, which always fits.
+	upper := 1
+	for _, v := range vals {
+		upper += (v.span + ii - 1) / ii
+	}
+	for r := lower; r <= upper; r++ {
+		if base, ok := tryFit(vals, ii, r); ok {
+			return &Assignment{Registers: r, II: ii, Base: base, MaxLives: lower}, nil
+		}
+	}
+	return nil, fmt.Errorf("rotating: no fit below %d registers for %s (allocator bug)", upper, g.Name())
+}
+
+// arc is a circular interval on the canonical register track.
+type arc struct{ start, length int }
+
+// canonicalArc maps a value with base register b onto the canonical
+// track: instance i of the value occupies physical register (b+i) mod
+// r during [birth+i·II, +span); tracking one physical register over
+// time folds that to a single circular arc of the value's span
+// starting at (birth − b·II) mod r·II. Two values conflict somewhere
+// in the file exactly when their canonical arcs overlap.
+func canonicalArc(v value, b, ii, circ int) arc {
+	return arc{start: ((v.birth-b*ii)%circ + circ) % circ, length: v.span}
+}
+
+func overlaps(a, b arc, circ int) bool {
+	if a.length >= circ || b.length >= circ {
+		return true
+	}
+	d := ((b.start-a.start)%circ + circ) % circ
+	return d < a.length || circ-d < b.length
+}
+
+// tryFit first-fits every value into a file of r registers by choosing
+// the smallest base whose canonical arc stays disjoint from everything
+// placed so far.
+func tryFit(vals []value, ii, r int) (map[int]int, bool) {
+	circ := r * ii
+	var placed []arc
+	base := make(map[int]int, len(vals))
+	for _, v := range vals {
+		if v.span > circ {
+			return nil, false
+		}
+		found := false
+		for b := 0; b < r && !found; b++ {
+			cand := canonicalArc(v, b, ii, circ)
+			ok := true
+			for _, e := range placed {
+				if overlaps(cand, e, circ) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				placed = append(placed, cand)
+				base[v.node] = b
+				found = true
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return base, true
+}
+
+// Verify independently re-checks an assignment: every pair of values
+// must occupy disjoint canonical arcs.
+func Verify(s *schedule.Schedule, a *Assignment) error {
+	g, ii := s.Graph(), s.II()
+	lat := g.Lat()
+	circ := a.Registers * ii
+	type named struct {
+		name string
+		a    arc
+	}
+	var placed []named
+	var err error
+	g.Nodes(func(n ddg.Node) {
+		if err != nil || !n.Class.Produces() {
+			return
+		}
+		b, ok := a.Base[n.ID]
+		if !ok {
+			err = fmt.Errorf("rotating: %s has no register", n.Name)
+			return
+		}
+		p, _ := s.At(n.ID)
+		birth := p.Time + lat.Of(n.Class)
+		death := birth
+		for _, e := range g.Out(n.ID) {
+			if !e.Carries {
+				continue
+			}
+			cp, _ := s.At(e.To)
+			if end := cp.Time + ii*e.Distance; end > death {
+				death = end
+			}
+		}
+		cand := canonicalArc(value{node: n.ID, birth: birth, span: death - birth + 1}, b, ii, circ)
+		for _, other := range placed {
+			if overlaps(cand, other.a, circ) {
+				err = fmt.Errorf("rotating: %s and %s collide in the file", n.Name, other.name)
+				return
+			}
+		}
+		placed = append(placed, named{name: n.Name, a: cand})
+	})
+	return err
+}

@@ -1,0 +1,165 @@
+package rotating
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ims"
+	"repro/internal/machine"
+	"repro/internal/perfect"
+	"repro/internal/regpress"
+	"repro/internal/schedule"
+	"repro/internal/sms"
+)
+
+func lat() machine.Latencies { return machine.DefaultLatencies() }
+
+func imsSchedule(t testing.TB, name string, width int) *schedule.Schedule {
+	t.Helper()
+	k, err := perfect.KernelByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := ims.Schedule(ddg.FromLoop(k, lat()), machine.Unclustered(width), ims.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAllocateKernels(t *testing.T) {
+	for _, k := range perfect.Kernels() {
+		for _, width := range []int{1, 3} {
+			s, _, err := ims.Schedule(ddg.FromLoop(k, lat()), machine.Unclustered(width), ims.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := Allocate(s)
+			if err != nil {
+				t.Fatalf("%s width %d: %v", k.Name, width, err)
+			}
+			if err := Verify(s, a); err != nil {
+				t.Fatalf("%s width %d: %v", k.Name, width, err)
+			}
+			if a.Registers < a.MaxLives {
+				t.Fatalf("%s: %d registers below the MaxLives bound %d", k.Name, a.Registers, a.MaxLives)
+			}
+		}
+	}
+}
+
+func TestAllocateCorpusTightness(t *testing.T) {
+	// First-fit should land close to the MaxLives lower bound; a big
+	// systematic gap would mean the circular-arc model is wrong.
+	var regs, lower int
+	for _, l := range perfect.CorpusN(perfect.DefaultSeed, 80) {
+		s, _, err := ims.Schedule(ddg.FromLoop(l, lat()), machine.Unclustered(3), ims.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Allocate(s)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if err := Verify(s, a); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		regs += a.Registers
+		lower += a.MaxLives
+	}
+	t.Logf("80 loops: %d registers allocated vs %d MaxLives lower bound (%.1f%% overhead)",
+		regs, lower, 100*float64(regs-lower)/float64(lower))
+	if regs > lower*13/10 {
+		t.Errorf("first-fit needed %d registers for a lower bound of %d (>30%% waste)", regs, lower)
+	}
+}
+
+func TestAllocateClusteredSchedules(t *testing.T) {
+	// The allocator is storage-model-agnostic: a DMS schedule can be
+	// measured against a (hypothetical) global rotating file too.
+	for _, l := range perfect.CorpusN(perfect.DefaultSeed, 30) {
+		g := ddg.FromLoop(l, lat())
+		ddg.InsertCopies(g, ddg.MaxUses)
+		s, _, err := core.Schedule(g, machine.Clustered(4), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Allocate(s)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if err := Verify(s, a); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func TestSMSNeedsFewerRotatingRegisters(t *testing.T) {
+	// The register saving regpress reports must carry through to an
+	// actual allocation.
+	var imsRegs, smsRegs int
+	for _, l := range perfect.CorpusN(perfect.DefaultSeed, 60) {
+		m := machine.Unclustered(3)
+		g := ddg.FromLoop(l, lat())
+		sIMS, _, err := ims.Schedule(g, m, ims.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sSMS, _, err := sms.Schedule(g, m, sms.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aIMS, err := Allocate(sIMS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aSMS, err := Allocate(sSMS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imsRegs += aIMS.Registers
+		smsRegs += aSMS.Registers
+	}
+	t.Logf("rotating registers, 60 loops: IMS %d vs SMS %d", imsRegs, smsRegs)
+	if smsRegs > imsRegs {
+		t.Errorf("SMS needed more rotating registers (%d) than IMS (%d)", smsRegs, imsRegs)
+	}
+}
+
+func TestVerifyCatchesBadAssignment(t *testing.T) {
+	s := imsSchedule(t, "fir4", 2)
+	a, err := Allocate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force every base to 0: with more live values than one base can
+	// hold, Verify must object.
+	if a.Registers > 1 {
+		for n := range a.Base {
+			a.Base[n] = 0
+		}
+		if err := Verify(s, a); err == nil {
+			t.Fatal("all-zero bases accepted")
+		}
+	}
+}
+
+func TestAllocateRejectsIncomplete(t *testing.T) {
+	g := ddg.FromLoop(perfect.KernelDot(), lat())
+	s := schedule.New(g, machine.Unclustered(1), 3)
+	if _, err := Allocate(s); err == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+}
+
+func TestRegistersTrackPressure(t *testing.T) {
+	s := imsSchedule(t, "iir", 2)
+	a, err := Allocate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxLives != regpress.Analyze(s).MaxLives {
+		t.Errorf("assignment lower bound %d disagrees with regpress %d", a.MaxLives, regpress.Analyze(s).MaxLives)
+	}
+}

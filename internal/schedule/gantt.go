@@ -1,0 +1,78 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// Gantt renders the modulo reservation table of a complete schedule as
+// an ASCII chart: one row per (cluster, functional unit kind), one
+// column per II slot, each cell naming the operation(s) booked there —
+// the view schedulers and hardware designers actually reason about.
+func Gantt(s *Schedule) string {
+	g, m, ii := s.g, s.m, s.ii
+	// grid[cluster][kind][slot] -> booked operation names.
+	grid := make([][][]string, m.Clusters)
+	for c := range grid {
+		grid[c] = make([][]string, machine.NumFUKinds)
+		for k := range grid[c] {
+			grid[c][k] = make([]string, ii)
+		}
+	}
+	var ids []int
+	for id := range s.place {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p := s.place[id]
+		n := g.Node(id)
+		slot := ((p.Time % ii) + ii) % ii
+		k := n.Class.FU()
+		cellText := fmt.Sprintf("%s(s%d)", n.Name, p.Time/ii)
+		if grid[p.Cluster][k][slot] != "" {
+			grid[p.Cluster][k][slot] += "+" + cellText
+		} else {
+			grid[p.Cluster][k][slot] = cellText
+		}
+	}
+
+	width := 12
+	for c := range grid {
+		for k := range grid[c] {
+			for _, cellText := range grid[c][k] {
+				if len(cellText)+2 > width {
+					width = len(cellText) + 2
+				}
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "modulo reservation table, II=%d (%s)\n", ii, m.Name)
+	fmt.Fprintf(&sb, "%-10s", "")
+	for slot := 0; slot < ii; slot++ {
+		fmt.Fprintf(&sb, "%-*s", width, fmt.Sprintf("slot %d", slot))
+	}
+	sb.WriteByte('\n')
+	for c := 0; c < m.Clusters; c++ {
+		for k := machine.FUKind(0); int(k) < machine.NumFUKinds; k++ {
+			if m.Capacity(c, k) == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "c%d %-7s", c, k)
+			for slot := 0; slot < ii; slot++ {
+				text := grid[c][k][slot]
+				if text == "" {
+					text = "."
+				}
+				fmt.Fprintf(&sb, "%-*s", width, text)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

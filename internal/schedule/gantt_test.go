@@ -1,0 +1,36 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestGantt(t *testing.T) {
+	g := chainGraph(t)
+	s := validChainSchedule(t, g, machine.Unclustered(1), 3)
+	out := Gantt(s)
+	for _, want := range []string{"II=3", "slot 0", "slot 2", "x(s0)", "m(s0)", "s(s1)", "L/S", "MUL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, out)
+		}
+	}
+	// The unclustered machine has no copy units; no COPY row.
+	if strings.Contains(out, "COPY") {
+		t.Errorf("Gantt shows a COPY row on a machine without copy units:\n%s", out)
+	}
+}
+
+func TestGanttClustered(t *testing.T) {
+	g := chainGraph(t)
+	m := machine.Clustered(2)
+	s := New(g, m, 3)
+	s.Place(0, Placement{Time: 0, Cluster: 0})
+	s.Place(1, Placement{Time: 2, Cluster: 1})
+	s.Place(2, Placement{Time: 5, Cluster: 1})
+	out := Gantt(s)
+	if !strings.Contains(out, "c0 ") || !strings.Contains(out, "c1 ") {
+		t.Errorf("Gantt missing cluster rows:\n%s", out)
+	}
+}

@@ -1,0 +1,49 @@
+package schedule
+
+import "container/heap"
+
+// Queue is the ready queue shared by IMS and DMS: a max-heap of node
+// IDs keyed by scheduling priority (height), with deterministic
+// tie-breaking on the smaller node ID.
+type Queue struct {
+	h nodeHeap
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Push adds a node with its priority.
+func (q *Queue) Push(node, priority int) {
+	heap.Push(&q.h, queued{node: node, priority: priority})
+}
+
+// Pop removes and returns the highest-priority node.
+func (q *Queue) Pop() int {
+	return heap.Pop(&q.h).(queued).node
+}
+
+// Len returns the number of queued nodes.
+func (q *Queue) Len() int { return q.h.Len() }
+
+type queued struct {
+	node, priority int
+}
+
+type nodeHeap []queued
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].node < h[j].node
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(queued)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

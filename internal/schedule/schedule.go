@@ -1,0 +1,173 @@
+// Package schedule holds the partial and final schedules produced by
+// the modulo schedulers, an independent validity checker, and the
+// dynamic performance metrics of the paper's evaluation (cycle counts
+// and IPC).
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/mrt"
+)
+
+// Placement locates one operation in a modulo schedule: the issue time
+// of its iteration-0 instance and the cluster that executes it.
+type Placement struct {
+	Time    int
+	Cluster int
+}
+
+// Schedule is a (possibly partial) modulo schedule of a dependence
+// graph on a machine at a fixed initiation interval.
+type Schedule struct {
+	g     *ddg.Graph
+	m     *machine.Machine
+	ii    int
+	tab   *mrt.Table
+	place map[int]Placement
+}
+
+// New returns an empty schedule.
+func New(g *ddg.Graph, m *machine.Machine, ii int) *Schedule {
+	return &Schedule{
+		g:     g,
+		m:     m,
+		ii:    ii,
+		tab:   mrt.New(m, ii),
+		place: make(map[int]Placement, g.NumNodes()),
+	}
+}
+
+// II returns the initiation interval.
+func (s *Schedule) II() int { return s.ii }
+
+// Graph returns the dependence graph being scheduled. DMS mutates the
+// graph (chains) while the schedule exists.
+func (s *Schedule) Graph() *ddg.Graph { return s.g }
+
+// Machine returns the target machine.
+func (s *Schedule) Machine() *machine.Machine { return s.m }
+
+// Table exposes the modulo reservation table (read-mostly; schedulers
+// use Place/Evict to keep it consistent).
+func (s *Schedule) Table() *mrt.Table { return s.tab }
+
+// Scheduled reports whether the node is currently placed.
+func (s *Schedule) Scheduled(n int) bool {
+	_, ok := s.place[n]
+	return ok
+}
+
+// At returns the node's placement.
+func (s *Schedule) At(n int) (Placement, bool) {
+	p, ok := s.place[n]
+	return p, ok
+}
+
+// Place books the node at the placement. The slot must be free and the
+// time non-negative; schedulers evict occupants first when forcing.
+func (s *Schedule) Place(n int, p Placement) {
+	if p.Time < 0 {
+		panic(fmt.Sprintf("schedule: node %d placed at negative time %d", n, p.Time))
+	}
+	if !s.g.Alive(n) {
+		panic(fmt.Sprintf("schedule: node %d is dead", n))
+	}
+	s.tab.Place(n, p.Time, p.Cluster, s.g.Node(n).Class)
+	s.place[n] = p
+}
+
+// Evict removes the node from the schedule.
+func (s *Schedule) Evict(n int) {
+	if _, ok := s.place[n]; !ok {
+		panic(fmt.Sprintf("schedule: evicting unscheduled node %d", n))
+	}
+	s.tab.Remove(n)
+	delete(s.place, n)
+}
+
+// NumScheduled returns the number of placed nodes.
+func (s *Schedule) NumScheduled() int { return len(s.place) }
+
+// Complete reports whether every live node is placed.
+func (s *Schedule) Complete() bool { return len(s.place) == s.g.NumNodes() }
+
+// Each calls f for every placed node.
+func (s *Schedule) Each(f func(n int, p Placement)) {
+	for n, p := range s.place {
+		f(n, p)
+	}
+}
+
+// Len returns the schedule length: the completion time of the last
+// operation of one iteration (max over nodes of time + latency). This
+// is the prologue+kernel span of the pipelined loop.
+func (s *Schedule) Len() int {
+	maxEnd := 0
+	lat := s.g.Lat()
+	for n, p := range s.place {
+		if end := p.Time + lat.Of(s.g.Node(n).Class); end > maxEnd {
+			maxEnd = end
+		}
+	}
+	return maxEnd
+}
+
+// Stages returns the number of kernel stages (Len rounded up to whole
+// IIs) — the depth of the software pipeline.
+func (s *Schedule) Stages() int { return (s.Len() + s.ii - 1) / s.ii }
+
+// String summarises the schedule.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("schedule %s on %s: II=%d len=%d stages=%d (%d/%d ops placed)",
+		s.g.Name(), s.m.Name, s.ii, s.Len(), s.Stages(), len(s.place), s.g.NumNodes())
+}
+
+// Metrics are the dynamic measurements of the paper's §4: total cycles
+// to run the pipelined loop for a trip count (kernel + prologue +
+// epilogue) and instructions per cycle counting only useful operations.
+type Metrics struct {
+	II      int
+	Len     int
+	Stages  int
+	Trip    int
+	Useful  int // useful (non-copy/move) static operations
+	Cycles  int64
+	IPC     float64
+	MovesIn int // copy+move operations in the final graph
+}
+
+// Measure computes the dynamic metrics for the given trip count. The
+// pipelined loop issues a new iteration every II cycles and drains for
+// the remaining schedule length:
+//
+//	cycles(N) = (N-1)·II + Len
+//
+// which counts prologue, kernel and epilogue exactly, matching the
+// paper's iteration-counter measurement. IPC counts each useful
+// operation once per iteration; copies and moves are excluded (§4).
+func (s *Schedule) Measure(trip int) Metrics {
+	if trip < 1 {
+		panic(fmt.Sprintf("schedule: trip count %d < 1", trip))
+	}
+	useful := s.g.UsefulOps()
+	cycles := int64(trip-1)*int64(s.ii) + int64(s.Len())
+	overhead := 0
+	s.g.Nodes(func(n ddg.Node) {
+		if !n.Class.Useful() {
+			overhead++
+		}
+	})
+	return Metrics{
+		II:      s.ii,
+		Len:     s.Len(),
+		Stages:  s.Stages(),
+		Trip:    trip,
+		Useful:  useful,
+		Cycles:  cycles,
+		IPC:     float64(int64(useful)*int64(trip)) / float64(cycles),
+		MovesIn: overhead,
+	}
+}

@@ -1,0 +1,209 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/loop"
+	"repro/internal/machine"
+)
+
+// chainGraph: x(load) -> m(mul x) -> s(store m).
+func chainGraph(t testing.TB) *ddg.Graph {
+	t.Helper()
+	b := loop.NewBuilder("chain")
+	x := b.Load("x")
+	m := b.Mul("m", x)
+	b.Store("s", m)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ddg.FromLoop(l, machine.DefaultLatencies())
+}
+
+func validChainSchedule(t testing.TB, g *ddg.Graph, m *machine.Machine, ii int) *Schedule {
+	t.Helper()
+	s := New(g, m, ii)
+	s.Place(0, Placement{Time: 0, Cluster: 0}) // load, ready at 2
+	s.Place(1, Placement{Time: 2, Cluster: 0}) // mul, ready at 5
+	s.Place(2, Placement{Time: 5, Cluster: 0}) // store
+	return s
+}
+
+func TestPlaceEvictScheduled(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g, machine.Unclustered(1), 3)
+	if s.Scheduled(0) {
+		t.Fatal("fresh schedule has placements")
+	}
+	s.Place(0, Placement{Time: 4, Cluster: 0})
+	p, ok := s.At(0)
+	if !ok || p.Time != 4 {
+		t.Fatalf("At = %+v,%v", p, ok)
+	}
+	if s.NumScheduled() != 1 || s.Complete() {
+		t.Fatal("bookkeeping wrong after one placement")
+	}
+	s.Evict(0)
+	if s.Scheduled(0) || s.NumScheduled() != 0 {
+		t.Fatal("eviction did not clear placement")
+	}
+	if !s.Table().Free(4, 0, machine.Load) {
+		t.Fatal("eviction did not release the reservation")
+	}
+}
+
+func TestPlacePanics(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g, machine.Unclustered(1), 3)
+	mustPanic(t, "negative time", func() { s.Place(0, Placement{Time: -1}) })
+	mustPanic(t, "evict unscheduled", func() { s.Evict(0) })
+}
+
+func TestLenAndStages(t *testing.T) {
+	g := chainGraph(t)
+	s := validChainSchedule(t, g, machine.Unclustered(1), 3)
+	// store at 5, latency 1 -> Len 6; stages ceil(6/3)=2.
+	if got := s.Len(); got != 6 {
+		t.Errorf("Len = %d, want 6", got)
+	}
+	if got := s.Stages(); got != 2 {
+		t.Errorf("Stages = %d, want 2", got)
+	}
+	if !s.Complete() {
+		t.Error("schedule should be complete")
+	}
+}
+
+func TestVerifyAcceptsValidSchedule(t *testing.T) {
+	g := chainGraph(t)
+	s := validChainSchedule(t, g, machine.Unclustered(1), 3)
+	if err := Verify(s); err != nil {
+		t.Fatalf("Verify rejected a valid schedule: %v", err)
+	}
+}
+
+func TestVerifyCatchesIncomplete(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g, machine.Unclustered(1), 3)
+	s.Place(0, Placement{Time: 0})
+	if err := Verify(s); err == nil || !strings.Contains(err.Error(), "not scheduled") {
+		t.Fatalf("Verify = %v, want incompleteness error", err)
+	}
+}
+
+func TestVerifyCatchesTimingViolation(t *testing.T) {
+	g := chainGraph(t)
+	s := New(g, machine.Unclustered(1), 3)
+	s.Place(0, Placement{Time: 0})
+	s.Place(1, Placement{Time: 1}) // mul issues before load completes (lat 2)
+	s.Place(2, Placement{Time: 10})
+	if err := Verify(s); err == nil || !strings.Contains(err.Error(), "violated") {
+		t.Fatalf("Verify = %v, want timing violation", err)
+	}
+}
+
+func TestVerifyCatchesCommunicationConflict(t *testing.T) {
+	g := chainGraph(t)
+	m := machine.Clustered(4)
+	s := New(g, m, 3)
+	s.Place(0, Placement{Time: 0, Cluster: 0})
+	s.Place(1, Placement{Time: 2, Cluster: 2}) // 0 -> 2 not adjacent in a 4-ring
+	s.Place(2, Placement{Time: 5, Cluster: 2})
+	if err := Verify(s); err == nil || !strings.Contains(err.Error(), "communication conflict") {
+		t.Fatalf("Verify = %v, want communication conflict", err)
+	}
+}
+
+func TestVerifyAcceptsAdjacentClusters(t *testing.T) {
+	g := chainGraph(t)
+	m := machine.Clustered(4)
+	s := New(g, m, 3)
+	s.Place(0, Placement{Time: 0, Cluster: 0})
+	s.Place(1, Placement{Time: 2, Cluster: 3}) // ring neighbours
+	s.Place(2, Placement{Time: 5, Cluster: 3})
+	if err := Verify(s); err != nil {
+		t.Fatalf("Verify rejected adjacent communication: %v", err)
+	}
+}
+
+func TestVerifyCatchesLoopCarriedViolation(t *testing.T) {
+	b := loop.NewBuilder("rec")
+	x := b.Load("x")
+	p := b.Mul("p", x) // latency 3
+	b.Carried(p, p, 1)
+	b.Store("s", p)
+	g := ddg.FromLoop(b.MustBuild(), machine.DefaultLatencies())
+	// II=2 < RecMII=3: the self edge p->p needs t(p) >= t(p)+3-2.
+	s := New(g, machine.Unclustered(1), 2)
+	s.Place(0, Placement{Time: 0})
+	s.Place(1, Placement{Time: 2})
+	s.Place(2, Placement{Time: 5})
+	if err := Verify(s); err == nil {
+		t.Fatal("Verify accepted a schedule below RecMII")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	g := chainGraph(t)
+	s := validChainSchedule(t, g, machine.Unclustered(1), 3)
+	m := s.Measure(100)
+	if m.Cycles != 99*3+6 {
+		t.Errorf("Cycles = %d, want %d", m.Cycles, 99*3+6)
+	}
+	wantIPC := float64(3*100) / float64(99*3+6)
+	if diff := m.IPC - wantIPC; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("IPC = %v, want %v", m.IPC, wantIPC)
+	}
+	if m.Useful != 3 || m.MovesIn != 0 {
+		t.Errorf("Useful=%d MovesIn=%d, want 3 and 0", m.Useful, m.MovesIn)
+	}
+	mustPanic(t, "bad trip", func() { s.Measure(0) })
+}
+
+func TestMeasureExcludesCopies(t *testing.T) {
+	g := chainGraph(t)
+	c := g.AddNode(machine.Copy, ddg.CopyNode, "cp", -1)
+	m := machine.Clustered(1)
+	s := New(g, m, 3)
+	s.Place(0, Placement{Time: 0, Cluster: 0})
+	s.Place(1, Placement{Time: 2, Cluster: 0})
+	s.Place(2, Placement{Time: 5, Cluster: 0})
+	s.Place(c, Placement{Time: 1, Cluster: 0})
+	met := s.Measure(10)
+	if met.Useful != 3 {
+		t.Errorf("Useful = %d, want 3 (copy excluded)", met.Useful)
+	}
+	if met.MovesIn != 1 {
+		t.Errorf("MovesIn = %d, want 1", met.MovesIn)
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	q := NewQueue()
+	q.Push(3, 10)
+	q.Push(1, 20)
+	q.Push(2, 20)
+	q.Push(4, 5)
+	want := []int{1, 2, 3, 4} // priority desc, ties by smaller ID
+	for i, w := range want {
+		if got := q.Pop(); got != w {
+			t.Fatalf("pop %d = node %d, want %d", i, got, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,80 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// Verify independently re-checks a complete schedule against every
+// constraint class of the clustered modulo scheduling problem:
+//
+//	completeness  — every live graph node is placed, nothing dead is,
+//	timing        — every edge satisfies t(to) ≥ t(from) + delay − II·distance,
+//	resources     — no (cycle mod II, cluster, FU kind) exceeds capacity,
+//	communication — true data dependences connect directly-connected
+//	                clusters only (ring distance ≤ 1).
+//
+// It recounts resources from placements rather than trusting the
+// reservation table, so it also catches scheduler bookkeeping bugs.
+func Verify(s *Schedule) error {
+	g, m, ii := s.g, s.m, s.ii
+
+	// Completeness and placement sanity.
+	for _, id := range g.NodeIDs() {
+		p, ok := s.place[id]
+		if !ok {
+			return fmt.Errorf("verify %s: node %d (%s) not scheduled", g.Name(), id, g.Node(id).Name)
+		}
+		if p.Time < 0 {
+			return fmt.Errorf("verify %s: node %d at negative time %d", g.Name(), id, p.Time)
+		}
+		if p.Cluster < 0 || p.Cluster >= m.Clusters {
+			return fmt.Errorf("verify %s: node %d in cluster %d of %d", g.Name(), id, p.Cluster, m.Clusters)
+		}
+	}
+	for id := range s.place {
+		if !g.Alive(id) {
+			return fmt.Errorf("verify %s: dead node %d still scheduled", g.Name(), id)
+		}
+	}
+
+	// Timing and communication.
+	var err error
+	g.Edges(func(e ddg.Edge) {
+		if err != nil {
+			return
+		}
+		tf, tt := s.place[e.From].Time, s.place[e.To].Time
+		if tt < tf+e.Delay-ii*e.Distance {
+			err = fmt.Errorf("verify %s: edge %s→%s violated: t=%d,%d delay=%d dist=%d II=%d",
+				g.Name(), g.Node(e.From).Name, g.Node(e.To).Name, tf, tt, e.Delay, e.Distance, ii)
+			return
+		}
+		if e.Carries && !m.Adjacent(s.place[e.From].Cluster, s.place[e.To].Cluster) {
+			err = fmt.Errorf("verify %s: communication conflict on edge %s→%s: clusters %d and %d not adjacent",
+				g.Name(), g.Node(e.From).Name, g.Node(e.To).Name, s.place[e.From].Cluster, s.place[e.To].Cluster)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	// Resources, recounted from scratch.
+	type slotKey struct {
+		slot, cluster int
+		kind          machine.FUKind
+	}
+	usage := make(map[slotKey]int)
+	for id, p := range s.place {
+		k := g.Node(id).Class.FU()
+		key := slotKey{((p.Time % ii) + ii) % ii, p.Cluster, k}
+		usage[key]++
+		if usage[key] > m.Capacity(p.Cluster, k) {
+			return fmt.Errorf("verify %s: slot %d cluster %d %v oversubscribed (%d > %d)",
+				g.Name(), key.slot, key.cluster, k, usage[key], m.Capacity(p.Cluster, k))
+		}
+	}
+	return nil
+}

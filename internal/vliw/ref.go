@@ -1,0 +1,182 @@
+// Package vliw is a cycle-accurate functional simulator of the
+// clustered VLIW machine. It executes a modulo schedule for a full trip
+// count with real FIFO queue register file semantics — pushes at
+// producer completion, read-once pops at consumer issue, pre-populated
+// queues for loop-carried values — and cross-checks every popped
+// operand and every stored result against a scalar reference executor.
+//
+// Values are deterministic dataflow tokens: loads hash their identity
+// and iteration, arithmetic mixes its operands commutatively, and
+// copies and moves are transparent. Because the mixing is commutative
+// and copies/moves forward their input unchanged, the store trace of a
+// graph is invariant under copy insertion, DMS chain routing,
+// scheduling and queue allocation — which is exactly the end-to-end
+// correctness property the simulator checks.
+package vliw
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// Value is a deterministic dataflow token.
+type Value uint64
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mix(parts ...uint64) Value {
+	h := uint64(fnvOffset)
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			h ^= (p >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return Value(h)
+}
+
+// LiveIn is the value an operation's consumers see for iterations
+// before the loop starts (iteration − distance < 0): the initial queue
+// contents the prologue would set up.
+func LiveIn(node, iteration int) Value {
+	return mix(0x11feed, uint64(node), uint64(int64(iteration))+1<<32)
+}
+
+// Eval computes the value produced by one node instance. Copies and
+// moves are transparent (they forward operand 0); loads depend on the
+// node and iteration; other classes mix their operands commutatively so
+// operand reordering introduced by graph rewrites cannot change the
+// result.
+func Eval(n ddg.Node, iteration int, operands []Value) Value {
+	switch n.Class {
+	case machine.Copy, machine.Move:
+		if len(operands) != 1 {
+			panic(fmt.Sprintf("vliw: %v %s with %d operands", n.Class, n.Name, len(operands)))
+		}
+		return operands[0]
+	case machine.Load:
+		return mix(0x10ad, uint64(n.ID), uint64(iteration))
+	default:
+		var sum uint64
+		for _, o := range operands {
+			sum += uint64(o) // commutative combine
+		}
+		return mix(uint64(n.Class)+0xc0de, uint64(n.ID), sum)
+	}
+}
+
+// Reference executes the graph sequentially, iteration by iteration,
+// and records every node instance's value. It is the oracle the
+// simulator is compared against.
+type Reference struct {
+	g    *ddg.Graph
+	trip int
+	vals map[instance]Value
+}
+
+type instance struct {
+	node, iter int
+}
+
+// NewReference evaluates all instances for iterations 0..trip-1.
+func NewReference(g *ddg.Graph, trip int) *Reference {
+	r := &Reference{g: g, trip: trip, vals: make(map[instance]Value, g.NumNodes()*trip)}
+	order := topoOrder(g)
+	for iter := 0; iter < trip; iter++ {
+		for _, id := range order {
+			n := g.Node(id)
+			var ops []Value
+			for _, e := range g.In(id) {
+				if !e.Carries {
+					continue
+				}
+				ops = append(ops, r.Value(e.From, iter-e.Distance))
+			}
+			r.vals[instance{id, iter}] = Eval(n, iter, ops)
+		}
+	}
+	return r
+}
+
+// Value returns the token produced by the node at the iteration.
+// Negative iterations yield the pre-loop (live-in) value; because
+// copies and moves are transparent, their pre-loop value is the
+// pre-loop value of the operation they forward — otherwise graph
+// rewrites would change which initial data the prologue loads.
+func (r *Reference) Value(node, iter int) Value {
+	if iter < 0 {
+		n := r.g.Node(node)
+		if n.Class == machine.Copy || n.Class == machine.Move {
+			for _, e := range r.g.In(node) {
+				if e.Carries {
+					return r.Value(e.From, iter-e.Distance)
+				}
+			}
+			panic(fmt.Sprintf("vliw: %v %s has no carried input", n.Class, n.Name))
+		}
+		return LiveIn(node, iter)
+	}
+	v, ok := r.vals[instance{node, iter}]
+	if !ok {
+		panic(fmt.Sprintf("vliw: reference value for node %d iter %d not computed", node, iter))
+	}
+	return v
+}
+
+// StoreTrace returns the values written by every store instance, keyed
+// by "name#iter" so traces from different graph rewrites of the same
+// loop can be compared directly.
+func (r *Reference) StoreTrace() map[string]Value {
+	out := make(map[string]Value)
+	r.g.Nodes(func(n ddg.Node) {
+		if n.Class != machine.Store {
+			return
+		}
+		for iter := 0; iter < r.trip; iter++ {
+			out[fmt.Sprintf("%s#%d", n.Name, iter)] = r.Value(n.ID, iter)
+		}
+	})
+	return out
+}
+
+// topoOrder orders live nodes so same-iteration (distance-0) carried
+// dependences go forward; the loop validator guarantees acyclicity.
+func topoOrder(g *ddg.Graph) []int {
+	ids := g.NodeIDs()
+	indeg := make(map[int]int, len(ids))
+	for _, id := range ids {
+		indeg[id] = 0
+	}
+	g.Edges(func(e ddg.Edge) {
+		if e.Carries && e.Distance == 0 {
+			indeg[e.To]++
+		}
+	})
+	var queue, order []int
+	for _, id := range ids {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range g.Out(n) {
+			if e.Carries && e.Distance == 0 {
+				if indeg[e.To]--; indeg[e.To] == 0 {
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+	if len(order) != len(ids) {
+		panic(fmt.Sprintf("vliw: %s has a same-iteration dependence cycle", g.Name()))
+	}
+	return order
+}

@@ -1,0 +1,230 @@
+package vliw
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/lifetime"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// Result summarises a simulation run.
+type Result struct {
+	// Cycles is the total execution time; it must equal the schedule's
+	// closed-form model (trip−1)·II + Len, and the simulator checks it.
+	Cycles int64
+	// Stores is the trace of every store instance, keyed "name#iter".
+	Stores map[string]Value
+	// MaxQueueDepth is the deepest any queue got during the run.
+	MaxQueueDepth int
+	// Pushes and Pops count queue traffic; they match exactly, because
+	// the epilogue suppresses queue writes for consumers beyond the
+	// trip count and the simulator verifies every queue drains empty.
+	Pushes, Pops int
+}
+
+type queueEntry struct {
+	val      Value
+	producer int
+	iter     int
+}
+
+type simQueue struct {
+	name    string
+	entries []queueEntry
+	maxSeen int
+}
+
+func (q *simQueue) push(e queueEntry) {
+	q.entries = append(q.entries, e)
+	if len(q.entries) > q.maxSeen {
+		q.maxSeen = len(q.entries)
+	}
+}
+
+func (q *simQueue) pop() (queueEntry, bool) {
+	if len(q.entries) == 0 {
+		return queueEntry{}, false
+	}
+	e := q.entries[0]
+	q.entries = q.entries[1:]
+	return e, true
+}
+
+// Simulate executes the scheduled, queue-allocated loop for its full
+// trip count. It enforces and checks, cycle by cycle:
+//
+//   - functional unit capacity per (cycle, cluster, kind),
+//   - FIFO discipline: every operand is popped from the queue its
+//     lifetime was allocated to, and the popped token must be exactly
+//     the value the reference executor computed for that operand,
+//   - queue initialisation: loop-carried lifetimes start with their
+//     pre-loop values in read order, as the prologue would set up,
+//   - store correctness: every stored value matches the reference,
+//   - the closed-form cycle count.
+func Simulate(s *schedule.Schedule, alloc *lifetime.Allocation, trip int) (*Result, error) {
+	if trip < 1 {
+		return nil, fmt.Errorf("vliw: trip %d < 1", trip)
+	}
+	g, m, ii := s.Graph(), s.Machine(), s.II()
+	if !s.Complete() {
+		return nil, fmt.Errorf("vliw: incomplete schedule for %s", g.Name())
+	}
+	ref := NewReference(g, trip)
+
+	// One simQueue per allocated queue.
+	queues := make(map[lifetime.Place]*simQueue)
+	for fi, f := range alloc.Files {
+		for qi := range f.Queues {
+			queues[lifetime.Place{File: fi, Queue: qi}] = &simQueue{
+				name: fmt.Sprintf("%s.q%d", f.Name(), qi),
+			}
+		}
+	}
+
+	// Pre-populate queues with the pre-loop values of loop-carried
+	// lifetimes, in the order their consumers will read them.
+	type initVal struct {
+		place    lifetime.Place
+		readTime int
+		entry    queueEntry
+	}
+	var inits []initVal
+	g.Edges(func(e ddg.Edge) {
+		if !e.Carries || e.Distance == 0 {
+			return
+		}
+		place, ok := alloc.ByEdge[e.ID]
+		if !ok {
+			return
+		}
+		pt, _ := s.At(e.To)
+		for consIter := 0; consIter < e.Distance && consIter < trip; consIter++ {
+			srcIter := consIter - e.Distance
+			inits = append(inits, initVal{
+				place:    place,
+				readTime: pt.Time + consIter*ii,
+				entry:    queueEntry{val: ref.Value(e.From, srcIter), producer: e.From, iter: srcIter},
+			})
+		}
+	})
+	sort.SliceStable(inits, func(i, j int) bool { return inits[i].readTime < inits[j].readTime })
+	res := &Result{Stores: make(map[string]Value)}
+	for _, iv := range inits {
+		queues[iv.place].push(iv.entry)
+		res.Pushes++
+	}
+
+	// Pending pushes by completion cycle.
+	type pendingPush struct {
+		place lifetime.Place
+		entry queueEntry
+	}
+	pending := make(map[int][]pendingPush)
+
+	total := int((int64(trip)-1)*int64(ii)) + s.Len()
+	lat := g.Lat()
+	ids := g.NodeIDs()
+
+	for tau := 0; tau < total; tau++ {
+		// Producer completions land before same-cycle consumer issues.
+		for _, pp := range pending[tau] {
+			queues[pp.place].push(pp.entry)
+			res.Pushes++
+		}
+		delete(pending, tau)
+
+		// Issue phase with dynamic FU capacity accounting.
+		var used [machine.NumFUKinds]map[int]int
+		for k := range used {
+			used[k] = make(map[int]int)
+		}
+		for _, id := range ids {
+			pl, _ := s.At(id)
+			d := tau - pl.Time
+			if d < 0 || d%ii != 0 || d/ii >= trip {
+				continue
+			}
+			iter := d / ii
+			n := g.Node(id)
+			kind := n.Class.FU()
+			used[kind][pl.Cluster]++
+			if used[kind][pl.Cluster] > m.Capacity(pl.Cluster, kind) {
+				return nil, fmt.Errorf("vliw %s: cycle %d cluster %d oversubscribes %v", g.Name(), tau, pl.Cluster, kind)
+			}
+
+			// Pop operands in operand order.
+			var operands []Value
+			for _, e := range g.In(id) {
+				if !e.Carries {
+					continue
+				}
+				place, ok := alloc.ByEdge[e.ID]
+				if !ok {
+					return nil, fmt.Errorf("vliw %s: edge %d has no queue", g.Name(), e.ID)
+				}
+				entry, ok := queues[place].pop()
+				if !ok {
+					return nil, fmt.Errorf("vliw %s: cycle %d: %s pops empty %s (operand of %s iter %d)",
+						g.Name(), tau, n.Name, queues[place].name, g.Node(e.From).Name, iter)
+				}
+				res.Pops++
+				want := ref.Value(e.From, iter-e.Distance)
+				if entry.val != want {
+					return nil, fmt.Errorf("vliw %s: cycle %d: %s iter %d read %v(iter %d) = %#x from %s, want %#x (got producer %s iter %d) — FIFO order broken",
+						g.Name(), tau, n.Name, iter, g.Node(e.From).Name, iter-e.Distance,
+						uint64(entry.val), queues[place].name, uint64(want), g.Node(entry.producer).Name, entry.iter)
+				}
+				operands = append(operands, entry.val)
+			}
+
+			v := Eval(n, iter, operands)
+			if want := ref.Value(id, iter); v != want {
+				return nil, fmt.Errorf("vliw %s: %s iter %d computed %#x, reference %#x", g.Name(), n.Name, iter, uint64(v), uint64(want))
+			}
+			if n.Class == machine.Store {
+				res.Stores[fmt.Sprintf("%s#%d", n.Name, iter)] = v
+				continue
+			}
+			// Schedule one push per consuming edge at completion time.
+			// Writes whose consumer iteration falls beyond the trip
+			// count are suppressed: the epilogue is expanded per
+			// iteration, so dead queue writes are simply not emitted —
+			// otherwise they would bury later values of other
+			// lifetimes sharing the FIFO during the drain.
+			done := tau + lat.Of(n.Class)
+			for _, e := range g.Out(id) {
+				if !e.Carries || iter+e.Distance >= trip {
+					continue
+				}
+				place, ok := alloc.ByEdge[e.ID]
+				if !ok {
+					return nil, fmt.Errorf("vliw %s: edge %d has no queue", g.Name(), e.ID)
+				}
+				pending[done] = append(pending[done], pendingPush{
+					place: place,
+					entry: queueEntry{val: v, producer: id, iter: iter},
+				})
+			}
+		}
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("vliw %s: %d pushes pending after the last issue cycle", g.Name(), len(pending))
+	}
+	for _, q := range queues {
+		if len(q.entries) > 0 {
+			return nil, fmt.Errorf("vliw %s: %s holds %d values after the drain; every live-range should have been consumed",
+				g.Name(), q.name, len(q.entries))
+		}
+		if q.maxSeen > res.MaxQueueDepth {
+			res.MaxQueueDepth = q.maxSeen
+		}
+	}
+	res.Cycles = int64(total)
+	if want := s.Measure(trip).Cycles; res.Cycles != want {
+		return nil, fmt.Errorf("vliw %s: simulated %d cycles, model says %d", g.Name(), res.Cycles, want)
+	}
+	return res, nil
+}

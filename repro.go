@@ -1,0 +1,128 @@
+// Package repro is a Go reproduction of "Distributed Modulo
+// Scheduling" (M. M. Fernandes, J. Llosa, N. Topham; HPCA-5, 1999): a
+// software-pipelining compiler that integrates modulo scheduling and
+// code partitioning for clustered VLIW machines connected in a
+// bi-directional ring of queue register files.
+//
+// The root package is a thin facade over the implementation packages:
+//
+//	internal/machine    — clustered VLIW machine model
+//	internal/loop       — innermost-loop IR (builder, text format, unrolling)
+//	internal/ddg        — dependence graphs, MII bounds, copy insertion
+//	internal/ims        — Rau's Iterative Modulo Scheduling (baseline)
+//	internal/core       — Distributed Modulo Scheduling (the paper)
+//	internal/lifetime   — queue register allocation
+//	internal/codegen    — prologue/kernel/epilogue emission
+//	internal/vliw       — cycle-accurate functional simulator
+//	internal/perfect    — workload (synthetic Perfect Club substitute)
+//	internal/experiment — the paper's Figures 4, 5 and 6
+//
+// Compile runs the paper's whole tool chain on one loop and returns
+// every artefact; see examples/ for narrower, per-package usage.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ims"
+	"repro/internal/lifetime"
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+	"repro/internal/vliw"
+)
+
+// Compiled bundles every artefact of one compilation.
+type Compiled struct {
+	// Schedule is the verified modulo schedule (it references the
+	// transformed dependence graph, including inserted copies and
+	// moves).
+	Schedule *schedule.Schedule
+	// Machine is the target.
+	Machine *machine.Machine
+	// Allocation assigns every value lifetime to a FIFO queue of an
+	// LRF or CQRF.
+	Allocation *lifetime.Allocation
+	// Program is the emitted prologue/kernel/epilogue code.
+	Program *codegen.Program
+	// Metrics are the dynamic cycle/IPC measurements for the loop's
+	// trip count.
+	Metrics schedule.Metrics
+	// II is the achieved initiation interval; MII the lower bound.
+	II, MII int
+}
+
+// Options tune Compile.
+type Options struct {
+	// Unroll replicates the body before scheduling (1 = off).
+	Unroll int
+	// Unclustered schedules with the IMS baseline on the equivalent
+	// unclustered machine instead of DMS.
+	Unclustered bool
+	// DMS passes extra options to the DMS scheduler.
+	DMS core.Options
+}
+
+// Compile runs the paper's tool chain on the loop for a machine with
+// the given cluster count: unrolling (optional), copy insertion (for
+// clustered machines with at least two clusters), scheduling (DMS, or
+// IMS with Options.Unclustered), schedule verification, queue register
+// allocation, and code generation.
+func Compile(l *loop.Loop, clusters int, opt Options) (*Compiled, error) {
+	work := l
+	if opt.Unroll != 0 && opt.Unroll != 1 {
+		u, err := loop.Unroll(l, opt.Unroll)
+		if err != nil {
+			return nil, err
+		}
+		work = u
+	}
+	lat := machine.DefaultLatencies()
+	g := ddg.FromLoop(work, lat)
+
+	var (
+		c   = &Compiled{}
+		err error
+	)
+	if opt.Unclustered {
+		c.Machine = machine.Unclustered(clusters)
+		var st ims.Stats
+		c.Schedule, st, err = ims.Schedule(g, c.Machine, ims.Options{})
+		if err != nil {
+			return nil, err
+		}
+		c.II, c.MII = st.II, st.MII
+	} else {
+		c.Machine = machine.Clustered(clusters)
+		if clusters >= 2 {
+			ddg.InsertCopies(g, ddg.MaxUses)
+		}
+		var st core.Stats
+		c.Schedule, st, err = core.Schedule(g, c.Machine, opt.DMS)
+		if err != nil {
+			return nil, err
+		}
+		c.II, c.MII = st.II, st.MII
+	}
+	if err := schedule.Verify(c.Schedule); err != nil {
+		return nil, fmt.Errorf("repro: scheduler produced an invalid schedule: %w", err)
+	}
+	if c.Allocation, err = lifetime.Analyze(c.Schedule); err != nil {
+		return nil, err
+	}
+	if c.Program, err = codegen.Emit(c.Schedule, work.Trip); err != nil {
+		return nil, err
+	}
+	c.Metrics = c.Schedule.Measure(work.Trip)
+	return c, nil
+}
+
+// Simulate executes the compiled loop on the cycle-accurate simulator
+// for its trip count, checking FIFO queue discipline and comparing
+// every value against the scalar reference execution.
+func (c *Compiled) Simulate() (*vliw.Result, error) {
+	return vliw.Simulate(c.Schedule, c.Allocation, c.Metrics.Trip)
+}

@@ -1,0 +1,52 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/perfect"
+)
+
+func TestCompileClusteredAndSimulate(t *testing.T) {
+	for _, name := range []string{"dot", "fir4", "iir"} {
+		k, err := perfect.KernelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(k, 4, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.II < c.MII || c.II < 1 {
+			t.Errorf("%s: II %d vs MII %d", name, c.II, c.MII)
+		}
+		if c.Program.Cycles() != c.Metrics.Cycles {
+			t.Errorf("%s: program cycles %d != metrics %d", name, c.Program.Cycles(), c.Metrics.Cycles)
+		}
+		res, err := c.Simulate()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Cycles != c.Metrics.Cycles {
+			t.Errorf("%s: simulated %d cycles, model %d", name, res.Cycles, c.Metrics.Cycles)
+		}
+	}
+}
+
+func TestCompileUnclustered(t *testing.T) {
+	c, err := Compile(perfect.KernelSAXPY(), 2, Options{Unclustered: true, Unroll: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Machine.Clusters != 1 {
+		t.Errorf("unclustered machine has %d clusters", c.Machine.Clusters)
+	}
+	if _, err := c.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileRejectsBadUnroll(t *testing.T) {
+	if _, err := Compile(perfect.KernelDot(), 2, Options{Unroll: -1}); err == nil {
+		t.Fatal("negative unroll accepted")
+	}
+}
