@@ -1,14 +1,17 @@
-// Command dms schedules a single loop with Distributed Modulo
-// Scheduling (or the IMS baseline) and prints the schedule, the queue
-// register allocation, the generated VLIW code, and a simulation
-// report.
+// Command dms schedules a single loop with any registered scheduler
+// (DMS by default) and prints the schedule, the queue register
+// allocation, the generated VLIW code, and a simulation report.
+//
+// Schedulers are resolved by name through internal/driver, so every
+// back-end added to the registry is immediately selectable here.
 //
 // Usage:
 //
 //	dms -kernel dot -clusters 4
 //	dms -file loop.txt -clusters 8 -show all
-//	dms -kernel fir4 -unclustered -clusters 2
+//	dms -kernel fir4 -scheduler sms -clusters 2
 //	dms -list
+//	dms -list-schedulers
 package main
 
 import (
@@ -19,16 +22,12 @@ import (
 	"sort"
 
 	"repro/internal/codegen"
-	"repro/internal/core"
-	"repro/internal/ddg"
-	"repro/internal/ims"
+	"repro/internal/driver"
 	"repro/internal/lifetime"
 	"repro/internal/loop"
 	"repro/internal/machine"
 	"repro/internal/perfect"
 	"repro/internal/schedule"
-	"repro/internal/sms"
-	"repro/internal/twophase"
 	"repro/internal/vliw"
 )
 
@@ -39,10 +38,11 @@ func main() {
 		kernel      = flag.String("kernel", "", "built-in kernel name (see -list)")
 		file        = flag.String("file", "", "loop file in the textual format")
 		list        = flag.Bool("list", false, "list built-in kernels and exit")
+		listScheds  = flag.Bool("list-schedulers", false, "list registered schedulers and exit")
 		clusters    = flag.Int("clusters", 4, "number of clusters")
-		machFile    = flag.String("machine", "", "machine description file (JSON); overrides -clusters for dms/twophase")
-		unclustered = flag.Bool("unclustered", false, "schedule with IMS on the equivalent unclustered machine")
-		scheduler   = flag.String("scheduler", "", "override the scheduler: dms, twophase (clustered), ims, sms (unclustered)")
+		machFile    = flag.String("machine", "", "machine description file (JSON); overrides -clusters for clustered schedulers")
+		unclustered = flag.Bool("unclustered", false, "schedule on the equivalent unclustered machine (default scheduler: ims)")
+		scheduler   = flag.String("scheduler", "", "scheduler name (see -list-schedulers); default dms, or ims with -unclustered")
 		unroll      = flag.Int("unroll", 1, "unroll factor before scheduling")
 		trip        = flag.Int("trip", 0, "override the loop's trip count")
 		show        = flag.String("show", "sched", "what to print: sched, gantt, queues, code, sim, dot or all")
@@ -52,6 +52,20 @@ func main() {
 	if *list {
 		for _, k := range perfect.Kernels() {
 			fmt.Printf("%-12s %2d ops, trip %d\n", k.Name, k.NumOps(), k.Trip)
+		}
+		return
+	}
+	if *listScheds {
+		for _, name := range driver.Names() {
+			s, err := driver.Get(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			family := "unclustered"
+			if s.Clustered() {
+				family = "clustered"
+			}
+			fmt.Printf("%-10s %s\n", name, family)
 		}
 		return
 	}
@@ -67,23 +81,6 @@ func main() {
 		l = u
 	}
 
-	clusteredMachine := func() *machine.Machine {
-		if *machFile == "" {
-			return machine.Clustered(*clusters)
-		}
-		f, err := os.Open(*machFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		m, err := machine.ReadConfig(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return m
-	}
-	lat := machine.DefaultLatencies()
-	g := ddg.FromLoop(l, lat)
 	algo := *scheduler
 	if algo == "" {
 		if *unclustered {
@@ -92,70 +89,54 @@ func main() {
 			algo = "dms"
 		}
 	}
-	var (
-		s   *schedule.Schedule
-		err error
-	)
-	switch algo {
-	case "ims":
-		m := machine.Unclustered(*clusters)
-		var st ims.Stats
-		s, st, err = ims.Schedule(g, m, ims.Options{})
+	sched, err := driver.Get(algo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m *machine.Machine
+	switch {
+	case *machFile != "" && *unclustered:
+		log.Fatal("-machine describes a clustered target; it cannot be combined with -unclustered")
+	case *machFile != "" && !sched.Clustered():
+		log.Fatalf("-machine describes a clustered target; scheduler %q is unclustered", algo)
+	case *machFile != "":
+		f, err := os.Open(*machFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s on %s (IMS): II=%d (MII %d), len=%d, stages=%d\n",
-			l.Name, m.Name, st.II, st.MII, s.Len(), s.Stages())
-	case "sms":
-		m := machine.Unclustered(*clusters)
-		var st sms.Stats
-		s, st, err = sms.Schedule(g, m, sms.Options{})
+		cm, err := machine.ReadConfig(f)
+		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s on %s (SMS): II=%d (MII %d), len=%d, stages=%d (fwd %d, bwd %d, promoted %d, fallback %v)\n",
-			l.Name, m.Name, st.II, st.MII, s.Len(), s.Stages(), st.Forward, st.Backward, st.Promotions, st.FellBack)
-	case "twophase":
-		m := clusteredMachine()
-		if m.Clusters >= 2 {
-			n := ddg.InsertCopies(g, ddg.MaxUses)
-			if n > 0 {
-				fmt.Printf("copy insertion: %d copies added\n", n)
-			}
-		}
-		var st twophase.Stats
-		s, st, err = twophase.Schedule(g, m, twophase.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		g = s.Graph() // the baseline works on a clone with routed moves
-		fmt.Printf("%s on %s (two-phase): II=%d (MII %d), len=%d, stages=%d (comm cost %d, %d routed moves)\n",
-			l.Name, m.Name, st.II, st.MII, s.Len(), s.Stages(), st.CommCost, st.MovesInserted)
-	case "dms":
-		m := clusteredMachine()
-		if m.Clusters >= 2 {
-			n := ddg.InsertCopies(g, ddg.MaxUses)
-			if n > 0 {
-				fmt.Printf("copy insertion: %d copies added\n", n)
-			}
-		}
-		var st core.Stats
-		s, st, err = core.Schedule(g, m, core.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		g = s.Graph() // DMS works on a clone that may hold chain moves
-		fmt.Printf("%s on %s (DMS): II=%d (MII %d), len=%d, stages=%d\n",
-			l.Name, m.Name, st.II, st.MII, s.Len(), s.Stages())
-		fmt.Printf("placements: strategy1=%d strategy2=%d strategy3=%d; chains=%d (moves=%d, dissolved=%d)\n",
-			st.Strategy1, st.Strategy2, st.Strategy3, st.ChainsBuilt, st.MovesInserted, st.ChainsDissolved)
+		m = cm
+	case *unclustered:
+		m = machine.Unclustered(*clusters)
 	default:
-		log.Fatalf("unknown scheduler %q (want dms, twophase, ims or sms)", algo)
+		m = driver.MachineFor(sched, *clusters)
 	}
-	if err := schedule.Verify(s); err != nil {
-		log.Fatalf("schedule failed verification: %v", err)
+
+	res := driver.CompileOne(driver.Job{Loop: l, Machine: m, Scheduler: algo})
+	if res.Err != nil {
+		log.Fatal(res.Err)
 	}
-	met := s.Measure(l.Trip)
+	s, st := res.Schedule, res.Stats
+	fmt.Printf("%s on %s (%s): II=%d (MII %d), len=%d, stages=%d\n",
+		l.Name, m.Name, algo, st.II, st.MII, s.Len(), s.Stages())
+	if len(st.Extra) > 0 {
+		keys := make([]string, 0, len(st.Extra))
+		for k := range st.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sep := ""
+		for _, k := range keys {
+			fmt.Printf("%s%s=%d", sep, k, st.Extra[k])
+			sep = " "
+		}
+		fmt.Println()
+	}
+	met := res.Metrics
 	fmt.Printf("dynamic: trip=%d cycles=%d IPC=%.2f (useful ops %d, overhead ops %d)\n\n",
 		met.Trip, met.Cycles, met.IPC, met.Useful, met.MovesIn)
 

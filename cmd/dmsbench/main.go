@@ -5,8 +5,12 @@
 // Usage:
 //
 //	dmsbench [-fig all|4|5|6] [-n 1258] [-seed 19990109] [-par N]
+//	dmsbench -clustered twophase -n 200     # swap the clustered back-end
 //
-// The full corpus takes a few minutes; use -n for a quick look.
+// Schedulers are resolved by name through internal/driver
+// (-clustered / -unclustered select them), and the (loop × machine)
+// jobs run concurrently on the driver's worker pool. The full corpus
+// takes a few minutes; use -n for a quick look.
 package main
 
 import (
@@ -24,18 +28,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dmsbench: ")
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: all, 4, 5 or 6")
-		n       = flag.Int("n", perfect.CorpusSize, "number of corpus loops to schedule")
-		seed    = flag.Int64("seed", perfect.DefaultSeed, "corpus seed")
-		par     = flag.Int("par", 0, "worker parallelism (0 = GOMAXPROCS)")
-		compare = flag.String("compare", "", "extended study instead of the figures: twophase or pressure")
+		fig         = flag.String("fig", "all", "figure to regenerate: all, 4, 5 or 6")
+		n           = flag.Int("n", perfect.CorpusSize, "number of corpus loops to schedule")
+		seed        = flag.Int64("seed", perfect.DefaultSeed, "corpus seed")
+		par         = flag.Int("par", 0, "worker parallelism (0 = GOMAXPROCS)")
+		clustered   = flag.String("clustered", "", "clustered scheduler name (default dms; see internal/driver)")
+		unclustered = flag.String("unclustered", "", "unclustered scheduler name (default ims)")
+		compare     = flag.String("compare", "", "extended study instead of the figures: twophase or pressure")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-
+	if *compare != "" && (*clustered != "" || *unclustered != "") {
+		log.Fatalf("-clustered/-unclustered cannot be combined with -compare %s (the studies use fixed scheduler pairs)", *compare)
+	}
 	loops := perfect.CorpusN(*seed, *n)
 	if *compare != "" {
 		cfg := experiment.Config{Parallelism: *par}
@@ -60,7 +68,11 @@ func main() {
 	fmt.Printf("scheduling %d loops on %d machine pairs (clusters %v)...\n",
 		len(loops), len(experiment.Clusters), experiment.Clusters)
 	start := time.Now()
-	res, err := experiment.Run(loops, experiment.Clusters, experiment.Config{Parallelism: *par})
+	res, err := experiment.Run(loops, experiment.Clusters, experiment.Config{
+		Parallelism:          *par,
+		ClusteredScheduler:   *clustered,
+		UnclusteredScheduler: *unclustered,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,134 @@
+package driver
+
+// Adapters wiring the four in-tree schedulers into the registry. Each
+// adapter maps the scheduler-independent Options onto the back-end's
+// own options struct and normalizes its Stats; this file is the only
+// place in the repo that needs to know about all scheduler packages.
+
+import (
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ims"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+	"repro/internal/sms"
+	"repro/internal/twophase"
+)
+
+func init() {
+	Default.MustRegister(dmsScheduler{})
+	Default.MustRegister(twophaseScheduler{})
+	Default.MustRegister(imsScheduler{})
+	Default.MustRegister(smsScheduler{})
+}
+
+// dmsScheduler adapts internal/core — Distributed Modulo Scheduling,
+// the paper's contribution.
+type dmsScheduler struct{}
+
+func (dmsScheduler) Name() string    { return "dms" }
+func (dmsScheduler) Clustered() bool { return true }
+
+func (dmsScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	s, st, err := core.Schedule(g, m, core.Options{
+		BudgetRatio:      opt.BudgetRatio,
+		MaxII:            opt.MaxII,
+		DisableChains:    opt.DisableChains,
+		OneDirectionOnly: opt.OneDirectionOnly,
+	})
+	stats := Stats{
+		MII:        st.MII,
+		II:         st.II,
+		IIsTried:   st.IIsTried,
+		Placements: st.Placements,
+		Evictions:  st.Evictions,
+		Extra: map[string]int{
+			"strategy1":        st.Strategy1,
+			"strategy2":        st.Strategy2,
+			"strategy3":        st.Strategy3,
+			"chains_built":     st.ChainsBuilt,
+			"chains_dissolved": st.ChainsDissolved,
+			"moves_inserted":   st.MovesInserted,
+		},
+	}
+	return s, stats, err
+}
+
+// twophaseScheduler adapts internal/twophase — the partition-then-
+// schedule baseline of the paper's §2.
+type twophaseScheduler struct{}
+
+func (twophaseScheduler) Name() string    { return "twophase" }
+func (twophaseScheduler) Clustered() bool { return true }
+
+func (twophaseScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	s, st, err := twophase.Schedule(g, m, twophase.Options{
+		BudgetRatio:      opt.BudgetRatio,
+		MaxII:            opt.MaxII,
+		RefinementPasses: opt.RefinementPasses,
+		LoadSlack:        opt.LoadSlack,
+	})
+	stats := Stats{
+		MII:        st.MII,
+		II:         st.II,
+		IIsTried:   st.IIsTried,
+		Placements: st.Placements,
+		Evictions:  st.Evictions,
+		Extra: map[string]int{
+			"moves_inserted": st.MovesInserted,
+			"comm_cost":      st.CommCost,
+		},
+	}
+	return s, stats, err
+}
+
+// imsScheduler adapts internal/ims — Rau's Iterative Modulo
+// Scheduling, the unclustered baseline.
+type imsScheduler struct{}
+
+func (imsScheduler) Name() string    { return "ims" }
+func (imsScheduler) Clustered() bool { return false }
+
+func (imsScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	s, st, err := ims.Schedule(g, m, ims.Options{
+		BudgetRatio: opt.BudgetRatio,
+		MaxII:       opt.MaxII,
+	})
+	stats := Stats{
+		MII:        st.MII,
+		II:         st.II,
+		IIsTried:   st.IIsTried,
+		Placements: st.Placements,
+		Evictions:  st.Evictions,
+	}
+	return s, stats, err
+}
+
+// smsScheduler adapts internal/sms — Swing Modulo Scheduling, the
+// lifetime-sensitive unclustered scheduler.
+type smsScheduler struct{}
+
+func (smsScheduler) Name() string    { return "sms" }
+func (smsScheduler) Clustered() bool { return false }
+
+func (smsScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	s, st, err := sms.Schedule(g, m, sms.Options{MaxII: opt.MaxII})
+	fellBack := 0
+	if st.FellBack {
+		fellBack = 1
+	}
+	stats := Stats{
+		MII:      st.MII,
+		II:       st.II,
+		IIsTried: st.IIsTried,
+		// SMS places in two directions; the sum is the normalized count.
+		Placements: st.Forward + st.Backward,
+		Extra: map[string]int{
+			"forward":    st.Forward,
+			"backward":   st.Backward,
+			"promotions": st.Promotions,
+			"fell_back":  fellBack,
+		},
+	}
+	return s, stats, err
+}

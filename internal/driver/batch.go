@@ -1,0 +1,260 @@
+package driver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// Job is one compilation unit: schedule one loop on one machine with
+// one registered back-end.
+type Job struct {
+	Loop      *loop.Loop
+	Machine   *machine.Machine
+	Scheduler string // registry name
+	Options   Options
+}
+
+func (j Job) String() string {
+	ln, mn := "<nil>", "<nil>"
+	if j.Loop != nil {
+		ln = j.Loop.Name
+	}
+	if j.Machine != nil {
+		mn = j.Machine.Name
+	}
+	return fmt.Sprintf("%s/%s/%s", ln, mn, j.Scheduler)
+}
+
+// Result holds the outcome of one Job. Exactly one of Schedule and
+// Err is meaningful: a nil Err guarantees a verified schedule.
+type Result struct {
+	Job      Job
+	Schedule *schedule.Schedule
+	Stats    Stats
+	Metrics  schedule.Metrics // measured at the loop's trip count
+	Err      error
+}
+
+// BatchOptions tune CompileAll.
+type BatchOptions struct {
+	// Parallelism is the worker count (0 = GOMAXPROCS). With Timeout
+	// unset the result slice is identical for every value, only wall
+	// time changes; with a Timeout, contention at higher parallelism
+	// can push a borderline job over the limit.
+	Parallelism int
+	// Timeout bounds each job's scheduling time (0 = none). A timed-out
+	// job yields an error Result; its goroutine is abandoned and left
+	// to finish in the background, since the schedulers do not take a
+	// cancellation context.
+	Timeout time.Duration
+	// Latencies defaults to machine.DefaultLatencies().
+	Latencies *machine.Latencies
+	// Registry resolves scheduler names (nil = Default).
+	Registry *Registry
+}
+
+func (o BatchOptions) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o BatchOptions) latencies() machine.Latencies {
+	if o.Latencies != nil {
+		return *o.Latencies
+	}
+	return machine.DefaultLatencies()
+}
+
+func (o BatchOptions) registry() *Registry {
+	if o.Registry != nil {
+		return o.Registry
+	}
+	return Default
+}
+
+// Jobs builds the (loop × machine × scheduler) cross product in
+// deterministic order: loops outermost, schedulers innermost.
+func Jobs(loops []*loop.Loop, machines []*machine.Machine, schedulers []string, opt Options) []Job {
+	jobs := make([]Job, 0, len(loops)*len(machines)*len(schedulers))
+	for _, l := range loops {
+		for _, m := range machines {
+			for _, s := range schedulers {
+				jobs = append(jobs, Job{Loop: l, Machine: m, Scheduler: s, Options: opt})
+			}
+		}
+	}
+	return jobs
+}
+
+// CompileAll runs every job on a worker pool and returns one Result
+// per job, in job order, regardless of parallelism or goroutine
+// interleaving. A failing, panicking or timed-out job is reported in
+// its own Result and never aborts the rest of the batch.
+func CompileAll(jobs []Job, opt BatchOptions) []Result {
+	results := make([]Result, len(jobs))
+	lat := opt.latencies()
+	reg := opt.registry()
+	ForEach(len(jobs), opt.parallelism(), func(i int) {
+		results[i] = compileTimed(jobs[i], lat, reg, opt.Timeout)
+	})
+	return results
+}
+
+// Compile runs one job synchronously on the caller's goroutine with
+// the batch options' registry, latencies and timeout; it is the
+// single-job entry point for harnesses that manage their own
+// parallelism (e.g. internal/experiment inside ForEach).
+func Compile(job Job, opt BatchOptions) Result {
+	return compileTimed(job, opt.latencies(), opt.registry(), opt.Timeout)
+}
+
+// CompileOne compiles a single job synchronously with the default
+// registry and latencies; it is the one-loop entry point shared by the
+// facade and cmd/dms.
+func CompileOne(job Job) Result {
+	return Compile(job, BatchOptions{})
+}
+
+func compileTimed(job Job, lat machine.Latencies, reg *Registry, timeout time.Duration) Result {
+	if timeout <= 0 {
+		return compileOne(job, lat, reg)
+	}
+	done := make(chan Result, 1)
+	go func() {
+		done <- compileOne(job, lat, reg)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r
+	case <-timer.C:
+		return Result{Job: job, Err: fmt.Errorf("driver: %s timed out after %v", job, timeout)}
+	}
+}
+
+func compileOne(job Job, lat machine.Latencies, reg *Registry) (r Result) {
+	r = Result{Job: job}
+	// A registered back-end may come from outside the repo; keep its
+	// panics inside this job's Result so they cannot take down a
+	// whole batch (or the worker goroutine).
+	defer func() {
+		if p := recover(); p != nil {
+			r = Result{Job: job, Err: fmt.Errorf("driver: %s panicked: %v", job, p)}
+		}
+	}()
+	sched, err := reg.Get(job.Scheduler)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	if job.Loop == nil || job.Machine == nil {
+		r.Err = fmt.Errorf("driver: %s: job needs a loop and a machine", job)
+		return r
+	}
+	g, copies := Prepare(sched, job.Loop, job.Machine, lat)
+	s, st, err := sched.Schedule(g, job.Machine, job.Options)
+	r.Stats = st
+	if err != nil {
+		r.Err = fmt.Errorf("driver: %s: %w", job, err)
+		return r
+	}
+	if s == nil {
+		r.Err = fmt.Errorf("driver: %s: scheduler returned no schedule and no error", job)
+		return r
+	}
+	if sched.Clustered() {
+		// Copy before inserting copies_inserted: the interface does not
+		// require back-ends to return a fresh Extra map, and writing
+		// into a shared one would race across workers.
+		extra := make(map[string]int, len(r.Stats.Extra)+1)
+		for k, v := range r.Stats.Extra {
+			extra[k] = v
+		}
+		extra["copies_inserted"] = copies
+		r.Stats.Extra = extra
+	}
+	if err := Verify(s); err != nil {
+		r.Err = fmt.Errorf("driver: %s: invalid schedule: %w", job, err)
+		return r
+	}
+	r.Schedule = s
+	r.Metrics = s.Measure(job.Loop.Trip)
+	return r
+}
+
+// ForEachFirstErr is ForEach for units of work that can fail: it runs
+// f(0..n-1) on the worker pool and returns the first error any unit
+// reported (first-set wins, not index order), or nil. Accumulation
+// into shared state is still the closure's job; only the error
+// capture is centralized so every harness aborts with the same
+// semantics.
+func ForEachFirstErr(n, parallelism int, f func(i int) error) error {
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	ForEach(n, parallelism, func(i int) {
+		if err := f(i); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	})
+	return firstErr
+}
+
+// FirstErr returns the first error in job order, or nil; it converts a
+// batch into the all-or-nothing convention the experiment harness
+// reports with.
+func FirstErr(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// ForEach runs f(0..n-1) on a worker pool of the given size
+// (0 = GOMAXPROCS). It is the bare fan-out primitive for harnesses
+// whose unit of work is not a single Job (e.g. the figure experiments,
+// which pair two machines per unit); f must handle its own locking.
+func ForEach(n, parallelism int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,119 @@
+// Package driver is the pluggable scheduling layer of the repro: a
+// Scheduler interface with a name-indexed registry adapting every
+// modulo scheduler in the repo (dms, twophase, ims, sms), and a
+// concurrent batch compiler that shards (loop × machine × scheduler)
+// jobs across a worker pool with per-job timeouts, error isolation and
+// deterministic result ordering.
+//
+// The facade (package repro), both CLIs (cmd/dms, cmd/dmsbench) and
+// the evaluation harness (internal/experiment) dispatch schedulers
+// exclusively through this package, so a new back-end becomes
+// available everywhere by implementing Scheduler and calling Register:
+//
+//	type satScheduler struct{}
+//
+//	func (satScheduler) Name() string    { return "sat" }
+//	func (satScheduler) Clustered() bool { return true }
+//	func (satScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt driver.Options) (
+//		*schedule.Schedule, driver.Stats, error) { ... }
+//
+//	func init() { driver.Register(satScheduler{}) }
+package driver
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// Options is the scheduler-independent tuning surface. Every adapter
+// maps the subset its back-end understands onto the package-specific
+// options struct and ignores the rest, so one Options value can be
+// broadcast across heterogeneous schedulers in a batch.
+type Options struct {
+	// BudgetRatio bounds scheduling attempts at BudgetRatio × ops per
+	// candidate II (0 = the scheduler's default).
+	BudgetRatio int
+	// MaxII caps the candidate initiation interval (0 = derived bound).
+	MaxII int
+
+	// DisableChains and OneDirectionOnly are the DMS ablation switches
+	// (strategy 2 off; shortest ring direction only).
+	DisableChains    bool
+	OneDirectionOnly bool
+
+	// RefinementPasses and LoadSlack tune the two-phase baseline's
+	// partitioner (0 = defaults).
+	RefinementPasses int
+	LoadSlack        int
+}
+
+// Stats is the normalized scheduling report. The five counters every
+// scheduler shares are first-class; back-end-specific counters are
+// published under the documented keys of Extra.
+type Stats struct {
+	MII        int // lower bound the search started from
+	II         int // achieved initiation interval
+	IIsTried   int // candidate IIs attempted
+	Placements int // placement operations across all IIs
+	Evictions  int // operations unscheduled by backtracking
+
+	// Extra holds scheduler-specific counters:
+	//
+	//	dms       strategy1, strategy2, strategy3, chains_built,
+	//	          chains_dissolved, moves_inserted
+	//	twophase  moves_inserted, comm_cost
+	//	sms       forward, backward, promotions, fell_back (0 or 1)
+	//
+	// The batch compiler adds copies_inserted (the communication-copy
+	// prepass count) for clustered back-ends. Nil when there are no
+	// counters.
+	Extra map[string]int
+}
+
+// Scheduler is one modulo-scheduling back-end.
+type Scheduler interface {
+	// Name is the registry key ("dms", "ims", ...).
+	Name() string
+	// Clustered reports the machine family the back-end targets: true
+	// means clustered machines (and the driver inserts communication
+	// copies before scheduling when the machine has ≥ 2 clusters),
+	// false means unclustered machines only.
+	Clustered() bool
+	// Schedule modulo-schedules the graph on the machine. Whether the
+	// returned schedule references g itself or an internal clone (as
+	// with chain moves in dms) is back-end-specific; callers must use
+	// Schedule.Graph(), not g, to interpret the result.
+	Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error)
+}
+
+// MachineFor returns the conventional machine of the scheduler's
+// family for a cluster count: machine.Clustered(clusters) for
+// clustered back-ends, machine.Unclustered(clusters) (one cluster,
+// equivalent total FUs) otherwise.
+func MachineFor(s Scheduler, clusters int) *machine.Machine {
+	if s.Clustered() {
+		return machine.Clustered(clusters)
+	}
+	return machine.Unclustered(clusters)
+}
+
+// Prepare builds the dependence graph a scheduler expects for the
+// loop-to-machine pairing: ddg.FromLoop plus communication-copy
+// insertion for clustered back-ends on machines with ≥ 2 clusters.
+// It also returns the number of copies the prepass added, which the
+// batch compiler publishes as Stats.Extra["copies_inserted"].
+func Prepare(s Scheduler, l *loop.Loop, m *machine.Machine, lat machine.Latencies) (*ddg.Graph, int) {
+	g := ddg.FromLoop(l, lat)
+	copies := 0
+	if s.Clustered() && m.Clusters >= 2 {
+		copies = ddg.InsertCopies(g, ddg.MaxUses)
+	}
+	return g, copies
+}
+
+// Verify re-checks a schedule with the shared verifier; it is split
+// out so batch results and one-off compilations report identical
+// diagnostics.
+func Verify(s *schedule.Schedule) error { return schedule.Verify(s) }

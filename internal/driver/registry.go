@@ -1,0 +1,83 @@
+package driver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry maps scheduler names to back-ends. The zero value is not
+// usable; call NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Scheduler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]Scheduler)}
+}
+
+// Register adds a scheduler under its Name. Empty and duplicate names
+// are errors so a misconfigured back-end cannot silently shadow
+// another.
+func (r *Registry) Register(s Scheduler) error {
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("driver: scheduler with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[name]; dup {
+		return fmt.Errorf("driver: scheduler %q already registered", name)
+	}
+	r.m[name] = s
+	return nil
+}
+
+// MustRegister is Register for back-ends wired in at init time; it
+// panics on error.
+func (r *Registry) MustRegister(s Scheduler) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the scheduler registered under name. The error lists
+// the available names, so a CLI can surface it verbatim.
+func (r *Registry) Get(name string) (Scheduler, error) {
+	r.mu.RLock()
+	s, ok := r.m[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("driver: unknown scheduler %q (have %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return s, nil
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Default is the process-wide registry holding the built-in
+// schedulers; the package-level Register, Get and Names operate on it.
+var Default = NewRegistry()
+
+// Register adds a scheduler to the default registry.
+func Register(s Scheduler) error { return Default.Register(s) }
+
+// Get looks a scheduler up in the default registry.
+func Get(name string) (Scheduler, error) { return Default.Get(name) }
+
+// Names lists the default registry, sorted.
+func Names() []string { return Default.Names() }

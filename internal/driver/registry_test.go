@@ -1,0 +1,72 @@
+package driver
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+func TestDefaultRegistryHasAllSchedulers(t *testing.T) {
+	want := []string{"dms", "ims", "sms", "twophase"}
+	got := Names()
+	for _, name := range want {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("Get(%q).Name() = %q", name, s.Name())
+		}
+	}
+	// Names is sorted and contains at least the built-ins (tests may
+	// register extras in their own registries, never in Default).
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+	clustered := map[string]bool{"dms": true, "twophase": true, "ims": false, "sms": false}
+	for name, want := range clustered {
+		s, _ := Get(name)
+		if s.Clustered() != want {
+			t.Errorf("%s.Clustered() = %v, want %v", name, s.Clustered(), want)
+		}
+	}
+}
+
+func TestGetUnknownScheduler(t *testing.T) {
+	_, err := Get("no-such-scheduler")
+	if err == nil {
+		t.Fatal("Get of unknown scheduler succeeded")
+	}
+	// The error should name the alternatives for CLI surfacing.
+	if want := "dms"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not list %q", err, want)
+	}
+}
+
+type fakeScheduler struct{ name string }
+
+func (f fakeScheduler) Name() string    { return f.name }
+func (f fakeScheduler) Clustered() bool { return false }
+func (f fakeScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	return nil, Stats{}, nil
+}
+
+func TestRegisterRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(fakeScheduler{name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(fakeScheduler{name: "x"}); err == nil {
+		t.Error("duplicate registration succeeded")
+	}
+	if err := r.Register(fakeScheduler{}); err == nil {
+		t.Error("empty-name registration succeeded")
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("Names() = %v", got)
+	}
+}

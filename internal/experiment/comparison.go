@@ -5,14 +5,10 @@ import (
 	"strings"
 	"sync"
 
-	"repro/internal/core"
-	"repro/internal/ddg"
-	"repro/internal/ims"
+	"repro/internal/driver"
 	"repro/internal/loop"
 	"repro/internal/machine"
 	"repro/internal/regpress"
-	"repro/internal/sms"
-	"repro/internal/twophase"
 )
 
 // CompareRow pits DMS against the two-phase partition-then-schedule
@@ -32,61 +28,43 @@ type CompareRow struct {
 func CompareDMSTwoPhase(loops []*loop.Loop, clusters []int, cfg Config) ([]CompareRow, error) {
 	lat := cfg.lat()
 	rows := make([]CompareRow, len(clusters))
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-	)
-	sem := make(chan struct{}, cfg.parallelism())
+	opts := driver.Options{BudgetRatio: cfg.BudgetRatio}
+	var mu sync.Mutex
+	n := len(clusters) * len(loops)
+	err := driver.ForEachFirstErr(n, cfg.parallelism(), func(i int) error {
+		ci, li := i/len(loops), i%len(loops)
+		c, l := clusters[ci], loops[li]
+		m := machine.Clustered(c)
+		batch := driver.BatchOptions{Latencies: &lat}
+		dms := driver.Compile(driver.Job{Loop: l, Machine: m, Scheduler: "dms", Options: opts}, batch)
+		if dms.Err != nil {
+			return dms.Err
+		}
+		tp := driver.Compile(driver.Job{Loop: l, Machine: m, Scheduler: "twophase", Options: opts}, batch)
+		mu.Lock()
+		defer mu.Unlock()
+		rows[ci].Loops++
+		if tp.Err != nil {
+			rows[ci].TwoPhaseFailures++
+			return nil
+		}
+		rows[ci].DMSIISum += dms.Stats.II
+		rows[ci].TwoPhaseIISum += tp.Stats.II
+		switch {
+		case tp.Stats.II > dms.Stats.II:
+			rows[ci].DMSWins++
+		case tp.Stats.II < dms.Stats.II:
+			rows[ci].TwoPhaseWins++
+		default:
+			rows[ci].Ties++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for ci, c := range clusters {
 		rows[ci].Clusters = c
-		for _, l := range loops {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(ci, c int, l *loop.Loop) {
-				defer func() { <-sem; wg.Done() }()
-				g1 := ddg.FromLoop(l, lat)
-				if c >= 2 {
-					ddg.InsertCopies(g1, ddg.MaxUses)
-				}
-				_, dmsStats, err := core.Schedule(g1, machine.Clustered(c), core.Options{BudgetRatio: cfg.BudgetRatio})
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%s on %d clusters: %w", l.Name, c, err)
-					}
-					mu.Unlock()
-					return
-				}
-				g2 := ddg.FromLoop(l, lat)
-				if c >= 2 {
-					ddg.InsertCopies(g2, ddg.MaxUses)
-				}
-				tpSched, tpStats, tpErr := twophase.Schedule(g2, machine.Clustered(c), twophase.Options{BudgetRatio: cfg.BudgetRatio})
-				_ = tpSched
-				mu.Lock()
-				defer mu.Unlock()
-				rows[ci].Loops++
-				if tpErr != nil {
-					rows[ci].TwoPhaseFailures++
-					return
-				}
-				rows[ci].DMSIISum += dmsStats.II
-				rows[ci].TwoPhaseIISum += tpStats.II
-				switch {
-				case tpStats.II > dmsStats.II:
-					rows[ci].DMSWins++
-				case tpStats.II < dmsStats.II:
-					rows[ci].TwoPhaseWins++
-				default:
-					rows[ci].Ties++
-				}
-			}(ci, c, l)
-		}
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return rows, nil
 }
@@ -123,47 +101,36 @@ type PressureRow struct {
 func ComparePressure(loops []*loop.Loop, widths []int, cfg Config) ([]PressureRow, error) {
 	lat := cfg.lat()
 	rows := make([]PressureRow, len(widths))
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-	)
-	sem := make(chan struct{}, cfg.parallelism())
-	for wi, width := range widths {
-		rows[wi].Width = width
-		for _, l := range loops {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(wi, width int, l *loop.Loop) {
-				defer func() { <-sem; wg.Done() }()
-				m := machine.Unclustered(width)
-				g := ddg.FromLoop(l, lat)
-				sIMS, stIMS, err1 := ims.Schedule(g, m, ims.Options{BudgetRatio: cfg.BudgetRatio})
-				sSMS, stSMS, err2 := sms.Schedule(g, m, sms.Options{})
-				mu.Lock()
-				defer mu.Unlock()
-				if firstErr != nil {
-					return
-				}
-				if err1 != nil {
-					firstErr = err1
-					return
-				}
-				if err2 != nil {
-					firstErr = err2
-					return
-				}
-				rows[wi].Loops++
-				rows[wi].IMSIISum += stIMS.II
-				rows[wi].SMSIISum += stSMS.II
-				rows[wi].IMSMaxLives += regpress.Analyze(sIMS).MaxLives
-				rows[wi].SMSMaxLives += regpress.Analyze(sSMS).MaxLives
-			}(wi, width, l)
+	opts := driver.Options{BudgetRatio: cfg.BudgetRatio}
+	var mu sync.Mutex
+	n := len(widths) * len(loops)
+	err := driver.ForEachFirstErr(n, cfg.parallelism(), func(i int) error {
+		wi, li := i/len(loops), i%len(loops)
+		width, l := widths[wi], loops[li]
+		m := machine.Unclustered(width)
+		batch := driver.BatchOptions{Latencies: &lat}
+		rIMS := driver.Compile(driver.Job{Loop: l, Machine: m, Scheduler: "ims", Options: opts}, batch)
+		if rIMS.Err != nil {
+			return rIMS.Err
 		}
+		rSMS := driver.Compile(driver.Job{Loop: l, Machine: m, Scheduler: "sms"}, batch)
+		if rSMS.Err != nil {
+			return rSMS.Err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		rows[wi].Loops++
+		rows[wi].IMSIISum += rIMS.Stats.II
+		rows[wi].SMSIISum += rSMS.Stats.II
+		rows[wi].IMSMaxLives += regpress.Analyze(rIMS.Schedule).MaxLives
+		rows[wi].SMSMaxLives += regpress.Analyze(rSMS.Schedule).MaxLives
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for wi, w := range widths {
+		rows[wi].Width = w
 	}
 	return rows, nil
 }

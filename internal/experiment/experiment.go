@@ -20,11 +20,9 @@ package experiment
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
-	"repro/internal/core"
 	"repro/internal/ddg"
-	"repro/internal/ims"
+	"repro/internal/driver"
 	"repro/internal/loop"
 	"repro/internal/machine"
 )
@@ -45,6 +43,25 @@ type Config struct {
 	Parallelism int
 	// Latencies defaults to machine.DefaultLatencies().
 	Latencies *machine.Latencies
+	// ClusteredScheduler and UnclusteredScheduler pick the driver
+	// back-ends by registry name ("" = "dms" and "ims", the paper's
+	// pairing).
+	ClusteredScheduler   string
+	UnclusteredScheduler string
+}
+
+func (c Config) clusteredScheduler() string {
+	if c.ClusteredScheduler != "" {
+		return c.ClusteredScheduler
+	}
+	return "dms"
+}
+
+func (c Config) unclusteredScheduler() string {
+	if c.UnclusteredScheduler != "" {
+		return c.UnclusteredScheduler
+	}
+	return "ims"
 }
 
 func (c Config) maxUnroll() int {
@@ -107,52 +124,59 @@ type Results struct {
 	PerLoop [][]LoopResult
 }
 
-// Run evaluates every loop on every cluster count.
+// validateFamily rejects a scheduler of the wrong machine family, so a
+// misconfigured Config errors out instead of silently mislabeling the
+// figure columns (e.g. a clustered back-end as the unclustered
+// baseline).
+func validateFamily(name string, wantClustered bool) error {
+	s, err := driver.Get(name)
+	if err != nil {
+		return err
+	}
+	if s.Clustered() != wantClustered {
+		want, have := "unclustered", "clustered"
+		if wantClustered {
+			want, have = have, want
+		}
+		return fmt.Errorf("experiment: scheduler %q targets %s machines, need %s", name, have, want)
+	}
+	return nil
+}
+
+// Run evaluates every loop on every cluster count, fanning the
+// (loop, cluster) pairs out over the driver's worker pool.
 func Run(loops []*loop.Loop, clusters []int, cfg Config) (*Results, error) {
+	if err := validateFamily(cfg.unclusteredScheduler(), false); err != nil {
+		return nil, err
+	}
+	if err := validateFamily(cfg.clusteredScheduler(), true); err != nil {
+		return nil, err
+	}
 	res := &Results{Cfg: cfg, Clusters: clusters}
 	res.PerLoop = make([][]LoopResult, len(loops))
-	type task struct{ li, ci int }
-	tasks := make(chan task)
-	errs := make(chan error, 1)
-	var wg sync.WaitGroup
-
 	for i := range loops {
 		res.PerLoop[i] = make([]LoopResult, len(clusters))
 	}
-	for w := 0; w < cfg.parallelism(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				r, err := RunOne(loops[t.li], clusters[t.ci], cfg)
-				if err != nil {
-					select {
-					case errs <- fmt.Errorf("%s on %d clusters: %w", loops[t.li].Name, clusters[t.ci], err):
-					default:
-					}
-					continue
-				}
-				res.PerLoop[t.li][t.ci] = r
-			}
-		}()
-	}
-	for li := range loops {
-		for ci := range clusters {
-			tasks <- task{li, ci}
+	n := len(loops) * len(clusters)
+	err := driver.ForEachFirstErr(n, cfg.parallelism(), func(i int) error {
+		li, ci := i/len(clusters), i%len(clusters)
+		r, err := RunOne(loops[li], clusters[ci], cfg)
+		if err != nil {
+			// RunOne's errors already name the loop and machine.
+			return err
 		}
-	}
-	close(tasks)
-	wg.Wait()
-	select {
-	case err := <-errs:
+		res.PerLoop[li][ci] = r
+		return nil
+	})
+	if err != nil {
 		return nil, err
-	default:
 	}
 	return res, nil
 }
 
 // RunOne evaluates one loop on the unclustered/clustered machine pair
-// with the given cluster count.
+// with the given cluster count, dispatching both schedulers by name
+// through the driver registry.
 func RunOne(l *loop.Loop, clusters int, cfg Config) (LoopResult, error) {
 	lat := cfg.lat()
 	um := machine.Unclustered(clusters)
@@ -160,14 +184,13 @@ func RunOne(l *loop.Loop, clusters int, cfg Config) (LoopResult, error) {
 
 	u, err := ChooseUnroll(l, um, cfg)
 	if err != nil {
-		return LoopResult{}, err
+		return LoopResult{}, fmt.Errorf("%s on %d clusters: %w", l.Name, clusters, err)
 	}
 	ul, err := loop.Unroll(l, u)
 	if err != nil {
-		return LoopResult{}, err
+		return LoopResult{}, fmt.Errorf("%s on %d clusters: %w", l.Name, clusters, err)
 	}
 
-	ug := ddg.FromLoop(ul, lat)
 	r := LoopResult{
 		Name:     l.Name,
 		Clusters: clusters,
@@ -175,31 +198,32 @@ func RunOne(l *loop.Loop, clusters int, cfg Config) (LoopResult, error) {
 		Trip:     ul.Trip,
 		HasRec:   ddg.FromLoop(l, lat).HasRecurrence(),
 	}
+	opts := driver.Options{BudgetRatio: cfg.BudgetRatio}
+	batch := driver.BatchOptions{Latencies: &lat}
 
-	us, ust, err := ims.Schedule(ug, um, ims.Options{BudgetRatio: cfg.BudgetRatio})
-	if err != nil {
-		return r, fmt.Errorf("ims: %w", err)
+	ures := driver.Compile(driver.Job{
+		Loop: ul, Machine: um, Scheduler: cfg.unclusteredScheduler(), Options: opts,
+	}, batch)
+	if ures.Err != nil {
+		return r, ures.Err
 	}
-	um1 := us.Measure(ul.Trip)
-	r.UnclusteredII = ust.II
-	r.UnclusteredCycles = um1.Cycles
-	r.UsefulInstr = int64(um1.Useful) * int64(ul.Trip)
+	r.UnclusteredII = ures.Stats.II
+	r.UnclusteredCycles = ures.Metrics.Cycles
+	r.UsefulInstr = int64(ures.Metrics.Useful) * int64(ul.Trip)
 
-	cg := ddg.FromLoop(ul, lat)
-	if clusters >= 2 {
-		ddg.InsertCopies(cg, ddg.MaxUses)
+	cres := driver.Compile(driver.Job{
+		Loop: ul, Machine: cm, Scheduler: cfg.clusteredScheduler(), Options: opts,
+	}, batch)
+	if cres.Err != nil {
+		return r, cres.Err
 	}
-	cs, cst, err := core.Schedule(cg, cm, core.Options{BudgetRatio: cfg.BudgetRatio})
-	if err != nil {
-		return r, fmt.Errorf("dms: %w", err)
-	}
-	cm1 := cs.Measure(ul.Trip)
-	r.ClusteredII = cst.II
-	r.ClusteredCycles = cm1.Cycles
-	r.Chains = cst.ChainsBuilt - cst.ChainsDissolved
-	r.Moves = cst.MovesInserted
-	if int64(cm1.Useful)*int64(ul.Trip) != r.UsefulInstr {
-		return r, fmt.Errorf("useful-instruction accounting diverged (%d vs %d)", cm1.Useful, um1.Useful)
+	r.ClusteredII = cres.Stats.II
+	r.ClusteredCycles = cres.Metrics.Cycles
+	r.Chains = cres.Stats.Extra["chains_built"] - cres.Stats.Extra["chains_dissolved"]
+	r.Moves = cres.Stats.Extra["moves_inserted"]
+	if int64(cres.Metrics.Useful)*int64(ul.Trip) != r.UsefulInstr {
+		return r, fmt.Errorf("%s on %d clusters: useful-instruction accounting diverged (%d vs %d)",
+			l.Name, clusters, cres.Metrics.Useful, ures.Metrics.Useful)
 	}
 	return r, nil
 }

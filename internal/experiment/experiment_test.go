@@ -193,3 +193,15 @@ func TestRunOnKernels(t *testing.T) {
 		}
 	}
 }
+
+func TestRunRejectsWrongFamily(t *testing.T) {
+	if _, err := Run(nil, nil, Config{UnclusteredScheduler: "dms"}); err == nil {
+		t.Error("want error for clustered scheduler as the unclustered baseline")
+	}
+	if _, err := Run(nil, nil, Config{ClusteredScheduler: "ims"}); err == nil {
+		t.Error("want error for unclustered scheduler as the clustered back-end")
+	}
+	if _, err := Run(nil, nil, Config{ClusteredScheduler: "nosuch"}); err == nil {
+		t.Error("want error for an unregistered scheduler name")
+	}
+}

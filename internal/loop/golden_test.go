@@ -1,0 +1,125 @@
+package loop
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The testdata corpus is stored in canonical form — exactly what
+// Format emits — so the golden check and the round-trip check
+// coincide: Parse then Format must reproduce the file byte-for-byte,
+// and a second Parse/Format pass must be a fixpoint.
+func TestGoldenRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.loop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no golden files in testdata/")
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			golden, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l1, err := ParseString(string(golden))
+			if err != nil {
+				t.Fatalf("parse golden: %v", err)
+			}
+			out1 := Format(l1)
+			if out1 != string(golden) {
+				t.Errorf("Format(Parse(golden)) differs from golden:\n--- golden\n%s--- got\n%s", golden, out1)
+			}
+			l2, err := ParseString(out1)
+			if err != nil {
+				t.Fatalf("re-parse formatted output: %v", err)
+			}
+			if out2 := Format(l2); out2 != out1 {
+				t.Errorf("second round trip not a fixpoint:\n--- first\n%s--- second\n%s", out1, out2)
+			}
+			if err := structurallyEqual(l1, l2); err != nil {
+				t.Errorf("round trip changed the loop: %v", err)
+			}
+		})
+	}
+}
+
+// TestGoldenLoopsSchedulable guards the corpus itself: every golden
+// loop must be a valid IR loop (Validate runs inside Parse) with the
+// op and dep counts its file declares implicitly via structure.
+func TestGoldenLoopsSchedulable(t *testing.T) {
+	files, _ := filepath.Glob(filepath.Join("testdata", "*.loop"))
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := ParseString(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		base := strings.TrimSuffix(filepath.Base(file), ".loop")
+		if l.Name != base {
+			t.Errorf("%s: loop name %q does not match file name", file, l.Name)
+		}
+		if l.NumOps() == 0 {
+			t.Errorf("%s: no operations", file)
+		}
+		if l.Trip <= 0 {
+			t.Errorf("%s: non-positive trip %d", file, l.Trip)
+		}
+	}
+}
+
+// TestFormatCommentAndWhitespaceNormalization checks that parsing is
+// insensitive to comments and spacing while Format output is not: a
+// noisy file must normalize to its canonical golden form.
+func TestFormatCommentAndWhitespaceNormalization(t *testing.T) {
+	noisy := `
+# dot product, with noise
+loop dot trip 128
+  x   = load       # first vector
+y = load
+m = mul   x ,  y
+acc = add m, acc@1
+out = store acc
+`
+	golden, err := os.ReadFile(filepath.Join("testdata", "dot.loop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ParseString(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Format(l); got != string(golden) {
+		t.Errorf("noisy input did not normalize to golden:\n--- want\n%s--- got\n%s", golden, got)
+	}
+}
+
+func structurallyEqual(a, b *Loop) error {
+	if a.Name != b.Name || a.Trip != b.Trip {
+		return fmt.Errorf("header %s/%d vs %s/%d", a.Name, a.Trip, b.Name, b.Trip)
+	}
+	if len(a.Ops) != len(b.Ops) {
+		return fmt.Errorf("%d ops vs %d", len(a.Ops), len(b.Ops))
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			return fmt.Errorf("op %d: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
+	}
+	if len(a.Deps) != len(b.Deps) {
+		return fmt.Errorf("%d deps vs %d", len(a.Deps), len(b.Deps))
+	}
+	for i := range a.Deps {
+		if a.Deps[i] != b.Deps[i] {
+			return fmt.Errorf("dep %d: %+v vs %+v", i, a.Deps[i], b.Deps[i])
+		}
+	}
+	return nil
+}

@@ -19,15 +19,21 @@
 //
 // Compile runs the paper's whole tool chain on one loop and returns
 // every artefact; see examples/ for narrower, per-package usage.
+//
+// Scheduler dispatch goes through internal/driver: a registry of
+// named back-ends ("dms", "twophase", "ims", "sms") behind a common
+// Scheduler interface, plus a concurrent batch compiler
+// (driver.CompileAll) that shards (loop × machine × scheduler) jobs
+// across a worker pool with deterministic result ordering. Compile is
+// a thin wrapper over one driver job; large workloads should build a
+// job list and call the batch compiler directly, as cmd/dmsbench and
+// internal/experiment do. New back-ends register themselves with
+// driver.Register and become selectable by name everywhere at once.
 package repro
 
 import (
-	"fmt"
-
 	"repro/internal/codegen"
-	"repro/internal/core"
-	"repro/internal/ddg"
-	"repro/internal/ims"
+	"repro/internal/driver"
 	"repro/internal/lifetime"
 	"repro/internal/loop"
 	"repro/internal/machine"
@@ -59,17 +65,31 @@ type Compiled struct {
 type Options struct {
 	// Unroll replicates the body before scheduling (1 = off).
 	Unroll int
-	// Unclustered schedules with the IMS baseline on the equivalent
-	// unclustered machine instead of DMS.
+	// Scheduler selects a back-end by registry name (see
+	// driver.Names). Empty means "dms", or "ims" with Unclustered.
+	Scheduler string
+	// Unclustered schedules on the equivalent unclustered machine
+	// (defaulting the scheduler to the IMS baseline) instead of the
+	// clustered machine with DMS.
 	Unclustered bool
-	// DMS passes extra options to the DMS scheduler.
-	DMS core.Options
+	// Driver passes tuning and ablation switches to the scheduler.
+	Driver driver.Options
+}
+
+func (o Options) scheduler() string {
+	if o.Scheduler != "" {
+		return o.Scheduler
+	}
+	if o.Unclustered {
+		return "ims"
+	}
+	return "dms"
 }
 
 // Compile runs the paper's tool chain on the loop for a machine with
 // the given cluster count: unrolling (optional), copy insertion (for
-// clustered machines with at least two clusters), scheduling (DMS, or
-// IMS with Options.Unclustered), schedule verification, queue register
+// clustered machines with at least two clusters), scheduling with the
+// selected back-end, schedule verification, queue register
 // allocation, and code generation.
 func Compile(l *loop.Loop, clusters int, opt Options) (*Compiled, error) {
 	work := l
@@ -80,35 +100,29 @@ func Compile(l *loop.Loop, clusters int, opt Options) (*Compiled, error) {
 		}
 		work = u
 	}
-	lat := machine.DefaultLatencies()
-	g := ddg.FromLoop(work, lat)
-
-	var (
-		c   = &Compiled{}
-		err error
-	)
-	if opt.Unclustered {
-		c.Machine = machine.Unclustered(clusters)
-		var st ims.Stats
-		c.Schedule, st, err = ims.Schedule(g, c.Machine, ims.Options{})
-		if err != nil {
-			return nil, err
-		}
-		c.II, c.MII = st.II, st.MII
-	} else {
-		c.Machine = machine.Clustered(clusters)
-		if clusters >= 2 {
-			ddg.InsertCopies(g, ddg.MaxUses)
-		}
-		var st core.Stats
-		c.Schedule, st, err = core.Schedule(g, c.Machine, opt.DMS)
-		if err != nil {
-			return nil, err
-		}
-		c.II, c.MII = st.II, st.MII
+	sched, err := driver.Get(opt.scheduler())
+	if err != nil {
+		return nil, err
 	}
-	if err := schedule.Verify(c.Schedule); err != nil {
-		return nil, fmt.Errorf("repro: scheduler produced an invalid schedule: %w", err)
+	m := driver.MachineFor(sched, clusters)
+	if opt.Unclustered && sched.Clustered() {
+		m = machine.Unclustered(clusters)
+	}
+	res := driver.CompileOne(driver.Job{
+		Loop:      work,
+		Machine:   m,
+		Scheduler: sched.Name(),
+		Options:   opt.Driver,
+	})
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	c := &Compiled{
+		Schedule: res.Schedule,
+		Machine:  m,
+		Metrics:  res.Metrics,
+		II:       res.Stats.II,
+		MII:      res.Stats.MII,
 	}
 	if c.Allocation, err = lifetime.Analyze(c.Schedule); err != nil {
 		return nil, err
@@ -116,7 +130,6 @@ func Compile(l *loop.Loop, clusters int, opt Options) (*Compiled, error) {
 	if c.Program, err = codegen.Emit(c.Schedule, work.Trip); err != nil {
 		return nil, err
 	}
-	c.Metrics = c.Schedule.Measure(work.Trip)
 	return c, nil
 }
 
