@@ -12,6 +12,7 @@ package repro
 // milliseconds.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -35,7 +36,7 @@ const benchSample = 96 // corpus loops per figure-benchmark iteration
 func BenchmarkFigure4(b *testing.B) {
 	sample := perfect.CorpusN(perfect.DefaultSeed, benchSample)
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Run(sample, experiment.Clusters, experiment.Config{})
+		res, err := experiment.Run(context.Background(), sample, experiment.Clusters, experiment.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +52,7 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	sample := perfect.CorpusN(perfect.DefaultSeed, benchSample)
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Run(sample, experiment.Clusters, experiment.Config{})
+		res, err := experiment.Run(context.Background(), sample, experiment.Clusters, experiment.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkFigure6(b *testing.B) {
 	sample := perfect.CorpusN(perfect.DefaultSeed, benchSample)
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Run(sample, experiment.Clusters, experiment.Config{})
+		res, err := experiment.Run(context.Background(), sample, experiment.Clusters, experiment.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func BenchmarkTwoPhaseSchedule(b *testing.B) {
 func BenchmarkCompareTwoPhase(b *testing.B) {
 	sample := perfect.CorpusN(perfect.DefaultSeed, 64)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.CompareDMSTwoPhase(sample, []int{6}, experiment.Config{})
+		rows, err := experiment.CompareDMSTwoPhase(context.Background(), sample, []int{6}, experiment.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func BenchmarkCompareTwoPhase(b *testing.B) {
 func BenchmarkComparePressure(b *testing.B) {
 	sample := perfect.CorpusN(perfect.DefaultSeed, 64)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.ComparePressure(sample, []int{4}, experiment.Config{})
+		rows, err := experiment.ComparePressure(context.Background(), sample, []int{4}, experiment.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}

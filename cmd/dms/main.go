@@ -15,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"repro/internal/codegen"
 	"repro/internal/driver"
@@ -116,7 +119,11 @@ func main() {
 		m = driver.MachineFor(sched, *clusters)
 	}
 
-	res := driver.CompileOne(driver.Job{Loop: l, Machine: m, Scheduler: algo})
+	// Interrupts cancel the in-progress II search through the driver
+	// context instead of killing the process mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res := driver.CompileOne(ctx, driver.Job{Loop: l, Machine: m, Scheduler: algo})
 	if res.Err != nil {
 		log.Fatal(res.Err)
 	}

@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiment"
@@ -44,18 +47,23 @@ func main() {
 	if *compare != "" && (*clustered != "" || *unclustered != "") {
 		log.Fatalf("-clustered/-unclustered cannot be combined with -compare %s (the studies use fixed scheduler pairs)", *compare)
 	}
+	// An interrupt cancels the whole batch cooperatively: every worker
+	// aborts its II search at the next check instead of the process
+	// dying with work half-printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	loops := perfect.CorpusN(*seed, *n)
 	if *compare != "" {
 		cfg := experiment.Config{Parallelism: *par}
 		switch *compare {
 		case "twophase":
-			rows, err := experiment.CompareDMSTwoPhase(loops, experiment.Clusters, cfg)
+			rows, err := experiment.CompareDMSTwoPhase(ctx, loops, experiment.Clusters, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Print(experiment.FormatComparison(rows))
 		case "pressure":
-			rows, err := experiment.ComparePressure(loops, experiment.Clusters, cfg)
+			rows, err := experiment.ComparePressure(ctx, loops, experiment.Clusters, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -68,7 +76,7 @@ func main() {
 	fmt.Printf("scheduling %d loops on %d machine pairs (clusters %v)...\n",
 		len(loops), len(experiment.Clusters), experiment.Clusters)
 	start := time.Now()
-	res, err := experiment.Run(loops, experiment.Clusters, experiment.Config{
+	res, err := experiment.Run(ctx, loops, experiment.Clusters, experiment.Config{
 		Parallelism:          *par,
 		ClusteredScheduler:   *clustered,
 		UnclusteredScheduler: *unclustered,

@@ -1,0 +1,88 @@
+// Command dmsserve runs the long-running compile service: an HTTP
+// JSON API over the batch driver with a content-addressed schedule
+// cache (see internal/server).
+//
+// Usage:
+//
+//	dmsserve -addr :8080 -cache 4096 -timeout 30s
+//
+// Submit work with any HTTP client; results stream back as NDJSON:
+//
+//	curl -N localhost:8080/compile -d '{
+//	  "loops": ["loop dot trip 100\nx = load\ny = load\nm = mul x, y\nacc = add m, acc@1\nout = store acc\n"],
+//	  "machines": [{"clusters": 4}],
+//	  "schedulers": ["dms"]
+//	}'
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain the server gracefully: in-flight requests get a
+// shutdown grace period and their contexts cancel any scheduling work
+// still running.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dmsserve: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache", server.DefaultCacheSize, "max cached schedules")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-job scheduling timeout (0 = none)")
+		par       = flag.Int("par", 0, "per-request worker parallelism (0 = GOMAXPROCS)")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	svc := server.New(server.Options{
+		CacheSize:   *cacheSize,
+		Timeout:     *timeout,
+		Parallelism: *par,
+	})
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (cache %d entries, job timeout %v)", *addr, *cacheSize, *timeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (grace %v)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// Streams still open after the grace period: cut them, their
+		// request contexts cancel the remaining scheduling work.
+		httpSrv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 		}
 		results := make([]experiment.LoopResult, len(experiment.Clusters))
 		for i, c := range experiment.Clusters {
-			r, err := experiment.RunOne(k, c, experiment.Config{})
+			r, err := experiment.RunOne(context.Background(), k, c, experiment.Config{})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ddg"
@@ -83,6 +84,14 @@ type Stats struct {
 // extra move nodes are part of the final code). Run the copy-insertion
 // prepass (ddg.InsertCopies) first for machines with ≥ 2 clusters.
 func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	return ScheduleCtx(context.Background(), g, m, opt)
+}
+
+// ScheduleCtx is Schedule with cooperative cancellation: the II search
+// checks ctx between candidate IIs and periodically inside each
+// attempt's budget loop, so a canceled context aborts within one
+// candidate II. The returned error wraps ctx.Err().
+func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
 	var st Stats
 	if err := m.Validate(); err != nil {
 		return nil, st, err
@@ -100,18 +109,25 @@ func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule
 		maxII = mii
 	}
 	for ii := mii; ii <= maxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			return nil, st, fmt.Errorf("core: %s on %s: %w", g.Name(), m.Name, err)
+		}
 		st.IIsTried++
-		w := newWorker(g.Clone(), m, ii, opt, &st)
+		w := newWorker(ctx, g.Clone(), m, ii, opt, &st)
 		if s, ok := w.run(); ok {
 			st.II = ii
 			return s, st, nil
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, fmt.Errorf("core: %s on %s: %w", g.Name(), m.Name, err)
 	}
 	return nil, st, fmt.Errorf("core: %s did not schedule on %s within MaxII %d", g.Name(), m.Name, maxII)
 }
 
 // worker holds the state of one candidate-II attempt.
 type worker struct {
+	ctx context.Context
 	g   *ddg.Graph
 	m   *machine.Machine
 	ii  int
@@ -129,8 +145,9 @@ type worker struct {
 	nextChainID  int
 }
 
-func newWorker(g *ddg.Graph, m *machine.Machine, ii int, opt Options, st *Stats) *worker {
+func newWorker(ctx context.Context, g *ddg.Graph, m *machine.Machine, ii int, opt Options, st *Stats) *worker {
 	return &worker{
+		ctx:          ctx,
 		g:            g,
 		m:            m,
 		ii:           ii,
@@ -146,7 +163,8 @@ func newWorker(g *ddg.Graph, m *machine.Machine, ii int, opt Options, st *Stats)
 }
 
 // run attempts to schedule every node; ok=false means the budget ran
-// out and the caller should try a larger II.
+// out (or the context was canceled) and the caller should try a larger
+// II (or bail out).
 func (w *worker) run() (*schedule.Schedule, bool) {
 	ids := w.g.NodeIDs()
 	for _, n := range ids {
@@ -155,6 +173,9 @@ func (w *worker) run() (*schedule.Schedule, bool) {
 	w.budget = w.opt.budgetRatio() * len(ids)
 	for w.q.Len() > 0 {
 		if w.budget == 0 {
+			return nil, false
+		}
+		if w.budget&63 == 0 && w.ctx.Err() != nil {
 			return nil, false
 		}
 		w.budget--

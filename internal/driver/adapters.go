@@ -6,6 +6,8 @@ package driver
 // place in the repo that needs to know about all scheduler packages.
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/ims"
@@ -29,8 +31,8 @@ type dmsScheduler struct{}
 func (dmsScheduler) Name() string    { return "dms" }
 func (dmsScheduler) Clustered() bool { return true }
 
-func (dmsScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
-	s, st, err := core.Schedule(g, m, core.Options{
+func (dmsScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	s, st, err := core.ScheduleCtx(ctx, g, m, core.Options{
 		BudgetRatio:      opt.BudgetRatio,
 		MaxII:            opt.MaxII,
 		DisableChains:    opt.DisableChains,
@@ -61,8 +63,8 @@ type twophaseScheduler struct{}
 func (twophaseScheduler) Name() string    { return "twophase" }
 func (twophaseScheduler) Clustered() bool { return true }
 
-func (twophaseScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
-	s, st, err := twophase.Schedule(g, m, twophase.Options{
+func (twophaseScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	s, st, err := twophase.ScheduleCtx(ctx, g, m, twophase.Options{
 		BudgetRatio:      opt.BudgetRatio,
 		MaxII:            opt.MaxII,
 		RefinementPasses: opt.RefinementPasses,
@@ -89,8 +91,8 @@ type imsScheduler struct{}
 func (imsScheduler) Name() string    { return "ims" }
 func (imsScheduler) Clustered() bool { return false }
 
-func (imsScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
-	s, st, err := ims.Schedule(g, m, ims.Options{
+func (imsScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	s, st, err := ims.ScheduleCtx(ctx, g, m, ims.Options{
 		BudgetRatio: opt.BudgetRatio,
 		MaxII:       opt.MaxII,
 	})
@@ -111,8 +113,8 @@ type smsScheduler struct{}
 func (smsScheduler) Name() string    { return "sms" }
 func (smsScheduler) Clustered() bool { return false }
 
-func (smsScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
-	s, st, err := sms.Schedule(g, m, sms.Options{MaxII: opt.MaxII})
+func (smsScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	s, st, err := sms.ScheduleCtx(ctx, g, m, sms.Options{MaxII: opt.MaxII})
 	fellBack := 0
 	if st.FellBack {
 		fellBack = 1

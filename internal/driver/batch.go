@@ -1,6 +1,8 @@
 package driver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -49,9 +51,11 @@ type BatchOptions struct {
 	// can push a borderline job over the limit.
 	Parallelism int
 	// Timeout bounds each job's scheduling time (0 = none). A timed-out
-	// job yields an error Result; its goroutine is abandoned and left
-	// to finish in the background, since the schedulers do not take a
-	// cancellation context.
+	// job yields an error Result. The deadline is delivered to the
+	// back-end through its Schedule context, so cooperative schedulers
+	// (all four built-ins) abort their II search and release the worker;
+	// a non-cooperative back-end is reported timed out immediately and
+	// its goroutine left to drain in the background.
 	Timeout time.Duration
 	// Latencies defaults to machine.DefaultLatencies().
 	Latencies *machine.Latencies
@@ -97,13 +101,17 @@ func Jobs(loops []*loop.Loop, machines []*machine.Machine, schedulers []string, 
 // CompileAll runs every job on a worker pool and returns one Result
 // per job, in job order, regardless of parallelism or goroutine
 // interleaving. A failing, panicking or timed-out job is reported in
-// its own Result and never aborts the rest of the batch.
-func CompileAll(jobs []Job, opt BatchOptions) []Result {
+// its own Result and never aborts the rest of the batch. Canceling ctx
+// aborts in-progress scheduling work cooperatively (each back-end
+// checks the context inside its II search) and fails every remaining
+// job with a cancellation Result; CompileAll still returns one Result
+// per job.
+func CompileAll(ctx context.Context, jobs []Job, opt BatchOptions) []Result {
 	results := make([]Result, len(jobs))
 	lat := opt.latencies()
 	reg := opt.registry()
 	ForEach(len(jobs), opt.parallelism(), func(i int) {
-		results[i] = compileTimed(jobs[i], lat, reg, opt.Timeout)
+		results[i] = compileTimed(ctx, jobs[i], lat, reg, opt.Timeout)
 	})
 	return results
 }
@@ -112,36 +120,71 @@ func CompileAll(jobs []Job, opt BatchOptions) []Result {
 // the batch options' registry, latencies and timeout; it is the
 // single-job entry point for harnesses that manage their own
 // parallelism (e.g. internal/experiment inside ForEach).
-func Compile(job Job, opt BatchOptions) Result {
-	return compileTimed(job, opt.latencies(), opt.registry(), opt.Timeout)
+func Compile(ctx context.Context, job Job, opt BatchOptions) Result {
+	return compileTimed(ctx, job, opt.latencies(), opt.registry(), opt.Timeout)
 }
 
 // CompileOne compiles a single job synchronously with the default
 // registry and latencies; it is the one-loop entry point shared by the
 // facade and cmd/dms.
-func CompileOne(job Job) Result {
-	return Compile(job, BatchOptions{})
+func CompileOne(ctx context.Context, job Job) Result {
+	return Compile(ctx, job, BatchOptions{})
 }
 
-func compileTimed(job Job, lat machine.Latencies, reg *Registry, timeout time.Duration) Result {
-	if timeout <= 0 {
-		return compileOne(job, lat, reg)
+// compileTimed compiles one job under ctx, narrowed by the per-job
+// timeout. With a plain background context it runs inline; with a
+// cancelable context it runs the job on a goroutine and a watchdog
+// select converts ctx expiry into an error Result even if the back-end
+// ignores its context (the goroutine then drains in the background —
+// the built-in back-ends are cooperative and exit promptly).
+func compileTimed(ctx context.Context, job Job, lat machine.Latencies, reg *Registry, timeout time.Duration) Result {
+	ownDeadline := false
+	if timeout > 0 {
+		// Only claim "timed out after Timeout" when the per-job bound is
+		// the one that can actually fire; an earlier parent deadline
+		// survives context.WithTimeout and must be reported as the
+		// caller's, not ours.
+		parent, ok := ctx.Deadline()
+		ownDeadline = !ok || time.Now().Add(timeout).Before(parent)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if ctx.Err() != nil {
+		return ctxResult(ctx, job, timeout, ownDeadline)
+	}
+	if ctx.Done() == nil {
+		return compileOne(ctx, job, lat, reg)
 	}
 	done := make(chan Result, 1)
 	go func() {
-		done <- compileOne(job, lat, reg)
+		done <- compileOne(ctx, job, lat, reg)
 	}()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
 	select {
 	case r := <-done:
+		if r.Err != nil && ctx.Err() != nil &&
+			(errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded)) {
+			return ctxResult(ctx, job, timeout, ownDeadline)
+		}
 		return r
-	case <-timer.C:
-		return Result{Job: job, Err: fmt.Errorf("driver: %s timed out after %v", job, timeout)}
+	case <-ctx.Done():
+		return ctxResult(ctx, job, timeout, ownDeadline)
 	}
 }
 
-func compileOne(job Job, lat machine.Latencies, reg *Registry) (r Result) {
+// ctxResult normalizes an expired context into the Result the batch
+// reports, so cooperative and watchdog-detected expiries read the
+// same. The error always wraps the context cause, so callers can
+// distinguish cancellation and timeout from scheduling failure with
+// errors.Is whichever message was chosen.
+func ctxResult(ctx context.Context, job Job, timeout time.Duration, ownDeadline bool) Result {
+	if ownDeadline && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return Result{Job: job, Err: fmt.Errorf("driver: %s timed out after %v: %w", job, timeout, context.DeadlineExceeded)}
+	}
+	return Result{Job: job, Err: fmt.Errorf("driver: %s: %w", job, context.Cause(ctx))}
+}
+
+func compileOne(ctx context.Context, job Job, lat machine.Latencies, reg *Registry) (r Result) {
 	r = Result{Job: job}
 	// A registered back-end may come from outside the repo; keep its
 	// panics inside this job's Result so they cannot take down a
@@ -161,7 +204,7 @@ func compileOne(job Job, lat machine.Latencies, reg *Registry) (r Result) {
 		return r
 	}
 	g, copies := Prepare(sched, job.Loop, job.Machine, lat)
-	s, st, err := sched.Schedule(g, job.Machine, job.Options)
+	s, st, err := sched.Schedule(ctx, g, job.Machine, job.Options)
 	r.Stats = st
 	if err != nil {
 		r.Err = fmt.Errorf("driver: %s: %w", job, err)

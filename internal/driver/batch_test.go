@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -44,12 +45,12 @@ func TestCompileAllDeterministicOrdering(t *testing.T) {
 	machines := []*machine.Machine{machine.Clustered(2), machine.Clustered(4)}
 	jobs := Jobs(loops, machines, []string{"dms", "twophase"}, Options{})
 
-	base := batchFingerprint(t, CompileAll(jobs, BatchOptions{Parallelism: 1}))
+	base := batchFingerprint(t, CompileAll(context.Background(), jobs, BatchOptions{Parallelism: 1}))
 	if base == "" {
 		t.Fatal("empty fingerprint")
 	}
 	for _, par := range []int{4, 8} {
-		got := batchFingerprint(t, CompileAll(jobs, BatchOptions{Parallelism: par}))
+		got := batchFingerprint(t, CompileAll(context.Background(), jobs, BatchOptions{Parallelism: par}))
 		if got != base {
 			t.Errorf("parallelism %d produced different results than parallelism 1", par)
 		}
@@ -70,7 +71,7 @@ func TestCompileAllIsolatesFailures(t *testing.T) {
 			Job{Loop: l, Machine: machine.Clustered(4), Scheduler: "no-such"}, // unknown: must fail
 		)
 	}
-	results := CompileAll(jobs, BatchOptions{Parallelism: 4})
+	results := CompileAll(context.Background(), jobs, BatchOptions{Parallelism: 4})
 	if len(results) != len(jobs) {
 		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
 	}
@@ -102,7 +103,9 @@ type sleepyScheduler struct{ d time.Duration }
 
 func (s sleepyScheduler) Name() string    { return "sleepy" }
 func (s sleepyScheduler) Clustered() bool { return false }
-func (s sleepyScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+func (s sleepyScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	// Deliberately ignores ctx: stands in for a non-cooperative
+	// third-party back-end, exercising the watchdog path.
 	time.Sleep(s.d)
 	return nil, Stats{}, nil
 }
@@ -112,7 +115,7 @@ func (s sleepyScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options)
 // into an error Result while fast jobs in the same batch succeed.
 func TestCompileAllTimeout(t *testing.T) {
 	reg := NewRegistry()
-	if err := reg.Register(sleepyScheduler{d: 30 * time.Second}); err != nil {
+	if err := reg.Register(sleepyScheduler{d: 2 * time.Second}); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"dms", "ims"} {
@@ -131,7 +134,7 @@ func TestCompileAllTimeout(t *testing.T) {
 		{Loop: l, Machine: machine.Unclustered(2), Scheduler: "ims"},
 	}
 	start := time.Now()
-	results := CompileAll(jobs, BatchOptions{
+	results := CompileAll(context.Background(), jobs, BatchOptions{
 		Parallelism: 2,
 		Timeout:     200 * time.Millisecond,
 		Registry:    reg,
@@ -154,7 +157,7 @@ type panicScheduler struct{}
 
 func (panicScheduler) Name() string    { return "panicky" }
 func (panicScheduler) Clustered() bool { return false }
-func (panicScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+func (panicScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
 	panic("scheduler bug")
 }
 
@@ -164,7 +167,7 @@ type nilScheduler struct{}
 
 func (nilScheduler) Name() string    { return "nilsched" }
 func (nilScheduler) Clustered() bool { return false }
-func (nilScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+func (nilScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
 	return nil, Stats{}, nil
 }
 
@@ -192,7 +195,7 @@ func TestCompileAllIsolatesPanicsAndNilSchedules(t *testing.T) {
 		{Loop: l, Machine: machine.Unclustered(2), Scheduler: "nilsched"},
 		{Loop: l, Machine: machine.Clustered(2), Scheduler: "dms"},
 	}
-	results := CompileAll(jobs, BatchOptions{Parallelism: 2, Registry: reg})
+	results := CompileAll(context.Background(), jobs, BatchOptions{Parallelism: 2, Registry: reg})
 	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "panicked") {
 		t.Errorf("panicky job: want panic error, got %v", results[0].Err)
 	}
@@ -207,12 +210,12 @@ func TestCompileAllIsolatesPanicsAndNilSchedules(t *testing.T) {
 // TestCompileAllEmptyAndOversubscribed covers the pool edge cases: no
 // jobs, and more workers than jobs.
 func TestCompileAllEmptyAndOversubscribed(t *testing.T) {
-	if res := CompileAll(nil, BatchOptions{}); len(res) != 0 {
+	if res := CompileAll(context.Background(), nil, BatchOptions{}); len(res) != 0 {
 		t.Errorf("nil jobs produced %d results", len(res))
 	}
 	l := perfect.KernelDot()
 	jobs := []Job{{Loop: l, Machine: machine.Clustered(2), Scheduler: "dms"}}
-	res := CompileAll(jobs, BatchOptions{Parallelism: 64})
+	res := CompileAll(context.Background(), jobs, BatchOptions{Parallelism: 64})
 	if len(res) != 1 || res[0].Err != nil {
 		t.Fatalf("oversubscribed pool: %+v", res)
 	}

@@ -1,0 +1,183 @@
+package driver
+
+// Regression tests for the context plumbing: cancellation must reach
+// every back-end's II search, fail the affected jobs with a
+// recognizable error, and — the reason the plumbing exists — leave no
+// goroutine behind. Before contexts, a timed-out job's goroutine kept
+// scheduling in the background with no way to stop it.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/perfect"
+	"repro/internal/schedule"
+)
+
+// TestSchedulersHonorCanceledContext: every registered back-end must
+// notice a canceled context inside its II search and return an error
+// wrapping context.Canceled — the contract the driver's watchdog and
+// the compile service rely on.
+func TestSchedulersHonorCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	lat := machine.DefaultLatencies()
+	for _, name := range Names() {
+		sched, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := MachineFor(sched, 2)
+		g, _ := Prepare(sched, perfect.KernelDot(), m, lat)
+		s, _, err := sched.Schedule(ctx, g, m, Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error %v does not wrap context.Canceled", name, err)
+		}
+		if s != nil {
+			t.Errorf("%s: returned a schedule for a canceled context", name)
+		}
+	}
+}
+
+// TestCompileAllCanceledContext: a batch under an already-canceled
+// context reports one cancellation Result per job instead of doing any
+// work.
+func TestCompileAllCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	loops := perfect.CorpusN(perfect.DefaultSeed, 6)
+	jobs := Jobs(loops, []*machine.Machine{machine.Clustered(4)}, []string{"dms"}, Options{})
+	results := CompileAll(ctx, jobs, BatchOptions{Parallelism: 4})
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: error %v does not wrap context.Canceled", r.Job, r.Err)
+		}
+	}
+}
+
+// blockScheduler parks in Schedule until its context fires — the
+// cooperative analogue of a very long II search, giving the test a
+// deterministic "mid-flight" state to cancel.
+type blockScheduler struct{ started chan struct{} }
+
+func (b blockScheduler) Name() string    { return "block" }
+func (b blockScheduler) Clustered() bool { return false }
+func (b blockScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	b.started <- struct{}{}
+	<-ctx.Done()
+	return nil, Stats{}, ctx.Err()
+}
+
+// TestCancelBatchMidFlightNoGoroutineLeak cancels a batch while its
+// workers are parked inside Schedule and asserts (a) every job reports
+// a cancellation Result and (b) the goroutine count returns to the
+// pre-batch baseline — the workers, the per-job watchdogs and the
+// back-end calls must all unwind.
+func TestCancelBatchMidFlightNoGoroutineLeak(t *testing.T) {
+	const (
+		workers = 4
+		njobs   = 12
+	)
+	baseline := runtime.NumGoroutine()
+
+	started := make(chan struct{}, njobs)
+	reg := NewRegistry()
+	if err := reg.Register(blockScheduler{started: started}); err != nil {
+		t.Fatal(err)
+	}
+	l := perfect.KernelDot()
+	jobs := make([]Job, njobs)
+	for i := range jobs {
+		jobs[i] = Job{Loop: l, Machine: machine.Unclustered(2), Scheduler: "block"}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	resc := make(chan []Result, 1)
+	go func() {
+		resc <- CompileAll(ctx, jobs, BatchOptions{Parallelism: workers, Registry: reg})
+	}()
+
+	// Mid-flight: every worker is parked inside a Schedule call.
+	for i := 0; i < workers; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d workers reached Schedule", i, workers)
+		}
+	}
+	cancel()
+
+	var results []Result
+	select {
+	case results = <-resc:
+	case <-time.After(10 * time.Second):
+		t.Fatal("CompileAll did not return after cancellation")
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: error %v does not wrap context.Canceled", r.Job, r.Err)
+		}
+	}
+
+	// Jobs the watchdog abandoned are parked in blockScheduler until
+	// they observe the canceled context; give the scheduler a moment to
+	// drain them, then require the baseline back.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// Drain any stragglers that entered Schedule after the cancel.
+		select {
+		case <-started:
+			continue
+		default:
+		}
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not return to baseline: %d now vs %d before the batch", n, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCompileAllDeadlineStopsRealBackends runs real scheduler jobs
+// under a deadline that expires mid-batch: every result is either a
+// completed schedule or a deadline error — never a hang — and the
+// worker pool drains back to the baseline goroutine count.
+func TestCompileAllDeadlineStopsRealBackends(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	loops := perfect.CorpusN(perfect.DefaultSeed, 40)
+	jobs := Jobs(loops,
+		[]*machine.Machine{machine.Clustered(4), machine.Clustered(8)},
+		[]string{"dms", "twophase"}, Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	results := CompileAll(ctx, jobs, BatchOptions{Parallelism: 4})
+	completed, expired := 0, 0
+	for _, r := range results {
+		switch {
+		case r.Err == nil:
+			completed++
+		case errors.Is(r.Err, context.DeadlineExceeded):
+			expired++
+		default:
+			t.Errorf("%s: unexpected error: %v", r.Job, r.Err)
+		}
+	}
+	t.Logf("%d completed, %d expired", completed, expired)
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain: %d vs baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

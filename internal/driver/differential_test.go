@@ -7,6 +7,7 @@ package driver
 // pulled in here with no test changes.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestDifferentialAllSchedulers(t *testing.T) {
 			for i, l := range loops {
 				jobs[i] = Job{Loop: l, Machine: m, Scheduler: name}
 			}
-			results := CompileAll(jobs, BatchOptions{})
+			results := CompileAll(context.Background(), jobs, BatchOptions{})
 			for i, r := range results {
 				l := loops[i]
 				if r.Err != nil {
@@ -84,7 +85,7 @@ func TestDifferentialDMSWithinFactorOfIMS(t *testing.T) {
 				Job{Loop: l, Machine: machine.Unclustered(c), Scheduler: "ims"},
 			)
 		}
-		results := CompileAll(jobs, BatchOptions{})
+		results := CompileAll(context.Background(), jobs, BatchOptions{})
 		for i := 0; i < len(results); i += 2 {
 			dms, ims := results[i], results[i+1]
 			if dms.Err != nil {
@@ -111,7 +112,7 @@ func TestDifferentialUsefulOpsAgree(t *testing.T) {
 		want := -1
 		for _, name := range Names() {
 			sched, _ := Get(name)
-			r := CompileOne(Job{Loop: l, Machine: MachineFor(sched, 2), Scheduler: name})
+			r := CompileOne(context.Background(), Job{Loop: l, Machine: MachineFor(sched, 2), Scheduler: name})
 			if r.Err != nil {
 				t.Fatalf("%s/%s: %v", l.Name, name, r.Err)
 			}
@@ -141,7 +142,7 @@ func TestDifferentialSummary(t *testing.T) {
 				jobs[i] = Job{Loop: l, Machine: m, Scheduler: name}
 			}
 			sum := 0
-			for _, r := range CompileAll(jobs, BatchOptions{}) {
+			for _, r := range CompileAll(context.Background(), jobs, BatchOptions{}) {
 				if r.Err != nil {
 					t.Fatal(r.Err)
 				}

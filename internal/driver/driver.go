@@ -14,13 +14,15 @@
 //
 //	func (satScheduler) Name() string    { return "sat" }
 //	func (satScheduler) Clustered() bool { return true }
-//	func (satScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt driver.Options) (
+//	func (satScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt driver.Options) (
 //		*schedule.Schedule, driver.Stats, error) { ... }
 //
 //	func init() { driver.Register(satScheduler{}) }
 package driver
 
 import (
+	"context"
+
 	"repro/internal/ddg"
 	"repro/internal/loop"
 	"repro/internal/machine"
@@ -30,34 +32,35 @@ import (
 // Options is the scheduler-independent tuning surface. Every adapter
 // maps the subset its back-end understands onto the package-specific
 // options struct and ignores the rest, so one Options value can be
-// broadcast across heterogeneous schedulers in a batch.
+// broadcast across heterogeneous schedulers in a batch. The JSON tags
+// define the wire form used by the compile service (internal/server).
 type Options struct {
 	// BudgetRatio bounds scheduling attempts at BudgetRatio × ops per
 	// candidate II (0 = the scheduler's default).
-	BudgetRatio int
+	BudgetRatio int `json:"budget_ratio,omitempty"`
 	// MaxII caps the candidate initiation interval (0 = derived bound).
-	MaxII int
+	MaxII int `json:"max_ii,omitempty"`
 
 	// DisableChains and OneDirectionOnly are the DMS ablation switches
 	// (strategy 2 off; shortest ring direction only).
-	DisableChains    bool
-	OneDirectionOnly bool
+	DisableChains    bool `json:"disable_chains,omitempty"`
+	OneDirectionOnly bool `json:"one_direction_only,omitempty"`
 
 	// RefinementPasses and LoadSlack tune the two-phase baseline's
 	// partitioner (0 = defaults).
-	RefinementPasses int
-	LoadSlack        int
+	RefinementPasses int `json:"refinement_passes,omitempty"`
+	LoadSlack        int `json:"load_slack,omitempty"`
 }
 
 // Stats is the normalized scheduling report. The five counters every
 // scheduler shares are first-class; back-end-specific counters are
 // published under the documented keys of Extra.
 type Stats struct {
-	MII        int // lower bound the search started from
-	II         int // achieved initiation interval
-	IIsTried   int // candidate IIs attempted
-	Placements int // placement operations across all IIs
-	Evictions  int // operations unscheduled by backtracking
+	MII        int `json:"mii"`        // lower bound the search started from
+	II         int `json:"ii"`         // achieved initiation interval
+	IIsTried   int `json:"iis_tried"`  // candidate IIs attempted
+	Placements int `json:"placements"` // placement operations across all IIs
+	Evictions  int `json:"evictions"`  // operations unscheduled by backtracking
 
 	// Extra holds scheduler-specific counters:
 	//
@@ -69,7 +72,7 @@ type Stats struct {
 	// The batch compiler adds copies_inserted (the communication-copy
 	// prepass count) for clustered back-ends. Nil when there are no
 	// counters.
-	Extra map[string]int
+	Extra map[string]int `json:"extra,omitempty"`
 }
 
 // Scheduler is one modulo-scheduling back-end.
@@ -85,7 +88,13 @@ type Scheduler interface {
 	// returned schedule references g itself or an internal clone (as
 	// with chain moves in dms) is back-end-specific; callers must use
 	// Schedule.Graph(), not g, to interpret the result.
-	Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error)
+	//
+	// The context carries per-job timeouts and client cancellation.
+	// Back-ends must check it cooperatively inside their II search —
+	// at least once per candidate II — and return an error wrapping
+	// ctx.Err() when it fires, so a canceled job releases its worker
+	// instead of running the search to completion.
+	Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error)
 }
 
 // MachineFor returns the conventional machine of the scheduler's

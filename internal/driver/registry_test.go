@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -51,7 +52,7 @@ type fakeScheduler struct{ name string }
 
 func (f fakeScheduler) Name() string    { return f.name }
 func (f fakeScheduler) Clustered() bool { return false }
-func (f fakeScheduler) Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+func (f fakeScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
 	return nil, Stats{}, nil
 }
 

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -25,7 +26,7 @@ type CompareRow struct {
 // clustered machines and tallies who achieves the lower II. Loops the
 // two-phase baseline cannot schedule count as failures (and as DMS
 // wins in the II tallies they are excluded from).
-func CompareDMSTwoPhase(loops []*loop.Loop, clusters []int, cfg Config) ([]CompareRow, error) {
+func CompareDMSTwoPhase(ctx context.Context, loops []*loop.Loop, clusters []int, cfg Config) ([]CompareRow, error) {
 	lat := cfg.lat()
 	rows := make([]CompareRow, len(clusters))
 	opts := driver.Options{BudgetRatio: cfg.BudgetRatio}
@@ -36,11 +37,11 @@ func CompareDMSTwoPhase(loops []*loop.Loop, clusters []int, cfg Config) ([]Compa
 		c, l := clusters[ci], loops[li]
 		m := machine.Clustered(c)
 		batch := driver.BatchOptions{Latencies: &lat}
-		dms := driver.Compile(driver.Job{Loop: l, Machine: m, Scheduler: "dms", Options: opts}, batch)
+		dms := driver.Compile(ctx, driver.Job{Loop: l, Machine: m, Scheduler: "dms", Options: opts}, batch)
 		if dms.Err != nil {
 			return dms.Err
 		}
-		tp := driver.Compile(driver.Job{Loop: l, Machine: m, Scheduler: "twophase", Options: opts}, batch)
+		tp := driver.Compile(ctx, driver.Job{Loop: l, Machine: m, Scheduler: "twophase", Options: opts}, batch)
 		mu.Lock()
 		defer mu.Unlock()
 		rows[ci].Loops++
@@ -98,7 +99,7 @@ type PressureRow struct {
 // ComparePressure grounds the paper's §1 motivation: modulo scheduling
 // inflates register requirements, and lifetime-sensitive scheduling
 // (SMS, by one of the paper's authors) reduces MaxLives at equal II.
-func ComparePressure(loops []*loop.Loop, widths []int, cfg Config) ([]PressureRow, error) {
+func ComparePressure(ctx context.Context, loops []*loop.Loop, widths []int, cfg Config) ([]PressureRow, error) {
 	lat := cfg.lat()
 	rows := make([]PressureRow, len(widths))
 	opts := driver.Options{BudgetRatio: cfg.BudgetRatio}
@@ -109,11 +110,11 @@ func ComparePressure(loops []*loop.Loop, widths []int, cfg Config) ([]PressureRo
 		width, l := widths[wi], loops[li]
 		m := machine.Unclustered(width)
 		batch := driver.BatchOptions{Latencies: &lat}
-		rIMS := driver.Compile(driver.Job{Loop: l, Machine: m, Scheduler: "ims", Options: opts}, batch)
+		rIMS := driver.Compile(ctx, driver.Job{Loop: l, Machine: m, Scheduler: "ims", Options: opts}, batch)
 		if rIMS.Err != nil {
 			return rIMS.Err
 		}
-		rSMS := driver.Compile(driver.Job{Loop: l, Machine: m, Scheduler: "sms"}, batch)
+		rSMS := driver.Compile(ctx, driver.Job{Loop: l, Machine: m, Scheduler: "sms"}, batch)
 		if rSMS.Err != nil {
 			return rSMS.Err
 		}

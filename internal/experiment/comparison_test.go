@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestCompareDMSTwoPhase(t *testing.T) {
 	loops := perfect.CorpusN(perfect.DefaultSeed, 30)
-	rows, err := CompareDMSTwoPhase(loops, []int{2, 6}, Config{})
+	rows, err := CompareDMSTwoPhase(context.Background(), loops, []int{2, 6}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestCompareDMSTwoPhase(t *testing.T) {
 
 func TestComparePressure(t *testing.T) {
 	loops := perfect.CorpusN(perfect.DefaultSeed, 30)
-	rows, err := ComparePressure(loops, []int{1, 4}, Config{})
+	rows, err := ComparePressure(context.Background(), loops, []int{1, 4}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -144,8 +145,10 @@ func validateFamily(name string, wantClustered bool) error {
 }
 
 // Run evaluates every loop on every cluster count, fanning the
-// (loop, cluster) pairs out over the driver's worker pool.
-func Run(loops []*loop.Loop, clusters []int, cfg Config) (*Results, error) {
+// (loop, cluster) pairs out over the driver's worker pool. Canceling
+// ctx aborts in-progress scheduling work and fails the run with the
+// cancellation error.
+func Run(ctx context.Context, loops []*loop.Loop, clusters []int, cfg Config) (*Results, error) {
 	if err := validateFamily(cfg.unclusteredScheduler(), false); err != nil {
 		return nil, err
 	}
@@ -160,7 +163,7 @@ func Run(loops []*loop.Loop, clusters []int, cfg Config) (*Results, error) {
 	n := len(loops) * len(clusters)
 	err := driver.ForEachFirstErr(n, cfg.parallelism(), func(i int) error {
 		li, ci := i/len(clusters), i%len(clusters)
-		r, err := RunOne(loops[li], clusters[ci], cfg)
+		r, err := RunOne(ctx, loops[li], clusters[ci], cfg)
 		if err != nil {
 			// RunOne's errors already name the loop and machine.
 			return err
@@ -177,7 +180,7 @@ func Run(loops []*loop.Loop, clusters []int, cfg Config) (*Results, error) {
 // RunOne evaluates one loop on the unclustered/clustered machine pair
 // with the given cluster count, dispatching both schedulers by name
 // through the driver registry.
-func RunOne(l *loop.Loop, clusters int, cfg Config) (LoopResult, error) {
+func RunOne(ctx context.Context, l *loop.Loop, clusters int, cfg Config) (LoopResult, error) {
 	lat := cfg.lat()
 	um := machine.Unclustered(clusters)
 	cm := machine.Clustered(clusters)
@@ -201,7 +204,7 @@ func RunOne(l *loop.Loop, clusters int, cfg Config) (LoopResult, error) {
 	opts := driver.Options{BudgetRatio: cfg.BudgetRatio}
 	batch := driver.BatchOptions{Latencies: &lat}
 
-	ures := driver.Compile(driver.Job{
+	ures := driver.Compile(ctx, driver.Job{
 		Loop: ul, Machine: um, Scheduler: cfg.unclusteredScheduler(), Options: opts,
 	}, batch)
 	if ures.Err != nil {
@@ -211,7 +214,7 @@ func RunOne(l *loop.Loop, clusters int, cfg Config) (LoopResult, error) {
 	r.UnclusteredCycles = ures.Metrics.Cycles
 	r.UsefulInstr = int64(ures.Metrics.Useful) * int64(ul.Trip)
 
-	cres := driver.Compile(driver.Job{
+	cres := driver.Compile(ctx, driver.Job{
 		Loop: ul, Machine: cm, Scheduler: cfg.clusteredScheduler(), Options: opts,
 	}, batch)
 	if cres.Err != nil {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func smallRun(t testing.TB, n int, clusters []int) *Results {
 	t.Helper()
 	loops := perfect.CorpusN(perfect.DefaultSeed, n)
-	res, err := Run(loops, clusters, Config{})
+	res, err := Run(context.Background(), loops, clusters, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +21,7 @@ func smallRun(t testing.TB, n int, clusters []int) *Results {
 }
 
 func TestRunOneBasics(t *testing.T) {
-	r, err := RunOne(perfect.KernelDot(), 4, Config{})
+	r, err := RunOne(context.Background(), perfect.KernelDot(), 4, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,11 +160,11 @@ func TestFormatting(t *testing.T) {
 
 func TestRunDeterministicAcrossParallelism(t *testing.T) {
 	loops := perfect.CorpusN(perfect.DefaultSeed, 12)
-	a, err := Run(loops, []int{2, 4}, Config{Parallelism: 1})
+	a, err := Run(context.Background(), loops, []int{2, 4}, Config{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(loops, []int{2, 4}, Config{Parallelism: 8})
+	b, err := Run(context.Background(), loops, []int{2, 4}, Config{Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 func TestRunOnKernels(t *testing.T) {
 	var loops []*loop.Loop
 	loops = append(loops, perfect.Kernels()...)
-	res, err := Run(loops, []int{1, 4, 8}, Config{})
+	res, err := Run(context.Background(), loops, []int{1, 4, 8}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,13 +196,13 @@ func TestRunOnKernels(t *testing.T) {
 }
 
 func TestRunRejectsWrongFamily(t *testing.T) {
-	if _, err := Run(nil, nil, Config{UnclusteredScheduler: "dms"}); err == nil {
+	if _, err := Run(context.Background(), nil, nil, Config{UnclusteredScheduler: "dms"}); err == nil {
 		t.Error("want error for clustered scheduler as the unclustered baseline")
 	}
-	if _, err := Run(nil, nil, Config{ClusteredScheduler: "ims"}); err == nil {
+	if _, err := Run(context.Background(), nil, nil, Config{ClusteredScheduler: "ims"}); err == nil {
 		t.Error("want error for unclustered scheduler as the clustered back-end")
 	}
-	if _, err := Run(nil, nil, Config{ClusteredScheduler: "nosuch"}); err == nil {
+	if _, err := Run(context.Background(), nil, nil, Config{ClusteredScheduler: "nosuch"}); err == nil {
 		t.Error("want error for an unregistered scheduler name")
 	}
 }

@@ -14,6 +14,7 @@
 package ims
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ddg"
@@ -66,6 +67,15 @@ func MaxIIBound(g *ddg.Graph) int {
 // (m.Clusters must be 1; clustered machines need DMS). The graph is
 // not modified.
 func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	return ScheduleCtx(context.Background(), g, m, opt)
+}
+
+// ScheduleCtx is Schedule with cooperative cancellation: the II search
+// checks ctx between candidate IIs and periodically inside each
+// attempt's budget loop, so a canceled context aborts within one
+// candidate II. The returned error wraps ctx.Err() so callers can
+// distinguish cancellation from scheduling failure with errors.Is.
+func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
 	var st Stats
 	if m.Clusters != 1 {
 		return nil, st, fmt.Errorf("ims: machine %s has %d clusters; IMS handles unclustered machines only", m.Name, m.Clusters)
@@ -86,19 +96,25 @@ func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule
 		maxII = mii
 	}
 	for ii := mii; ii <= maxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			return nil, st, fmt.Errorf("ims: %s on %s: %w", g.Name(), m.Name, err)
+		}
 		st.IIsTried++
-		s, ok := tryII(g, m, ii, opt.budgetRatio(), &st)
+		s, ok := tryII(ctx, g, m, ii, opt.budgetRatio(), &st)
 		if ok {
 			st.II = ii
 			return s, st, nil
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, fmt.Errorf("ims: %s on %s: %w", g.Name(), m.Name, err)
+	}
 	return nil, st, fmt.Errorf("ims: %s did not schedule within MaxII %d", g.Name(), maxII)
 }
 
 // tryII attempts one candidate II. It returns ok=false when the budget
-// is exhausted.
-func tryII(g *ddg.Graph, m *machine.Machine, ii, budgetRatio int, st *Stats) (*schedule.Schedule, bool) {
+// is exhausted or the context is canceled (the caller re-checks ctx).
+func tryII(ctx context.Context, g *ddg.Graph, m *machine.Machine, ii, budgetRatio int, st *Stats) (*schedule.Schedule, bool) {
 	s := schedule.New(g, m, ii)
 	heights := g.Heights(ii)
 	prevTime := make([]int, g.NumIDs())
@@ -116,6 +132,9 @@ func tryII(g *ddg.Graph, m *machine.Machine, ii, budgetRatio int, st *Stats) (*s
 
 	for q.Len() > 0 {
 		if budget == 0 {
+			return nil, false
+		}
+		if budget&63 == 0 && ctx.Err() != nil {
 			return nil, false
 		}
 		budget--

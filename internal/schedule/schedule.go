@@ -128,15 +128,17 @@ func (s *Schedule) String() string {
 // Metrics are the dynamic measurements of the paper's §4: total cycles
 // to run the pipelined loop for a trip count (kernel + prologue +
 // epilogue) and instructions per cycle counting only useful operations.
+// The JSON tags define the wire form used by the compile service
+// (internal/server).
 type Metrics struct {
-	II      int
-	Len     int
-	Stages  int
-	Trip    int
-	Useful  int // useful (non-copy/move) static operations
-	Cycles  int64
-	IPC     float64
-	MovesIn int // copy+move operations in the final graph
+	II      int     `json:"ii"`
+	Len     int     `json:"len"`
+	Stages  int     `json:"stages"`
+	Trip    int     `json:"trip"`
+	Useful  int     `json:"useful"` // useful (non-copy/move) static operations
+	Cycles  int64   `json:"cycles"`
+	IPC     float64 `json:"ipc"`
+	MovesIn int     `json:"moves_in"` // copy+move operations in the final graph
 }
 
 // Measure computes the dynamic metrics for the given trip count. The

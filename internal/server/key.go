@@ -1,0 +1,53 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/loop"
+	"repro/internal/machine"
+)
+
+// Key returns the content-addressed cache key of one compile job: the
+// SHA-256 of the canonical loop text, the machine description, the
+// scheduler name and the driver options.
+//
+// The loop section uses loop.Format, which is a canonical form: any
+// two sources that parse to the same loop (whatever their spacing,
+// comments or declaration style) re-serialize to identical text and
+// therefore share a key. The machine section uses the JSON config
+// form, which covers the name, cluster count, per-cluster unit counts
+// and the latency model — so two configurations that schedule
+// differently can never collide. Every section is length-prefixed
+// before hashing, which keeps the encoding injective (no pair of
+// distinct inputs can concatenate to the same byte stream).
+func Key(l *loop.Loop, m *machine.Machine, scheduler string, opt driver.Options) string {
+	h := sha256.New()
+	section := func(name string, data []byte) {
+		fmt.Fprintf(h, "%s %d\n", name, len(data))
+		h.Write(data)
+		h.Write([]byte{'\n'})
+	}
+	section("loop", []byte(loop.Format(l)))
+	mj, err := json.Marshal(m)
+	if err != nil {
+		// Machine marshaling is infallible for valid machines (fixed
+		// struct of ints and strings); a failure means memory
+		// corruption, not bad input.
+		panic(fmt.Sprintf("server: machine %s failed to marshal: %v", m.Name, err))
+	}
+	section("machine", mj)
+	section("scheduler", []byte(scheduler))
+	// Options is a flat struct of ints and bools; the %+v rendering
+	// lists every field with its name and is injective on its values.
+	section("options", []byte(fmt.Sprintf("%+v", opt)))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// JobKey is Key over an assembled driver job.
+func JobKey(job driver.Job) string {
+	return Key(job.Loop, job.Machine, job.Scheduler, job.Options)
+}

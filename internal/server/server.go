@@ -1,0 +1,394 @@
+// Package server is the long-running compile service: an HTTP JSON API
+// over the batch driver that accepts loop files, schedules every
+// (loop × machine × scheduler) job on a worker pool, and streams
+// per-job results back as they complete.
+//
+// Identical jobs are memoized in a content-addressed cache (see Key):
+// the schedule for a (canonical loop, machine config, scheduler,
+// options) quadruple is computed once, concurrent identical requests
+// share a single in-flight computation, and repeats are served from an
+// LRU-bounded table. Hit/miss/in-flight counters are exported on the
+// metrics endpoint.
+//
+// Endpoints:
+//
+//	POST /compile     — compile a batch; the response is NDJSON, one
+//	                    JobResult per line in completion order (each
+//	                    line carries the job's index in request order)
+//	GET  /metrics     — cache and request counters as JSON
+//	GET  /schedulers  — registered back-ends and their machine family
+//	GET  /healthz     — liveness probe
+//
+// Cancellation rides the request context: when a client disconnects or
+// a per-job timeout fires, the context reaches the scheduler's II
+// search through the driver and the job aborts within one candidate
+// II, releasing its worker.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// MaxJobsPerRequest bounds the (loops × machines × schedulers) cross
+// product of one request, so a single malformed submission cannot
+// monopolize the service.
+const MaxJobsPerRequest = 10000
+
+// maxRequestBody bounds the /compile request size (16 MiB of loop
+// text is far beyond any real corpus).
+const maxRequestBody = 16 << 20
+
+// Options configure the service.
+type Options struct {
+	// Registry resolves scheduler names (nil = driver.Default).
+	Registry *driver.Registry
+	// CacheSize bounds the result cache (0 = DefaultCacheSize).
+	CacheSize int
+	// Timeout bounds each job's scheduling time (0 = none). Requests
+	// may tighten it per-job but never exceed it.
+	Timeout time.Duration
+	// Parallelism is the per-request worker count (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) registry() *driver.Registry {
+	if o.Registry != nil {
+		return o.Registry
+	}
+	return driver.Default
+}
+
+// Server is the compile service. Create one with New; it is safe for
+// concurrent use.
+type Server struct {
+	opt   Options
+	cache *Cache
+
+	requests  atomic.Int64
+	jobs      atomic.Int64
+	jobErrors atomic.Int64
+}
+
+// New returns a service with the given options.
+func New(opt Options) *Server {
+	return &Server{opt: opt, cache: NewCache(opt.CacheSize)}
+}
+
+// Cache exposes the result cache (for tests and metrics).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/schedulers", s.handleSchedulers)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// CompileRequest is the JSON body of POST /compile. The job list is
+// the (loops × machines × schedulers) cross product in deterministic
+// order — loops outermost, schedulers innermost — matching driver.Jobs.
+type CompileRequest struct {
+	// Loops are loop files in the textual format of internal/loop.
+	Loops []string `json:"loops"`
+	// Machines select the targets.
+	Machines []MachineSpec `json:"machines"`
+	// Schedulers are registry names (see GET /schedulers).
+	Schedulers []string `json:"schedulers"`
+	// Options is broadcast to every job.
+	Options driver.Options `json:"options"`
+	// TimeoutMS bounds each job's scheduling time in milliseconds; it
+	// can only tighten the server-side timeout, never extend it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the cache lookup (results are still stored),
+	// for measurements that need a cold compile.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// MachineSpec names one target machine: either a conventional family
+// member by cluster count, or a full JSON machine description.
+type MachineSpec struct {
+	// Clusters picks machine.Clustered(Clusters), or
+	// machine.Unclustered(Clusters) with Unclustered set.
+	Clusters    int  `json:"clusters,omitempty"`
+	Unclustered bool `json:"unclustered,omitempty"`
+	// Config, when present, is a full machine description in the JSON
+	// config format of internal/machine and overrides the other fields.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+func (ms MachineSpec) machine() (*machine.Machine, error) {
+	if len(ms.Config) > 0 {
+		return machine.ReadConfig(bytes.NewReader(ms.Config))
+	}
+	if ms.Clusters < 1 {
+		return nil, fmt.Errorf("machine needs clusters >= 1 or a config")
+	}
+	if ms.Unclustered {
+		return machine.Unclustered(ms.Clusters), nil
+	}
+	return machine.Clustered(ms.Clusters), nil
+}
+
+// JobResult is one line of the /compile response stream.
+type JobResult struct {
+	// Index is the job's position in request order; lines arrive in
+	// completion order, so clients reorder by Index.
+	Index int `json:"index"`
+	// Job names the (loop, machine, scheduler) triple.
+	Job string `json:"job"`
+	// Error is set instead of the remaining fields when the job failed.
+	Error string `json:"error,omitempty"`
+
+	MII      int               `json:"mii,omitempty"`
+	II       int               `json:"ii,omitempty"`
+	Stats    *driver.Stats     `json:"stats,omitempty"`
+	Metrics  *schedule.Metrics `json:"metrics,omitempty"`
+	Schedule string            `json:"schedule,omitempty"`
+
+	// Cached reports that the result was served from the cache (or a
+	// shared in-flight computation) rather than compiled for this job.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Record renders one driver result in the service's wire format
+// (Index and Cached are left for the caller). It is shared by the
+// handler and the end-to-end tests, which compare streamed responses
+// against direct driver.CompileAll output byte-for-byte.
+func Record(r driver.Result) JobResult {
+	rec := JobResult{Job: r.Job.String()}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+		return rec
+	}
+	st := r.Stats
+	met := r.Metrics
+	rec.MII, rec.II = st.MII, st.II
+	rec.Stats = &st
+	rec.Metrics = &met
+	rec.Schedule = RenderSchedule(r.Schedule)
+	return rec
+}
+
+// RenderSchedule serializes a schedule's placements deterministically:
+// one "t=<time> c=<cluster> <class> <name>" line per operation, sorted
+// by time, then cluster, then node ID.
+func RenderSchedule(s *schedule.Schedule) string {
+	g := s.Graph()
+	ids := g.NodeIDs()
+	sort.Slice(ids, func(i, j int) bool {
+		pi, _ := s.At(ids[i])
+		pj, _ := s.At(ids[j])
+		if pi.Time != pj.Time {
+			return pi.Time < pj.Time
+		}
+		if pi.Cluster != pj.Cluster {
+			return pi.Cluster < pj.Cluster
+		}
+		return ids[i] < ids[j]
+	})
+	var sb []byte
+	for _, id := range ids {
+		p, _ := s.At(id)
+		n := g.Node(id)
+		sb = fmt.Appendf(sb, "t=%d c=%d %s %s\n", p.Time, p.Cluster, n.Class, n.Name)
+	}
+	return string(sb)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.requests.Add(1)
+	var req CompileRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	jobs, err := s.buildJobs(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.jobs.Add(int64(len(jobs)))
+
+	timeout := s.opt.Timeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; timeout <= 0 || t < timeout {
+			timeout = t
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var wmu sync.Mutex
+
+	ctx := r.Context()
+	driver.ForEach(len(jobs), s.opt.Parallelism, func(i int) {
+		rec := s.compileJob(ctx, jobs[i], timeout, req.NoCache)
+		rec.Index = i
+		// Jobs drained by a client disconnect are not compile failures;
+		// counting them would make every hung-up stream look like an
+		// error storm on the metrics endpoint.
+		if rec.Error != "" && ctx.Err() == nil {
+			s.jobErrors.Add(1)
+		}
+		wmu.Lock()
+		defer wmu.Unlock()
+		// An encode error means the client hung up; the request context
+		// is canceled with it, so remaining jobs drain as cancellations.
+		if err := enc.Encode(rec); err == nil && flusher != nil {
+			flusher.Flush()
+		}
+	})
+}
+
+// compileJob resolves one job through the cache: a content-addressed
+// lookup, then a single-flight compile on miss. Only successful
+// results are cached; failures (including cancellations) are
+// recomputed on the next request.
+func (s *Server) compileJob(ctx context.Context, job driver.Job, timeout time.Duration, noCache bool) JobResult {
+	batch := driver.BatchOptions{
+		Timeout:   timeout,
+		Latencies: &job.Machine.Lat,
+		Registry:  s.opt.Registry,
+	}
+	compute := func() (any, error) {
+		res := driver.Compile(ctx, job, batch)
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		return Record(res), nil
+	}
+	if noCache {
+		val, err := compute()
+		if err != nil {
+			return JobResult{Job: job.String(), Error: err.Error()}
+		}
+		rec := val.(JobResult)
+		s.cache.Add(JobKey(job), rec)
+		return rec
+	}
+	val, hit, err := s.cache.Do(ctx, JobKey(job), compute)
+	if err != nil {
+		return JobResult{Job: job.String(), Error: err.Error()}
+	}
+	rec := val.(JobResult)
+	rec.Cached = hit
+	return rec
+}
+
+// buildJobs validates the request and assembles the job cross product.
+func (s *Server) buildJobs(req *CompileRequest) ([]driver.Job, error) {
+	if len(req.Loops) == 0 {
+		return nil, fmt.Errorf("no loops")
+	}
+	if len(req.Machines) == 0 {
+		return nil, fmt.Errorf("no machines")
+	}
+	if len(req.Schedulers) == 0 {
+		return nil, fmt.Errorf("no schedulers")
+	}
+	if n := len(req.Loops) * len(req.Machines) * len(req.Schedulers); n > MaxJobsPerRequest {
+		return nil, fmt.Errorf("%d jobs exceed the per-request limit of %d", n, MaxJobsPerRequest)
+	}
+	reg := s.opt.registry()
+	for _, name := range req.Schedulers {
+		if _, err := reg.Get(name); err != nil {
+			return nil, err
+		}
+	}
+	loops := make([]*loop.Loop, len(req.Loops))
+	for i, text := range req.Loops {
+		l, err := loop.ParseString(text)
+		if err != nil {
+			return nil, fmt.Errorf("loops[%d]: %w", i, err)
+		}
+		loops[i] = l
+	}
+	machines := make([]*machine.Machine, len(req.Machines))
+	for i, spec := range req.Machines {
+		m, err := spec.machine()
+		if err != nil {
+			return nil, fmt.Errorf("machines[%d]: %w", i, err)
+		}
+		machines[i] = m
+	}
+	return driver.Jobs(loops, machines, req.Schedulers, req.Options), nil
+}
+
+// Metrics is the GET /metrics payload.
+type Metrics struct {
+	Requests  int64        `json:"requests"`
+	Jobs      int64        `json:"jobs"`
+	JobErrors int64        `json:"job_errors"`
+	Cache     CacheMetrics `json:"cache"`
+}
+
+// Snapshot collects the service counters.
+func (s *Server) Snapshot() Metrics {
+	return Metrics{
+		Requests:  s.requests.Load(),
+		Jobs:      s.jobs.Load(),
+		JobErrors: s.jobErrors.Load(),
+		Cache:     s.cache.Metrics(),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Snapshot())
+}
+
+func (s *Server) handleSchedulers(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name      string `json:"name"`
+		Clustered bool   `json:"clustered"`
+	}
+	reg := s.opt.registry()
+	entries := make([]entry, 0, len(reg.Names()))
+	for _, name := range reg.Names() {
+		sched, err := reg.Get(name)
+		if err != nil {
+			continue // raced with a concurrent (test) registration
+		}
+		entries = append(entries, entry{Name: name, Clustered: sched.Clustered()})
+	}
+	writeJSON(w, entries)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,388 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/loop"
+	"repro/internal/machine"
+)
+
+// goldenLoops reads the checked-in loop corpus the text-format golden
+// tests use, so the service is exercised on exactly the loops whose
+// schedules the rest of the suite pins down.
+func goldenLoops(t *testing.T) []string {
+	t.Helper()
+	dir := filepath.Join("..", "loop", "testdata")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".loop") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		texts = append(texts, string(data))
+	}
+	if len(texts) == 0 {
+		t.Fatal("no golden loops found")
+	}
+	return texts
+}
+
+// postCompile submits one request and returns the streamed records
+// reordered by index.
+func postCompile(t *testing.T, url string, req CompileRequest) []JobResult {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	njobs := len(req.Loops) * len(req.Machines) * len(req.Schedulers)
+	records := make([]JobResult, njobs)
+	seen := make([]bool, njobs)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lines := 0
+	for sc.Scan() {
+		var rec JobResult
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if rec.Index < 0 || rec.Index >= njobs {
+			t.Fatalf("index %d out of range [0,%d)", rec.Index, njobs)
+		}
+		if seen[rec.Index] {
+			t.Fatalf("index %d streamed twice", rec.Index)
+		}
+		seen[rec.Index] = true
+		records[rec.Index] = rec
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != njobs {
+		t.Fatalf("streamed %d results for %d jobs", lines, njobs)
+	}
+	return records
+}
+
+// marshal renders a record the way the stream does, for byte-for-byte
+// comparison.
+func marshal(t *testing.T, rec JobResult) string {
+	t.Helper()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServerEndToEnd is the service acceptance test: a server on a
+// random port compiles the golden corpus, the streamed results match
+// direct driver.CompileAll output byte-for-byte, and a second
+// identical submission is served entirely from the cache — observable
+// through the metrics endpoint — with identical payloads.
+func TestServerEndToEnd(t *testing.T) {
+	svc := New(Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	texts := goldenLoops(t)
+	req := CompileRequest{
+		Loops:      texts,
+		Machines:   []MachineSpec{{Clusters: 2}, {Clusters: 4}},
+		Schedulers: []string{"dms", "twophase"},
+	}
+
+	// The reference: the same cross product compiled directly.
+	var loops []*loop.Loop
+	for _, text := range texts {
+		l, err := loop.ParseString(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loops = append(loops, l)
+	}
+	machines := []*machine.Machine{machine.Clustered(2), machine.Clustered(4)}
+	jobs := driver.Jobs(loops, machines, req.Schedulers, driver.Options{})
+	direct := driver.CompileAll(context.Background(), jobs, driver.BatchOptions{})
+
+	want := make([]string, len(jobs))
+	for i, res := range direct {
+		if res.Err != nil {
+			t.Fatalf("direct %s: %v", res.Job, res.Err)
+		}
+		rec := Record(res)
+		rec.Index = i
+		want[i] = marshal(t, rec)
+	}
+
+	// Cold run: everything compiled, nothing cached.
+	cold := postCompile(t, ts.URL, req)
+	for i, rec := range cold {
+		if rec.Cached {
+			t.Errorf("job %d cached on a cold run", i)
+		}
+		if got := marshal(t, rec); got != want[i] {
+			t.Errorf("job %d diverges from direct CompileAll:\n got %s\nwant %s", i, got, want[i])
+		}
+	}
+	met := svc.Snapshot()
+	if met.Cache.Misses != uint64(len(jobs)) || met.Cache.Hits != 0 {
+		t.Fatalf("cold metrics = %+v, want %d misses and 0 hits", met.Cache, len(jobs))
+	}
+
+	// Warm run: byte-identical payloads, all served from the cache.
+	warm := postCompile(t, ts.URL, req)
+	for i, rec := range warm {
+		if !rec.Cached {
+			t.Errorf("job %d not cached on the warm run", i)
+		}
+		rec.Cached = false
+		if got := marshal(t, rec); got != want[i] {
+			t.Errorf("warm job %d diverges:\n got %s\nwant %s", i, got, want[i])
+		}
+	}
+
+	// The metrics endpoint must expose the full hit count.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Hits != uint64(len(jobs)) {
+		t.Errorf("hits = %d, want %d (second submission must be a full cache hit)", m.Cache.Hits, len(jobs))
+	}
+	if m.Cache.Misses != uint64(len(jobs)) {
+		t.Errorf("misses = %d, want %d (warm run must not recompile)", m.Cache.Misses, len(jobs))
+	}
+	if m.Requests != 2 || m.Jobs != int64(2*len(jobs)) || m.JobErrors != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+// TestServerConcurrentIdenticalRequests hammers one job set from many
+// clients at once: whatever the interleaving, each distinct job is
+// compiled at most once (single-flight + cache), which the miss
+// counter proves.
+func TestServerConcurrentIdenticalRequests(t *testing.T) {
+	svc := New(Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	req := CompileRequest{
+		Loops:      goldenLoops(t),
+		Machines:   []MachineSpec{{Clusters: 4}},
+		Schedulers: []string{"dms"},
+	}
+	njobs := len(req.Loops)
+	const clients = 8
+	var wg sync.WaitGroup
+	first := make([][]JobResult, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			first[c] = postCompile(t, ts.URL, req)
+		}(c)
+	}
+	wg.Wait()
+	for c := 1; c < clients; c++ {
+		for i := range first[c] {
+			a, b := first[0][i], first[c][i]
+			a.Cached, b.Cached = false, false
+			if marshal(t, a) != marshal(t, b) {
+				t.Errorf("client %d job %d differs from client 0", c, i)
+			}
+		}
+	}
+	met := svc.Snapshot()
+	if met.Cache.Misses != uint64(njobs) {
+		t.Errorf("misses = %d, want %d (each job must compile exactly once across %d concurrent clients)",
+			met.Cache.Misses, njobs, clients)
+	}
+}
+
+// TestServerJobErrorIsolation: a job that cannot schedule (IMS on a
+// clustered machine) is reported in its own stream line and does not
+// disturb its neighbours; failures are never cached.
+func TestServerJobErrorIsolation(t *testing.T) {
+	svc := New(Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	req := CompileRequest{
+		Loops:      goldenLoops(t)[:1],
+		Machines:   []MachineSpec{{Clusters: 2}},
+		Schedulers: []string{"dms", "ims"}, // ims rejects clustered machines
+	}
+	for round := 0; round < 2; round++ {
+		recs := postCompile(t, ts.URL, req)
+		if recs[0].Error != "" || recs[0].Schedule == "" {
+			t.Fatalf("round %d: dms job: %+v", round, recs[0])
+		}
+		if recs[1].Error == "" || !strings.Contains(recs[1].Error, "unclustered") {
+			t.Fatalf("round %d: ims job did not fail as expected: %+v", round, recs[1])
+		}
+		if recs[1].Cached {
+			t.Fatalf("round %d: error result served from cache", round)
+		}
+	}
+	if met := svc.Snapshot(); met.JobErrors != 2 {
+		t.Errorf("job errors = %d, want 2 (failures recompute every round)", met.JobErrors)
+	}
+}
+
+// TestServerRequestValidation pins the 400 paths: empty axes,
+// malformed loops, unknown schedulers, bad machines, oversized cross
+// products and non-POST methods.
+func TestServerRequestValidation(t *testing.T) {
+	svc := New(Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty body", ``},
+		{"no loops", `{"machines":[{"clusters":2}],"schedulers":["dms"]}`},
+		{"no machines", `{"loops":["loop a trip 1\nx = load\n"],"schedulers":["dms"]}`},
+		{"no schedulers", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"clusters":2}]}`},
+		{"bad loop", `{"loops":["not a loop"],"machines":[{"clusters":2}],"schedulers":["dms"]}`},
+		{"unknown scheduler", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"clusters":2}],"schedulers":["nope"]}`},
+		{"bad machine", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"clusters":0}],"schedulers":["dms"]}`},
+		{"bad machine config", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"config":{"clusters":0}}],"schedulers":["dms"]}`},
+		{"unknown field", `{"loop_texts":["x"],"machines":[{"clusters":2}],"schedulers":["dms"]}`},
+	}
+	for _, tc := range cases {
+		if code := post(tc.body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /compile: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerMachineSpecs covers the three machine forms: clustered,
+// unclustered, and a full JSON config with a custom latency model.
+func TestServerMachineSpecs(t *testing.T) {
+	svc := New(Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cfg, err := json.Marshal(machine.ClusteredWithCopyFUs(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopText := goldenLoops(t)[0]
+	recs := postCompile(t, ts.URL, CompileRequest{
+		Loops:      []string{loopText},
+		Machines:   []MachineSpec{{Clusters: 3}, {Config: cfg}},
+		Schedulers: []string{"dms"},
+	})
+	for i, rec := range recs {
+		if rec.Error != "" {
+			t.Errorf("job %d: %s", i, rec.Error)
+		}
+	}
+	recs = postCompile(t, ts.URL, CompileRequest{
+		Loops:      []string{loopText},
+		Machines:   []MachineSpec{{Clusters: 2, Unclustered: true}},
+		Schedulers: []string{"ims", "sms"},
+	})
+	for i, rec := range recs {
+		if rec.Error != "" {
+			t.Errorf("unclustered job %d: %s", i, rec.Error)
+		}
+	}
+}
+
+// TestServerSchedulersAndHealth covers the discovery endpoints.
+func TestServerSchedulersAndHealth(t *testing.T) {
+	svc := New(Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/schedulers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var entries []struct {
+		Name      string `json:"name"`
+		Clustered bool   `json:"clustered"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		got[e.Name] = e.Clustered
+	}
+	want := map[string]bool{"dms": true, "twophase": true, "ims": false, "sms": false}
+	for name, clustered := range want {
+		family, ok := got[name]
+		if !ok || family != clustered {
+			t.Errorf("schedulers missing or misclassifying %s: %v", name, got)
+		}
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", hresp.StatusCode)
+	}
+}

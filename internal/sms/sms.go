@@ -14,6 +14,7 @@
 package sms
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -48,6 +49,14 @@ type Stats struct {
 // Schedule modulo-schedules the graph on an unclustered machine with
 // SMS. The graph is not modified.
 func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	return ScheduleCtx(context.Background(), g, m, opt)
+}
+
+// ScheduleCtx is Schedule with cooperative cancellation: ctx is checked
+// before every candidate-II attempt (including the promotion retries,
+// so a canceled context aborts within one attempt) and is forwarded to
+// the IMS fallback. The returned error wraps ctx.Err().
+func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
 	var st Stats
 	if m.Clusters != 1 {
 		return nil, st, fmt.Errorf("sms: machine %s has %d clusters; SMS handles unclustered machines only", m.Name, m.Clusters)
@@ -82,6 +91,9 @@ func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule
 		order := ordering(g, mii, boost)
 		promotions := 0
 		for {
+			if err := ctx.Err(); err != nil {
+				return nil, st, fmt.Errorf("sms: %s on %s: %w", g.Name(), m.Name, err)
+			}
 			st.IIsTried++
 			s, ok, stuck := tryII(g, m, order, ii, &st)
 			if ok {
@@ -97,7 +109,10 @@ func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule
 			order = ordering(g, mii, boost)
 		}
 	}
-	s, ist, err := ims.Schedule(g, m, ims.Options{MaxII: opt.MaxII})
+	if err := ctx.Err(); err != nil {
+		return nil, st, fmt.Errorf("sms: %s on %s: %w", g.Name(), m.Name, err)
+	}
+	s, ist, err := ims.ScheduleCtx(ctx, g, m, ims.Options{MaxII: opt.MaxII})
 	if err != nil {
 		return nil, st, fmt.Errorf("sms: %s failed within MaxII %d and the IMS fallback failed too: %w", g.Name(), maxII, err)
 	}

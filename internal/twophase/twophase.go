@@ -24,6 +24,7 @@
 package twophase
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -86,6 +87,14 @@ type Stats struct {
 // Schedule runs the two-phase baseline. The input graph is cloned;
 // the returned schedule references the clone with its static moves.
 func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
+	return ScheduleCtx(context.Background(), g, m, opt)
+}
+
+// ScheduleCtx is Schedule with cooperative cancellation: the II search
+// checks ctx between candidate IIs and periodically inside each
+// attempt's budget loop, so a canceled context aborts within one
+// candidate II. The returned error wraps ctx.Err().
+func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
 	var st Stats
 	if err := m.Validate(); err != nil {
 		return nil, st, err
@@ -113,11 +122,17 @@ func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule
 		maxII = mii
 	}
 	for ii := mii; ii <= maxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			return nil, st, fmt.Errorf("twophase: %s on %s: %w", g.Name(), m.Name, err)
+		}
 		st.IIsTried++
-		if s, ok := tryII(work, m, assign, ii, opt.budgetRatio(), &st); ok {
+		if s, ok := tryII(ctx, work, m, assign, ii, opt.budgetRatio(), &st); ok {
 			st.II = ii
 			return s, st, nil
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, fmt.Errorf("twophase: %s on %s: %w", g.Name(), m.Name, err)
 	}
 	return nil, st, fmt.Errorf("twophase: %s did not schedule on %s within MaxII %d", g.Name(), m.Name, maxII)
 }
@@ -319,8 +334,10 @@ func pinnedMII(g *ddg.Graph, m *machine.Machine, assign map[int]int) (int, error
 	return res, err
 }
 
-// tryII is the IMS core with pinned clusters.
-func tryII(g *ddg.Graph, m *machine.Machine, assign map[int]int, ii, budgetRatio int, st *Stats) (*schedule.Schedule, bool) {
+// tryII is the IMS core with pinned clusters. It returns ok=false when
+// the budget is exhausted or the context is canceled (the caller
+// re-checks ctx).
+func tryII(ctx context.Context, g *ddg.Graph, m *machine.Machine, assign map[int]int, ii, budgetRatio int, st *Stats) (*schedule.Schedule, bool) {
 	s := schedule.New(g, m, ii)
 	heights := g.Heights(ii)
 	prevTime := make(map[int]int)
@@ -341,6 +358,9 @@ func tryII(g *ddg.Graph, m *machine.Machine, assign map[int]int, ii, budgetRatio
 
 	for q.Len() > 0 {
 		if budget == 0 {
+			return nil, false
+		}
+		if budget&63 == 0 && ctx.Err() != nil {
 			return nil, false
 		}
 		budget--

@@ -32,6 +32,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/codegen"
 	"repro/internal/driver"
 	"repro/internal/lifetime"
@@ -92,6 +94,15 @@ func (o Options) scheduler() string {
 // selected back-end, schedule verification, queue register
 // allocation, and code generation.
 func Compile(l *loop.Loop, clusters int, opt Options) (*Compiled, error) {
+	return CompileCtx(context.Background(), l, clusters, opt)
+}
+
+// CompileCtx is Compile with cancellation: ctx is threaded through the
+// driver into the scheduler's II search, so a canceled context (or an
+// expired deadline) aborts scheduling work instead of running it to
+// completion. The long-running compile service (internal/server) and
+// the CLIs use this entry point.
+func CompileCtx(ctx context.Context, l *loop.Loop, clusters int, opt Options) (*Compiled, error) {
 	work := l
 	if opt.Unroll != 0 && opt.Unroll != 1 {
 		u, err := loop.Unroll(l, opt.Unroll)
@@ -108,7 +119,7 @@ func Compile(l *loop.Loop, clusters int, opt Options) (*Compiled, error) {
 	if opt.Unclustered && sched.Clustered() {
 		m = machine.Unclustered(clusters)
 	}
-	res := driver.CompileOne(driver.Job{
+	res := driver.CompileOne(ctx, driver.Job{
 		Loop:      work,
 		Machine:   m,
 		Scheduler: sched.Name(),
