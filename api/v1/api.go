@@ -1,0 +1,352 @@
+// Package api defines version 1 of the compile service's public wire
+// contract: the JSON request/response/error types, the NDJSON stream
+// framing, the structured error codes and the protocol version
+// handshake. It is the single source of truth shared by the server
+// (internal/server), the Go SDK (pkg/dmsclient), the dmsclient CLI and
+// any external client.
+//
+// The package deliberately imports nothing but the standard library,
+// so importing it pulls in no scheduler code. Conversions between
+// these wire types and the in-process driver types live next to the
+// server, not here.
+//
+// # Endpoints
+//
+//	POST /v1/compile     — compile a batch; the response is an NDJSON
+//	                       stream (see "Stream framing" below)
+//	GET  /v1/metrics     — service and cache counters (ServerMetrics)
+//	GET  /v1/schedulers  — registered back-ends ([]SchedulerInfo)
+//	GET  /v1/healthz     — liveness probe (Health)
+//
+// The unprefixed spellings of the same routes are deprecated aliases
+// kept for one release; they answer with a "Deprecation: true" header
+// and a "Link" header naming the successor route.
+//
+// # Stream framing
+//
+// A /v1/compile response body is NDJSON: one JSON object per line.
+// Every line but the last is a JobResult, emitted in completion order
+// (reorder by Index to recover request order). The final line is a
+// terminal summary record of the form
+//
+//	{"summary":{"jobs":N,"errors":E,"cached":C}}
+//
+// distinguished from result lines by its single "summary" key; use
+// DecodeStreamLine to classify lines. Legacy /compile responses omit
+// the summary record (their framing predates it).
+//
+// # Versioning
+//
+// The protocol version is carried in the Dms-Protocol header of every
+// response and may be asserted by clients in CompileRequest.Protocol.
+// Within v1, changes are additive only: new response fields may appear
+// at any time, so clients MUST ignore unknown fields (every type here
+// decodes tolerantly). Request fields are strict — the server rejects
+// unknown request fields with invalid_request, which turns a typo'd
+// option into an error instead of a silently different compile. A
+// breaking change mints /v2 alongside /v1; deprecated routes keep
+// answering for one release with a Deprecation header before removal.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Version is the protocol version implemented by this package, as it
+// appears in route prefixes, the Dms-Protocol header and
+// CompileRequest.Protocol.
+const Version = "v1"
+
+// ProtocolHeader is the response header naming the protocol version
+// the server spoke ("v1"). Clients verify it during the handshake.
+const ProtocolHeader = "Dms-Protocol"
+
+// DeprecationHeader marks responses served from a deprecated legacy
+// route ("true" when present).
+const DeprecationHeader = "Deprecation"
+
+// Route paths of the v1 surface.
+const (
+	PathCompile    = "/v1/compile"
+	PathMetrics    = "/v1/metrics"
+	PathSchedulers = "/v1/schedulers"
+	PathHealth     = "/v1/healthz"
+)
+
+// ErrorCode classifies every failure the service reports, both
+// request-level (ErrorResponse) and per-job (JobResult.ErrorCode).
+type ErrorCode string
+
+const (
+	// CodeInvalidRequest: the request body failed validation (bad JSON,
+	// unknown fields, empty axes, malformed loop or machine, oversized
+	// cross product).
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	// CodeUnknownScheduler: a scheduler name is not in the registry.
+	CodeUnknownScheduler ErrorCode = "unknown_scheduler"
+	// CodeTimeout: the per-job scheduling timeout expired. Retryable.
+	CodeTimeout ErrorCode = "timeout"
+	// CodeCanceled: the job was canceled (client disconnect or server
+	// shutdown) before it finished. Retryable.
+	CodeCanceled ErrorCode = "canceled"
+	// CodeNotFound: no route matches the request path.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeMethodNotAllowed: the route exists but not for this method.
+	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// CodeInternal: any other server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// Retryable reports whether a job that failed with this code may
+// succeed if resubmitted unchanged (the failure was a scheduling
+// deadline or cancellation, not a property of the job itself).
+func (c ErrorCode) Retryable() bool {
+	return c == CodeTimeout || c == CodeCanceled
+}
+
+// HTTPStatus is the status the service pairs with a request-level
+// error of this code.
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeInvalidRequest, CodeUnknownScheduler:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeTimeout:
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Error is a structured service error.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// ErrorResponse is the JSON body of every non-200 response.
+type ErrorResponse struct {
+	Error Error `json:"error"`
+}
+
+// Options is the scheduler-independent tuning surface, broadcast to
+// every job of a request. It mirrors the driver's options; fields a
+// back-end does not understand are ignored by it.
+type Options struct {
+	// BudgetRatio bounds scheduling attempts at BudgetRatio × ops per
+	// candidate II (0 = the scheduler's default).
+	BudgetRatio int `json:"budget_ratio,omitempty"`
+	// MaxII caps the candidate initiation interval (0 = derived bound).
+	MaxII int `json:"max_ii,omitempty"`
+	// DisableChains and OneDirectionOnly are the DMS ablation switches.
+	DisableChains    bool `json:"disable_chains,omitempty"`
+	OneDirectionOnly bool `json:"one_direction_only,omitempty"`
+	// RefinementPasses and LoadSlack tune the two-phase baseline's
+	// partitioner (0 = defaults).
+	RefinementPasses int `json:"refinement_passes,omitempty"`
+	LoadSlack        int `json:"load_slack,omitempty"`
+}
+
+// MachineSpec names one target machine: either a conventional family
+// member by cluster count, or a full JSON machine description.
+type MachineSpec struct {
+	// Clusters picks the conventional clustered machine of that size,
+	// or the equivalent unclustered machine with Unclustered set.
+	Clusters    int  `json:"clusters,omitempty"`
+	Unclustered bool `json:"unclustered,omitempty"`
+	// Config, when present, is a full machine description in the
+	// server's JSON config format and overrides the other fields.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+// CompileRequest is the JSON body of POST /v1/compile. The job list is
+// the (loops × machines × schedulers) cross product in deterministic
+// order — loops outermost, schedulers innermost — so job index i maps
+// back to axes as
+//
+//	loop      i / (len(machines) * len(schedulers))
+//	machine   (i / len(schedulers)) % len(machines)
+//	scheduler i % len(schedulers)
+type CompileRequest struct {
+	// Protocol asserts the protocol version the client speaks (""
+	// or "v1"); any other value is rejected with invalid_request.
+	Protocol string `json:"protocol,omitempty"`
+	// Loops are loop files in the service's textual loop format.
+	Loops []string `json:"loops"`
+	// Machines select the targets.
+	Machines []MachineSpec `json:"machines"`
+	// Schedulers are registry names (see GET /v1/schedulers).
+	Schedulers []string `json:"schedulers"`
+	// Options is broadcast to every job.
+	Options Options `json:"options"`
+	// TimeoutMS bounds each job's scheduling time in milliseconds; it
+	// can only tighten the server-side timeout, never extend it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the cache lookup (results are still stored),
+	// for measurements that need a cold compile.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Jobs returns the size of the request's job cross product.
+func (r *CompileRequest) Jobs() int {
+	return len(r.Loops) * len(r.Machines) * len(r.Schedulers)
+}
+
+// JobAxes maps a job index back to its (loop, machine, scheduler)
+// indices in the request, inverting the cross-product order.
+func (r *CompileRequest) JobAxes(index int) (loop, machine, scheduler int) {
+	ns, nm := len(r.Schedulers), len(r.Machines)
+	return index / (nm * ns), (index / ns) % nm, index % ns
+}
+
+// Stats is the normalized scheduling report of one job.
+type Stats struct {
+	MII        int `json:"mii"`        // lower bound the search started from
+	II         int `json:"ii"`         // achieved initiation interval
+	IIsTried   int `json:"iis_tried"`  // candidate IIs attempted
+	Placements int `json:"placements"` // placement operations across all IIs
+	Evictions  int `json:"evictions"`  // operations unscheduled by backtracking
+	// Extra holds scheduler-specific counters under documented keys.
+	Extra map[string]int `json:"extra,omitempty"`
+}
+
+// ScheduleMetrics are the dynamic cycle/IPC measurements of one
+// schedule at the loop's trip count.
+type ScheduleMetrics struct {
+	II      int     `json:"ii"`
+	Len     int     `json:"len"`
+	Stages  int     `json:"stages"`
+	Trip    int     `json:"trip"`
+	Useful  int     `json:"useful"` // useful (non-copy/move) static operations
+	Cycles  int64   `json:"cycles"`
+	IPC     float64 `json:"ipc"`
+	MovesIn int     `json:"moves_in"` // copy+move operations in the final graph
+}
+
+// JobResult is one result line of a /v1/compile response stream.
+type JobResult struct {
+	// Index is the job's position in request order; lines arrive in
+	// completion order, so clients reorder by Index.
+	Index int `json:"index"`
+	// Job names the (loop, machine, scheduler) triple.
+	Job string `json:"job"`
+	// Error and ErrorCode are set instead of the remaining fields when
+	// the job failed. Jobs with a Retryable code may be resubmitted.
+	Error     string    `json:"error,omitempty"`
+	ErrorCode ErrorCode `json:"error_code,omitempty"`
+
+	MII      int              `json:"mii,omitempty"`
+	II       int              `json:"ii,omitempty"`
+	Stats    *Stats           `json:"stats,omitempty"`
+	Metrics  *ScheduleMetrics `json:"metrics,omitempty"`
+	Schedule string           `json:"schedule,omitempty"`
+
+	// Cached reports that the result was served from the cache (or a
+	// shared in-flight computation) rather than compiled for this job.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Summary is the terminal record of a /v1/compile stream: the stream
+// is complete exactly when a summary line has been read.
+type Summary struct {
+	// Jobs is the number of JobResult lines the stream carried.
+	Jobs int `json:"jobs"`
+	// Errors counts result lines with a non-empty Error.
+	Errors int `json:"errors"`
+	// Cached counts result lines served from the cache.
+	Cached int `json:"cached"`
+}
+
+// summaryLine is the wire form of the terminal record.
+type summaryLine struct {
+	Summary *Summary `json:"summary"`
+}
+
+// EncodeSummaryLine renders the terminal stream record for a summary
+// (without a trailing newline).
+func EncodeSummaryLine(s Summary) ([]byte, error) {
+	return json.Marshal(summaryLine{Summary: &s})
+}
+
+// DecodeStreamLine classifies and decodes one NDJSON line of a
+// /v1/compile response: exactly one of the returned result and summary
+// is non-nil. Unknown fields are ignored for forward compatibility.
+func DecodeStreamLine(line []byte) (*JobResult, *Summary, error) {
+	var probe summaryLine
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return nil, nil, fmt.Errorf("api: bad stream line: %w", err)
+	}
+	if probe.Summary != nil {
+		return nil, probe.Summary, nil
+	}
+	var rec JobResult
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil, nil, fmt.Errorf("api: bad stream line: %w", err)
+	}
+	return &rec, nil, nil
+}
+
+// SchedulerInfo is one entry of the GET /v1/schedulers response.
+type SchedulerInfo struct {
+	Name string `json:"name"`
+	// Clustered reports the machine family the back-end targets.
+	Clustered bool `json:"clustered"`
+}
+
+// CacheMetrics is a snapshot of the server's result-cache counters.
+type CacheMetrics struct {
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Shared     uint64 `json:"shared"` // joins of an in-flight computation
+	Evictions  uint64 `json:"evictions"`
+	Entries    int    `json:"entries"`
+	Inflight   int    `json:"inflight"`
+	MaxEntries int    `json:"max_entries"`
+}
+
+// ServerMetrics is the GET /v1/metrics payload.
+type ServerMetrics struct {
+	Requests  int64        `json:"requests"`
+	Jobs      int64        `json:"jobs"`
+	JobErrors int64        `json:"job_errors"`
+	Cache     CacheMetrics `json:"cache"`
+}
+
+// Health is the GET /v1/healthz payload.
+type Health struct {
+	Status   string `json:"status"` // "ok"
+	Protocol string `json:"protocol"`
+}
+
+// FormatExtra renders a Stats.Extra counter map as "k1=v1 k2=v2" with
+// keys sorted, so CLI and log output is byte-deterministic across
+// runs. It returns "" for an empty map.
+func FormatExtra(extra map[string]int) string {
+	if len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = fmt.Appendf(b, "%s=%d", k, extra[k])
+	}
+	return string(b)
+}

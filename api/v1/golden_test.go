@@ -1,0 +1,140 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire-format file")
+
+// goldenDoc is one canonical, fully-populated instance of every v1
+// wire type. Its serialized form is pinned in testdata; any change to
+// a JSON tag, field order, omitempty behaviour or type shape shows up
+// as a golden diff and must be treated as a (breaking) protocol
+// change, not a refactor.
+func goldenDoc() any {
+	return struct {
+		CompileRequest CompileRequest  `json:"compile_request"`
+		JobResult      JobResult       `json:"job_result"`
+		ErrorResult    JobResult       `json:"error_result"`
+		SummaryLine    json.RawMessage `json:"summary_line"`
+		ErrorResponse  ErrorResponse   `json:"error_response"`
+		Schedulers     []SchedulerInfo `json:"schedulers"`
+		ServerMetrics  ServerMetrics   `json:"server_metrics"`
+		Health         Health          `json:"health"`
+	}{
+		CompileRequest: CompileRequest{
+			Protocol:   Version,
+			Loops:      []string{"loop dot trip 100\nx = load\ny = load\nm = mul x, y\nacc = add m, acc@1\nout = store acc\n"},
+			Machines:   []MachineSpec{{Clusters: 4}, {Clusters: 2, Unclustered: true}, {Config: json.RawMessage(`{"clusters":3}`)}},
+			Schedulers: []string{"dms", "ims"},
+			Options: Options{
+				BudgetRatio:      6,
+				MaxII:            64,
+				DisableChains:    true,
+				OneDirectionOnly: true,
+				RefinementPasses: 2,
+				LoadSlack:        1,
+			},
+			TimeoutMS: 30000,
+			NoCache:   true,
+		},
+		JobResult: JobResult{
+			Index: 5,
+			Job:   "dot/clustered-4/dms",
+			MII:   2,
+			II:    3,
+			Stats: &Stats{
+				MII: 2, II: 3, IIsTried: 2, Placements: 17, Evictions: 4,
+				Extra: map[string]int{"chains_built": 1, "copies_inserted": 2, "strategy1": 9},
+			},
+			Metrics: &ScheduleMetrics{
+				II: 3, Len: 9, Stages: 3, Trip: 100, Useful: 5, Cycles: 306, IPC: 1.633986928104575, MovesIn: 2,
+			},
+			Schedule: "t=0 c=0 mem x\nt=0 c=1 mem y\n",
+			Cached:   true,
+		},
+		ErrorResult: JobResult{
+			Index:     6,
+			Job:       "dot/clustered-4/dms",
+			Error:     "driver: dot/clustered-4/dms timed out after 1ms: context deadline exceeded",
+			ErrorCode: CodeTimeout,
+		},
+		SummaryLine:   mustSummaryLine(Summary{Jobs: 7, Errors: 1, Cached: 3}),
+		ErrorResponse: ErrorResponse{Error: Error{Code: CodeUnknownScheduler, Message: `driver: unknown scheduler "nope" (have dms, ims, sms, twophase)`}},
+		Schedulers: []SchedulerInfo{
+			{Name: "dms", Clustered: true},
+			{Name: "ims", Clustered: false},
+		},
+		ServerMetrics: ServerMetrics{
+			Requests: 12, Jobs: 340, JobErrors: 2,
+			Cache: CacheMetrics{Hits: 200, Misses: 140, Shared: 7, Evictions: 3, Entries: 137, Inflight: 1, MaxEntries: 4096},
+		},
+		Health: Health{Status: "ok", Protocol: Version},
+	}
+}
+
+func mustSummaryLine(s Summary) json.RawMessage {
+	b, err := EncodeSummaryLine(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// TestGoldenWireFormat pins the v1 wire format byte-for-byte. If this
+// test fails after a change, the change is protocol-visible: either
+// revert it, or mint a v2 — do not regenerate the golden file to make
+// an accidental break pass CI.
+func TestGoldenWireFormat(t *testing.T) {
+	got, err := json.MarshalIndent(goldenDoc(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "wire_v1.golden.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./api/v1 -update` once to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("v1 wire format drifted from the golden file.\nThis is a breaking protocol change if shipped.\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGoldenDecodes proves the pinned document is not just stable but
+// usable: the golden bytes decode back into the same values that
+// produced them (so the file cannot drift into something only the
+// encoder understands).
+func TestGoldenDecodes(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "wire_v1.golden.json"))
+	if err != nil {
+		t.Skip("golden file not generated yet")
+	}
+	var doc struct {
+		CompileRequest CompileRequest `json:"compile_request"`
+		JobResult      JobResult      `json:"job_result"`
+		ErrorResult    JobResult      `json:"error_result"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.CompileRequest.Jobs() != 6 {
+		t.Errorf("golden request decodes to %d jobs, want 6", doc.CompileRequest.Jobs())
+	}
+	if doc.JobResult.Stats == nil || doc.JobResult.Stats.Placements != 17 {
+		t.Errorf("golden job result stats decoded wrong: %+v", doc.JobResult.Stats)
+	}
+	if !doc.ErrorResult.ErrorCode.Retryable() {
+		t.Errorf("golden error result %q must be retryable", doc.ErrorResult.ErrorCode)
+	}
+}

@@ -1,4 +1,4 @@
-package repro
+package repro_test
 
 // Benchmark harness for the paper's evaluation. One benchmark per data
 // figure regenerates the figure on a corpus sample and reports the
@@ -15,6 +15,7 @@ import (
 	"context"
 	"testing"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/experiment"
@@ -201,7 +202,7 @@ func BenchmarkCopyInsertion(b *testing.B) {
 // BenchmarkQueueAllocation measures lifetime analysis plus FIFO queue
 // packing.
 func BenchmarkQueueAllocation(b *testing.B) {
-	c, err := Compile(perfect.KernelFIR4(), 6, Options{Unroll: 4})
+	c, err := repro.Compile(perfect.KernelFIR4(), 6, repro.Options{Unroll: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -215,13 +216,17 @@ func BenchmarkQueueAllocation(b *testing.B) {
 
 // BenchmarkSimulate measures the cycle-accurate simulator.
 func BenchmarkSimulate(b *testing.B) {
-	c, err := Compile(perfect.KernelFIR4(), 4, Options{})
+	c, err := repro.Compile(perfect.KernelFIR4(), 4, repro.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := c.Allocation()
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := vliw.Simulate(c.Schedule, c.Allocation, c.Metrics.Trip); err != nil {
+		if _, err := vliw.Simulate(c.Schedule, alloc, c.Metrics.Trip); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,8 +2,11 @@
 // (DMS by default) and prints the schedule, the queue register
 // allocation, the generated VLIW code, and a simulation report.
 //
-// Schedulers are resolved by name through internal/driver, so every
-// back-end added to the registry is immediately selectable here.
+// Compilation goes through the repro facade (repro.New), so this CLI,
+// the library, the batch tool and the compile service all construct
+// jobs through one audited path; schedulers are resolved by name
+// through internal/driver, so every back-end added to the registry is
+// immediately selectable here.
 //
 // Usage:
 //
@@ -24,14 +27,13 @@ import (
 	"sort"
 	"syscall"
 
-	"repro/internal/codegen"
+	"repro"
+	api "repro/api/v1"
 	"repro/internal/driver"
-	"repro/internal/lifetime"
 	"repro/internal/loop"
 	"repro/internal/machine"
 	"repro/internal/perfect"
 	"repro/internal/schedule"
-	"repro/internal/vliw"
 )
 
 func main() {
@@ -76,33 +78,22 @@ func main() {
 	if *trip > 0 {
 		l.Trip = *trip
 	}
-	if *unroll > 1 {
-		u, err := loop.Unroll(l, *unroll)
-		if err != nil {
-			log.Fatal(err)
-		}
-		l = u
-	}
 
-	algo := *scheduler
-	if algo == "" {
+	req := repro.Request{
+		Loop:        l,
+		Clusters:    *clusters,
+		Scheduler:   *scheduler,
+		Unclustered: *unclustered,
+		Unroll:      *unroll,
+	}
+	if *machFile != "" {
+		// Scheduler/machine family pairing is validated by the facade
+		// and the back-end itself (which names the mismatch), so the
+		// CLI only rejects the flag combination that is contradictory
+		// on its face.
 		if *unclustered {
-			algo = "ims"
-		} else {
-			algo = "dms"
+			log.Fatal("-machine supplies an explicit target; it cannot be combined with -unclustered")
 		}
-	}
-	sched, err := driver.Get(algo)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var m *machine.Machine
-	switch {
-	case *machFile != "" && *unclustered:
-		log.Fatal("-machine describes a clustered target; it cannot be combined with -unclustered")
-	case *machFile != "" && !sched.Clustered():
-		log.Fatalf("-machine describes a clustered target; scheduler %q is unclustered", algo)
-	case *machFile != "":
 		f, err := os.Open(*machFile)
 		if err != nil {
 			log.Fatal(err)
@@ -112,38 +103,24 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m = cm
-	case *unclustered:
-		m = machine.Unclustered(*clusters)
-	default:
-		m = driver.MachineFor(sched, *clusters)
+		req.Machine = cm
 	}
 
 	// Interrupts cancel the in-progress II search through the driver
 	// context instead of killing the process mid-print.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	res := driver.CompileOne(ctx, driver.Job{Loop: l, Machine: m, Scheduler: algo})
-	if res.Err != nil {
-		log.Fatal(res.Err)
+	c, err := repro.New().Compile(ctx, req)
+	if err != nil {
+		log.Fatal(err)
 	}
-	s, st := res.Schedule, res.Stats
+	s, st := c.Schedule, c.Stats
 	fmt.Printf("%s on %s (%s): II=%d (MII %d), len=%d, stages=%d\n",
-		l.Name, m.Name, algo, st.II, st.MII, s.Len(), s.Stages())
-	if len(st.Extra) > 0 {
-		keys := make([]string, 0, len(st.Extra))
-		for k := range st.Extra {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		sep := ""
-		for _, k := range keys {
-			fmt.Printf("%s%s=%d", sep, k, st.Extra[k])
-			sep = " "
-		}
-		fmt.Println()
+		l.Name, c.Machine.Name, c.Scheduler, st.II, st.MII, s.Len(), s.Stages())
+	if extra := api.FormatExtra(st.Extra); extra != "" {
+		fmt.Println(extra)
 	}
-	met := res.Metrics
+	met := c.Metrics
 	fmt.Printf("dynamic: trip=%d cycles=%d IPC=%.2f (useful ops %d, overhead ops %d)\n\n",
 		met.Trip, met.Cycles, met.IPC, met.Useful, met.MovesIn)
 
@@ -155,13 +132,13 @@ func main() {
 		fmt.Println(schedule.Gantt(s))
 	}
 	if *show == "queues" || showAll {
-		printQueues(s)
+		printQueues(c)
 	}
 	if *show == "code" || showAll {
-		printCode(s, l.Trip)
+		printCode(c)
 	}
 	if *show == "sim" || showAll {
-		printSim(s, l.Trip)
+		printSim(c)
 	}
 	if *show == "dot" {
 		fmt.Print(s.Graph().Dot())
@@ -217,12 +194,12 @@ func printSchedule(s *schedule.Schedule) {
 	fmt.Println()
 }
 
-func printQueues(s *schedule.Schedule) {
-	alloc, err := lifetime.Analyze(s)
+func printQueues(c *repro.Compiled) {
+	alloc, err := c.Allocation()
 	if err != nil {
 		log.Fatal(err)
 	}
-	g := s.Graph()
+	g := c.Schedule.Graph()
 	fmt.Printf("queue register allocation: %d queues, max depth %d\n", alloc.TotalQueues(), alloc.MaxDepth())
 	for _, f := range alloc.Files {
 		fmt.Printf("  %s: %d queue(s)\n", f.Name(), len(f.Queues))
@@ -237,21 +214,17 @@ func printQueues(s *schedule.Schedule) {
 	fmt.Println()
 }
 
-func printCode(s *schedule.Schedule, trip int) {
-	p, err := codegen.Emit(s, trip)
+func printCode(c *repro.Compiled) {
+	p, err := c.Program()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(p.Render(s))
+	fmt.Print(p.Render(c.Schedule))
 	fmt.Println()
 }
 
-func printSim(s *schedule.Schedule, trip int) {
-	alloc, err := lifetime.Analyze(s)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := vliw.Simulate(s, alloc, trip)
+func printSim(c *repro.Compiled) {
+	res, err := c.Simulate()
 	if err != nil {
 		log.Fatalf("simulation failed: %v", err)
 	}

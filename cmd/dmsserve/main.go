@@ -1,19 +1,21 @@
 // Command dmsserve runs the long-running compile service: an HTTP
 // JSON API over the batch driver with a content-addressed schedule
-// cache (see internal/server).
+// cache (see internal/server). The wire contract is repro/api/v1,
+// served under /v1 (the unprefixed routes are deprecated aliases).
 //
 // Usage:
 //
 //	dmsserve -addr :8080 -cache 4096 -timeout 30s
 //
-// Submit work with any HTTP client; results stream back as NDJSON:
+// Submit work with cmd/dmsclient, the pkg/dmsclient SDK, or any HTTP
+// client; results stream back as NDJSON closed by a summary record:
 //
-//	curl -N localhost:8080/compile -d '{
+//	curl -N localhost:8080/v1/compile -d '{
 //	  "loops": ["loop dot trip 100\nx = load\ny = load\nm = mul x, y\nacc = add m, acc@1\nout = store acc\n"],
 //	  "machines": [{"clusters": 4}],
 //	  "schedulers": ["dms"]
 //	}'
-//	curl localhost:8080/metrics
+//	curl localhost:8080/v1/metrics
 //
 // SIGINT/SIGTERM drain the server gracefully: in-flight requests get a
 // shutdown grace period and their contexts cancel any scheduling work

@@ -6,20 +6,21 @@
 // accurate simulator, whose store trace is checked against a scalar
 // reference execution.
 //
+// The whole chain runs through the repro facade; the queue allocation,
+// code and simulation come from the Compiled's lazy back half.
+//
 //	go run ./examples/firpipeline
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/codegen"
-	"repro/internal/core"
+	"repro"
 	"repro/internal/ddg"
-	"repro/internal/lifetime"
 	"repro/internal/machine"
 	"repro/internal/perfect"
-	"repro/internal/schedule"
 	"repro/internal/vliw"
 )
 
@@ -31,27 +32,21 @@ func main() {
 	// every machine configuration must reproduce.
 	gold := vliw.NewReference(ddg.FromLoop(l, lat), l.Trip).StoreTrace()
 
+	comp := repro.New()
 	for _, clusters := range []int{2, 4, 8} {
-		m := machine.Clustered(clusters)
-		g := ddg.FromLoop(l, lat)
-		copies := ddg.InsertCopies(g, ddg.MaxUses)
-
-		s, stats, err := core.Schedule(g, m, core.Options{})
+		c, err := comp.Compile(context.Background(), repro.Request{Loop: l, Clusters: clusters})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := schedule.Verify(s); err != nil {
-			log.Fatal(err)
-		}
-		alloc, err := lifetime.Analyze(s)
+		alloc, err := c.Allocation()
 		if err != nil {
 			log.Fatal(err)
 		}
-		prog, err := codegen.Emit(s, l.Trip)
+		prog, err := c.Program()
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := vliw.Simulate(s, alloc, l.Trip)
+		res, err := c.Simulate()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,16 +56,16 @@ func main() {
 			}
 		}
 
-		met := s.Measure(l.Trip)
+		extra := c.Stats.Extra
 		fmt.Printf("%-14s II=%d copies=%d chains=%d queues=%d(depth≤%d) cycles=%d IPC=%.2f — %d stores verified\n",
-			m.Name, stats.II, copies, stats.ChainsBuilt-stats.ChainsDissolved,
-			alloc.TotalQueues(), alloc.MaxDepth(), met.Cycles, met.IPC, len(res.Stores))
+			c.Machine.Name, c.II, extra["copies_inserted"], extra["chains_built"]-extra["chains_dissolved"],
+			alloc.TotalQueues(), alloc.MaxDepth(), c.Metrics.Cycles, c.Metrics.IPC, len(res.Stores))
 		if clusters == 4 {
 			fmt.Println("\nsteady-state kernel on 4 clusters:")
 			for _, b := range prog.Kernel {
 				fmt.Printf("  +%d:", b.Cycle)
 				for _, op := range b.Ops {
-					n := s.Graph().Node(op.Node)
+					n := c.Schedule.Graph().Node(op.Node)
 					fmt.Printf(" [c%d %s %s]", op.Cluster, n.Class, n.Name)
 				}
 				fmt.Println()

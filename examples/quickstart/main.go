@@ -1,18 +1,18 @@
 // Quickstart: build a loop, schedule it with Distributed Modulo
-// Scheduling on a 4-cluster VLIW, and inspect the result.
+// Scheduling on a 4-cluster VLIW through the public facade, and
+// inspect the result.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/ddg"
+	"repro"
+	api "repro/api/v1"
 	"repro/internal/loop"
-	"repro/internal/machine"
-	"repro/internal/schedule"
 )
 
 func main() {
@@ -32,33 +32,28 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The paper's tool chain for clustered machines: build the
-	// dependence graph, limit fan-out with copy operations, then let
-	// DMS schedule and partition in a single phase.
-	m := machine.Clustered(4)
-	g := ddg.FromLoop(l, machine.DefaultLatencies())
-	copies := ddg.InsertCopies(g, ddg.MaxUses)
-
-	s, stats, err := core.Schedule(g, m, core.Options{})
+	// The paper's tool chain through the one audited path every caller
+	// shares (library, CLIs, compile service): copy insertion for the
+	// clustered target, then DMS scheduling and partitioning in a
+	// single phase, then verification and measurement.
+	c, err := repro.New().Compile(context.Background(), repro.Request{
+		Loop:     l,
+		Clusters: 4,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := schedule.Verify(s); err != nil {
-		log.Fatal(err) // never on a scheduler-produced schedule
-	}
 
-	fmt.Printf("machine:  %s\n", m)
-	fmt.Printf("copies:   %d inserted by the prepass\n", copies)
-	fmt.Printf("II:       %d (lower bound MII %d)\n", stats.II, stats.MII)
-	fmt.Printf("strategy: %d direct, %d via chains, %d forced\n",
-		stats.Strategy1, stats.Strategy2, stats.Strategy3)
+	fmt.Printf("machine:  %s\n", c.Machine)
+	fmt.Printf("II:       %d (lower bound MII %d)\n", c.II, c.MII)
+	fmt.Printf("counters: %s\n", api.FormatExtra(c.Stats.Extra))
+	fmt.Printf("dynamic:  %d cycles for %d iterations, IPC %.2f\n",
+		c.Metrics.Cycles, c.Metrics.Trip, c.Metrics.IPC)
 
-	met := s.Measure(l.Trip)
-	fmt.Printf("dynamic:  %d cycles for %d iterations, IPC %.2f\n", met.Cycles, met.Trip, met.IPC)
-
+	g := c.Schedule.Graph()
 	fmt.Println("\nplacements:")
 	for _, id := range g.NodeIDs() {
-		p, _ := s.At(id)
+		p, _ := c.Schedule.At(id)
 		n := g.Node(id)
 		fmt.Printf("  %-8s %-5s -> cluster %d, cycle %d\n", n.Name, n.Class, p.Cluster, p.Time)
 	}

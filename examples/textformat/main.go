@@ -1,21 +1,18 @@
 // textformat shows the textual loop format round trip: a loop with a
 // recurrence and a memory ordering dependence is parsed from text,
-// unrolled, scheduled on an 8-cluster ring, and printed back together
-// with its generated VLIW code.
+// unrolled and scheduled on an 8-cluster ring through the repro
+// facade, and printed back together with its generated VLIW code.
 //
 //	go run ./examples/textformat
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/codegen"
-	"repro/internal/core"
-	"repro/internal/ddg"
+	"repro"
 	"repro/internal/loop"
-	"repro/internal/machine"
-	"repro/internal/schedule"
 )
 
 const source = `
@@ -44,21 +41,22 @@ func main() {
 	}
 	fmt.Printf("\nunrolled by 2: %d ops, trip %d\n", u.NumOps(), u.Trip)
 
-	m := machine.Clustered(8)
-	g := ddg.FromLoop(u, machine.DefaultLatencies())
-	ddg.InsertCopies(g, ddg.MaxUses)
-	s, stats, err := core.Schedule(g, m, core.Options{})
+	// The facade's Request carries the unroll factor itself; passing
+	// the original loop keeps unrolling inside the audited path.
+	c, err := repro.New().Compile(context.Background(), repro.Request{
+		Loop:     l,
+		Clusters: 8,
+		Unroll:   2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := schedule.Verify(s); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("scheduled on %s: II=%d (MII %d), stages=%d\n\n", m.Name, stats.II, stats.MII, s.Stages())
+	fmt.Printf("scheduled on %s: II=%d (MII %d), stages=%d\n\n",
+		c.Machine.Name, c.II, c.MII, c.Schedule.Stages())
 
-	prog, err := codegen.Emit(s, u.Trip)
+	prog, err := c.Program()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(prog.Render(s))
+	fmt.Print(prog.Render(c.Schedule))
 }

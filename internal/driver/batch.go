@@ -125,8 +125,8 @@ func Compile(ctx context.Context, job Job, opt BatchOptions) Result {
 }
 
 // CompileOne compiles a single job synchronously with the default
-// registry and latencies; it is the one-loop entry point shared by the
-// facade and cmd/dms.
+// registry and latencies — the all-defaults convenience entry point
+// (the facade and CLIs go through Compile with explicit BatchOptions).
 func CompileOne(ctx context.Context, job Job) Result {
 	return Compile(ctx, job, BatchOptions{})
 }

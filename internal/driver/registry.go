@@ -1,11 +1,17 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 )
+
+// ErrUnknownScheduler is wrapped by every Get failure, so callers (the
+// compile service maps it to a structured wire error) can classify a
+// bad name with errors.Is without matching message text.
+var ErrUnknownScheduler = errors.New("unknown scheduler")
 
 // Registry maps scheduler names to back-ends. The zero value is not
 // usable; call NewRegistry. All methods are safe for concurrent use.
@@ -51,8 +57,8 @@ func (r *Registry) Get(name string) (Scheduler, error) {
 	s, ok := r.m[name]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("driver: unknown scheduler %q (have %s)",
-			name, strings.Join(r.Names(), ", "))
+		return nil, fmt.Errorf("driver: %w %q (have %s)",
+			ErrUnknownScheduler, name, strings.Join(r.Names(), ", "))
 	}
 	return s, nil
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro"
 	"repro/internal/ddg"
 	"repro/internal/driver"
 	"repro/internal/loop"
@@ -178,8 +179,10 @@ func Run(ctx context.Context, loops []*loop.Loop, clusters []int, cfg Config) (*
 }
 
 // RunOne evaluates one loop on the unclustered/clustered machine pair
-// with the given cluster count, dispatching both schedulers by name
-// through the driver registry.
+// with the given cluster count, compiling both sides through the repro
+// facade (which dispatches schedulers by name through the driver
+// registry). The facade's back-half artefacts are lazy, so the harness
+// pays only for scheduling and measurement.
 func RunOne(ctx context.Context, l *loop.Loop, clusters int, cfg Config) (LoopResult, error) {
 	lat := cfg.lat()
 	um := machine.Unclustered(clusters)
@@ -202,23 +205,23 @@ func RunOne(ctx context.Context, l *loop.Loop, clusters int, cfg Config) (LoopRe
 		HasRec:   ddg.FromLoop(l, lat).HasRecurrence(),
 	}
 	opts := driver.Options{BudgetRatio: cfg.BudgetRatio}
-	batch := driver.BatchOptions{Latencies: &lat}
+	comp := repro.New(repro.WithLatencies(lat))
 
-	ures := driver.Compile(ctx, driver.Job{
+	ures, err := comp.Compile(ctx, repro.Request{
 		Loop: ul, Machine: um, Scheduler: cfg.unclusteredScheduler(), Options: opts,
-	}, batch)
-	if ures.Err != nil {
-		return r, ures.Err
+	})
+	if err != nil {
+		return r, err
 	}
 	r.UnclusteredII = ures.Stats.II
 	r.UnclusteredCycles = ures.Metrics.Cycles
 	r.UsefulInstr = int64(ures.Metrics.Useful) * int64(ul.Trip)
 
-	cres := driver.Compile(ctx, driver.Job{
+	cres, err := comp.Compile(ctx, repro.Request{
 		Loop: ul, Machine: cm, Scheduler: cfg.clusteredScheduler(), Options: opts,
-	}, batch)
-	if cres.Err != nil {
-		return r, cres.Err
+	})
+	if err != nil {
+		return r, err
 	}
 	r.ClusteredII = cres.Stats.II
 	r.ClusteredCycles = cres.Metrics.Cycles

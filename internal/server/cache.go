@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	api "repro/api/v1"
 )
 
 // DefaultCacheSize bounds the result cache when Options.CacheSize is
@@ -155,23 +157,12 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
-// CacheMetrics is a point-in-time snapshot of the cache counters,
-// served by the metrics endpoint.
-type CacheMetrics struct {
-	Hits       uint64 `json:"hits"`
-	Misses     uint64 `json:"misses"`
-	Shared     uint64 `json:"shared"` // joins of an in-flight computation
-	Evictions  uint64 `json:"evictions"`
-	Entries    int    `json:"entries"`
-	Inflight   int    `json:"inflight"`
-	MaxEntries int    `json:"max_entries"`
-}
-
-// Metrics snapshots the counters.
-func (c *Cache) Metrics() CacheMetrics {
+// Metrics snapshots the counters in the wire form served by the
+// metrics endpoint.
+func (c *Cache) Metrics() api.CacheMetrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheMetrics{
+	return api.CacheMetrics{
 		Hits:       c.hits,
 		Misses:     c.misses,
 		Shared:     c.shared,

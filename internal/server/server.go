@@ -1,7 +1,29 @@
-// Package server is the long-running compile service: an HTTP JSON API
-// over the batch driver that accepts loop files, schedules every
+// Package server is the long-running compile service: an HTTP JSON
+// API over the batch driver that accepts loop files, schedules every
 // (loop × machine × scheduler) job on a worker pool, and streams
 // per-job results back as they complete.
+//
+// The wire contract — request/response/error types, NDJSON stream
+// framing, error codes, protocol versioning — is defined once in the
+// public package repro/api/v1 and served under the /v1 route prefix:
+//
+//	POST /v1/compile     — compile a batch; the response is NDJSON,
+//	                       one api.JobResult per line in completion
+//	                       order, closed by a terminal summary record
+//	GET  /v1/metrics     — service and cache counters as JSON
+//	GET  /v1/schedulers  — registered back-ends and their family
+//	GET  /v1/healthz     — liveness probe
+//
+// The unprefixed spellings of the same routes are deprecated aliases
+// kept for one release, behavior-compatible with the pre-v1 service:
+// /compile streams the same result lines (without the summary record,
+// which postdates it) and keeps its flat {"error":"..."} failure
+// bodies, the read routes accept any method as they always did, and
+// /healthz keeps its text/plain "ok" body for probes that match on
+// it. Every alias response carries a "Deprecation: true" header and a
+// "Link" to the successor route. On the v1 surface, unknown routes
+// and wrong methods return the structured api error JSON, never plain
+// text.
 //
 // Identical jobs are memoized in a content-addressed cache (see Key):
 // the schedule for a (canonical loop, machine config, scheduler,
@@ -9,15 +31,6 @@
 // share a single in-flight computation, and repeats are served from an
 // LRU-bounded table. Hit/miss/in-flight counters are exported on the
 // metrics endpoint.
-//
-// Endpoints:
-//
-//	POST /compile     — compile a batch; the response is NDJSON, one
-//	                    JobResult per line in completion order (each
-//	                    line carries the job's index in request order)
-//	GET  /metrics     — cache and request counters as JSON
-//	GET  /schedulers  — registered back-ends and their machine family
-//	GET  /healthz     — liveness probe
 //
 // Cancellation rides the request context: when a client disconnects or
 // a per-job timeout fires, the context reaches the scheduler's II
@@ -29,6 +42,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -36,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	api "repro/api/v1"
 	"repro/internal/driver"
 	"repro/internal/loop"
 	"repro/internal/machine"
@@ -90,52 +105,69 @@ func New(opt Options) *Server {
 // Cache exposes the result cache (for tests and metrics).
 func (s *Server) Cache() *Cache { return s.cache }
 
-// Handler returns the service's HTTP handler.
+// route wraps a handler with the protocol plumbing every endpoint
+// shares: the version header, the deprecation headers on legacy
+// aliases, and the structured method_not_allowed error.
+func (s *Server) route(method string, deprecated bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.ProtocolHeader, api.Version)
+		if deprecated {
+			w.Header().Set(api.DeprecationHeader, "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=\"successor-version\"", "/v1", r.URL.Path))
+		}
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeErrorShaped(w, deprecated, api.CodeMethodNotAllowed, "%s does not allow %s (use %s)", r.URL.Path, r.Method, method)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// legacy wraps a deprecated unprefixed alias: deprecation headers and
+// no method check — the unprefixed read routes never had one, and
+// pre-v1 clients must keep working unchanged for the release the
+// aliases survive.
+func (s *Server) legacy(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.ProtocolHeader, api.Version)
+		w.Header().Set(api.DeprecationHeader, "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=\"successor-version\"", "/v1", r.URL.Path))
+		h(w, r)
+	}
+}
+
+// Handler returns the service's HTTP handler: the /v1 surface, the
+// deprecated unprefixed aliases, and a structured-JSON fallback for
+// everything else.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/compile", s.handleCompile)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/schedulers", s.handleSchedulers)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	// The v1 surface: strict methods, structured errors everywhere.
+	mux.HandleFunc(api.PathCompile, s.route(http.MethodPost, false, s.handleCompile))
+	mux.HandleFunc(api.PathMetrics, s.route(http.MethodGet, false, s.handleMetrics))
+	mux.HandleFunc(api.PathSchedulers, s.route(http.MethodGet, false, s.handleSchedulers))
+	mux.HandleFunc(api.PathHealth, s.route(http.MethodGet, false, s.handleHealth))
+
+	// Deprecated aliases, behavior-compatible with the pre-v1 service:
+	// /compile keeps its POST-only check (it always had one), the read
+	// routes answer any method as before, and /healthz keeps its
+	// original text/plain "ok" body for probes that match on it.
+	mux.HandleFunc("/compile", s.route(http.MethodPost, true, s.handleCompile))
+	mux.HandleFunc("/metrics", s.legacy(s.handleMetrics))
+	mux.HandleFunc("/schedulers", s.legacy(s.handleSchedulers))
+	mux.HandleFunc("/healthz", s.legacy(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	}))
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.ProtocolHeader, api.Version)
+		writeError(w, api.CodeNotFound, "no route %s", r.URL.Path)
 	})
 	return mux
 }
 
-// CompileRequest is the JSON body of POST /compile. The job list is
-// the (loops × machines × schedulers) cross product in deterministic
-// order — loops outermost, schedulers innermost — matching driver.Jobs.
-type CompileRequest struct {
-	// Loops are loop files in the textual format of internal/loop.
-	Loops []string `json:"loops"`
-	// Machines select the targets.
-	Machines []MachineSpec `json:"machines"`
-	// Schedulers are registry names (see GET /schedulers).
-	Schedulers []string `json:"schedulers"`
-	// Options is broadcast to every job.
-	Options driver.Options `json:"options"`
-	// TimeoutMS bounds each job's scheduling time in milliseconds; it
-	// can only tighten the server-side timeout, never extend it.
-	TimeoutMS int `json:"timeout_ms,omitempty"`
-	// NoCache bypasses the cache lookup (results are still stored),
-	// for measurements that need a cold compile.
-	NoCache bool `json:"no_cache,omitempty"`
-}
-
-// MachineSpec names one target machine: either a conventional family
-// member by cluster count, or a full JSON machine description.
-type MachineSpec struct {
-	// Clusters picks machine.Clustered(Clusters), or
-	// machine.Unclustered(Clusters) with Unclustered set.
-	Clusters    int  `json:"clusters,omitempty"`
-	Unclustered bool `json:"unclustered,omitempty"`
-	// Config, when present, is a full machine description in the JSON
-	// config format of internal/machine and overrides the other fields.
-	Config json.RawMessage `json:"config,omitempty"`
-}
-
-func (ms MachineSpec) machine() (*machine.Machine, error) {
+func (ms machineSpec) machine() (*machine.Machine, error) {
 	if len(ms.Config) > 0 {
 		return machine.ReadConfig(bytes.NewReader(ms.Config))
 	}
@@ -148,39 +180,77 @@ func (ms MachineSpec) machine() (*machine.Machine, error) {
 	return machine.Clustered(ms.Clusters), nil
 }
 
-// JobResult is one line of the /compile response stream.
-type JobResult struct {
-	// Index is the job's position in request order; lines arrive in
-	// completion order, so clients reorder by Index.
-	Index int `json:"index"`
-	// Job names the (loop, machine, scheduler) triple.
-	Job string `json:"job"`
-	// Error is set instead of the remaining fields when the job failed.
-	Error string `json:"error,omitempty"`
+// machineSpec gives the wire type the machine-resolution method; the
+// api package stays stdlib-only, so the conversion lives here.
+type machineSpec api.MachineSpec
 
-	MII      int               `json:"mii,omitempty"`
-	II       int               `json:"ii,omitempty"`
-	Stats    *driver.Stats     `json:"stats,omitempty"`
-	Metrics  *schedule.Metrics `json:"metrics,omitempty"`
-	Schedule string            `json:"schedule,omitempty"`
+// driverOptions maps the wire options onto the driver's. The two
+// structs are kept field-for-field identical; this copy is the one
+// audited point where the wire form becomes the in-process form.
+func driverOptions(o api.Options) driver.Options {
+	return driver.Options{
+		BudgetRatio:      o.BudgetRatio,
+		MaxII:            o.MaxII,
+		DisableChains:    o.DisableChains,
+		OneDirectionOnly: o.OneDirectionOnly,
+		RefinementPasses: o.RefinementPasses,
+		LoadSlack:        o.LoadSlack,
+	}
+}
 
-	// Cached reports that the result was served from the cache (or a
-	// shared in-flight computation) rather than compiled for this job.
-	Cached bool `json:"cached,omitempty"`
+// wireStats converts a driver scheduling report to the wire form.
+func wireStats(st driver.Stats) api.Stats {
+	return api.Stats{
+		MII:        st.MII,
+		II:         st.II,
+		IIsTried:   st.IIsTried,
+		Placements: st.Placements,
+		Evictions:  st.Evictions,
+		Extra:      st.Extra,
+	}
+}
+
+// wireMetrics converts schedule measurements to the wire form.
+func wireMetrics(m schedule.Metrics) api.ScheduleMetrics {
+	return api.ScheduleMetrics{
+		II:      m.II,
+		Len:     m.Len,
+		Stages:  m.Stages,
+		Trip:    m.Trip,
+		Useful:  m.Useful,
+		Cycles:  m.Cycles,
+		IPC:     m.IPC,
+		MovesIn: m.MovesIn,
+	}
+}
+
+// errorCode classifies a job or request error for the wire.
+func errorCode(err error) api.ErrorCode {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return api.CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return api.CodeCanceled
+	case errors.Is(err, driver.ErrUnknownScheduler):
+		return api.CodeUnknownScheduler
+	default:
+		return api.CodeInternal
+	}
 }
 
 // Record renders one driver result in the service's wire format
 // (Index and Cached are left for the caller). It is shared by the
 // handler and the end-to-end tests, which compare streamed responses
 // against direct driver.CompileAll output byte-for-byte.
-func Record(r driver.Result) JobResult {
-	rec := JobResult{Job: r.Job.String()}
+func Record(r driver.Result) api.JobResult {
+	rec := api.JobResult{Job: r.Job.String()}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()
+		rec.ErrorCode = errorCode(r.Err)
 		return rec
 	}
-	st := r.Stats
-	met := r.Metrics
+	st := wireStats(r.Stats)
+	met := wireMetrics(r.Metrics)
 	rec.MII, rec.II = st.MII, st.II
 	rec.Stats = &st
 	rec.Metrics = &met
@@ -215,21 +285,25 @@ func RenderSchedule(s *schedule.Schedule) string {
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
+	// The legacy /compile alias keeps the pre-v1 wire end to end,
+	// including the flat {"error":"..."} shape of its failure bodies.
+	legacy := r.URL.Path != api.PathCompile
+
 	s.requests.Add(1)
-	var req CompileRequest
+	var req api.CompileRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeErrorShaped(w, legacy, api.CodeInvalidRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Protocol != "" && req.Protocol != api.Version {
+		writeErrorShaped(w, legacy, api.CodeInvalidRequest, "protocol %q not supported (this server speaks %s)", req.Protocol, api.Version)
 		return
 	}
 	jobs, err := s.buildJobs(&req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeErrorShaped(w, legacy, errorCode4xx(err), "%v", err)
 		return
 	}
 	s.jobs.Add(int64(len(jobs)))
@@ -241,11 +315,20 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// The legacy /compile framing predates the terminal summary
+	// record; old clients count one line per job, so the alias keeps
+	// that contract until it is removed.
+	withSummary := !legacy
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	var wmu sync.Mutex
+	var (
+		wmu     sync.Mutex
+		nerrors int
+		ncached int
+	)
 
 	ctx := r.Context()
 	driver.ForEach(len(jobs), s.opt.Parallelism, func(i int) {
@@ -259,19 +342,34 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 		wmu.Lock()
 		defer wmu.Unlock()
+		if rec.Error != "" {
+			nerrors++
+		}
+		if rec.Cached {
+			ncached++
+		}
 		// An encode error means the client hung up; the request context
 		// is canceled with it, so remaining jobs drain as cancellations.
 		if err := enc.Encode(rec); err == nil && flusher != nil {
 			flusher.Flush()
 		}
 	})
+	if withSummary {
+		if line, err := api.EncodeSummaryLine(api.Summary{Jobs: len(jobs), Errors: nerrors, Cached: ncached}); err == nil {
+			line = append(line, '\n')
+			w.Write(line)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
 }
 
 // compileJob resolves one job through the cache: a content-addressed
 // lookup, then a single-flight compile on miss. Only successful
 // results are cached; failures (including cancellations) are
 // recomputed on the next request.
-func (s *Server) compileJob(ctx context.Context, job driver.Job, timeout time.Duration, noCache bool) JobResult {
+func (s *Server) compileJob(ctx context.Context, job driver.Job, timeout time.Duration, noCache bool) api.JobResult {
 	batch := driver.BatchOptions{
 		Timeout:   timeout,
 		Latencies: &job.Machine.Lat,
@@ -284,26 +382,29 @@ func (s *Server) compileJob(ctx context.Context, job driver.Job, timeout time.Du
 		}
 		return Record(res), nil
 	}
+	fail := func(err error) api.JobResult {
+		return api.JobResult{Job: job.String(), Error: err.Error(), ErrorCode: errorCode(err)}
+	}
 	if noCache {
 		val, err := compute()
 		if err != nil {
-			return JobResult{Job: job.String(), Error: err.Error()}
+			return fail(err)
 		}
-		rec := val.(JobResult)
+		rec := val.(api.JobResult)
 		s.cache.Add(JobKey(job), rec)
 		return rec
 	}
 	val, hit, err := s.cache.Do(ctx, JobKey(job), compute)
 	if err != nil {
-		return JobResult{Job: job.String(), Error: err.Error()}
+		return fail(err)
 	}
-	rec := val.(JobResult)
+	rec := val.(api.JobResult)
 	rec.Cached = hit
 	return rec
 }
 
 // buildJobs validates the request and assembles the job cross product.
-func (s *Server) buildJobs(req *CompileRequest) ([]driver.Job, error) {
+func (s *Server) buildJobs(req *api.CompileRequest) ([]driver.Job, error) {
 	if len(req.Loops) == 0 {
 		return nil, fmt.Errorf("no loops")
 	}
@@ -313,7 +414,7 @@ func (s *Server) buildJobs(req *CompileRequest) ([]driver.Job, error) {
 	if len(req.Schedulers) == 0 {
 		return nil, fmt.Errorf("no schedulers")
 	}
-	if n := len(req.Loops) * len(req.Machines) * len(req.Schedulers); n > MaxJobsPerRequest {
+	if n := req.Jobs(); n > MaxJobsPerRequest {
 		return nil, fmt.Errorf("%d jobs exceed the per-request limit of %d", n, MaxJobsPerRequest)
 	}
 	reg := s.opt.registry()
@@ -332,26 +433,27 @@ func (s *Server) buildJobs(req *CompileRequest) ([]driver.Job, error) {
 	}
 	machines := make([]*machine.Machine, len(req.Machines))
 	for i, spec := range req.Machines {
-		m, err := spec.machine()
+		m, err := machineSpec(spec).machine()
 		if err != nil {
 			return nil, fmt.Errorf("machines[%d]: %w", i, err)
 		}
 		machines[i] = m
 	}
-	return driver.Jobs(loops, machines, req.Schedulers, req.Options), nil
+	return driver.Jobs(loops, machines, req.Schedulers, driverOptions(req.Options)), nil
 }
 
-// Metrics is the GET /metrics payload.
-type Metrics struct {
-	Requests  int64        `json:"requests"`
-	Jobs      int64        `json:"jobs"`
-	JobErrors int64        `json:"job_errors"`
-	Cache     CacheMetrics `json:"cache"`
+// errorCode4xx classifies a request-validation error: anything that is
+// not a bad scheduler name is the client's request.
+func errorCode4xx(err error) api.ErrorCode {
+	if errors.Is(err, driver.ErrUnknownScheduler) {
+		return api.CodeUnknownScheduler
+	}
+	return api.CodeInvalidRequest
 }
 
 // Snapshot collects the service counters.
-func (s *Server) Snapshot() Metrics {
-	return Metrics{
+func (s *Server) Snapshot() api.ServerMetrics {
+	return api.ServerMetrics{
 		Requests:  s.requests.Load(),
 		Jobs:      s.jobs.Load(),
 		JobErrors: s.jobErrors.Load(),
@@ -364,20 +466,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSchedulers(w http.ResponseWriter, r *http.Request) {
-	type entry struct {
-		Name      string `json:"name"`
-		Clustered bool   `json:"clustered"`
-	}
 	reg := s.opt.registry()
-	entries := make([]entry, 0, len(reg.Names()))
+	entries := make([]api.SchedulerInfo, 0, len(reg.Names()))
 	for _, name := range reg.Names() {
 		sched, err := reg.Get(name)
 		if err != nil {
 			continue // raced with a concurrent (test) registration
 		}
-		entries = append(entries, entry{Name: name, Clustered: sched.Clustered()})
+		entries = append(entries, api.SchedulerInfo{Name: name, Clustered: sched.Clustered()})
 	}
 	writeJSON(w, entries)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, api.Health{Status: "ok", Protocol: api.Version})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -387,8 +489,23 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// writeError sends the structured api error JSON with the status the
+// code maps to.
+func writeError(w http.ResponseWriter, code api.ErrorCode, format string, args ...any) {
+	writeErrorShaped(w, false, code, format, args...)
+}
+
+// writeErrorShaped is writeError with the legacy escape hatch: on the
+// deprecated aliases the body keeps the pre-v1 flat {"error":"..."}
+// shape (error as a JSON string), because old clients unmarshal it
+// that way and the aliases promise one release of unchanged behavior.
+func writeErrorShaped(w http.ResponseWriter, legacy bool, code api.ErrorCode, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(code.HTTPStatus())
+	msg := fmt.Sprintf(format, args...)
+	if legacy {
+		json.NewEncoder(w).Encode(map[string]string{"error": msg})
+		return
+	}
+	json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.Error{Code: code, Message: msg}})
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	api "repro/api/v1"
 	"repro/internal/driver"
 	"repro/internal/loop"
 	"repro/internal/machine"
@@ -46,15 +47,16 @@ func goldenLoops(t *testing.T) []string {
 	return texts
 }
 
-// postCompile submits one request and returns the streamed records
-// reordered by index.
-func postCompile(t *testing.T, url string, req CompileRequest) []JobResult {
+// postCompile submits one request to the given compile route and
+// returns the streamed records reordered by index, plus the terminal
+// summary (nil on the legacy route, whose framing predates it).
+func postCompile(t *testing.T, url, path string, req api.CompileRequest) ([]api.JobResult, *api.Summary) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url+"/compile", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,16 +68,30 @@ func postCompile(t *testing.T, url string, req CompileRequest) []JobResult {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("content type %q", ct)
 	}
-	njobs := len(req.Loops) * len(req.Machines) * len(req.Schedulers)
-	records := make([]JobResult, njobs)
+	if proto := resp.Header.Get(api.ProtocolHeader); proto != api.Version {
+		t.Fatalf("protocol header %q, want %q", proto, api.Version)
+	}
+	njobs := req.Jobs()
+	records := make([]api.JobResult, njobs)
 	seen := make([]bool, njobs)
+	var summary *api.Summary
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	lines := 0
 	for sc.Scan() {
-		var rec JobResult
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		rec, sum, err := api.DecodeStreamLine(sc.Bytes())
+		if err != nil {
 			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if sum != nil {
+			if summary != nil {
+				t.Fatal("two summary records in one stream")
+			}
+			summary = sum
+			continue
+		}
+		if summary != nil {
+			t.Fatal("result line after the summary record")
 		}
 		if rec.Index < 0 || rec.Index >= njobs {
 			t.Fatalf("index %d out of range [0,%d)", rec.Index, njobs)
@@ -84,7 +100,7 @@ func postCompile(t *testing.T, url string, req CompileRequest) []JobResult {
 			t.Fatalf("index %d streamed twice", rec.Index)
 		}
 		seen[rec.Index] = true
-		records[rec.Index] = rec
+		records[rec.Index] = *rec
 		lines++
 	}
 	if err := sc.Err(); err != nil {
@@ -93,12 +109,12 @@ func postCompile(t *testing.T, url string, req CompileRequest) []JobResult {
 	if lines != njobs {
 		t.Fatalf("streamed %d results for %d jobs", lines, njobs)
 	}
-	return records
+	return records, summary
 }
 
 // marshal renders a record the way the stream does, for byte-for-byte
 // comparison.
-func marshal(t *testing.T, rec JobResult) string {
+func marshal(t *testing.T, rec api.JobResult) string {
 	t.Helper()
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -118,9 +134,10 @@ func TestServerEndToEnd(t *testing.T) {
 	defer ts.Close()
 
 	texts := goldenLoops(t)
-	req := CompileRequest{
+	req := api.CompileRequest{
+		Protocol:   api.Version,
 		Loops:      texts,
-		Machines:   []MachineSpec{{Clusters: 2}, {Clusters: 4}},
+		Machines:   []api.MachineSpec{{Clusters: 2}, {Clusters: 4}},
 		Schedulers: []string{"dms", "twophase"},
 	}
 
@@ -148,7 +165,7 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// Cold run: everything compiled, nothing cached.
-	cold := postCompile(t, ts.URL, req)
+	cold, sum := postCompile(t, ts.URL, api.PathCompile, req)
 	for i, rec := range cold {
 		if rec.Cached {
 			t.Errorf("job %d cached on a cold run", i)
@@ -157,13 +174,16 @@ func TestServerEndToEnd(t *testing.T) {
 			t.Errorf("job %d diverges from direct CompileAll:\n got %s\nwant %s", i, got, want[i])
 		}
 	}
+	if sum == nil || sum.Jobs != len(jobs) || sum.Errors != 0 || sum.Cached != 0 {
+		t.Fatalf("cold summary = %+v, want %d jobs, 0 errors, 0 cached", sum, len(jobs))
+	}
 	met := svc.Snapshot()
 	if met.Cache.Misses != uint64(len(jobs)) || met.Cache.Hits != 0 {
 		t.Fatalf("cold metrics = %+v, want %d misses and 0 hits", met.Cache, len(jobs))
 	}
 
 	// Warm run: byte-identical payloads, all served from the cache.
-	warm := postCompile(t, ts.URL, req)
+	warm, sum := postCompile(t, ts.URL, api.PathCompile, req)
 	for i, rec := range warm {
 		if !rec.Cached {
 			t.Errorf("job %d not cached on the warm run", i)
@@ -173,14 +193,17 @@ func TestServerEndToEnd(t *testing.T) {
 			t.Errorf("warm job %d diverges:\n got %s\nwant %s", i, got, want[i])
 		}
 	}
+	if sum == nil || sum.Cached != len(jobs) {
+		t.Fatalf("warm summary = %+v, want %d cached", sum, len(jobs))
+	}
 
 	// The metrics endpoint must expose the full hit count.
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + api.PathMetrics)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var m Metrics
+	var m api.ServerMetrics
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		t.Fatal(err)
 	}
@@ -195,6 +218,112 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServerLegacyRoutes pins the deprecated unprefixed aliases for
+// one release: same payloads (minus the summary record on /compile),
+// plus a Deprecation header and a Link to the successor route.
+func TestServerLegacyRoutes(t *testing.T) {
+	svc := New(Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	req := api.CompileRequest{
+		Loops:      goldenLoops(t)[:1],
+		Machines:   []api.MachineSpec{{Clusters: 2}},
+		Schedulers: []string{"dms"},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy /compile status %d", resp.StatusCode)
+	}
+	if dep := resp.Header.Get(api.DeprecationHeader); dep != "true" {
+		t.Errorf("legacy /compile %s header = %q, want \"true\"", api.DeprecationHeader, dep)
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, api.PathCompile) {
+		t.Errorf("legacy /compile Link header = %q, want successor %s", link, api.PathCompile)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lines := 0
+	for sc.Scan() {
+		rec, sum, err := api.DecodeStreamLine(sc.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != nil {
+			t.Error("legacy /compile emitted a summary record (breaks old line-per-job clients)")
+		}
+		if rec != nil {
+			lines++
+		}
+	}
+	if lines != 1 {
+		t.Errorf("legacy /compile streamed %d results, want 1", lines)
+	}
+
+	for _, path := range []string{"/metrics", "/schedulers", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("legacy %s: status %d", path, resp.StatusCode)
+		}
+		if dep := resp.Header.Get(api.DeprecationHeader); dep != "true" {
+			t.Errorf("legacy %s: no deprecation header", path)
+		}
+	}
+
+	// Pre-v1 behavior the aliases must preserve: /healthz keeps its
+	// text/plain "ok" body (probes match on it) and the read routes
+	// never rejected other HTTP methods.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if ct := hresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("legacy /healthz content type %q, want text/plain", ct)
+	}
+	if string(hbody) != "ok\n" {
+		t.Errorf("legacy /healthz body %q, want \"ok\\n\"", hbody)
+	}
+	head, err := http.Head(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.Body.Close()
+	if head.StatusCode != http.StatusOK {
+		t.Errorf("HEAD legacy /healthz: status %d, want 200 (pre-v1 accepted any method)", head.StatusCode)
+	}
+	mresp, err := http.Post(ts.URL+"/metrics", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Errorf("POST legacy /metrics: status %d, want 200 (pre-v1 had no method check)", mresp.StatusCode)
+	}
+	// The v1 spellings must NOT be marked deprecated.
+	resp2, err := http.Get(ts.URL + api.PathHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if dep := resp2.Header.Get(api.DeprecationHeader); dep != "" {
+		t.Errorf("%s carries a deprecation header %q", api.PathHealth, dep)
+	}
+}
+
 // TestServerConcurrentIdenticalRequests hammers one job set from many
 // clients at once: whatever the interleaving, each distinct job is
 // compiled at most once (single-flight + cache), which the miss
@@ -204,20 +333,20 @@ func TestServerConcurrentIdenticalRequests(t *testing.T) {
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
-	req := CompileRequest{
+	req := api.CompileRequest{
 		Loops:      goldenLoops(t),
-		Machines:   []MachineSpec{{Clusters: 4}},
+		Machines:   []api.MachineSpec{{Clusters: 4}},
 		Schedulers: []string{"dms"},
 	}
 	njobs := len(req.Loops)
 	const clients = 8
 	var wg sync.WaitGroup
-	first := make([][]JobResult, clients)
+	first := make([][]api.JobResult, clients)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			first[c] = postCompile(t, ts.URL, req)
+			first[c], _ = postCompile(t, ts.URL, api.PathCompile, req)
 		}(c)
 	}
 	wg.Wait()
@@ -238,28 +367,35 @@ func TestServerConcurrentIdenticalRequests(t *testing.T) {
 }
 
 // TestServerJobErrorIsolation: a job that cannot schedule (IMS on a
-// clustered machine) is reported in its own stream line and does not
-// disturb its neighbours; failures are never cached.
+// clustered machine) is reported in its own stream line — with the
+// internal error code — and does not disturb its neighbours; failures
+// are never cached.
 func TestServerJobErrorIsolation(t *testing.T) {
 	svc := New(Options{})
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
-	req := CompileRequest{
+	req := api.CompileRequest{
 		Loops:      goldenLoops(t)[:1],
-		Machines:   []MachineSpec{{Clusters: 2}},
+		Machines:   []api.MachineSpec{{Clusters: 2}},
 		Schedulers: []string{"dms", "ims"}, // ims rejects clustered machines
 	}
 	for round := 0; round < 2; round++ {
-		recs := postCompile(t, ts.URL, req)
+		recs, sum := postCompile(t, ts.URL, api.PathCompile, req)
 		if recs[0].Error != "" || recs[0].Schedule == "" {
 			t.Fatalf("round %d: dms job: %+v", round, recs[0])
 		}
 		if recs[1].Error == "" || !strings.Contains(recs[1].Error, "unclustered") {
 			t.Fatalf("round %d: ims job did not fail as expected: %+v", round, recs[1])
 		}
+		if recs[1].ErrorCode != api.CodeInternal {
+			t.Errorf("round %d: error code %q, want %q", round, recs[1].ErrorCode, api.CodeInternal)
+		}
 		if recs[1].Cached {
 			t.Fatalf("round %d: error result served from cache", round)
+		}
+		if sum.Errors != 1 {
+			t.Errorf("round %d: summary errors = %d, want 1", round, sum.Errors)
 		}
 	}
 	if met := svc.Snapshot(); met.JobErrors != 2 {
@@ -267,49 +403,124 @@ func TestServerJobErrorIsolation(t *testing.T) {
 	}
 }
 
-// TestServerRequestValidation pins the 400 paths: empty axes,
-// malformed loops, unknown schedulers, bad machines, oversized cross
-// products and non-POST methods.
+// decodeErrorResponse reads a non-200 body as the structured error.
+func decodeErrorResponse(t *testing.T, resp *http.Response) api.Error {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error response content type %q, want application/json", ct)
+	}
+	var er api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("error body is not the structured form: %v", err)
+	}
+	if er.Error.Message == "" {
+		t.Error("structured error without a message")
+	}
+	return er.Error
+}
+
+// TestServerRequestValidation pins the 400 paths and their structured
+// error codes: empty axes, malformed loops, unknown schedulers, bad
+// machines, oversized cross products, protocol mismatches.
 func TestServerRequestValidation(t *testing.T) {
 	svc := New(Options{})
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
-	post := func(body string) int {
+	post := func(body string) *http.Response {
 		t.Helper()
-		resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+api.PathCompile, "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer resp.Body.Close()
-		return resp.StatusCode
+		return resp
 	}
 	cases := []struct {
 		name string
 		body string
+		code api.ErrorCode
 	}{
-		{"empty body", ``},
-		{"no loops", `{"machines":[{"clusters":2}],"schedulers":["dms"]}`},
-		{"no machines", `{"loops":["loop a trip 1\nx = load\n"],"schedulers":["dms"]}`},
-		{"no schedulers", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"clusters":2}]}`},
-		{"bad loop", `{"loops":["not a loop"],"machines":[{"clusters":2}],"schedulers":["dms"]}`},
-		{"unknown scheduler", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"clusters":2}],"schedulers":["nope"]}`},
-		{"bad machine", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"clusters":0}],"schedulers":["dms"]}`},
-		{"bad machine config", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"config":{"clusters":0}}],"schedulers":["dms"]}`},
-		{"unknown field", `{"loop_texts":["x"],"machines":[{"clusters":2}],"schedulers":["dms"]}`},
+		{"empty body", ``, api.CodeInvalidRequest},
+		{"no loops", `{"machines":[{"clusters":2}],"schedulers":["dms"]}`, api.CodeInvalidRequest},
+		{"no machines", `{"loops":["loop a trip 1\nx = load\n"],"schedulers":["dms"]}`, api.CodeInvalidRequest},
+		{"no schedulers", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"clusters":2}]}`, api.CodeInvalidRequest},
+		{"bad loop", `{"loops":["not a loop"],"machines":[{"clusters":2}],"schedulers":["dms"]}`, api.CodeInvalidRequest},
+		{"unknown scheduler", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"clusters":2}],"schedulers":["nope"]}`, api.CodeUnknownScheduler},
+		{"bad machine", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"clusters":0}],"schedulers":["dms"]}`, api.CodeInvalidRequest},
+		{"bad machine config", `{"loops":["loop a trip 1\nx = load\n"],"machines":[{"config":{"clusters":0}}],"schedulers":["dms"]}`, api.CodeInvalidRequest},
+		{"unknown field", `{"loop_texts":["x"],"machines":[{"clusters":2}],"schedulers":["dms"]}`, api.CodeInvalidRequest},
+		{"future protocol", `{"protocol":"v9","loops":["loop a trip 1\nx = load\n"],"machines":[{"clusters":2}],"schedulers":["dms"]}`, api.CodeInvalidRequest},
 	}
 	for _, tc := range cases {
-		if code := post(tc.body); code != http.StatusBadRequest {
-			t.Errorf("%s: status %d, want 400", tc.name, code)
+		resp := post(tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if e := decodeErrorResponse(t, resp); e.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, e.Code, tc.code)
 		}
 	}
-	resp, err := http.Get(ts.URL + "/compile")
+}
+
+// TestServerStructuredRouteErrors: unknown routes and wrong methods
+// answer with the structured api error JSON, never plain-text 404/405.
+func TestServerStructuredRouteErrors(t *testing.T) {
+	svc := New(Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Wrong method on the v1 surface: structured error, Allow header.
+	resp0, err := http.Get(ts.URL + api.PathCompile)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /compile: status %d, want 405", resp.StatusCode)
+	if resp0.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET %s: status %d, want 405", api.PathCompile, resp0.StatusCode)
+	}
+	if allow := resp0.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("GET %s: Allow %q, want POST", api.PathCompile, allow)
+	}
+	if e := decodeErrorResponse(t, resp0); e.Code != api.CodeMethodNotAllowed {
+		t.Errorf("GET %s: code %q, want %q", api.PathCompile, e.Code, api.CodeMethodNotAllowed)
+	}
+
+	// The legacy /compile alias keeps the pre-v1 flat error shape
+	// ({"error":"<string>"}) so old clients' unmarshaling still works.
+	legacyResp, err := http.Get(ts.URL + "/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacyResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /compile: status %d, want 405", legacyResp.StatusCode)
+	}
+	var flat struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(legacyResp.Body).Decode(&flat); err != nil || flat.Error == "" {
+		t.Errorf("legacy /compile error body is not the flat pre-v1 shape: err=%v error=%q", err, flat.Error)
+	}
+	legacyResp.Body.Close()
+	resp, err := http.Post(ts.URL+api.PathMetrics, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := decodeErrorResponse(t, resp); e.Code != api.CodeMethodNotAllowed {
+		t.Errorf("POST %s: code %q, want %q", api.PathMetrics, e.Code, api.CodeMethodNotAllowed)
+	}
+
+	// Unknown routes.
+	for _, path := range []string{"/", "/nope", "/v1/nope", "/v2/compile"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+		if e := decodeErrorResponse(t, resp); e.Code != api.CodeNotFound {
+			t.Errorf("GET %s: code %q, want %q", path, e.Code, api.CodeNotFound)
+		}
 	}
 }
 
@@ -325,9 +536,9 @@ func TestServerMachineSpecs(t *testing.T) {
 		t.Fatal(err)
 	}
 	loopText := goldenLoops(t)[0]
-	recs := postCompile(t, ts.URL, CompileRequest{
+	recs, _ := postCompile(t, ts.URL, api.PathCompile, api.CompileRequest{
 		Loops:      []string{loopText},
-		Machines:   []MachineSpec{{Clusters: 3}, {Config: cfg}},
+		Machines:   []api.MachineSpec{{Clusters: 3}, {Config: cfg}},
 		Schedulers: []string{"dms"},
 	})
 	for i, rec := range recs {
@@ -335,9 +546,9 @@ func TestServerMachineSpecs(t *testing.T) {
 			t.Errorf("job %d: %s", i, rec.Error)
 		}
 	}
-	recs = postCompile(t, ts.URL, CompileRequest{
+	recs, _ = postCompile(t, ts.URL, api.PathCompile, api.CompileRequest{
 		Loops:      []string{loopText},
-		Machines:   []MachineSpec{{Clusters: 2, Unclustered: true}},
+		Machines:   []api.MachineSpec{{Clusters: 2, Unclustered: true}},
 		Schedulers: []string{"ims", "sms"},
 	})
 	for i, rec := range recs {
@@ -353,15 +564,12 @@ func TestServerSchedulersAndHealth(t *testing.T) {
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
-	resp, err := http.Get(ts.URL + "/schedulers")
+	resp, err := http.Get(ts.URL + api.PathSchedulers)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var entries []struct {
-		Name      string `json:"name"`
-		Clustered bool   `json:"clustered"`
-	}
+	var entries []api.SchedulerInfo
 	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
 		t.Fatal(err)
 	}
@@ -377,12 +585,19 @@ func TestServerSchedulersAndHealth(t *testing.T) {
 		}
 	}
 
-	hresp, err := http.Get(ts.URL + "/healthz")
+	hresp, err := http.Get(ts.URL + api.PathHealth)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hresp.Body.Close()
+	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		t.Errorf("healthz: %d", hresp.StatusCode)
+	}
+	var h api.Health
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Protocol != api.Version {
+		t.Errorf("health = %+v", h)
 	}
 }

@@ -1,0 +1,344 @@
+// Package dmsclient is the Go SDK for the compile service: a typed
+// client over the repro/api/v1 wire contract with a streaming result
+// iterator, index-order reassembly, and automatic retry of canceled
+// and timed-out jobs with per-job backoff.
+//
+// A Client wraps one service base URL and an http.Client whose
+// transport pools connections, so successive requests (including the
+// single-job resubmissions the retry path issues) reuse TCP
+// connections:
+//
+//	cli := dmsclient.New("http://localhost:8080")
+//	for rec, err := range cli.Compile(ctx, req) {
+//		if err != nil {
+//			return err
+//		}
+//		fmt.Println(rec.Index, rec.Job, rec.II)
+//	}
+//
+// Results arrive in completion order; CompileAll reassembles them in
+// request (index) order. Jobs that fail with a retryable code
+// (timeout, canceled) are resubmitted as single-job requests — with
+// exponential per-job backoff — before their result is surfaced, so
+// a transient deadline on a loaded server degrades into latency, not
+// an error row.
+//
+// Every response is checked against the protocol version handshake:
+// the client announces "v1" in the request and verifies the server's
+// Dms-Protocol header before trusting the payload.
+package dmsclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"strings"
+	"time"
+
+	api "repro/api/v1"
+)
+
+// maxStreamLine bounds one NDJSON line of a compile response (rendered
+// schedules grow with loop size, but 4 MiB is far beyond any real one).
+const maxStreamLine = 4 << 20
+
+// Client speaks protocol v1 to one compile service. Create it with
+// New; it is safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (custom
+// transport, timeout or middleware).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetries sets how many times a job that failed with a retryable
+// code (timeout, canceled) is resubmitted before its failure is
+// surfaced. 0 disables retries; the default is 2.
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff sets the base per-job backoff before the first retry;
+// it doubles on every further attempt. The default is 100 ms.
+func WithBackoff(d time.Duration) Option {
+	return func(c *Client) { c.backoff = d }
+}
+
+// New returns a client for the service at baseURL (scheme and host,
+// e.g. "http://localhost:8080"; any trailing slash is trimmed).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{},
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// checkProtocol enforces the version handshake on a response.
+func checkProtocol(resp *http.Response) error {
+	if got := resp.Header.Get(api.ProtocolHeader); got != api.Version {
+		return fmt.Errorf("dmsclient: server spoke protocol %q, want %q (is this a %s service?)",
+			got, api.Version, api.Version)
+	}
+	return nil
+}
+
+// decodeError turns a non-200 response into the *api.Error it carries
+// (or a generic error when the body is not the structured form).
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er api.ErrorResponse
+	if err := json.Unmarshal(body, &er); err == nil && er.Error.Code != "" {
+		return &er.Error
+	}
+	return fmt.Errorf("dmsclient: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+// do issues one request and verifies status and protocol handshake.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkProtocol(resp); err != nil {
+		resp.Body.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp, nil
+}
+
+// getJSON fetches path and decodes the body into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health probes GET /v1/healthz.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	if err := c.getJSON(ctx, api.PathHealth, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Schedulers lists the server's registered back-ends.
+func (c *Client) Schedulers(ctx context.Context) ([]api.SchedulerInfo, error) {
+	var s []api.SchedulerInfo
+	if err := c.getJSON(ctx, api.PathSchedulers, &s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Metrics fetches the service and cache counters.
+func (c *Client) Metrics(ctx context.Context) (*api.ServerMetrics, error) {
+	var m api.ServerMetrics
+	if err := c.getJSON(ctx, api.PathMetrics, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// streamOnce submits req and invokes fn for every result line, in
+// completion order, without any retry handling. It returns the
+// terminal summary record, erroring if the stream ends without one
+// (truncated response) or carries a different number of results than
+// the summary claims.
+func (c *Client) streamOnce(ctx context.Context, req api.CompileRequest, fn func(api.JobResult) bool) (*api.Summary, error) {
+	if req.Protocol == "" {
+		req.Protocol = api.Version
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, api.PathCompile, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxStreamLine)
+	lines := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, sum, err := api.DecodeStreamLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if sum != nil {
+			if sum.Jobs != lines {
+				return nil, fmt.Errorf("dmsclient: stream carried %d results but the summary counts %d", lines, sum.Jobs)
+			}
+			return sum, nil
+		}
+		lines++
+		if !fn(*rec) {
+			return nil, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dmsclient: reading stream: %w", err)
+	}
+	return nil, fmt.Errorf("dmsclient: stream ended after %d results without a summary record", lines)
+}
+
+// Compile submits req and returns the results as a streaming iterator
+// in completion order (reorder by Index for request order; CompileAll
+// does this for you). Jobs whose failure is retryable are resubmitted
+// up to the configured retry budget before being yielded, so a yielded
+// timeout/cancellation is final. A transport or protocol failure is
+// yielded once as a non-nil error and ends the stream.
+func (c *Client) Compile(ctx context.Context, req api.CompileRequest) iter.Seq2[api.JobResult, error] {
+	return func(yield func(api.JobResult, error) bool) {
+		stopped := false
+		_, err := c.streamOnce(ctx, req, func(rec api.JobResult) bool {
+			// The index bound guards retryJob's axis lookup against a
+			// non-conforming server: an out-of-range index is passed
+			// through for CompileAll (or the caller) to reject, never
+			// used to index the request.
+			if rec.ErrorCode.Retryable() && c.retries > 0 && ctx.Err() == nil &&
+				rec.Index >= 0 && rec.Index < req.Jobs() {
+				rec = c.retryJob(ctx, &req, rec)
+			}
+			if !yield(rec, nil) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !stopped {
+			yield(api.JobResult{}, err)
+		}
+	}
+}
+
+// retryJob resubmits one failed job as a single-job request with
+// exponential backoff, returning either the first non-retryable
+// outcome (success or hard failure) or, with the budget exhausted,
+// the last failure. The returned result keeps the job's index in the
+// original request.
+func (c *Client) retryJob(ctx context.Context, req *api.CompileRequest, failed api.JobResult) api.JobResult {
+	li, mi, si := req.JobAxes(failed.Index)
+	sub := api.CompileRequest{
+		Protocol:   api.Version,
+		Loops:      []string{req.Loops[li]},
+		Machines:   []api.MachineSpec{req.Machines[mi]},
+		Schedulers: []string{req.Schedulers[si]},
+		Options:    req.Options,
+		TimeoutMS:  req.TimeoutMS,
+		NoCache:    req.NoCache,
+	}
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if !sleepCtx(ctx, c.backoff<<attempt) {
+			return failed
+		}
+		var got *api.JobResult
+		_, err := c.streamOnce(ctx, sub, func(rec api.JobResult) bool {
+			got = &rec
+			return true
+		})
+		if err != nil || got == nil {
+			continue // transport trouble: the original failure stands unless a later attempt lands
+		}
+		got.Index = failed.Index
+		if got.Error == "" || !got.ErrorCode.Retryable() {
+			return *got
+		}
+		failed = *got
+	}
+	return failed
+}
+
+// sleepCtx sleeps for d unless ctx ends first; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// CompileAll submits req and reassembles the streamed results in
+// request (index) order, verifying that every job arrived exactly
+// once. The returned summary is recomputed over the final results, so
+// it reflects retry outcomes rather than first attempts.
+func (c *Client) CompileAll(ctx context.Context, req api.CompileRequest) ([]api.JobResult, *api.Summary, error) {
+	n := req.Jobs()
+	out := make([]api.JobResult, n)
+	seen := make([]bool, n)
+	count := 0
+	for rec, err := range c.Compile(ctx, req) {
+		if err != nil {
+			return nil, nil, err
+		}
+		if rec.Index < 0 || rec.Index >= n {
+			return nil, nil, fmt.Errorf("dmsclient: result index %d out of range [0,%d)", rec.Index, n)
+		}
+		if seen[rec.Index] {
+			return nil, nil, fmt.Errorf("dmsclient: job %d streamed twice", rec.Index)
+		}
+		seen[rec.Index] = true
+		out[rec.Index] = rec
+		count++
+	}
+	if count != n {
+		return nil, nil, fmt.Errorf("dmsclient: stream carried %d of %d results", count, n)
+	}
+	sum := api.Summary{Jobs: n}
+	for i := range out {
+		if out[i].Error != "" {
+			sum.Errors++
+		}
+		if out[i].Cached {
+			sum.Cached++
+		}
+	}
+	return out, &sum, nil
+}

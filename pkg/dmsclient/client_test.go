@@ -1,0 +1,303 @@
+package dmsclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	api "repro/api/v1"
+	"repro/internal/ddg"
+	"repro/internal/driver"
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+	"repro/internal/server"
+)
+
+// goldenLoopDir is the checked-in loop corpus; the e2e test drives the
+// service on exactly the loops whose schedules the rest of the suite
+// pins down.
+const goldenLoopDir = "../../internal/loop/testdata"
+
+func readGoldenLoops(t *testing.T) (names, texts []string) {
+	t.Helper()
+	entries, err := os.ReadDir(goldenLoopDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".loop") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(goldenLoopDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, e.Name())
+		texts = append(texts, string(data))
+	}
+	sort.Sort(byNameTexts{names, texts})
+	if len(texts) < 2 {
+		t.Fatalf("need at least 2 golden loops, have %d", len(texts))
+	}
+	return names, texts
+}
+
+type byNameTexts struct{ names, texts []string }
+
+func (b byNameTexts) Len() int           { return len(b.names) }
+func (b byNameTexts) Less(i, j int) bool { return b.names[i] < b.names[j] }
+func (b byNameTexts) Swap(i, j int) {
+	b.names[i], b.names[j] = b.names[j], b.names[i]
+	b.texts[i], b.texts[j] = b.texts[j], b.texts[i]
+}
+
+// flakyScheduler wraps a real back-end and fails exactly once — with a
+// timeout-shaped error — for the job matching (loopName, clusters),
+// inducing the mid-stream retry the e2e test asserts on.
+type flakyScheduler struct {
+	driver.Scheduler
+	loopName string
+	clusters int
+	fired    atomic.Bool
+}
+
+func (f *flakyScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt driver.Options) (*schedule.Schedule, driver.Stats, error) {
+	if m.Clusters == f.clusters && strings.Contains(g.Name(), f.loopName) && f.fired.CompareAndSwap(false, true) {
+		return nil, driver.Stats{}, fmt.Errorf("induced scheduling timeout: %w", context.DeadlineExceeded)
+	}
+	return f.Scheduler.Schedule(ctx, g, m, opt)
+}
+
+// TestClientEndToEnd is the SDK acceptance test: a server on a random
+// port is driven exclusively through the client — the golden loop
+// directory, two machines, one induced mid-stream timeout that the
+// client retries — and the reassembled results are byte-identical to a
+// direct driver.CompileAll run. The legacy unprefixed routes still
+// answer, with a deprecation header.
+func TestClientEndToEnd(t *testing.T) {
+	names, texts := readGoldenLoops(t)
+
+	// The server resolves "dms" to a once-flaky wrapper around the real
+	// scheduler: the first attempt at (loops[1], 2 clusters) fails with
+	// a timeout-shaped error, every other call delegates.
+	realDMS, err := driver.Get("dms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	realTwoPhase, err := driver.Get("twophase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := loop.ParseString(texts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyScheduler{Scheduler: realDMS, loopName: victim.Name, clusters: 2}
+	reg := driver.NewRegistry()
+	reg.MustRegister(flaky)
+	reg.MustRegister(realTwoPhase)
+
+	svc := server.New(server.Options{Registry: reg})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	req := api.CompileRequest{
+		Loops:      texts,
+		Machines:   []api.MachineSpec{{Clusters: 2}, {Clusters: 4}},
+		Schedulers: []string{"dms", "twophase"},
+	}
+
+	cli := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	results, sum, err := cli.CompileAll(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !flaky.fired.Load() {
+		t.Fatal("the induced timeout never fired; the retry path was not exercised")
+	}
+	if sum.Jobs != req.Jobs() || sum.Errors != 0 {
+		t.Fatalf("summary %+v, want %d jobs and 0 errors after retry", sum, req.Jobs())
+	}
+
+	// The reference: the same cross product compiled directly (real
+	// schedulers, no service in the path).
+	var loops []*loop.Loop
+	for _, text := range texts {
+		l, err := loop.ParseString(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loops = append(loops, l)
+	}
+	machines := []*machine.Machine{machine.Clustered(2), machine.Clustered(4)}
+	jobs := driver.Jobs(loops, machines, req.Schedulers, driver.Options{})
+	direct := driver.CompileAll(context.Background(), jobs, driver.BatchOptions{})
+
+	if len(results) != len(jobs) {
+		t.Fatalf("client reassembled %d results for %d jobs", len(results), len(jobs))
+	}
+	for i, res := range direct {
+		if res.Err != nil {
+			t.Fatalf("direct %s: %v", res.Job, res.Err)
+		}
+		want := server.Record(res)
+		want.Index = i
+		got := results[i]
+		got.Cached = false // cache provenance is service-side state, not payload
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wantJSON) != string(gotJSON) {
+			t.Errorf("job %d (%s, loop file %s) diverges from direct CompileAll:\n got %s\nwant %s",
+				i, res.Job, names[i/(len(machines)*len(req.Schedulers))], gotJSON, wantJSON)
+		}
+	}
+
+	// Exactly one job error reached the metrics (the induced timeout's
+	// first attempt); the retry must not have double-counted.
+	met, err := cli.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.JobErrors != 1 {
+		t.Errorf("server job errors = %d, want exactly the 1 induced timeout", met.JobErrors)
+	}
+
+	// Discovery endpoints through the SDK.
+	h, err := cli.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Protocol != api.Version {
+		t.Errorf("health = %+v", h)
+	}
+	scheds, err := cli.Schedulers(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) != 2 {
+		t.Errorf("schedulers = %+v", scheds)
+	}
+
+	// Legacy unprefixed routes still answer, marked deprecated.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("legacy /healthz status %d", resp.StatusCode)
+	}
+	if dep := resp.Header.Get(api.DeprecationHeader); dep != "true" {
+		t.Errorf("legacy /healthz deprecation header = %q, want \"true\"", dep)
+	}
+}
+
+// TestClientStreamIterator covers the iter.Seq2 surface directly:
+// completion-order delivery, early break, and the context still being
+// honored.
+func TestClientStreamIterator(t *testing.T) {
+	_, texts := readGoldenLoops(t)
+	svc := server.New(server.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cli := New(ts.URL)
+	req := api.CompileRequest{
+		Loops:      texts[:2],
+		Machines:   []api.MachineSpec{{Clusters: 2}},
+		Schedulers: []string{"dms"},
+	}
+	seen := 0
+	for rec, err := range cli.Compile(context.Background(), req) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Error != "" {
+			t.Fatalf("job %d: %s", rec.Index, rec.Error)
+		}
+		seen++
+	}
+	if seen != 2 {
+		t.Fatalf("iterator yielded %d results, want 2", seen)
+	}
+
+	// Early break must not error or leak.
+	for range cli.Compile(context.Background(), req) {
+		break
+	}
+}
+
+// TestClientSurfacesStructuredErrors: a request-level failure comes
+// back as the typed *api.Error, not a stringly HTTP error.
+func TestClientSurfacesStructuredErrors(t *testing.T) {
+	_, texts := readGoldenLoops(t)
+	svc := server.New(server.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cli := New(ts.URL)
+	req := api.CompileRequest{
+		Loops:      texts[:1],
+		Machines:   []api.MachineSpec{{Clusters: 2}},
+		Schedulers: []string{"nope"},
+	}
+	_, _, err := cli.CompileAll(context.Background(), req)
+	apiErr, ok := err.(*api.Error)
+	if !ok {
+		t.Fatalf("error type %T (%v), want *api.Error", err, err)
+	}
+	if apiErr.Code != api.CodeUnknownScheduler {
+		t.Errorf("code %q, want %q", apiErr.Code, api.CodeUnknownScheduler)
+	}
+}
+
+// TestClientProtocolHandshake: a server that does not speak v1 (no
+// protocol header) is rejected before any payload is trusted.
+func TestClientProtocolHandshake(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok"}`) // no Dms-Protocol header
+	}))
+	defer fake.Close()
+
+	cli := New(fake.URL)
+	if _, err := cli.Health(context.Background()); err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("handshake failure not detected: %v", err)
+	}
+}
+
+// TestClientTruncatedStream: a stream that dies before the summary
+// record is an error, not a silently short result set.
+func TestClientTruncatedStream(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.ProtocolHeader, api.Version)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"index":0,"job":"a/b/c","mii":1,"ii":1}`)
+		// ...and no summary line.
+	}))
+	defer fake.Close()
+
+	cli := New(fake.URL)
+	_, _, err := cli.CompileAll(context.Background(), api.CompileRequest{
+		Loops: []string{"x"}, Machines: []api.MachineSpec{{Clusters: 1}}, Schedulers: []string{"dms"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "summary") {
+		t.Fatalf("truncated stream not detected: %v", err)
+	}
+}
