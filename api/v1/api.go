@@ -12,28 +12,57 @@
 //
 // # Endpoints
 //
-//	POST /v1/compile     — compile a batch; the response is an NDJSON
-//	                       stream (see "Stream framing" below)
-//	GET  /v1/metrics     — service and cache counters (ServerMetrics)
-//	GET  /v1/schedulers  — registered back-ends ([]SchedulerInfo)
-//	GET  /v1/healthz     — liveness probe (Health)
+//	POST   /v1/jobs              — submit a batch asynchronously; the
+//	                               response is the created Job resource
+//	GET    /v1/jobs/{id}         — poll a Job's state and counts
+//	GET    /v1/jobs/{id}/results — stream the Job's results as NDJSON;
+//	                               ?from=<index> resumes mid-stream
+//	DELETE /v1/jobs/{id}         — cancel a queued or running Job
+//	POST   /v1/compile           — compile a batch synchronously; the
+//	                               response is an NDJSON stream (a thin
+//	                               wrapper over the job engine)
+//	GET    /v1/metrics           — service, cache and queue counters
+//	                               (ServerMetrics)
+//	GET    /v1/schedulers        — registered back-ends ([]SchedulerInfo)
+//	GET    /v1/healthz           — liveness probe (Health)
 //
-// The unprefixed spellings of the same routes are deprecated aliases
-// kept for one release; they answer with a "Deprecation: true" header
-// and a "Link" header naming the successor route.
+// # Job lifecycle
+//
+// POST /v1/jobs runs the same request validation as /v1/compile, then
+// admits the batch to a bounded FIFO queue and immediately returns a
+// Job: its ID, state, queue position and result counts. States move
+// strictly forward:
+//
+//	queued → running → done
+//	queued | running → canceled   (DELETE /v1/jobs/{id})
+//	running → failed              (internal executor failure)
+//
+// When the queue is full the submission is rejected with HTTP 429 and
+// error code queue_full; the response carries a Retry-After header
+// (integer seconds) with the server's backoff hint. Results are
+// retained for a TTL after the job finishes, so a client may poll and
+// re-stream them until garbage collection; afterwards the ID answers
+// not_found.
 //
 // # Stream framing
 //
-// A /v1/compile response body is NDJSON: one JSON object per line.
-// Every line but the last is a JobResult, emitted in completion order
-// (reorder by Index to recover request order). The final line is a
-// terminal summary record of the form
+// A /v1/compile or /v1/jobs/{id}/results response body is NDJSON: one
+// JSON object per line. Every line but the last is a JobResult,
+// emitted in completion order (reorder by Index to recover request
+// order). The final line is a terminal summary record of the form
 //
 //	{"summary":{"jobs":N,"errors":E,"cached":C}}
 //
 // distinguished from result lines by its single "summary" key; use
-// DecodeStreamLine to classify lines. Legacy /compile responses omit
-// the summary record (their framing predates it).
+// DecodeStreamLine to classify lines.
+//
+// A results stream accepts ?from=<index> to skip the first <index>
+// result lines — the resume offset after a dropped connection. The
+// terminal summary always counts every result the job produced (the
+// full batch for a "done" job, possibly fewer for a canceled or
+// failed one), not the lines of one (possibly resumed) stream, so a
+// resuming client checks its cumulative line count against the
+// summary.
 //
 // # Versioning
 //
@@ -53,6 +82,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"time"
 )
 
 // Version is the protocol version implemented by this package, as it
@@ -64,17 +94,32 @@ const Version = "v1"
 // the server spoke ("v1"). Clients verify it during the handshake.
 const ProtocolHeader = "Dms-Protocol"
 
-// DeprecationHeader marks responses served from a deprecated legacy
-// route ("true" when present).
-const DeprecationHeader = "Deprecation"
+// RetryAfterHeader is the standard backoff hint carried by queue_full
+// (HTTP 429) responses: the number of seconds a client should wait
+// before resubmitting.
+const RetryAfterHeader = "Retry-After"
 
 // Route paths of the v1 surface.
 const (
 	PathCompile    = "/v1/compile"
+	PathJobs       = "/v1/jobs"
 	PathMetrics    = "/v1/metrics"
 	PathSchedulers = "/v1/schedulers"
 	PathHealth     = "/v1/healthz"
 )
+
+// JobPath returns the polling/cancel route of one job resource.
+func JobPath(id string) string { return PathJobs + "/" + id }
+
+// JobResultsPath returns the results-stream route of one job resource,
+// with the resume offset (0 streams from the beginning).
+func JobResultsPath(id string, from int) string {
+	p := PathJobs + "/" + id + "/results"
+	if from > 0 {
+		p += fmt.Sprintf("?from=%d", from)
+	}
+	return p
+}
 
 // ErrorCode classifies every failure the service reports, both
 // request-level (ErrorResponse) and per-job (JobResult.ErrorCode).
@@ -92,7 +137,12 @@ const (
 	// CodeCanceled: the job was canceled (client disconnect or server
 	// shutdown) before it finished. Retryable.
 	CodeCanceled ErrorCode = "canceled"
-	// CodeNotFound: no route matches the request path.
+	// CodeQueueFull: the admission queue is saturated and the request
+	// was rejected rather than queued. Retryable; the response carries
+	// a Retry-After header with the server's backoff hint.
+	CodeQueueFull ErrorCode = "queue_full"
+	// CodeNotFound: no route matches the request path, or a job ID is
+	// unknown (never existed, or already garbage-collected).
 	CodeNotFound ErrorCode = "not_found"
 	// CodeMethodNotAllowed: the route exists but not for this method.
 	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
@@ -100,11 +150,12 @@ const (
 	CodeInternal ErrorCode = "internal"
 )
 
-// Retryable reports whether a job that failed with this code may
-// succeed if resubmitted unchanged (the failure was a scheduling
-// deadline or cancellation, not a property of the job itself).
+// Retryable reports whether the identical request may succeed if
+// resubmitted unchanged (the failure was a scheduling deadline, a
+// cancellation or a momentarily saturated queue, not a property of
+// the request itself).
 func (c ErrorCode) Retryable() bool {
-	return c == CodeTimeout || c == CodeCanceled
+	return c == CodeTimeout || c == CodeCanceled || c == CodeQueueFull
 }
 
 // HTTPStatus is the status the service pairs with a request-level
@@ -119,6 +170,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusMethodNotAllowed
 	case CodeTimeout:
 		return http.StatusRequestTimeout
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}
@@ -128,6 +181,11 @@ func (c ErrorCode) HTTPStatus() int {
 type Error struct {
 	Code    ErrorCode `json:"code"`
 	Message string    `json:"message"`
+
+	// RetryAfter is the server's backoff hint, decoded from the
+	// Retry-After response header by clients (it is not part of the
+	// JSON body). Zero when the server sent none.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error implements the error interface.
@@ -297,6 +355,63 @@ func DecodeStreamLine(line []byte) (*JobResult, *Summary, error) {
 	return &rec, nil, nil
 }
 
+// JobState is the lifecycle state of an asynchronous job resource.
+// States move strictly forward; Terminal reports the absorbing ones.
+type JobState string
+
+const (
+	// JobQueued: admitted, waiting for an executor slot. The only
+	// state with a meaningful queue position.
+	JobQueued JobState = "queued"
+	// JobRunning: an executor is compiling the batch; results
+	// accumulate and can already be streamed.
+	JobRunning JobState = "running"
+	// JobDone: every job of the batch has a result (success or per-job
+	// error); the full result set is retained until the TTL.
+	JobDone JobState = "done"
+	// JobCanceled: canceled by DELETE /v1/jobs/{id} (or the submitting
+	// connection of a synchronous wrapper hanging up). A job canceled
+	// while still queued never reached the driver.
+	JobCanceled JobState = "canceled"
+	// JobFailed: the executor itself failed (Job.Error has the cause);
+	// per-job scheduling errors do NOT fail the job — they are carried
+	// in the result lines.
+	JobFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is absorbing: no further results
+// will be produced and the stream's summary record can be trusted.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobCanceled || s == JobFailed
+}
+
+// Job is the asynchronous job resource returned by POST /v1/jobs and
+// GET /v1/jobs/{id}.
+type Job struct {
+	// ID addresses the job on the /v1/jobs/{id} routes.
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// QueuePos is the 1-based position while queued (1 = next to run);
+	// 0 once the job has left the queue.
+	QueuePos int `json:"queue_pos,omitempty"`
+	// Jobs is the size of the batch: the number of result lines a job
+	// that runs to completion carries (the Summary.Jobs of a "done"
+	// job). A canceled or failed job may carry fewer — its summary
+	// counts the results actually produced.
+	Jobs int `json:"jobs"`
+	// Done, Errors and Cached count the results produced so far.
+	Done   int `json:"done"`
+	Errors int `json:"errors,omitempty"`
+	Cached int `json:"cached,omitempty"`
+	// Error is the executor failure that moved the job to "failed".
+	Error string `json:"error,omitempty"`
+	// Lifecycle timestamps, milliseconds since the Unix epoch; zero
+	// (omitted) until the corresponding transition happened.
+	CreatedUnixMS  int64 `json:"created_unix_ms,omitempty"`
+	StartedUnixMS  int64 `json:"started_unix_ms,omitempty"`
+	FinishedUnixMS int64 `json:"finished_unix_ms,omitempty"`
+}
+
 // SchedulerInfo is one entry of the GET /v1/schedulers response.
 type SchedulerInfo struct {
 	Name string `json:"name"`
@@ -315,12 +430,34 @@ type CacheMetrics struct {
 	MaxEntries int    `json:"max_entries"`
 }
 
+// QueueMetrics is a snapshot of the admission queue's gauges and
+// counters.
+type QueueMetrics struct {
+	// Depth is the number of jobs queued right now; Running the number
+	// currently executing; Retained the finished jobs still held for
+	// their result TTL, whose results total approximately
+	// RetainedBytes.
+	Depth         int   `json:"depth"`
+	Running       int   `json:"running"`
+	Retained      int   `json:"retained"`
+	RetainedBytes int64 `json:"retained_bytes"`
+	// Capacity is the queue bound admissions are checked against.
+	Capacity int `json:"capacity"`
+	// Admitted/Rejected/Completed/Canceled are monotonic counters over
+	// the server's lifetime. Rejected counts queue_full responses.
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Canceled  uint64 `json:"canceled"`
+}
+
 // ServerMetrics is the GET /v1/metrics payload.
 type ServerMetrics struct {
 	Requests  int64        `json:"requests"`
 	Jobs      int64        `json:"jobs"`
 	JobErrors int64        `json:"job_errors"`
 	Cache     CacheMetrics `json:"cache"`
+	Queue     QueueMetrics `json:"queue"`
 }
 
 // Health is the GET /v1/healthz payload.

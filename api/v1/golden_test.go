@@ -19,10 +19,15 @@ var update = flag.Bool("update", false, "rewrite the golden wire-format file")
 func goldenDoc() any {
 	return struct {
 		CompileRequest CompileRequest  `json:"compile_request"`
+		JobQueued      Job             `json:"job_queued"`
+		JobRunning     Job             `json:"job_running"`
+		JobDone        Job             `json:"job_done"`
+		JobFailed      Job             `json:"job_failed"`
 		JobResult      JobResult       `json:"job_result"`
 		ErrorResult    JobResult       `json:"error_result"`
 		SummaryLine    json.RawMessage `json:"summary_line"`
 		ErrorResponse  ErrorResponse   `json:"error_response"`
+		QueueFull      ErrorResponse   `json:"queue_full_response"`
 		Schedulers     []SchedulerInfo `json:"schedulers"`
 		ServerMetrics  ServerMetrics   `json:"server_metrics"`
 		Health         Health          `json:"health"`
@@ -42,6 +47,44 @@ func goldenDoc() any {
 			},
 			TimeoutMS: 30000,
 			NoCache:   true,
+		},
+		JobQueued: Job{
+			ID:            "a3f9c2e15b7d40618e24f0a9c6d83b57",
+			State:         JobQueued,
+			QueuePos:      2,
+			Jobs:          7,
+			CreatedUnixMS: 946684800000,
+		},
+		JobRunning: Job{
+			ID:            "a3f9c2e15b7d40618e24f0a9c6d83b57",
+			State:         JobRunning,
+			Jobs:          7,
+			Done:          3,
+			Errors:        1,
+			Cached:        2,
+			CreatedUnixMS: 946684800000,
+			StartedUnixMS: 946684801000,
+		},
+		JobDone: Job{
+			ID:             "a3f9c2e15b7d40618e24f0a9c6d83b57",
+			State:          JobDone,
+			Jobs:           7,
+			Done:           7,
+			Errors:         1,
+			Cached:         3,
+			CreatedUnixMS:  946684800000,
+			StartedUnixMS:  946684801000,
+			FinishedUnixMS: 946684802000,
+		},
+		JobFailed: Job{
+			ID:             "1b2c3d4e5f60718293a4b5c6d7e8f901",
+			State:          JobFailed,
+			Jobs:           7,
+			Done:           2,
+			Error:          "executor panicked: boom",
+			CreatedUnixMS:  946684800000,
+			StartedUnixMS:  946684801000,
+			FinishedUnixMS: 946684802000,
 		},
 		JobResult: JobResult{
 			Index: 5,
@@ -66,6 +109,7 @@ func goldenDoc() any {
 		},
 		SummaryLine:   mustSummaryLine(Summary{Jobs: 7, Errors: 1, Cached: 3}),
 		ErrorResponse: ErrorResponse{Error: Error{Code: CodeUnknownScheduler, Message: `driver: unknown scheduler "nope" (have dms, ims, sms, twophase)`}},
+		QueueFull:     ErrorResponse{Error: Error{Code: CodeQueueFull, Message: "admission queue at capacity (64 queued); retry after 1s"}},
 		Schedulers: []SchedulerInfo{
 			{Name: "dms", Clustered: true},
 			{Name: "ims", Clustered: false},
@@ -73,6 +117,10 @@ func goldenDoc() any {
 		ServerMetrics: ServerMetrics{
 			Requests: 12, Jobs: 340, JobErrors: 2,
 			Cache: CacheMetrics{Hits: 200, Misses: 140, Shared: 7, Evictions: 3, Entries: 137, Inflight: 1, MaxEntries: 4096},
+			Queue: QueueMetrics{
+				Depth: 3, Running: 2, Retained: 9, RetainedBytes: 73114, Capacity: 64,
+				Admitted: 118, Rejected: 4, Completed: 102, Canceled: 11,
+			},
 		},
 		Health: Health{Status: "ok", Protocol: Version},
 	}
@@ -122,8 +170,11 @@ func TestGoldenDecodes(t *testing.T) {
 	}
 	var doc struct {
 		CompileRequest CompileRequest `json:"compile_request"`
+		JobQueued      Job            `json:"job_queued"`
+		JobDone        Job            `json:"job_done"`
 		JobResult      JobResult      `json:"job_result"`
 		ErrorResult    JobResult      `json:"error_result"`
+		QueueFull      ErrorResponse  `json:"queue_full_response"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
@@ -136,5 +187,14 @@ func TestGoldenDecodes(t *testing.T) {
 	}
 	if !doc.ErrorResult.ErrorCode.Retryable() {
 		t.Errorf("golden error result %q must be retryable", doc.ErrorResult.ErrorCode)
+	}
+	if doc.JobQueued.State.Terminal() || !doc.JobDone.State.Terminal() {
+		t.Errorf("golden job states misclassify terminality: %s / %s", doc.JobQueued.State, doc.JobDone.State)
+	}
+	if doc.JobQueued.QueuePos != 2 {
+		t.Errorf("golden queued job position = %d, want 2", doc.JobQueued.QueuePos)
+	}
+	if !doc.QueueFull.Error.Code.Retryable() {
+		t.Errorf("golden %q must be retryable", doc.QueueFull.Error.Code)
 	}
 }

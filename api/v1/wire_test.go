@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"reflect"
 	"testing"
 )
@@ -18,6 +19,7 @@ func wireTypes() []any {
 		CompileRequest{},
 		MachineSpec{},
 		Options{},
+		Job{},
 		JobResult{},
 		Stats{},
 		ScheduleMetrics{},
@@ -26,6 +28,7 @@ func wireTypes() []any {
 		ErrorResponse{},
 		SchedulerInfo{},
 		CacheMetrics{},
+		QueueMetrics{},
 		ServerMetrics{},
 		Health{},
 	}
@@ -205,9 +208,12 @@ func TestJobAxes(t *testing.T) {
 
 func TestErrorCodeProperties(t *testing.T) {
 	retryable := map[ErrorCode]bool{
-		CodeTimeout: true, CodeCanceled: true,
+		CodeTimeout: true, CodeCanceled: true, CodeQueueFull: true,
 		CodeInvalidRequest: false, CodeUnknownScheduler: false,
 		CodeNotFound: false, CodeMethodNotAllowed: false, CodeInternal: false,
+	}
+	if got := CodeQueueFull.HTTPStatus(); got != http.StatusTooManyRequests {
+		t.Errorf("queue_full status = %d, want 429", got)
 	}
 	for code, want := range retryable {
 		if code.Retryable() != want {
@@ -220,6 +226,30 @@ func TestErrorCodeProperties(t *testing.T) {
 	e := &Error{Code: CodeTimeout, Message: "job took too long"}
 	if e.Error() != "timeout: job took too long" {
 		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestJobStateTerminal(t *testing.T) {
+	terminal := map[JobState]bool{
+		JobQueued: false, JobRunning: false,
+		JobDone: true, JobCanceled: true, JobFailed: true,
+	}
+	for state, want := range terminal {
+		if state.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", state, state.Terminal(), want)
+		}
+	}
+}
+
+func TestJobPaths(t *testing.T) {
+	if got := JobPath("abc"); got != "/v1/jobs/abc" {
+		t.Errorf("JobPath = %q", got)
+	}
+	if got := JobResultsPath("abc", 0); got != "/v1/jobs/abc/results" {
+		t.Errorf("JobResultsPath(0) = %q", got)
+	}
+	if got := JobResultsPath("abc", 17); got != "/v1/jobs/abc/results?from=17" {
+		t.Errorf("JobResultsPath(17) = %q", got)
 	}
 }
 

@@ -1,13 +1,21 @@
 // Command dmsclient submits work to a running compile service
 // (cmd/dmsserve) through the pkg/dmsclient SDK: it reads a directory
 // of loop files, posts the (loops × machines × schedulers) cross
-// product to POST /v1/compile, reassembles the NDJSON stream in index
-// order — retrying canceled and timed-out jobs with per-job backoff —
-// and prints a summary table.
+// product, reassembles the NDJSON stream in index order — retrying
+// canceled and timed-out jobs with per-job backoff — and prints a
+// summary table.
+//
+// By default the synchronous POST /v1/compile surface is used. With
+// -async the batch goes through the job resource API instead: submit
+// via POST /v1/jobs (waiting out 429 queue_full rejections with the
+// server's Retry-After hint), poll the job to completion, then stream
+// the retained results — resuming with the ?from= offset if the
+// connection drops.
 //
 // Usage:
 //
 //	dmsclient -addr http://localhost:8080 -dir ./loops -clusters 2,4 -schedulers dms,twophase
+//	dmsclient -addr http://localhost:8080 -dir ./loops -async
 //	dmsclient -addr http://localhost:8080 -list-schedulers
 //	dmsclient -addr http://localhost:8080 -metrics
 //
@@ -43,8 +51,10 @@ func main() {
 		unclustered = flag.Bool("unclustered", false, "target the equivalent unclustered machines instead")
 		schedulers  = flag.String("schedulers", "dms", "comma-separated scheduler names (see -list-schedulers)")
 		timeout     = flag.Duration("timeout", 0, "per-job scheduling timeout sent with the request (0 = server default)")
-		retries     = flag.Int("retries", 2, "retry attempts for canceled/timed-out jobs")
-		backoff     = flag.Duration("backoff", 100*time.Millisecond, "base per-job retry backoff (doubles per attempt)")
+		retries     = flag.Int("retries", 2, "retry attempts for canceled/timed-out jobs and dropped streams")
+		backoff     = flag.Duration("backoff", 100*time.Millisecond, "base per-job retry backoff (doubles per attempt; a server Retry-After hint overrides it)")
+		maxWait     = flag.Duration("max-retry-wait", dmsclient.DefaultMaxRetryWait, "cap on the cumulative retry backoff of one call")
+		async       = flag.Bool("async", false, "submit through the asynchronous job API (POST /v1/jobs, poll, stream retained results)")
 		noCache     = flag.Bool("no-cache", false, "bypass the server's result cache lookup")
 		listScheds  = flag.Bool("list-schedulers", false, "list the server's schedulers and exit")
 		metrics     = flag.Bool("metrics", false, "print the server's metrics and exit")
@@ -60,6 +70,7 @@ func main() {
 	cli := dmsclient.New(*addr,
 		dmsclient.WithRetries(*retries),
 		dmsclient.WithBackoff(*backoff),
+		dmsclient.WithMaxRetryWait(*maxWait),
 	)
 
 	switch {
@@ -119,7 +130,15 @@ func main() {
 	}
 
 	start := time.Now()
-	results, sum, err := cli.CompileAll(ctx, req)
+	var (
+		results []api.JobResult
+		sum     *api.Summary
+	)
+	if *async {
+		results, sum, err = compileAsync(ctx, cli, req)
+	} else {
+		results, sum, err = cli.CompileAll(ctx, req)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -129,6 +148,38 @@ func main() {
 	if sum.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// compileAsync drives the job resource API end to end: submit (the
+// SDK waits out queue_full rejections with the server's Retry-After
+// hint), poll to a terminal state, then stream the retained results
+// with automatic ?from= resume. A SIGINT while the job is queued or
+// running cancels it server-side before exiting.
+func compileAsync(ctx context.Context, cli *dmsclient.Client, req api.CompileRequest) ([]api.JobResult, *api.Summary, error) {
+	job, err := cli.Submit(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if job.QueuePos > 0 {
+		log.Printf("job %s queued at position %d (%d jobs)", job.ID, job.QueuePos, job.Jobs)
+	} else {
+		log.Printf("job %s accepted (%d jobs)", job.ID, job.Jobs)
+	}
+	done, err := cli.Wait(ctx, job.ID)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Best-effort server-side cancel so an interrupted submission
+			// does not keep burning an executor.
+			cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			cli.Cancel(cctx, job.ID)
+		}
+		return nil, nil, err
+	}
+	if done.State != api.JobDone {
+		return nil, nil, fmt.Errorf("job %s finished as %s: %s", done.ID, done.State, done.Error)
+	}
+	return cli.ResultsAll(ctx, job.ID, done.Jobs)
 }
 
 // splitList splits a comma-separated flag value, dropping empties.

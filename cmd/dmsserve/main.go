@@ -1,25 +1,35 @@
 // Command dmsserve runs the long-running compile service: an HTTP
 // JSON API over the batch driver with a content-addressed schedule
-// cache (see internal/server). The wire contract is repro/api/v1,
-// served under /v1 (the unprefixed routes are deprecated aliases).
+// cache and an asynchronous job engine — a bounded FIFO admission
+// queue in front of a fixed executor pool (see internal/server and
+// internal/jobs). The wire contract is repro/api/v1, served under /v1.
 //
 // Usage:
 //
-//	dmsserve -addr :8080 -cache 4096 -timeout 30s
+//	dmsserve -addr :8080 -cache 4096 -timeout 30s -queue 64 -executors 2 -job-ttl 5m
 //
 // Submit work with cmd/dmsclient, the pkg/dmsclient SDK, or any HTTP
-// client; results stream back as NDJSON closed by a summary record:
+// client. The synchronous surface streams NDJSON closed by a summary
+// record; the asynchronous surface decouples submission from result
+// transfer and survives dropped connections via ?from= resume:
 //
 //	curl -N localhost:8080/v1/compile -d '{
 //	  "loops": ["loop dot trip 100\nx = load\ny = load\nm = mul x, y\nacc = add m, acc@1\nout = store acc\n"],
 //	  "machines": [{"clusters": 4}],
 //	  "schedulers": ["dms"]
 //	}'
+//	curl -d @req.json localhost:8080/v1/jobs          # → {"id": "...", "state": "queued", ...}
+//	curl localhost:8080/v1/jobs/<id>                  # poll
+//	curl -N localhost:8080/v1/jobs/<id>/results?from=0
+//	curl -X DELETE localhost:8080/v1/jobs/<id>        # cancel
 //	curl localhost:8080/v1/metrics
+//
+// When the admission queue is full, submissions answer 429 queue_full
+// with a Retry-After hint (-retry-after).
 //
 // SIGINT/SIGTERM drain the server gracefully: in-flight requests get a
 // shutdown grace period and their contexts cancel any scheduling work
-// still running.
+// still running; queued jobs finish as canceled without compiling.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/server"
 )
 
@@ -40,11 +51,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dmsserve: ")
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		cacheSize = flag.Int("cache", server.DefaultCacheSize, "max cached schedules")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-job scheduling timeout (0 = none)")
-		par       = flag.Int("par", 0, "per-request worker parallelism (0 = GOMAXPROCS)")
-		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheSize  = flag.Int("cache", server.DefaultCacheSize, "max cached schedules")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-job scheduling timeout (0 = none)")
+		par        = flag.Int("par", 0, "per-batch worker parallelism (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", jobs.DefaultCapacity, "admission queue capacity (submissions past it answer 429)")
+		executors  = flag.Int("executors", jobs.DefaultWorkers, "batches executing concurrently")
+		jobTTL     = flag.Duration("job-ttl", jobs.DefaultTTL, "retention of finished jobs' results for polling/resume")
+		jobBytes   = flag.Int64("job-bytes", jobs.DefaultMaxRetainedBytes, "approximate cap on retained results' total size")
+		retryAfter = flag.Duration("retry-after", server.DefaultRetryAfter, "backoff hint sent with 429 queue_full responses")
+		grace      = flag.Duration("grace", 10*time.Second, "shutdown grace period")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -53,10 +69,16 @@ func main() {
 	}
 
 	svc := server.New(server.Options{
-		CacheSize:   *cacheSize,
-		Timeout:     *timeout,
-		Parallelism: *par,
+		CacheSize:        *cacheSize,
+		Timeout:          *timeout,
+		Parallelism:      *par,
+		QueueCapacity:    *queue,
+		QueueWorkers:     *executors,
+		JobTTL:           *jobTTL,
+		MaxRetainedBytes: *jobBytes,
+		RetryAfter:       *retryAfter,
 	})
+	defer svc.Close()
 	httpSrv := &http.Server{
 		Addr:    *addr,
 		Handler: svc.Handler(),
@@ -67,7 +89,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (cache %d entries, job timeout %v)", *addr, *cacheSize, *timeout)
+		log.Printf("listening on %s (cache %d entries, job timeout %v, queue %d, %d executors)",
+			*addr, *cacheSize, *timeout, *queue, *executors)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

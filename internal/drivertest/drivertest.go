@@ -1,0 +1,66 @@
+// Package drivertest holds scheduler test doubles shared by the
+// service and SDK suites: wrappers around real back-ends that inject
+// the failure modes the async/retry machinery must survive. Keeping
+// them here means a change to the driver.Scheduler signature is
+// patched once, not once per test package.
+package drivertest
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/ddg"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// Gated wraps a real back-end behind a gate channel, so tests can
+// hold an executor busy deterministically: Schedule blocks until the
+// gate closes (or the context is canceled) before delegating. Calls
+// counts Schedule invocations — the canceled-queued-job-never-compiles
+// assertions read it.
+type Gated struct {
+	driver.Scheduler
+	Gate  chan struct{}
+	Calls atomic.Int64
+}
+
+// NewGated returns a Gated wrapper around the registered back-end
+// named name, with a fresh open gate.
+func NewGated(name string) (*Gated, error) {
+	real, err := driver.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Gated{Scheduler: real, Gate: make(chan struct{})}, nil
+}
+
+func (g *Gated) Schedule(ctx context.Context, gr *ddg.Graph, m *machine.Machine, opt driver.Options) (*schedule.Schedule, driver.Stats, error) {
+	g.Calls.Add(1)
+	select {
+	case <-g.Gate:
+	case <-ctx.Done():
+		return nil, driver.Stats{}, ctx.Err()
+	}
+	return g.Scheduler.Schedule(ctx, gr, m, opt)
+}
+
+// Flaky wraps a real back-end and fails exactly once — with a
+// timeout-shaped error — for the job matching (LoopName, Clusters),
+// inducing the mid-stream retry the client e2e tests assert on.
+type Flaky struct {
+	driver.Scheduler
+	LoopName string
+	Clusters int
+	Fired    atomic.Bool
+}
+
+func (f *Flaky) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt driver.Options) (*schedule.Schedule, driver.Stats, error) {
+	if m.Clusters == f.Clusters && strings.Contains(g.Name(), f.LoopName) && f.Fired.CompareAndSwap(false, true) {
+		return nil, driver.Stats{}, fmt.Errorf("induced scheduling timeout: %w", context.DeadlineExceeded)
+	}
+	return f.Scheduler.Schedule(ctx, g, m, opt)
+}

@@ -1,0 +1,711 @@
+// Package jobs is the asynchronous job engine behind the compile
+// service: a bounded FIFO admission queue feeding a fixed pool of
+// executors, with per-job result buffers that outlive the submitting
+// connection.
+//
+// The engine is execution-agnostic: Submit takes a closure that
+// produces the results (the server wires it to driver.CompileAll
+// through the schedule cache) and an expected result count. Each
+// admitted submission becomes a Job resource that moves strictly
+// forward through
+//
+//	queued → running → done
+//	queued | running → canceled
+//	running → failed
+//
+// Results append to the job's buffer in completion order and remain
+// readable — including concurrent and resumed reads from any offset —
+// until a TTL after the job finishes, so a dropped results connection
+// re-attaches with the offset it already has instead of recomputing.
+// When the queue is at capacity, Submit fails with ErrQueueFull and
+// the caller maps that to HTTP 429 + Retry-After.
+//
+// A job canceled while still queued never reaches its run function:
+// the executor observes the cancellation mark before starting it.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	api "repro/api/v1"
+)
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; the service maps it to queue_full / HTTP 429.
+var ErrQueueFull = errors.New("jobs: admission queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("jobs: engine closed")
+
+// RunFunc executes one admitted batch: it must emit exactly the number
+// of results promised to Submit (unless ctx is canceled first, in
+// which case the engine finishes the job as canceled regardless of how
+// many results were emitted). Emit is safe for concurrent use by the
+// run's own workers.
+type RunFunc func(ctx context.Context, emit func(api.JobResult))
+
+// Options configure an Engine.
+type Options struct {
+	// Capacity bounds the number of jobs waiting for an executor
+	// (0 = DefaultCapacity). Running and finished jobs do not count
+	// against it.
+	Capacity int
+	// Workers is the number of batches executing concurrently
+	// (0 = DefaultWorkers). Each batch parallelizes internally, so a
+	// small pool keeps the machine busy without oversubscribing it.
+	Workers int
+	// TTL is how long a finished job's results are retained for
+	// polling and (re-)streaming (0 = DefaultTTL).
+	TTL time.Duration
+	// MaxFinished bounds the finished jobs retained at once; beyond
+	// it the oldest are collected before their TTL (0 = DefaultMaxFinished).
+	MaxFinished int
+	// MaxRetainedBytes bounds the approximate total size of retained
+	// results across finished jobs; above it the oldest are collected
+	// before their TTL, so large unfetched batches cannot pin the heap
+	// (0 = DefaultMaxRetainedBytes).
+	MaxRetainedBytes int64
+}
+
+// Defaults for Options.
+const (
+	DefaultCapacity         = 64
+	DefaultWorkers          = 2
+	DefaultTTL              = 5 * time.Minute
+	DefaultMaxFinished      = 256
+	DefaultMaxRetainedBytes = 256 << 20
+)
+
+func (o Options) capacity() int {
+	if o.Capacity > 0 {
+		return o.Capacity
+	}
+	return DefaultCapacity
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return DefaultWorkers
+}
+
+func (o Options) ttl() time.Duration {
+	if o.TTL > 0 {
+		return o.TTL
+	}
+	return DefaultTTL
+}
+
+func (o Options) maxFinished() int {
+	if o.MaxFinished > 0 {
+		return o.MaxFinished
+	}
+	return DefaultMaxFinished
+}
+
+func (o Options) maxRetainedBytes() int64 {
+	if o.MaxRetainedBytes > 0 {
+		return o.MaxRetainedBytes
+	}
+	return DefaultMaxRetainedBytes
+}
+
+// Engine owns the queue, the executor pool and the job table. Create
+// one with New; it is safe for concurrent use.
+type Engine struct {
+	opt Options
+
+	mu            sync.Mutex
+	cond          *sync.Cond // signaled when the queue gains a job or Close runs
+	queue         []*Job     // FIFO of admitted, not-yet-running jobs
+	byID          map[string]*Job
+	finished      []*Job // terminal jobs in finish order, awaiting GC
+	retainedBytes int64  // approximate result bytes across e.finished
+	running       int
+	closed        bool
+
+	admitted  uint64
+	rejected  uint64
+	completed uint64
+	canceled  uint64
+
+	gcStop chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New starts an engine with the given options (executors run until
+// Close).
+func New(opt Options) *Engine {
+	e := &Engine{opt: opt, byID: make(map[string]*Job), gcStop: make(chan struct{})}
+	e.cond = sync.NewCond(&e.mu)
+	for i := 0; i < opt.workers(); i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	e.wg.Add(1)
+	go e.janitor()
+	return e
+}
+
+// janitor sweeps expired retained jobs periodically, so an idle server
+// (no Submit/Get/Metrics traffic to trigger the lazy GC) still honors
+// the TTL instead of pinning expired results indefinitely.
+func (e *Engine) janitor() {
+	defer e.wg.Done()
+	interval := e.opt.ttl() / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			e.mu.Lock()
+			e.gcLocked(time.Now())
+			e.mu.Unlock()
+		case <-e.gcStop:
+			return
+		}
+	}
+}
+
+// Close shuts the engine down: queued jobs are finished as canceled
+// without running, running jobs have their contexts canceled so
+// cooperative back-ends abort promptly, and the executor pool is
+// stopped. It blocks until every executor has exited.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait() // a concurrent first Close finishes the shutdown
+		return
+	}
+	e.closed = true
+	close(e.gcStop)
+	drained := e.queue
+	e.queue = nil
+	// Mark every live job cancel-requested and cancel running ones'
+	// contexts, or a stuck batch would wedge the wg.Wait below (and
+	// with it graceful shutdown) indefinitely. The mark also catches a
+	// job a worker has dequeued but not yet started — its executor
+	// observes the flag and finishes it as canceled without running.
+	var cancels []context.CancelFunc
+	for _, j := range e.byID {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			j.cancelRequested = true
+			if j.cancel != nil {
+				cancels = append(cancels, j.cancel)
+			}
+		}
+		j.mu.Unlock()
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	now := time.Now()
+	for _, j := range drained {
+		j.mu.Lock()
+		finished := j.finishLocked(api.JobCanceled, "", now)
+		j.mu.Unlock()
+		if !finished {
+			continue // a racing Cancel already finished and retired it
+		}
+		e.mu.Lock()
+		e.canceled++
+		e.retireLocked(j, now)
+		e.mu.Unlock()
+	}
+	e.wg.Wait()
+}
+
+// newID returns a fresh 128-bit job ID.
+func newID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: id entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit admits a batch of n expected results to the queue, returning
+// the new Job, or ErrQueueFull when the queue is at capacity.
+func (e *Engine) Submit(n int, run RunFunc) (*Job, error) {
+	now := time.Now()
+	j := &Job{
+		id:      newID(),
+		engine:  e,
+		n:       n,
+		run:     run,
+		state:   api.JobQueued,
+		changed: make(chan struct{}),
+		created: now,
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		e.rejected++
+		return nil, ErrClosed
+	}
+	e.gcLocked(now)
+	if len(e.queue) >= e.opt.capacity() {
+		e.rejected++
+		return nil, ErrQueueFull
+	}
+	e.admitted++
+	e.queue = append(e.queue, j)
+	e.byID[j.id] = j
+	e.cond.Signal()
+	return j, nil
+}
+
+// Get returns the job with the given ID, if it is still known (queued,
+// running, or finished within its retention window).
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gcLocked(time.Now())
+	j, ok := e.byID[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of the job with the given ID and
+// reports whether the ID was known. A queued job is finished as
+// canceled immediately — it will never reach its run function; a
+// running job has its context canceled and finishes as canceled once
+// its run returns; a terminal job is left untouched (idempotent).
+func (e *Engine) Cancel(id string) (*Job, bool) {
+	e.mu.Lock()
+	j, ok := e.byID[id]
+	if !ok {
+		e.mu.Unlock()
+		return nil, false
+	}
+	// Remove from the queue first so the executors cannot pick it up
+	// in the window between unlocking the engine and marking the job.
+	for i, q := range e.queue {
+		if q == j {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	e.mu.Unlock()
+
+	now := time.Now()
+	j.mu.Lock()
+	switch j.state {
+	case api.JobQueued:
+		finished := j.finishLocked(api.JobCanceled, "", now)
+		j.mu.Unlock()
+		if finished { // otherwise a racing Close already retired it
+			e.mu.Lock()
+			e.canceled++
+			e.retireLocked(j, now)
+			e.mu.Unlock()
+		}
+	case api.JobRunning:
+		j.cancelRequested = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel() // the executor finishes the job as canceled
+		}
+	default: // terminal: idempotent no-op
+		j.mu.Unlock()
+	}
+	return j, true
+}
+
+// Metrics snapshots the queue gauges and counters in the wire form.
+func (e *Engine) Metrics() api.QueueMetrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gcLocked(time.Now())
+	return api.QueueMetrics{
+		Depth:         len(e.queue),
+		Running:       e.running,
+		Retained:      len(e.finished),
+		RetainedBytes: e.retainedBytes,
+		Capacity:      e.opt.capacity(),
+		Admitted:      e.admitted,
+		Rejected:      e.rejected,
+		Completed:     e.completed,
+		Canceled:      e.canceled,
+	}
+}
+
+// worker is one executor: it pulls the queue head and runs it to a
+// terminal state, forever, until Close.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		e.running++
+		e.mu.Unlock()
+		e.execute(j)
+	}
+}
+
+// execute runs one dequeued job to a terminal state.
+func (e *Engine) execute(j *Job) {
+	now := time.Now()
+	j.mu.Lock()
+	if j.state != api.JobQueued {
+		// Canceled after dequeue but before this executor marked it
+		// running; nothing to do.
+		j.mu.Unlock()
+		e.mu.Lock()
+		e.running--
+		e.mu.Unlock()
+		return
+	}
+	if j.cancelRequested {
+		// Canceled (or the engine closed) in the dequeue window, before
+		// this executor marked it running: finish it without ever
+		// invoking its run function.
+		finished := j.finishLocked(api.JobCanceled, "", now)
+		j.mu.Unlock()
+		e.mu.Lock()
+		e.running--
+		if finished {
+			e.canceled++
+			e.retireLocked(j, now)
+		}
+		e.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	j.state = api.JobRunning
+	j.started = now
+	j.broadcastLocked()
+	run := j.run // finishLocked clears the field; invoke the captured copy
+	j.mu.Unlock()
+
+	failure := runGuarded(ctx, run, j.append)
+	ctxErr := ctx.Err() // before the cleanup cancel below, which would mask it
+	cancel()
+
+	now = time.Now()
+	j.mu.Lock()
+	state := api.JobDone
+	switch {
+	case j.cancelRequested || ctxErr != nil:
+		state = api.JobCanceled
+	case failure != "":
+		state = api.JobFailed
+	}
+	finished := j.finishLocked(state, failure, now)
+	j.mu.Unlock()
+
+	e.mu.Lock()
+	e.running--
+	if finished {
+		switch state {
+		case api.JobCanceled:
+			e.canceled++
+		default:
+			e.completed++
+		}
+		e.retireLocked(j, now)
+	}
+	e.mu.Unlock()
+}
+
+// runGuarded invokes the job's run function, converting a panic into
+// a "failed" cause instead of taking down the executor.
+func runGuarded(ctx context.Context, run RunFunc, emit func(api.JobResult)) (failure string) {
+	defer func() {
+		if p := recover(); p != nil {
+			failure = fmt.Sprintf("executor panicked: %v", p)
+		}
+	}()
+	run(ctx, emit)
+	return ""
+}
+
+// retireLocked moves a terminal job into the finished list — or drops
+// it outright when it was released — and applies the retention bounds.
+// Requires e.mu.
+func (e *Engine) retireLocked(j *Job, now time.Time) {
+	j.mu.Lock()
+	released := j.released
+	size := j.bytes
+	j.mu.Unlock()
+	if released {
+		delete(e.byID, j.id)
+	} else {
+		e.finished = append(e.finished, j)
+		e.retainedBytes += size
+	}
+	e.gcLocked(now)
+}
+
+// Release marks the job as not worth retaining: as soon as it is
+// terminal (immediately if it already is) it is dropped from the
+// engine's table instead of occupying a retention slot until the TTL.
+// The synchronous wrapper uses this for jobs whose ID is never exposed
+// to a client, so bursts of synchronous traffic cannot evict
+// asynchronous jobs' retained results. Holders of the *Job can keep
+// reading it; only the ID lookup is gone.
+func (e *Engine) Release(id string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.byID[id]
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	j.released = true
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if !terminal {
+		return // the executor's retire will drop it
+	}
+	delete(e.byID, id)
+	for i, f := range e.finished {
+		if f == j {
+			e.finished = append(e.finished[:i], e.finished[i+1:]...)
+			j.mu.Lock()
+			e.retainedBytes -= j.bytes
+			j.mu.Unlock()
+			break
+		}
+	}
+}
+
+// gcLocked drops finished jobs past their TTL or beyond the retained
+// count/byte bounds (oldest first). Requires e.mu.
+func (e *Engine) gcLocked(now time.Time) {
+	ttl := e.opt.ttl()
+	maxKeep := e.opt.maxFinished()
+	maxBytes := e.opt.maxRetainedBytes()
+	keep := e.finished[:0]
+	for i, j := range e.finished {
+		expired := now.Sub(j.FinishedAt()) >= ttl
+		overflow := len(e.finished)-i > maxKeep
+		// retainedBytes shrinks as this loop evicts, so the check
+		// re-evaluates per job and stops at the first one that fits.
+		overweight := e.retainedBytes > maxBytes
+		if expired || overflow || overweight {
+			j.mu.Lock()
+			e.retainedBytes -= j.bytes
+			j.mu.Unlock()
+			delete(e.byID, j.id)
+			continue
+		}
+		keep = append(keep, j)
+	}
+	e.finished = keep
+}
+
+// Job is one admitted batch: its lifecycle state and its append-only
+// result buffer. All methods are safe for concurrent use.
+type Job struct {
+	id     string
+	engine *Engine
+	n      int
+	run    RunFunc
+
+	mu              sync.Mutex
+	state           api.JobState
+	results         []api.JobResult // completion order
+	bytes           int64           // approximate size of results
+	errors          int
+	cached          int
+	failure         string
+	cancel          context.CancelFunc
+	cancelRequested bool
+	released        bool          // drop instead of retain once terminal
+	changed         chan struct{} // closed and replaced on every mutation
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+}
+
+// ID returns the job's resource ID.
+func (j *Job) ID() string { return j.id }
+
+// N returns the number of results the batch will produce when it runs
+// to completion.
+func (j *Job) N() int { return j.n }
+
+// FinishedAt returns the terminal transition time (zero while the job
+// is live).
+func (j *Job) FinishedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished
+}
+
+// append adds one result to the buffer (the emit callback handed to
+// RunFunc).
+func (j *Job) append(rec api.JobResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results = append(j.results, rec)
+	j.bytes += recSize(rec)
+	if rec.Error != "" {
+		j.errors++
+	}
+	if rec.Cached {
+		j.cached++
+	}
+	j.broadcastLocked()
+}
+
+// recSize approximates one result's heap footprint: the variable-size
+// strings plus a flat allowance for the fixed fields.
+func recSize(rec api.JobResult) int64 {
+	return int64(192 + len(rec.Job) + len(rec.Schedule) + len(rec.Error))
+}
+
+// finishLocked moves the job to a terminal state, reporting whether
+// this call made the transition (false: already terminal, a no-op).
+// Requires j.mu. The run closure is dropped here — it pins the whole
+// parsed batch, which the retention window has no use for.
+func (j *Job) finishLocked(state api.JobState, failure string, now time.Time) bool {
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.failure = failure
+	j.finished = now
+	j.run = nil
+	j.broadcastLocked()
+	return true
+}
+
+// broadcastLocked wakes every waiter by closing the current change
+// channel and installing a fresh one. Requires j.mu.
+func (j *Job) broadcastLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// Snapshot renders the job in its wire form, including the live queue
+// position.
+func (j *Job) Snapshot() api.Job {
+	pos := j.engine.queuePos(j)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	job := api.Job{
+		ID:            j.id,
+		State:         j.state,
+		Jobs:          j.n,
+		Done:          len(j.results),
+		Errors:        j.errors,
+		Cached:        j.cached,
+		Error:         j.failure,
+		CreatedUnixMS: j.created.UnixMilli(),
+	}
+	if j.state == api.JobQueued {
+		job.QueuePos = pos
+	}
+	if !j.started.IsZero() {
+		job.StartedUnixMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		job.FinishedUnixMS = j.finished.UnixMilli()
+	}
+	return job
+}
+
+// queuePos returns j's 1-based queue position, or 0 if not queued.
+func (e *Engine) queuePos(j *Job) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, q := range e.queue {
+		if q == j {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Results copies the buffered results from offset from (in completion
+// order) and reports the job's state at that instant. A from beyond
+// the buffer yields an empty slice.
+func (j *Job) Results(from int) ([]api.JobResult, api.JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(j.results) {
+		return nil, j.state
+	}
+	out := make([]api.JobResult, len(j.results)-from)
+	copy(out, j.results[from:])
+	return out, j.state
+}
+
+// Changed returns a channel closed at the next mutation (new result or
+// state transition). Grab it BEFORE snapshotting with Results: a
+// mutation landing between the two closes the channel you hold, so the
+// wait returns immediately instead of missing the final transition:
+//
+//	for {
+//		ch := j.Changed()
+//		recs, state := j.Results(from)
+//		... emit recs; from += len(recs) ...
+//		if state.Terminal() { break }
+//		select { case <-ch: case <-ctx.Done(): return }
+//	}
+//
+// (Wait wraps this pattern for callers that only need the terminal
+// state.)
+func (j *Job) Changed() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.changed
+}
+
+// Summary renders the terminal summary record of the job's stream: the
+// counts over the full result set.
+func (j *Job) Summary() api.Summary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return api.Summary{Jobs: len(j.results), Errors: j.errors, Cached: j.cached}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx ends,
+// returning the terminal state (or the current state with ctx's error).
+func (j *Job) Wait(ctx context.Context) (api.JobState, error) {
+	for {
+		j.mu.Lock()
+		state := j.state
+		ch := j.changed
+		j.mu.Unlock()
+		if state.Terminal() {
+			return state, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return state, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,484 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	api "repro/api/v1"
+)
+
+// submitN admits a job that emits n trivially numbered results.
+func submitN(t *testing.T, e *Engine, n int) *Job {
+	t.Helper()
+	j, err := e.Submit(n, func(ctx context.Context, emit func(api.JobResult)) {
+		for i := 0; i < n; i++ {
+			emit(api.JobResult{Index: i, Job: fmt.Sprintf("j%d", i)})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	j := submitN(t, e, 3)
+	if state, err := j.Wait(context.Background()); err != nil || state != api.JobDone {
+		t.Fatalf("Wait = %v, %v; want done", state, err)
+	}
+	recs, state := j.Results(0)
+	if len(recs) != 3 || state != api.JobDone {
+		t.Fatalf("Results = %d recs, state %v", len(recs), state)
+	}
+	for i, rec := range recs {
+		if rec.Index != i {
+			t.Errorf("rec %d has index %d", i, rec.Index)
+		}
+	}
+	// Offsets resume mid-buffer; past-the-end is empty, not a panic.
+	if recs, _ := j.Results(2); len(recs) != 1 || recs[0].Index != 2 {
+		t.Errorf("Results(2) = %+v", recs)
+	}
+	if recs, _ := j.Results(17); len(recs) != 0 {
+		t.Errorf("Results(17) = %+v", recs)
+	}
+	if sum := j.Summary(); sum != (api.Summary{Jobs: 3}) {
+		t.Errorf("Summary = %+v", sum)
+	}
+
+	snap := j.Snapshot()
+	if snap.State != api.JobDone || snap.Jobs != 3 || snap.Done != 3 || snap.ID != j.ID() {
+		t.Errorf("Snapshot = %+v", snap)
+	}
+	if snap.CreatedUnixMS == 0 || snap.StartedUnixMS == 0 || snap.FinishedUnixMS == 0 {
+		t.Errorf("missing lifecycle timestamps: %+v", snap)
+	}
+
+	if got, ok := e.Get(j.ID()); !ok || got != j {
+		t.Error("Get lost the finished job before its TTL")
+	}
+	m := e.Metrics()
+	if m.Admitted != 1 || m.Completed != 1 || m.Retained != 1 || m.Depth != 0 {
+		t.Errorf("Metrics = %+v", m)
+	}
+}
+
+// TestEngineAdmissionControl saturates a capacity-1 queue behind a
+// blocked executor and checks the FIFO order, the rejection counter
+// and the queue-position gauge.
+func TestEngineAdmissionControl(t *testing.T) {
+	e := New(Options{Workers: 1, Capacity: 1})
+	defer e.Close()
+
+	release := make(chan struct{})
+	blocker, err := e.Submit(1, func(ctx context.Context, emit func(api.JobResult)) {
+		<-release
+		emit(api.JobResult{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the blocker occupies the executor, so the next submit
+	// is queued rather than picked up.
+	for blocker.Snapshot().State == api.JobQueued {
+		time.Sleep(time.Millisecond)
+	}
+
+	queued := submitN(t, e, 1)
+	if pos := queued.Snapshot().QueuePos; pos != 1 {
+		t.Errorf("queued job position = %d, want 1", pos)
+	}
+	if _, err := e.Submit(1, func(context.Context, func(api.JobResult)) {}); err != ErrQueueFull {
+		t.Fatalf("over-capacity submit: %v, want ErrQueueFull", err)
+	}
+	if m := e.Metrics(); m.Rejected != 1 || m.Depth != 1 || m.Capacity != 1 {
+		t.Errorf("Metrics = %+v", m)
+	}
+
+	close(release)
+	if state, err := queued.Wait(context.Background()); err != nil || state != api.JobDone {
+		t.Fatalf("queued job after release: %v, %v", state, err)
+	}
+}
+
+// TestEngineCancelQueuedNeverRuns is the admission-control safety
+// property: a job canceled while still queued must never reach its run
+// function.
+func TestEngineCancelQueuedNeverRuns(t *testing.T) {
+	e := New(Options{Workers: 1, Capacity: 4})
+	defer e.Close()
+
+	release := make(chan struct{})
+	blocker, err := e.Submit(1, func(ctx context.Context, emit func(api.JobResult)) {
+		<-release
+		emit(api.JobResult{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blocker.Snapshot().State == api.JobQueued {
+		time.Sleep(time.Millisecond)
+	}
+
+	var ran atomic.Bool
+	victim, err := e.Submit(1, func(ctx context.Context, emit func(api.JobResult)) {
+		ran.Store(true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := e.Cancel(victim.ID()); !ok || got != victim {
+		t.Fatal("Cancel did not find the queued job")
+	}
+	if state := victim.Snapshot().State; state != api.JobCanceled {
+		t.Fatalf("canceled queued job state = %v", state)
+	}
+
+	close(release)
+	blocker.Wait(context.Background())
+	// The executor is now free; give it a moment to (wrongly) pick the
+	// canceled job up before asserting it never ran.
+	time.Sleep(10 * time.Millisecond)
+	if ran.Load() {
+		t.Fatal("canceled queued job reached its run function")
+	}
+	if m := e.Metrics(); m.Canceled != 1 || m.Completed != 1 {
+		t.Errorf("Metrics = %+v", m)
+	}
+	// Canceling a terminal job is an idempotent no-op.
+	if _, ok := e.Cancel(victim.ID()); !ok {
+		t.Error("second Cancel lost the job")
+	}
+	if m := e.Metrics(); m.Canceled != 1 {
+		t.Errorf("double cancel double-counted: %+v", m)
+	}
+}
+
+// TestEngineMaxRetainedBytes: the byte bound on retained results
+// collects the oldest finished jobs before their TTL, so unfetched
+// large result sets cannot pin the heap.
+func TestEngineMaxRetainedBytes(t *testing.T) {
+	big := strings.Repeat("t=0 c=0 mem x\n", 64) // ~900 B of schedule per result
+	e := New(Options{Workers: 1, TTL: time.Hour, MaxFinished: 1000, MaxRetainedBytes: 4096})
+	defer e.Close()
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		j, err := e.Submit(1, func(ctx context.Context, emit func(api.JobResult)) {
+			emit(api.JobResult{Job: "big", Schedule: big})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Wait(context.Background())
+		ids = append(ids, j.ID())
+	}
+	m := e.Metrics()
+	if m.RetainedBytes > 4096 {
+		t.Errorf("RetainedBytes = %d, want <= 4096", m.RetainedBytes)
+	}
+	if m.Retained >= 6 {
+		t.Errorf("Retained = %d, want the byte bound to have evicted some of 6", m.Retained)
+	}
+	if _, ok := e.Get(ids[0]); ok {
+		t.Error("oldest oversize job survived the byte bound")
+	}
+	if _, ok := e.Get(ids[5]); !ok {
+		t.Error("newest job was collected instead of the oldest")
+	}
+}
+
+// TestEngineCancelRunning: cancellation reaches a running job through
+// its context and the job finishes as canceled.
+func TestEngineCancelRunning(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	started := make(chan struct{})
+	j, err := e.Submit(2, func(ctx context.Context, emit func(api.JobResult)) {
+		emit(api.JobResult{Index: 0})
+		close(started)
+		<-ctx.Done()
+		emit(api.JobResult{Index: 1, Error: ctx.Err().Error(), ErrorCode: api.CodeCanceled})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	e.Cancel(j.ID())
+	state, err := j.Wait(context.Background())
+	if err != nil || state != api.JobCanceled {
+		t.Fatalf("Wait = %v, %v; want canceled", state, err)
+	}
+	if recs, _ := j.Results(0); len(recs) != 2 {
+		t.Errorf("canceled job kept %d results, want the 2 emitted", len(recs))
+	}
+}
+
+// TestEngineRunPanicFails: a panicking run moves the job to failed
+// with the cause, without taking down the executor.
+func TestEngineRunPanicFails(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	j, err := e.Submit(1, func(ctx context.Context, emit func(api.JobResult)) {
+		panic("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state, err := j.Wait(context.Background()); err != nil || state != api.JobFailed {
+		t.Fatalf("Wait = %v, %v; want failed", state, err)
+	}
+	if snap := j.Snapshot(); snap.Error == "" {
+		t.Error("failed job carries no cause")
+	}
+	// The executor survived: the next job still runs.
+	next := submitN(t, e, 1)
+	if state, _ := next.Wait(context.Background()); state != api.JobDone {
+		t.Fatalf("executor did not survive the panic: %v", state)
+	}
+}
+
+// TestEngineStreamingFollowsLiveBuffer: a reader following Changed
+// sees every result exactly once, across the running→done transition.
+func TestEngineStreamingFollowsLiveBuffer(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	const n = 100
+	step := make(chan struct{}, n)
+	j, err := e.Submit(n, func(ctx context.Context, emit func(api.JobResult)) {
+		for i := 0; i < n; i++ {
+			<-step
+			emit(api.JobResult{Index: i})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []api.JobResult
+	go func() {
+		defer wg.Done()
+		from := 0
+		for {
+			ch := j.Changed()
+			recs, state := j.Results(from)
+			got = append(got, recs...)
+			from += len(recs)
+			if state.Terminal() {
+				return
+			}
+			<-ch
+		}
+	}()
+	for i := 0; i < n; i++ {
+		step <- struct{}{}
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("streamed %d results, want %d", len(got), n)
+	}
+	for i, rec := range got {
+		if rec.Index != i {
+			t.Fatalf("result %d has index %d (duplicate or loss)", i, rec.Index)
+		}
+	}
+}
+
+// TestEngineTTLGC: finished jobs vanish after their TTL; live jobs are
+// never collected.
+func TestEngineTTLGC(t *testing.T) {
+	e := New(Options{Workers: 1, TTL: 20 * time.Millisecond})
+	defer e.Close()
+
+	j := submitN(t, e, 1)
+	j.Wait(context.Background())
+	if _, ok := e.Get(j.ID()); !ok {
+		t.Fatal("job collected before its TTL")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := e.Get(j.ID()); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never garbage-collected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m := e.Metrics(); m.Retained != 0 {
+		t.Errorf("Retained = %d after GC", m.Retained)
+	}
+}
+
+// TestEngineMaxFinishedBound: the retained-jobs bound collects the
+// oldest finished jobs before their TTL.
+func TestEngineMaxFinishedBound(t *testing.T) {
+	e := New(Options{Workers: 1, MaxFinished: 2, TTL: time.Hour})
+	defer e.Close()
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		j := submitN(t, e, 1)
+		j.Wait(context.Background())
+		ids = append(ids, j.ID())
+	}
+	// Trigger a sweep.
+	if m := e.Metrics(); m.Retained > 2 {
+		t.Fatalf("Retained = %d, want <= 2", m.Retained)
+	}
+	for _, id := range ids[:3] {
+		if _, ok := e.Get(id); ok {
+			t.Errorf("old job %s survived the retained bound", id)
+		}
+	}
+	if _, ok := e.Get(ids[4]); !ok {
+		t.Error("newest finished job was collected")
+	}
+}
+
+// TestEngineRelease: a released job is dropped from the table as soon
+// as it is terminal — immediately if it already is, at retire time if
+// it is still running — so unaddressable jobs never occupy retention
+// slots; holders of the *Job keep reading it.
+func TestEngineRelease(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	// Release after completion: dropped immediately.
+	j := submitN(t, e, 2)
+	j.Wait(context.Background())
+	if m := e.Metrics(); m.Retained != 1 {
+		t.Fatalf("Retained = %d before release", m.Retained)
+	}
+	e.Release(j.ID())
+	if _, ok := e.Get(j.ID()); ok {
+		t.Error("released terminal job still addressable")
+	}
+	if m := e.Metrics(); m.Retained != 0 {
+		t.Errorf("Retained = %d after release", m.Retained)
+	}
+	if recs, state := j.Results(0); len(recs) != 2 || state != api.JobDone {
+		t.Errorf("held *Job unreadable after release: %d recs, %v", len(recs), state)
+	}
+
+	// Release while running: dropped when the executor retires it.
+	release := make(chan struct{})
+	running, err := e.Submit(1, func(ctx context.Context, emit func(api.JobResult)) {
+		<-release
+		emit(api.JobResult{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for running.Snapshot().State == api.JobQueued {
+		time.Sleep(time.Millisecond)
+	}
+	e.Release(running.ID())
+	close(release)
+	running.Wait(context.Background())
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := e.Get(running.ID()); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("released running job was retained after finishing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m := e.Metrics(); m.Retained != 0 {
+		t.Errorf("Retained = %d, want 0", m.Retained)
+	}
+}
+
+// TestEngineCloseCancelsRunning: Close cancels a running job's context
+// instead of waiting forever on a batch that only exits cooperatively.
+func TestEngineCloseCancelsRunning(t *testing.T) {
+	e := New(Options{Workers: 1})
+
+	started := make(chan struct{})
+	j, err := e.Submit(1, func(ctx context.Context, emit func(api.JobResult)) {
+		close(started)
+		<-ctx.Done() // exits only on cancellation — a stuck batch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	done := make(chan struct{})
+	go func() {
+		e.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not cancel the running job")
+	}
+	if state := j.Snapshot().State; state != api.JobCanceled {
+		t.Errorf("running job finished as %s after Close, want canceled", state)
+	}
+}
+
+// TestEngineCloseDrainsQueue: Close cancels queued jobs without
+// running them and stops the executors.
+func TestEngineCloseDrainsQueue(t *testing.T) {
+	e := New(Options{Workers: 1})
+
+	release := make(chan struct{})
+	blocker, err := e.Submit(1, func(ctx context.Context, emit func(api.JobResult)) {
+		<-release
+		emit(api.JobResult{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blocker.Snapshot().State == api.JobQueued {
+		time.Sleep(time.Millisecond)
+	}
+	var ran atomic.Bool
+	queued, err := e.Submit(1, func(ctx context.Context, emit func(api.JobResult)) {
+		ran.Store(true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		e.Close()
+		close(closed)
+	}()
+	// Close drains the queue (canceling the queued job) before waiting
+	// for the executors; only release the blocker after that drain, or
+	// the free executor could legitimately run the queued job first.
+	for queued.Snapshot().State != api.JobCanceled {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-closed
+
+	if ran.Load() {
+		t.Error("queued job ran during Close")
+	}
+	if state := queued.Snapshot().State; state != api.JobCanceled {
+		t.Errorf("queued job state after Close = %v", state)
+	}
+	if _, err := e.Submit(1, func(context.Context, func(api.JobResult)) {}); err != ErrClosed {
+		t.Errorf("submit after Close: %v, want ErrClosed", err)
+	}
+}

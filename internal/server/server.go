@@ -7,23 +7,29 @@
 // framing, error codes, protocol versioning — is defined once in the
 // public package repro/api/v1 and served under the /v1 route prefix:
 //
-//	POST /v1/compile     — compile a batch; the response is NDJSON,
-//	                       one api.JobResult per line in completion
-//	                       order, closed by a terminal summary record
-//	GET  /v1/metrics     — service and cache counters as JSON
-//	GET  /v1/schedulers  — registered back-ends and their family
-//	GET  /v1/healthz     — liveness probe
+//	POST   /v1/jobs              — submit a batch asynchronously; the
+//	                               response is the created Job resource
+//	GET    /v1/jobs/{id}         — poll a job's state and counts
+//	GET    /v1/jobs/{id}/results — stream results as NDJSON; ?from=N
+//	                               resumes after a dropped connection
+//	DELETE /v1/jobs/{id}         — cancel a queued or running job
+//	POST   /v1/compile           — synchronous compile; NDJSON stream,
+//	                               one api.JobResult per line in
+//	                               completion order, closed by a
+//	                               terminal summary record
+//	GET    /v1/metrics           — service, cache and queue counters
+//	GET    /v1/schedulers        — registered back-ends and family
+//	GET    /v1/healthz           — liveness probe
 //
-// The unprefixed spellings of the same routes are deprecated aliases
-// kept for one release, behavior-compatible with the pre-v1 service:
-// /compile streams the same result lines (without the summary record,
-// which postdates it) and keeps its flat {"error":"..."} failure
-// bodies, the read routes accept any method as they always did, and
-// /healthz keeps its text/plain "ok" body for probes that match on
-// it. Every alias response carries a "Deprecation: true" header and a
-// "Link" to the successor route. On the v1 surface, unknown routes
-// and wrong methods return the structured api error JSON, never plain
-// text.
+// Every batch — synchronous or not — flows through one execution
+// path: the internal/jobs engine, a bounded FIFO admission queue in
+// front of a fixed executor pool. /v1/compile is a thin wrapper that
+// submits a job and streams its buffer until the terminal state; when
+// the queue is saturated, both surfaces reject with a structured 429
+// queue_full error and a Retry-After hint instead of queueing without
+// bound. Finished jobs retain their results for a TTL, so a dropped
+// results connection re-attaches with ?from= and replays the buffer
+// instead of recomputing.
 //
 // Identical jobs are memoized in a content-addressed cache (see Key):
 // the schedule for a (canonical loop, machine config, scheduler,
@@ -32,10 +38,11 @@
 // LRU-bounded table. Hit/miss/in-flight counters are exported on the
 // metrics endpoint.
 //
-// Cancellation rides the request context: when a client disconnects or
-// a per-job timeout fires, the context reaches the scheduler's II
-// search through the driver and the job aborts within one candidate
-// II, releasing its worker.
+// Cancellation rides the job's context: DELETE /v1/jobs/{id} (or a
+// synchronous client disconnecting) reaches the scheduler's II search
+// through the driver and the batch aborts within one candidate II,
+// releasing its executor. A job canceled while still queued never
+// reaches the driver at all.
 package server
 
 import (
@@ -46,12 +53,13 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"sync"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	api "repro/api/v1"
 	"repro/internal/driver"
+	"repro/internal/jobs"
 	"repro/internal/loop"
 	"repro/internal/machine"
 	"repro/internal/schedule"
@@ -62,9 +70,13 @@ import (
 // monopolize the service.
 const MaxJobsPerRequest = 10000
 
-// maxRequestBody bounds the /compile request size (16 MiB of loop
-// text is far beyond any real corpus).
+// maxRequestBody bounds the compile/submit request size (16 MiB of
+// loop text is far beyond any real corpus).
 const maxRequestBody = 16 << 20
+
+// DefaultRetryAfter is the backoff hint sent with queue_full responses
+// when Options.RetryAfter is unset.
+const DefaultRetryAfter = time.Second
 
 // Options configure the service.
 type Options struct {
@@ -75,8 +87,24 @@ type Options struct {
 	// Timeout bounds each job's scheduling time (0 = none). Requests
 	// may tighten it per-job but never exceed it.
 	Timeout time.Duration
-	// Parallelism is the per-request worker count (0 = GOMAXPROCS).
+	// Parallelism is the per-batch worker count (0 = GOMAXPROCS).
 	Parallelism int
+	// QueueCapacity bounds the jobs awaiting an executor; a submission
+	// past it is rejected with 429 queue_full (0 = jobs.DefaultCapacity).
+	QueueCapacity int
+	// QueueWorkers is the number of batches executing concurrently
+	// (0 = jobs.DefaultWorkers).
+	QueueWorkers int
+	// JobTTL is how long a finished job's results are retained for
+	// polling and resumed streams (0 = jobs.DefaultTTL).
+	JobTTL time.Duration
+	// MaxRetainedBytes bounds the approximate total size of retained
+	// results; above it the oldest finished jobs are collected before
+	// their TTL (0 = jobs.DefaultMaxRetainedBytes).
+	MaxRetainedBytes int64
+	// RetryAfter is the backoff hint sent with queue_full responses
+	// (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
 }
 
 func (o Options) registry() *driver.Registry {
@@ -86,79 +114,93 @@ func (o Options) registry() *driver.Registry {
 	return driver.Default
 }
 
+func (o Options) retryAfter() time.Duration {
+	if o.RetryAfter > 0 {
+		return o.RetryAfter
+	}
+	return DefaultRetryAfter
+}
+
 // Server is the compile service. Create one with New; it is safe for
 // concurrent use.
 type Server struct {
-	opt   Options
-	cache *Cache
+	opt    Options
+	cache  *Cache
+	engine *jobs.Engine
 
 	requests  atomic.Int64
 	jobs      atomic.Int64
 	jobErrors atomic.Int64
 }
 
-// New returns a service with the given options.
+// New returns a service with the given options; its executor pool runs
+// until Close.
 func New(opt Options) *Server {
-	return &Server{opt: opt, cache: NewCache(opt.CacheSize)}
+	return &Server{
+		opt:   opt,
+		cache: NewCache(opt.CacheSize),
+		engine: jobs.New(jobs.Options{
+			Capacity:         opt.QueueCapacity,
+			Workers:          opt.QueueWorkers,
+			TTL:              opt.JobTTL,
+			MaxRetainedBytes: opt.MaxRetainedBytes,
+		}),
+	}
 }
+
+// Close stops the job engine: queued jobs finish as canceled without
+// reaching the driver, running batches have their contexts canceled so
+// the schedulers abort cooperatively, and the executor pool drains.
+func (s *Server) Close() { s.engine.Close() }
 
 // Cache exposes the result cache (for tests and metrics).
 func (s *Server) Cache() *Cache { return s.cache }
 
-// route wraps a handler with the protocol plumbing every endpoint
-// shares: the version header, the deprecation headers on legacy
-// aliases, and the structured method_not_allowed error.
-func (s *Server) route(method string, deprecated bool, h http.HandlerFunc) http.HandlerFunc {
+// Engine exposes the job engine (for tests and metrics).
+func (s *Server) Engine() *jobs.Engine { return s.engine }
+
+// protocol stamps the version header every v1 response carries.
+func protocol(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(api.ProtocolHeader, api.Version)
-		if deprecated {
-			w.Header().Set(api.DeprecationHeader, "true")
-			w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=\"successor-version\"", "/v1", r.URL.Path))
-		}
+		h(w, r)
+	}
+}
+
+// route wraps a handler with the protocol header and the structured
+// method_not_allowed error for every other method.
+func route(method string, h http.HandlerFunc) http.HandlerFunc {
+	return protocol(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
 			w.Header().Set("Allow", method)
-			writeErrorShaped(w, deprecated, api.CodeMethodNotAllowed, "%s does not allow %s (use %s)", r.URL.Path, r.Method, method)
+			writeError(w, api.CodeMethodNotAllowed, "%s does not allow %s (use %s)", r.URL.Path, r.Method, method)
 			return
 		}
 		h(w, r)
-	}
+	})
 }
 
-// legacy wraps a deprecated unprefixed alias: deprecation headers and
-// no method check — the unprefixed read routes never had one, and
-// pre-v1 clients must keep working unchanged for the release the
-// aliases survive.
-func (s *Server) legacy(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set(api.ProtocolHeader, api.Version)
-		w.Header().Set(api.DeprecationHeader, "true")
-		w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=\"successor-version\"", "/v1", r.URL.Path))
-		h(w, r)
-	}
-}
-
-// Handler returns the service's HTTP handler: the /v1 surface, the
-// deprecated unprefixed aliases, and a structured-JSON fallback for
-// everything else.
+// Handler returns the service's HTTP handler: the /v1 surface and a
+// structured-JSON fallback for everything else.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	// The v1 surface: strict methods, structured errors everywhere.
-	mux.HandleFunc(api.PathCompile, s.route(http.MethodPost, false, s.handleCompile))
-	mux.HandleFunc(api.PathMetrics, s.route(http.MethodGet, false, s.handleMetrics))
-	mux.HandleFunc(api.PathSchedulers, s.route(http.MethodGet, false, s.handleSchedulers))
-	mux.HandleFunc(api.PathHealth, s.route(http.MethodGet, false, s.handleHealth))
-
-	// Deprecated aliases, behavior-compatible with the pre-v1 service:
-	// /compile keeps its POST-only check (it always had one), the read
-	// routes answer any method as before, and /healthz keeps its
-	// original text/plain "ok" body for probes that match on it.
-	mux.HandleFunc("/compile", s.route(http.MethodPost, true, s.handleCompile))
-	mux.HandleFunc("/metrics", s.legacy(s.handleMetrics))
-	mux.HandleFunc("/schedulers", s.legacy(s.handleSchedulers))
-	mux.HandleFunc("/healthz", s.legacy(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+	mux.HandleFunc(api.PathCompile, route(http.MethodPost, s.handleCompile))
+	mux.HandleFunc(api.PathJobs, route(http.MethodPost, s.handleJobSubmit))
+	mux.HandleFunc(api.PathJobs+"/{id}", protocol(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			s.handleJobGet(w, r)
+		case http.MethodDelete:
+			s.handleJobCancel(w, r)
+		default:
+			w.Header().Set("Allow", "GET, DELETE")
+			writeError(w, api.CodeMethodNotAllowed, "%s does not allow %s (use GET or DELETE)", r.URL.Path, r.Method)
+		}
 	}))
+	mux.HandleFunc(api.PathJobs+"/{id}/results", route(http.MethodGet, s.handleJobResults))
+	mux.HandleFunc(api.PathMetrics, route(http.MethodGet, s.handleMetrics))
+	mux.HandleFunc(api.PathSchedulers, route(http.MethodGet, s.handleSchedulers))
+	mux.HandleFunc(api.PathHealth, route(http.MethodGet, s.handleHealth))
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(api.ProtocolHeader, api.Version)
@@ -284,85 +326,237 @@ func RenderSchedule(s *schedule.Schedule) string {
 	return string(sb)
 }
 
-func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	// The legacy /compile alias keeps the pre-v1 wire end to end,
-	// including the flat {"error":"..."} shape of its failure bodies.
-	legacy := r.URL.Path != api.PathCompile
-
-	s.requests.Add(1)
-	var req api.CompileRequest
+// parseRequest decodes and validates a compile/submit body, returning
+// the assembled driver jobs and the effective per-job timeout. On
+// failure it writes the structured error itself and returns ok=false.
+func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (req api.CompileRequest, jobList []driver.Job, timeout time.Duration, ok bool) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErrorShaped(w, legacy, api.CodeInvalidRequest, "bad request body: %v", err)
-		return
+		writeError(w, api.CodeInvalidRequest, "bad request body: %v", err)
+		return req, nil, 0, false
 	}
 	if req.Protocol != "" && req.Protocol != api.Version {
-		writeErrorShaped(w, legacy, api.CodeInvalidRequest, "protocol %q not supported (this server speaks %s)", req.Protocol, api.Version)
-		return
+		writeError(w, api.CodeInvalidRequest, "protocol %q not supported (this server speaks %s)", req.Protocol, api.Version)
+		return req, nil, 0, false
 	}
-	jobs, err := s.buildJobs(&req)
+	jobList, err := s.buildJobs(&req)
 	if err != nil {
-		writeErrorShaped(w, legacy, errorCode4xx(err), "%v", err)
-		return
+		writeError(w, errorCode4xx(err), "%v", err)
+		return req, nil, 0, false
 	}
-	s.jobs.Add(int64(len(jobs)))
-
-	timeout := s.opt.Timeout
+	timeout = s.opt.Timeout
 	if req.TimeoutMS > 0 {
 		if t := time.Duration(req.TimeoutMS) * time.Millisecond; timeout <= 0 || t < timeout {
 			timeout = t
 		}
 	}
+	return req, jobList, timeout, true
+}
 
-	// The legacy /compile framing predates the terminal summary
-	// record; old clients count one line per job, so the alias keeps
-	// that contract until it is removed.
-	withSummary := !legacy
+// submit admits a batch to the job engine. The run closure is the one
+// execution path both the synchronous and asynchronous surfaces share:
+// a driver worker pool over the content-addressed cache, emitting wire
+// records into the job's buffer in completion order.
+func (s *Server) submit(jobList []driver.Job, timeout time.Duration, noCache bool) (*jobs.Job, error) {
+	run := func(ctx context.Context, emit func(api.JobResult)) {
+		driver.ForEach(len(jobList), s.opt.Parallelism, func(i int) {
+			rec := s.compileJob(ctx, jobList[i], timeout, noCache)
+			rec.Index = i
+			// Jobs drained by a cancellation are not compile failures;
+			// counting them would make every canceled batch look like an
+			// error storm on the metrics endpoint.
+			if rec.Error != "" && ctx.Err() == nil {
+				s.jobErrors.Add(1)
+			}
+			emit(rec)
+		})
+	}
+	j, err := s.engine.Submit(len(jobList), run)
+	if err != nil {
+		return nil, err
+	}
+	s.jobs.Add(int64(len(jobList)))
+	return j, nil
+}
+
+// writeQueueFull maps an ErrQueueFull admission failure to the wire:
+// HTTP 429, the structured queue_full error, and a Retry-After backoff
+// hint in integer seconds (never below 1, per the header's grammar).
+func (s *Server) writeQueueFull(w http.ResponseWriter) {
+	retry := s.opt.retryAfter()
+	secs := int((retry + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set(api.RetryAfterHeader, strconv.Itoa(secs))
+	writeError(w, api.CodeQueueFull, "admission queue at capacity (%d queued); retry after %ds",
+		s.engine.Metrics().Depth, secs)
+}
+
+// handleJobSubmit is POST /v1/jobs: validate, admit, and answer 202
+// with the job resource — the batch compiles in the background.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, jobList, timeout, ok := s.parseRequest(w, r)
+	if !ok {
+		return
+	}
+	j, err := s.submit(jobList, timeout, req.NoCache)
+	if err != nil {
+		if errors.Is(err, jobs.ErrQueueFull) {
+			s.writeQueueFull(w)
+			return
+		}
+		writeError(w, api.CodeInternal, "%v", err)
+		return
+	}
+	writeJSONStatus(w, http.StatusAccepted, j.Snapshot())
+}
+
+// writeJobNotFound answers an unknown (or expired) job ID with the
+// structured not_found error.
+func writeJobNotFound(w http.ResponseWriter, id string) {
+	writeError(w, api.CodeNotFound, "no job %q (expired results are garbage-collected after their TTL)", id)
+}
+
+// jobFromPath resolves the {id} path segment to a live or retained
+// job, writing the structured not_found itself on a miss.
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.engine.Get(id)
+	if !ok {
+		writeJobNotFound(w, id)
+		return nil, false
+	}
+	return j, true
+}
+
+// handleJobGet is GET /v1/jobs/{id}: the job's current snapshot.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, j.Snapshot())
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: request cancellation (a
+// no-op on a terminal job) and answer with the resulting snapshot.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.engine.Cancel(id)
+	if !ok {
+		writeJobNotFound(w, id)
+		return
+	}
+	writeJSON(w, j.Snapshot())
+}
+
+// handleJobResults is GET /v1/jobs/{id}/results: stream the job's
+// results from the ?from= offset, following the live buffer until the
+// job is terminal, then close with the summary record. A resumed
+// stream's summary still counts the full result set.
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, api.CodeInvalidRequest, "bad from offset %q (need a non-negative integer)", q)
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	streamJob(r.Context(), w, j, from)
+}
+
+// streamJob writes the job's results from the given offset as NDJSON,
+// blocking on the live buffer until the terminal state, which it seals
+// with the summary record. It returns early (without a summary) only
+// when the writer fails or ctx ends — a truncated stream the client
+// must treat as resumable, not complete.
+func streamJob(ctx context.Context, w http.ResponseWriter, j *jobs.Job, from int) {
+	flusher, _ := w.(http.Flusher)
+	// Push the response headers out before the first result exists, or
+	// a client attached to a deeply queued job sees no bytes at all and
+	// trips its first-byte/header timeout on an accepted stream.
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		// Grab the change channel before the snapshot: a mutation landing
+		// between the two closes the channel we hold, so the next wait
+		// returns immediately instead of missing the final transition.
+		ch := j.Changed()
+		recs, state := j.Results(from)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+		}
+		from += len(recs)
+		if len(recs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if state.Terminal() {
+			if line, err := api.EncodeSummaryLine(j.Summary()); err == nil {
+				line = append(line, '\n')
+				w.Write(line)
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			return
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// handleCompile is POST /v1/compile: the synchronous wrapper over the
+// job engine. It submits the batch like /v1/jobs would — the same
+// admission control, executor pool and cache path — then streams the
+// job's buffer on the open connection. The client hanging up cancels
+// the job, so abandoned synchronous work stops burning executors.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, jobList, timeout, ok := s.parseRequest(w, r)
+	if !ok {
+		return
+	}
+	j, err := s.submit(jobList, timeout, req.NoCache)
+	if err != nil {
+		if errors.Is(err, jobs.ErrQueueFull) {
+			s.writeQueueFull(w)
+			return
+		}
+		writeError(w, api.CodeInternal, "%v", err)
+		return
+	}
+	// The stream ending for any reason — completion, disconnect
+	// surfacing as a write error, context cancellation — must stop the
+	// engine job, or abandoned synchronous work would keep burning an
+	// executor. Cancel on an already-terminal job is a no-op, so normal
+	// completion is safe.
+	defer s.engine.Cancel(j.ID())
+	// The job's ID is never revealed to a synchronous client, so
+	// retaining its results would only let sync bursts evict async
+	// jobs' resumable buffers; drop it as soon as it is terminal.
+	defer s.engine.Release(j.ID())
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	var (
-		wmu     sync.Mutex
-		nerrors int
-		ncached int
-	)
-
-	ctx := r.Context()
-	driver.ForEach(len(jobs), s.opt.Parallelism, func(i int) {
-		rec := s.compileJob(ctx, jobs[i], timeout, req.NoCache)
-		rec.Index = i
-		// Jobs drained by a client disconnect are not compile failures;
-		// counting them would make every hung-up stream look like an
-		// error storm on the metrics endpoint.
-		if rec.Error != "" && ctx.Err() == nil {
-			s.jobErrors.Add(1)
-		}
-		wmu.Lock()
-		defer wmu.Unlock()
-		if rec.Error != "" {
-			nerrors++
-		}
-		if rec.Cached {
-			ncached++
-		}
-		// An encode error means the client hung up; the request context
-		// is canceled with it, so remaining jobs drain as cancellations.
-		if err := enc.Encode(rec); err == nil && flusher != nil {
-			flusher.Flush()
-		}
-	})
-	if withSummary {
-		if line, err := api.EncodeSummaryLine(api.Summary{Jobs: len(jobs), Errors: nerrors, Cached: ncached}); err == nil {
-			line = append(line, '\n')
-			w.Write(line)
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
-	}
+	streamJob(r.Context(), w, j, 0)
 }
 
 // compileJob resolves one job through the cache: a content-addressed
@@ -458,6 +652,7 @@ func (s *Server) Snapshot() api.ServerMetrics {
 		Jobs:      s.jobs.Load(),
 		JobErrors: s.jobErrors.Load(),
 		Cache:     s.cache.Metrics(),
+		Queue:     s.engine.Metrics(),
 	}
 }
 
@@ -483,7 +678,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
@@ -492,20 +692,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 // writeError sends the structured api error JSON with the status the
 // code maps to.
 func writeError(w http.ResponseWriter, code api.ErrorCode, format string, args ...any) {
-	writeErrorShaped(w, false, code, format, args...)
-}
-
-// writeErrorShaped is writeError with the legacy escape hatch: on the
-// deprecated aliases the body keeps the pre-v1 flat {"error":"..."}
-// shape (error as a JSON string), because old clients unmarshal it
-// that way and the aliases promise one release of unchanged behavior.
-func writeErrorShaped(w http.ResponseWriter, legacy bool, code api.ErrorCode, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code.HTTPStatus())
 	msg := fmt.Sprintf(format, args...)
-	if legacy {
-		json.NewEncoder(w).Encode(map[string]string{"error": msg})
-		return
-	}
 	json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.Error{Code: code, Message: msg}})
 }

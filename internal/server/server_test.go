@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -13,9 +14,11 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	api "repro/api/v1"
 	"repro/internal/driver"
+	"repro/internal/drivertest"
 	"repro/internal/loop"
 	"repro/internal/machine"
 )
@@ -47,16 +50,27 @@ func goldenLoops(t *testing.T) []string {
 	return texts
 }
 
-// postCompile submits one request to the given compile route and
+// newTestServer starts a service and its HTTP front end, both torn
+// down with the test.
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(opt)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
+	return svc, ts
+}
+
+// postCompile submits one request to the synchronous compile route and
 // returns the streamed records reordered by index, plus the terminal
-// summary (nil on the legacy route, whose framing predates it).
-func postCompile(t *testing.T, url, path string, req api.CompileRequest) ([]api.JobResult, *api.Summary) {
+// summary.
+func postCompile(t *testing.T, url string, req api.CompileRequest) ([]api.JobResult, *api.Summary) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url+path, "application/json", bytes.NewReader(body))
+	resp, err := http.Post(url+api.PathCompile, "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,6 +126,118 @@ func postCompile(t *testing.T, url, path string, req api.CompileRequest) ([]api.
 	return records, summary
 }
 
+// submitJobErr posts a request to the asynchronous route and decodes
+// the created job resource. It never touches testing.T, so it is safe
+// to call from spawned goroutines.
+func submitJobErr(url string, req api.CompileRequest) (api.Job, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.Job{}, err
+	}
+	resp, err := http.Post(url+api.PathJobs, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return api.Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		return api.Job{}, fmt.Errorf("POST %s: status %d, want 202: %s", api.PathJobs, resp.StatusCode, raw)
+	}
+	var job api.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return api.Job{}, err
+	}
+	if job.ID == "" {
+		return api.Job{}, fmt.Errorf("created job has no ID")
+	}
+	return job, nil
+}
+
+// submitJob is submitJobErr for the test goroutine, failing the test
+// on any error.
+func submitJob(t *testing.T, url string, req api.CompileRequest) api.Job {
+	t.Helper()
+	job, err := submitJobErr(url, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// getJob polls one job resource.
+func getJob(t *testing.T, url, id string) api.Job {
+	t.Helper()
+	resp, err := http.Get(url + api.JobPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d: %s", api.JobPath(id), resp.StatusCode, raw)
+	}
+	var job api.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(t *testing.T, url, id string) api.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		job := getJob(t, url, id)
+		if job.State.Terminal() {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// readResults streams /v1/jobs/{id}/results from the given offset,
+// stopping early after maxLines result lines (0 = no limit) by closing
+// the connection — the "dropped connection" half of the resume tests.
+// It returns the result lines read and the summary (nil if the stream
+// was abandoned before it).
+func readResults(t *testing.T, url, id string, from, maxLines int) ([]api.JobResult, *api.Summary) {
+	t.Helper()
+	resp, err := http.Get(url + api.JobResultsPath(id, from))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET results: status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("results content type %q", ct)
+	}
+	var recs []api.JobResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		rec, sum, err := api.DecodeStreamLine(sc.Bytes())
+		if err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if sum != nil {
+			return recs, sum
+		}
+		recs = append(recs, *rec)
+		if maxLines > 0 && len(recs) >= maxLines {
+			return recs, nil // Body.Close kills the connection mid-stream
+		}
+	}
+	t.Fatalf("results stream ended without a summary (read %d lines)", len(recs))
+	return nil, nil
+}
+
 // marshal renders a record the way the stream does, for byte-for-byte
 // comparison.
 func marshal(t *testing.T, rec api.JobResult) string {
@@ -123,37 +249,21 @@ func marshal(t *testing.T, rec api.JobResult) string {
 	return string(b)
 }
 
-// TestServerEndToEnd is the service acceptance test: a server on a
-// random port compiles the golden corpus, the streamed results match
-// direct driver.CompileAll output byte-for-byte, and a second
-// identical submission is served entirely from the cache — observable
-// through the metrics endpoint — with identical payloads.
-func TestServerEndToEnd(t *testing.T) {
-	svc := New(Options{})
-	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
-
-	texts := goldenLoops(t)
-	req := api.CompileRequest{
-		Protocol:   api.Version,
-		Loops:      texts,
-		Machines:   []api.MachineSpec{{Clusters: 2}, {Clusters: 4}},
-		Schedulers: []string{"dms", "twophase"},
-	}
-
-	// The reference: the same cross product compiled directly.
+// directRecords compiles the request's cross product straight through
+// driver.CompileAll and renders the wire records the service must
+// reproduce byte-for-byte.
+func directRecords(t *testing.T, req api.CompileRequest, machines []*machine.Machine) []string {
+	t.Helper()
 	var loops []*loop.Loop
-	for _, text := range texts {
+	for _, text := range req.Loops {
 		l, err := loop.ParseString(text)
 		if err != nil {
 			t.Fatal(err)
 		}
 		loops = append(loops, l)
 	}
-	machines := []*machine.Machine{machine.Clustered(2), machine.Clustered(4)}
 	jobs := driver.Jobs(loops, machines, req.Schedulers, driver.Options{})
 	direct := driver.CompileAll(context.Background(), jobs, driver.BatchOptions{})
-
 	want := make([]string, len(jobs))
 	for i, res := range direct {
 		if res.Err != nil {
@@ -163,9 +273,29 @@ func TestServerEndToEnd(t *testing.T) {
 		rec.Index = i
 		want[i] = marshal(t, rec)
 	}
+	return want
+}
+
+// TestServerEndToEnd is the synchronous-surface acceptance test: a
+// server on a random port compiles the golden corpus, the streamed
+// results match direct driver.CompileAll output byte-for-byte, and a
+// second identical submission is served entirely from the cache —
+// observable through the metrics endpoint — with identical payloads.
+func TestServerEndToEnd(t *testing.T) {
+	svc, ts := newTestServer(t, Options{})
+
+	texts := goldenLoops(t)
+	req := api.CompileRequest{
+		Protocol:   api.Version,
+		Loops:      texts,
+		Machines:   []api.MachineSpec{{Clusters: 2}, {Clusters: 4}},
+		Schedulers: []string{"dms", "twophase"},
+	}
+	want := directRecords(t, req, []*machine.Machine{machine.Clustered(2), machine.Clustered(4)})
+	njobs := req.Jobs()
 
 	// Cold run: everything compiled, nothing cached.
-	cold, sum := postCompile(t, ts.URL, api.PathCompile, req)
+	cold, sum := postCompile(t, ts.URL, req)
 	for i, rec := range cold {
 		if rec.Cached {
 			t.Errorf("job %d cached on a cold run", i)
@@ -174,16 +304,16 @@ func TestServerEndToEnd(t *testing.T) {
 			t.Errorf("job %d diverges from direct CompileAll:\n got %s\nwant %s", i, got, want[i])
 		}
 	}
-	if sum == nil || sum.Jobs != len(jobs) || sum.Errors != 0 || sum.Cached != 0 {
-		t.Fatalf("cold summary = %+v, want %d jobs, 0 errors, 0 cached", sum, len(jobs))
+	if sum == nil || sum.Jobs != njobs || sum.Errors != 0 || sum.Cached != 0 {
+		t.Fatalf("cold summary = %+v, want %d jobs, 0 errors, 0 cached", sum, njobs)
 	}
 	met := svc.Snapshot()
-	if met.Cache.Misses != uint64(len(jobs)) || met.Cache.Hits != 0 {
-		t.Fatalf("cold metrics = %+v, want %d misses and 0 hits", met.Cache, len(jobs))
+	if met.Cache.Misses != uint64(njobs) || met.Cache.Hits != 0 {
+		t.Fatalf("cold metrics = %+v, want %d misses and 0 hits", met.Cache, njobs)
 	}
 
 	// Warm run: byte-identical payloads, all served from the cache.
-	warm, sum := postCompile(t, ts.URL, api.PathCompile, req)
+	warm, sum := postCompile(t, ts.URL, req)
 	for i, rec := range warm {
 		if !rec.Cached {
 			t.Errorf("job %d not cached on the warm run", i)
@@ -193,11 +323,12 @@ func TestServerEndToEnd(t *testing.T) {
 			t.Errorf("warm job %d diverges:\n got %s\nwant %s", i, got, want[i])
 		}
 	}
-	if sum == nil || sum.Cached != len(jobs) {
-		t.Fatalf("warm summary = %+v, want %d cached", sum, len(jobs))
+	if sum == nil || sum.Cached != njobs {
+		t.Fatalf("warm summary = %+v, want %d cached", sum, njobs)
 	}
 
-	// The metrics endpoint must expose the full hit count.
+	// The metrics endpoint must expose the full hit count, and the
+	// queue gauges must show both batches accounted for.
 	resp, err := http.Get(ts.URL + api.PathMetrics)
 	if err != nil {
 		t.Fatal(err)
@@ -207,120 +338,266 @@ func TestServerEndToEnd(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		t.Fatal(err)
 	}
-	if m.Cache.Hits != uint64(len(jobs)) {
-		t.Errorf("hits = %d, want %d (second submission must be a full cache hit)", m.Cache.Hits, len(jobs))
+	if m.Cache.Hits != uint64(njobs) {
+		t.Errorf("hits = %d, want %d (second submission must be a full cache hit)", m.Cache.Hits, njobs)
 	}
-	if m.Cache.Misses != uint64(len(jobs)) {
-		t.Errorf("misses = %d, want %d (warm run must not recompile)", m.Cache.Misses, len(jobs))
+	if m.Cache.Misses != uint64(njobs) {
+		t.Errorf("misses = %d, want %d (warm run must not recompile)", m.Cache.Misses, njobs)
 	}
-	if m.Requests != 2 || m.Jobs != int64(2*len(jobs)) || m.JobErrors != 0 {
+	if m.Requests != 2 || m.Jobs != int64(2*njobs) || m.JobErrors != 0 {
 		t.Errorf("metrics = %+v", m)
+	}
+	if m.Queue.Admitted != 2 || m.Queue.Completed != 2 || m.Queue.Rejected != 0 {
+		t.Errorf("queue metrics = %+v, want 2 admitted and completed", m.Queue)
+	}
+	// Synchronous jobs are released on completion — their IDs are never
+	// revealed, so retaining them would only evict async jobs' buffers.
+	if m.Queue.Retained != 0 {
+		t.Errorf("retained = %d after synchronous runs, want 0", m.Queue.Retained)
 	}
 }
 
-// TestServerLegacyRoutes pins the deprecated unprefixed aliases for
-// one release: same payloads (minus the summary record on /compile),
-// plus a Deprecation header and a Link to the successor route.
-func TestServerLegacyRoutes(t *testing.T) {
-	svc := New(Options{})
-	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
+// TestServerJobResourceLifecycle is the asynchronous acceptance test:
+// a batch submitted via POST /v1/jobs is polled to completion, its
+// results connection is killed mid-stream, the client re-attaches with
+// ?from=, and the reassembled results are byte-identical to a direct
+// driver.CompileAll run.
+func TestServerJobResourceLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
 
+	texts := goldenLoops(t)
 	req := api.CompileRequest{
-		Loops:      goldenLoops(t)[:1],
-		Machines:   []api.MachineSpec{{Clusters: 2}},
-		Schedulers: []string{"dms"},
+		Protocol:   api.Version,
+		Loops:      texts,
+		Machines:   []api.MachineSpec{{Clusters: 2}, {Clusters: 4}},
+		Schedulers: []string{"dms", "twophase"},
 	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		t.Fatal(err)
+	want := directRecords(t, req, []*machine.Machine{machine.Clustered(2), machine.Clustered(4)})
+	njobs := req.Jobs()
+
+	created := submitJob(t, ts.URL, req)
+	if created.Jobs != njobs {
+		t.Fatalf("created job counts %d jobs, want %d", created.Jobs, njobs)
 	}
-	resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(body))
+	if created.State.Terminal() {
+		t.Fatalf("created job already terminal: %s", created.State)
+	}
+	if created.CreatedUnixMS == 0 {
+		t.Error("created job has no creation timestamp")
+	}
+
+	done := waitJob(t, ts.URL, created.ID)
+	if done.State != api.JobDone || done.Done != njobs || done.Errors != 0 {
+		t.Fatalf("terminal job = %+v", done)
+	}
+
+	// First attachment dies after 3 result lines (connection closed).
+	const cut = 3
+	head, sum := readResults(t, ts.URL, created.ID, 0, cut)
+	if sum != nil {
+		t.Fatal("stream completed before the test could drop it")
+	}
+	// Re-attach with the resume offset; the replayed tail must complete
+	// the set without recomputation or overlap.
+	tail, sum := readResults(t, ts.URL, created.ID, cut, 0)
+	if sum == nil {
+		t.Fatal("resumed stream ended without a summary")
+	}
+	if sum.Jobs != njobs || sum.Errors != 0 {
+		t.Fatalf("resumed summary = %+v, want %d jobs", sum, njobs)
+	}
+
+	all := append(head, tail...)
+	if len(all) != njobs {
+		t.Fatalf("resumed reassembly has %d results, want %d", len(all), njobs)
+	}
+	seen := make([]bool, njobs)
+	for _, rec := range all {
+		if rec.Index < 0 || rec.Index >= njobs || seen[rec.Index] {
+			t.Fatalf("index %d out of range or duplicated across the resumed streams", rec.Index)
+		}
+		seen[rec.Index] = true
+		rec2 := rec
+		rec2.Cached = false
+		if got := marshal(t, rec2); got != want[rec.Index] {
+			t.Errorf("job %d diverges from direct CompileAll:\n got %s\nwant %s", rec.Index, got, want[rec.Index])
+		}
+	}
+
+	// A canceled DELETE on a finished job is an idempotent no-op.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+api.JobPath(created.ID), nil)
+	resp, err := http.DefaultClient.Do(delReq)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("legacy /compile status %d", resp.StatusCode)
+	var after api.Job
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
 	}
-	if dep := resp.Header.Get(api.DeprecationHeader); dep != "true" {
-		t.Errorf("legacy /compile %s header = %q, want \"true\"", api.DeprecationHeader, dep)
+	if after.State != api.JobDone {
+		t.Errorf("DELETE on a done job moved it to %s", after.State)
 	}
-	if link := resp.Header.Get("Link"); !strings.Contains(link, api.PathCompile) {
-		t.Errorf("legacy /compile Link header = %q, want successor %s", link, api.PathCompile)
+}
+
+// newGatedRegistry returns a registry whose "dms" blocks on the
+// returned scheduler's gate.
+func newGatedRegistry(t *testing.T) (*driver.Registry, *drivertest.Gated) {
+	t.Helper()
+	gated, err := drivertest.NewGated("dms")
+	if err != nil {
+		t.Fatal(err)
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	lines := 0
-	for sc.Scan() {
-		rec, sum, err := api.DecodeStreamLine(sc.Bytes())
-		if err != nil {
-			t.Fatal(err)
+	reg := driver.NewRegistry()
+	reg.MustRegister(gated)
+	return reg, gated
+}
+
+// TestServerQueueSaturation pins the admission-control contract: with
+// a full queue behind a busy executor, POST /v1/jobs answers a
+// structured 429 queue_full with a Retry-After hint, the rejection is
+// counted, and draining the queue restores admission.
+func TestServerQueueSaturation(t *testing.T) {
+	reg, gated := newGatedRegistry(t)
+	svc, ts := newTestServer(t, Options{
+		Registry:      reg,
+		QueueCapacity: 1,
+		QueueWorkers:  1,
+		RetryAfter:    2 * time.Second,
+	})
+
+	texts := goldenLoops(t)
+	mkReq := func(i int) api.CompileRequest {
+		return api.CompileRequest{
+			Loops:      texts[i : i+1],
+			Machines:   []api.MachineSpec{{Clusters: 2}},
+			Schedulers: []string{"dms"},
 		}
-		if sum != nil {
-			t.Error("legacy /compile emitted a summary record (breaks old line-per-job clients)")
-		}
-		if rec != nil {
-			lines++
-		}
-	}
-	if lines != 1 {
-		t.Errorf("legacy /compile streamed %d results, want 1", lines)
 	}
 
-	for _, path := range []string{"/metrics", "/schedulers", "/healthz"} {
-		resp, err := http.Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
+	running := submitJob(t, ts.URL, mkReq(0))
+	// Wait for the executor to pick it up, so the next submission
+	// occupies the queue slot rather than the executor.
+	deadline := time.Now().Add(10 * time.Second)
+	for getJob(t, ts.URL, running.ID).State == api.JobQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Errorf("legacy %s: status %d", path, resp.StatusCode)
-		}
-		if dep := resp.Header.Get(api.DeprecationHeader); dep != "true" {
-			t.Errorf("legacy %s: no deprecation header", path)
-		}
+		time.Sleep(time.Millisecond)
+	}
+	queued := submitJob(t, ts.URL, mkReq(1))
+	if pos := getJob(t, ts.URL, queued.ID).QueuePos; pos != 1 {
+		t.Errorf("queued job position = %d, want 1", pos)
 	}
 
-	// Pre-v1 behavior the aliases must preserve: /healthz keeps its
-	// text/plain "ok" body (probes match on it) and the read routes
-	// never rejected other HTTP methods.
-	hresp, err := http.Get(ts.URL + "/healthz")
+	// The queue is full: the next submission must bounce with 429.
+	body, _ := json.Marshal(mkReq(2))
+	resp, err := http.Post(ts.URL+api.PathJobs, "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	hbody, _ := io.ReadAll(hresp.Body)
-	hresp.Body.Close()
-	if ct := hresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Errorf("legacy /healthz content type %q, want text/plain", ct)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: status %d, want 429", resp.StatusCode)
 	}
-	if string(hbody) != "ok\n" {
-		t.Errorf("legacy /healthz body %q, want \"ok\\n\"", hbody)
+	if ra := resp.Header.Get(api.RetryAfterHeader); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
 	}
-	head, err := http.Head(ts.URL + "/healthz")
+	var er api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if er.Error.Code != api.CodeQueueFull {
+		t.Errorf("error code %q, want %q", er.Error.Code, api.CodeQueueFull)
+	}
+	if !er.Error.Code.Retryable() {
+		t.Error("queue_full must be retryable")
+	}
+
+	// The synchronous wrapper shares the admission path: it must bounce
+	// identically instead of queueing without bound.
+	resp2, err := http.Post(ts.URL+api.PathCompile, "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	head.Body.Close()
-	if head.StatusCode != http.StatusOK {
-		t.Errorf("HEAD legacy /healthz: status %d, want 200 (pre-v1 accepted any method)", head.StatusCode)
-	}
-	mresp, err := http.Post(ts.URL+"/metrics", "application/json", strings.NewReader("{}"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	mresp.Body.Close()
-	if mresp.StatusCode != http.StatusOK {
-		t.Errorf("POST legacy /metrics: status %d, want 200 (pre-v1 had no method check)", mresp.StatusCode)
-	}
-	// The v1 spellings must NOT be marked deprecated.
-	resp2, err := http.Get(ts.URL + api.PathHealth)
-	if err != nil {
-		t.Fatal(err)
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("sync compile on a full queue: status %d, want 429", resp2.StatusCode)
 	}
 	resp2.Body.Close()
-	if dep := resp2.Header.Get(api.DeprecationHeader); dep != "" {
-		t.Errorf("%s carries a deprecation header %q", api.PathHealth, dep)
+
+	if m := svc.Snapshot().Queue; m.Rejected != 2 || m.Depth != 1 || m.Running != 1 {
+		t.Errorf("queue metrics = %+v, want 2 rejected, depth 1, running 1", m)
+	}
+
+	// Draining the executor admits new work again.
+	close(gated.Gate)
+	if done := waitJob(t, ts.URL, queued.ID); done.State != api.JobDone {
+		t.Fatalf("queued job finished as %s", done.State)
+	}
+	third := submitJob(t, ts.URL, mkReq(2))
+	if done := waitJob(t, ts.URL, third.ID); done.State != api.JobDone {
+		t.Fatalf("post-drain job finished as %s", done.State)
+	}
+}
+
+// TestServerCancelQueuedJob pins the cancellation half of admission
+// control: a canceled queued job never reaches the driver, its results
+// stream is an empty one closed by a zero summary, and the metrics
+// count the cancellation.
+func TestServerCancelQueuedJob(t *testing.T) {
+	reg, gated := newGatedRegistry(t)
+	svc, ts := newTestServer(t, Options{Registry: reg, QueueWorkers: 1})
+
+	texts := goldenLoops(t)
+	running := submitJob(t, ts.URL, api.CompileRequest{
+		Loops:      texts[:1],
+		Machines:   []api.MachineSpec{{Clusters: 2}},
+		Schedulers: []string{"dms"},
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for getJob(t, ts.URL, running.ID).State == api.JobQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	victim := submitJob(t, ts.URL, api.CompileRequest{
+		Loops:      texts[1:2],
+		Machines:   []api.MachineSpec{{Clusters: 2}},
+		Schedulers: []string{"dms"},
+	})
+
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+api.JobPath(victim.ID), nil)
+	resp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled api.Job
+	if err := json.NewDecoder(resp.Body).Decode(&canceled); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if canceled.State != api.JobCanceled {
+		t.Fatalf("canceled job state = %s", canceled.State)
+	}
+
+	close(gated.Gate)
+	if done := waitJob(t, ts.URL, running.ID); done.State != api.JobDone {
+		t.Fatalf("running job finished as %s", done.State)
+	}
+	// Only the first job's single (loop, machine, scheduler) triple may
+	// have reached the scheduler.
+	if calls := gated.Calls.Load(); calls != 1 {
+		t.Errorf("driver saw %d schedule calls, want 1 (canceled queued job must never compile)", calls)
+	}
+	// The canceled job's results stream: no result lines, a terminal
+	// zero summary.
+	recs, sum := readResults(t, ts.URL, victim.ID, 0, 0)
+	if len(recs) != 0 || sum == nil || sum.Jobs != 0 {
+		t.Errorf("canceled job stream = %d recs, summary %+v; want 0 and a zero summary", len(recs), sum)
+	}
+	if m := svc.Snapshot().Queue; m.Canceled != 1 {
+		t.Errorf("queue metrics = %+v, want 1 canceled", m)
 	}
 }
 
@@ -329,9 +606,7 @@ func TestServerLegacyRoutes(t *testing.T) {
 // compiled at most once (single-flight + cache), which the miss
 // counter proves.
 func TestServerConcurrentIdenticalRequests(t *testing.T) {
-	svc := New(Options{})
-	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
+	svc, ts := newTestServer(t, Options{})
 
 	req := api.CompileRequest{
 		Loops:      goldenLoops(t),
@@ -346,7 +621,7 @@ func TestServerConcurrentIdenticalRequests(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			first[c], _ = postCompile(t, ts.URL, api.PathCompile, req)
+			first[c], _ = postCompile(t, ts.URL, req)
 		}(c)
 	}
 	wg.Wait()
@@ -366,14 +641,83 @@ func TestServerConcurrentIdenticalRequests(t *testing.T) {
 	}
 }
 
+// TestServerConcurrentJobsSingleFlight is the queue/cache interaction
+// property on the asynchronous surface: identical batches submitted
+// via POST /v1/jobs — executing concurrently on a widened pool — still
+// single-flight through the content-addressed cache, so each distinct
+// (loop, machine, scheduler) triple compiles exactly once. The miss
+// counter proves it; the hit/shared counters account for every other
+// serving.
+func TestServerConcurrentJobsSingleFlight(t *testing.T) {
+	svc, ts := newTestServer(t, Options{QueueWorkers: 4})
+
+	req := api.CompileRequest{
+		Loops:      goldenLoops(t),
+		Machines:   []api.MachineSpec{{Clusters: 4}},
+		Schedulers: []string{"dms"},
+	}
+	njobs := req.Jobs()
+	const batches = 6
+	ids := make([]string, batches)
+	errs := make([]error, batches)
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			job, err := submitJobErr(ts.URL, req)
+			ids[b], errs[b] = job.ID, err
+		}(b)
+	}
+	wg.Wait()
+	for b, err := range errs {
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	var want []string
+	for b, id := range ids {
+		done := waitJob(t, ts.URL, id)
+		if done.State != api.JobDone || done.Errors != 0 {
+			t.Fatalf("batch %d = %+v", b, done)
+		}
+		recs, sum := readResults(t, ts.URL, id, 0, 0)
+		if sum.Jobs != njobs {
+			t.Fatalf("batch %d summary %+v", b, sum)
+		}
+		byIndex := make([]string, njobs)
+		for _, rec := range recs {
+			rec.Cached = false
+			byIndex[rec.Index] = marshal(t, rec)
+		}
+		if want == nil {
+			want = byIndex
+			continue
+		}
+		for i := range byIndex {
+			if byIndex[i] != want[i] {
+				t.Errorf("batch %d job %d differs from batch 0", b, i)
+			}
+		}
+	}
+
+	met := svc.Snapshot()
+	if met.Cache.Misses != uint64(njobs) {
+		t.Errorf("misses = %d, want %d (each distinct job must compile exactly once across %d identical batches)",
+			met.Cache.Misses, njobs, batches)
+	}
+	if served := met.Cache.Hits + met.Cache.Shared; served != uint64((batches-1)*njobs) {
+		t.Errorf("hits+shared = %d, want %d (every other serving must come from the cache or a shared flight)",
+			served, (batches-1)*njobs)
+	}
+}
+
 // TestServerJobErrorIsolation: a job that cannot schedule (IMS on a
 // clustered machine) is reported in its own stream line — with the
 // internal error code — and does not disturb its neighbours; failures
 // are never cached.
 func TestServerJobErrorIsolation(t *testing.T) {
-	svc := New(Options{})
-	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
+	svc, ts := newTestServer(t, Options{})
 
 	req := api.CompileRequest{
 		Loops:      goldenLoops(t)[:1],
@@ -381,7 +725,7 @@ func TestServerJobErrorIsolation(t *testing.T) {
 		Schedulers: []string{"dms", "ims"}, // ims rejects clustered machines
 	}
 	for round := 0; round < 2; round++ {
-		recs, sum := postCompile(t, ts.URL, api.PathCompile, req)
+		recs, sum := postCompile(t, ts.URL, req)
 		if recs[0].Error != "" || recs[0].Schedule == "" {
 			t.Fatalf("round %d: dms job: %+v", round, recs[0])
 		}
@@ -421,21 +765,12 @@ func decodeErrorResponse(t *testing.T, resp *http.Response) api.Error {
 }
 
 // TestServerRequestValidation pins the 400 paths and their structured
-// error codes: empty axes, malformed loops, unknown schedulers, bad
-// machines, oversized cross products, protocol mismatches.
+// error codes on both submission surfaces: empty axes, malformed
+// loops, unknown schedulers, bad machines, oversized cross products,
+// protocol mismatches.
 func TestServerRequestValidation(t *testing.T) {
-	svc := New(Options{})
-	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, Options{})
 
-	post := func(body string) *http.Response {
-		t.Helper()
-		resp, err := http.Post(ts.URL+api.PathCompile, "application/json", strings.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		return resp
-	}
 	cases := []struct {
 		name string
 		body string
@@ -452,25 +787,29 @@ func TestServerRequestValidation(t *testing.T) {
 		{"unknown field", `{"loop_texts":["x"],"machines":[{"clusters":2}],"schedulers":["dms"]}`, api.CodeInvalidRequest},
 		{"future protocol", `{"protocol":"v9","loops":["loop a trip 1\nx = load\n"],"machines":[{"clusters":2}],"schedulers":["dms"]}`, api.CodeInvalidRequest},
 	}
-	for _, tc := range cases {
-		resp := post(tc.body)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
-		}
-		if e := decodeErrorResponse(t, resp); e.Code != tc.code {
-			t.Errorf("%s: code %q, want %q", tc.name, e.Code, tc.code)
+	for _, path := range []string{api.PathCompile, api.PathJobs} {
+		for _, tc := range cases {
+			resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s on %s: status %d, want 400", tc.name, path, resp.StatusCode)
+			}
+			if e := decodeErrorResponse(t, resp); e.Code != tc.code {
+				t.Errorf("%s on %s: code %q, want %q", tc.name, path, e.Code, tc.code)
+			}
 		}
 	}
 }
 
-// TestServerStructuredRouteErrors: unknown routes and wrong methods
-// answer with the structured api error JSON, never plain-text 404/405.
+// TestServerStructuredRouteErrors: unknown routes, wrong methods and
+// unknown job IDs answer with the structured api error JSON, never
+// plain-text 404/405.
 func TestServerStructuredRouteErrors(t *testing.T) {
-	svc := New(Options{})
-	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, Options{})
 
-	// Wrong method on the v1 surface: structured error, Allow header.
+	// Wrong method on the compile route: structured error, Allow header.
 	resp0, err := http.Get(ts.URL + api.PathCompile)
 	if err != nil {
 		t.Fatal(err)
@@ -485,23 +824,30 @@ func TestServerStructuredRouteErrors(t *testing.T) {
 		t.Errorf("GET %s: code %q, want %q", api.PathCompile, e.Code, api.CodeMethodNotAllowed)
 	}
 
-	// The legacy /compile alias keeps the pre-v1 flat error shape
-	// ({"error":"<string>"}) so old clients' unmarshaling still works.
-	legacyResp, err := http.Get(ts.URL + "/compile")
+	// Wrong methods on the job routes.
+	resp, err := http.Get(ts.URL + api.PathJobs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if legacyResp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /compile: status %d, want 405", legacyResp.StatusCode)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET %s: status %d, want 405", api.PathJobs, resp.StatusCode)
 	}
-	var flat struct {
-		Error string `json:"error"`
+	if e := decodeErrorResponse(t, resp); e.Code != api.CodeMethodNotAllowed {
+		t.Errorf("GET %s: code %q", api.PathJobs, e.Code)
 	}
-	if err := json.NewDecoder(legacyResp.Body).Decode(&flat); err != nil || flat.Error == "" {
-		t.Errorf("legacy /compile error body is not the flat pre-v1 shape: err=%v error=%q", err, flat.Error)
+	resp, err = http.Post(ts.URL+api.PathJobs+"/abc", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	legacyResp.Body.Close()
-	resp, err := http.Post(ts.URL+api.PathMetrics, "application/json", strings.NewReader("{}"))
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST %s/abc: status %d, want 405", api.PathJobs, resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "DELETE") {
+		t.Errorf("POST %s/abc: Allow %q, want GET, DELETE", api.PathJobs, allow)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(ts.URL+api.PathMetrics, "application/json", strings.NewReader("{}"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -509,8 +855,9 @@ func TestServerStructuredRouteErrors(t *testing.T) {
 		t.Errorf("POST %s: code %q, want %q", api.PathMetrics, e.Code, api.CodeMethodNotAllowed)
 	}
 
-	// Unknown routes.
-	for _, path := range []string{"/", "/nope", "/v1/nope", "/v2/compile"} {
+	// Unknown routes and unknown job IDs.
+	for _, path := range []string{"/", "/nope", "/v1/nope", "/v2/compile", "/compile", "/metrics", "/schedulers", "/healthz",
+		api.JobPath("no-such-job"), api.JobResultsPath("no-such-job", 0)} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -522,21 +869,70 @@ func TestServerStructuredRouteErrors(t *testing.T) {
 			t.Errorf("GET %s: code %q, want %q", path, e.Code, api.CodeNotFound)
 		}
 	}
+
+	// A malformed resume offset is a structured invalid_request.
+	job := submitJob(t, ts.URL, api.CompileRequest{
+		Loops:      goldenLoops(t)[:1],
+		Machines:   []api.MachineSpec{{Clusters: 2}},
+		Schedulers: []string{"dms"},
+	})
+	waitJob(t, ts.URL, job.ID)
+	for _, from := range []string{"x", "-1"} {
+		resp, err := http.Get(ts.URL + api.JobPath(job.ID) + "/results?from=" + from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("from=%s: status %d, want 400", from, resp.StatusCode)
+		}
+		if e := decodeErrorResponse(t, resp); e.Code != api.CodeInvalidRequest {
+			t.Errorf("from=%s: code %q", from, e.Code)
+		}
+	}
+}
+
+// TestServerJobTTLExpiry: after the retention TTL a finished job's ID
+// answers not_found on every job route.
+func TestServerJobTTLExpiry(t *testing.T) {
+	_, ts := newTestServer(t, Options{JobTTL: 30 * time.Millisecond})
+
+	job := submitJob(t, ts.URL, api.CompileRequest{
+		Loops:      goldenLoops(t)[:1],
+		Machines:   []api.MachineSpec{{Clusters: 2}},
+		Schedulers: []string{"dms"},
+	})
+	waitJob(t, ts.URL, job.ID)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + api.JobPath(job.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		status := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if status == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // TestServerMachineSpecs covers the three machine forms: clustered,
 // unclustered, and a full JSON config with a custom latency model.
 func TestServerMachineSpecs(t *testing.T) {
-	svc := New(Options{})
-	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, Options{})
 
 	cfg, err := json.Marshal(machine.ClusteredWithCopyFUs(3, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	loopText := goldenLoops(t)[0]
-	recs, _ := postCompile(t, ts.URL, api.PathCompile, api.CompileRequest{
+	recs, _ := postCompile(t, ts.URL, api.CompileRequest{
 		Loops:      []string{loopText},
 		Machines:   []api.MachineSpec{{Clusters: 3}, {Config: cfg}},
 		Schedulers: []string{"dms"},
@@ -546,7 +942,7 @@ func TestServerMachineSpecs(t *testing.T) {
 			t.Errorf("job %d: %s", i, rec.Error)
 		}
 	}
-	recs, _ = postCompile(t, ts.URL, api.PathCompile, api.CompileRequest{
+	recs, _ = postCompile(t, ts.URL, api.CompileRequest{
 		Loops:      []string{loopText},
 		Machines:   []api.MachineSpec{{Clusters: 2, Unclustered: true}},
 		Schedulers: []string{"ims", "sms"},
@@ -560,9 +956,7 @@ func TestServerMachineSpecs(t *testing.T) {
 
 // TestServerSchedulersAndHealth covers the discovery endpoints.
 func TestServerSchedulersAndHealth(t *testing.T) {
-	svc := New(Options{})
-	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, Options{})
 
 	resp, err := http.Get(ts.URL + api.PathSchedulers)
 	if err != nil {

@@ -3,6 +3,7 @@ package dmsclient
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -15,15 +16,14 @@ import (
 	"time"
 
 	api "repro/api/v1"
-	"repro/internal/ddg"
 	"repro/internal/driver"
+	"repro/internal/drivertest"
 	"repro/internal/loop"
 	"repro/internal/machine"
-	"repro/internal/schedule"
 	"repro/internal/server"
 )
 
-// goldenLoopDir is the checked-in loop corpus; the e2e test drives the
+// goldenLoopDir is the checked-in loop corpus; the e2e tests drive the
 // service on exactly the loops whose schedules the rest of the suite
 // pins down.
 const goldenLoopDir = "../../internal/loop/testdata"
@@ -61,31 +61,73 @@ func (b byNameTexts) Swap(i, j int) {
 	b.texts[i], b.texts[j] = b.texts[j], b.texts[i]
 }
 
-// flakyScheduler wraps a real back-end and fails exactly once — with a
-// timeout-shaped error — for the job matching (loopName, clusters),
-// inducing the mid-stream retry the e2e test asserts on.
-type flakyScheduler struct {
-	driver.Scheduler
-	loopName string
-	clusters int
-	fired    atomic.Bool
+// newTestService starts a server (torn down with the test) and returns
+// it with its base URL.
+func newTestService(t *testing.T, opt server.Options) (*server.Server, *httptest.Server) {
+	t.Helper()
+	svc := server.New(opt)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
+	return svc, ts
 }
 
-func (f *flakyScheduler) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt driver.Options) (*schedule.Schedule, driver.Stats, error) {
-	if m.Clusters == f.clusters && strings.Contains(g.Name(), f.loopName) && f.fired.CompareAndSwap(false, true) {
-		return nil, driver.Stats{}, fmt.Errorf("induced scheduling timeout: %w", context.DeadlineExceeded)
+// directWant compiles the request's cross product straight through the
+// driver and renders the wire records the SDK must reproduce.
+func directWant(t *testing.T, texts []string, machines []*machine.Machine, schedulers []string) []string {
+	t.Helper()
+	var loops []*loop.Loop
+	for _, text := range texts {
+		l, err := loop.ParseString(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loops = append(loops, l)
 	}
-	return f.Scheduler.Schedule(ctx, g, m, opt)
+	jobs := driver.Jobs(loops, machines, schedulers, driver.Options{})
+	direct := driver.CompileAll(context.Background(), jobs, driver.BatchOptions{})
+	want := make([]string, len(jobs))
+	for i, res := range direct {
+		if res.Err != nil {
+			t.Fatalf("direct %s: %v", res.Job, res.Err)
+		}
+		rec := server.Record(res)
+		rec.Index = i
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = string(b)
+	}
+	return want
 }
 
-// TestClientEndToEnd is the SDK acceptance test: a server on a random
-// port is driven exclusively through the client — the golden loop
-// directory, two machines, one induced mid-stream timeout that the
-// client retries — and the reassembled results are byte-identical to a
-// direct driver.CompileAll run. The legacy unprefixed routes still
-// answer, with a deprecation header.
+// assertRecords compares reassembled results against the direct-driver
+// reference, ignoring cache provenance.
+func assertRecords(t *testing.T, results []api.JobResult, want []string) {
+	t.Helper()
+	if len(results) != len(want) {
+		t.Fatalf("reassembled %d results for %d jobs", len(results), len(want))
+	}
+	for i, got := range results {
+		got.Cached = false // cache provenance is service-side state, not payload
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != want[i] {
+			t.Errorf("job %d diverges from direct CompileAll:\n got %s\nwant %s", i, gotJSON, want[i])
+		}
+	}
+}
+
+// TestClientEndToEnd is the synchronous-surface acceptance test: a
+// server on a random port is driven exclusively through the client —
+// the golden loop directory, two machines, one induced mid-stream
+// timeout that the client retries — and the reassembled results are
+// byte-identical to a direct driver.CompileAll run.
 func TestClientEndToEnd(t *testing.T) {
-	names, texts := readGoldenLoops(t)
+	_, texts := readGoldenLoops(t)
 
 	// The server resolves "dms" to a once-flaky wrapper around the real
 	// scheduler: the first attempt at (loops[1], 2 clusters) fails with
@@ -102,14 +144,12 @@ func TestClientEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	flaky := &flakyScheduler{Scheduler: realDMS, loopName: victim.Name, clusters: 2}
+	flaky := &drivertest.Flaky{Scheduler: realDMS, LoopName: victim.Name, Clusters: 2}
 	reg := driver.NewRegistry()
 	reg.MustRegister(flaky)
 	reg.MustRegister(realTwoPhase)
 
-	svc := server.New(server.Options{Registry: reg})
-	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
+	_, ts := newTestService(t, server.Options{Registry: reg})
 
 	req := api.CompileRequest{
 		Loops:      texts,
@@ -123,51 +163,15 @@ func TestClientEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if !flaky.fired.Load() {
+	if !flaky.Fired.Load() {
 		t.Fatal("the induced timeout never fired; the retry path was not exercised")
 	}
 	if sum.Jobs != req.Jobs() || sum.Errors != 0 {
 		t.Fatalf("summary %+v, want %d jobs and 0 errors after retry", sum, req.Jobs())
 	}
 
-	// The reference: the same cross product compiled directly (real
-	// schedulers, no service in the path).
-	var loops []*loop.Loop
-	for _, text := range texts {
-		l, err := loop.ParseString(text)
-		if err != nil {
-			t.Fatal(err)
-		}
-		loops = append(loops, l)
-	}
-	machines := []*machine.Machine{machine.Clustered(2), machine.Clustered(4)}
-	jobs := driver.Jobs(loops, machines, req.Schedulers, driver.Options{})
-	direct := driver.CompileAll(context.Background(), jobs, driver.BatchOptions{})
-
-	if len(results) != len(jobs) {
-		t.Fatalf("client reassembled %d results for %d jobs", len(results), len(jobs))
-	}
-	for i, res := range direct {
-		if res.Err != nil {
-			t.Fatalf("direct %s: %v", res.Job, res.Err)
-		}
-		want := server.Record(res)
-		want.Index = i
-		got := results[i]
-		got.Cached = false // cache provenance is service-side state, not payload
-		wantJSON, err := json.Marshal(want)
-		if err != nil {
-			t.Fatal(err)
-		}
-		gotJSON, err := json.Marshal(got)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if string(wantJSON) != string(gotJSON) {
-			t.Errorf("job %d (%s, loop file %s) diverges from direct CompileAll:\n got %s\nwant %s",
-				i, res.Job, names[i/(len(machines)*len(req.Schedulers))], gotJSON, wantJSON)
-		}
-	}
+	want := directWant(t, texts, []*machine.Machine{machine.Clustered(2), machine.Clustered(4)}, req.Schedulers)
+	assertRecords(t, results, want)
 
 	// Exactly one job error reached the metrics (the induced timeout's
 	// first attempt); the retry must not have double-counted.
@@ -194,18 +198,282 @@ func TestClientEndToEnd(t *testing.T) {
 	if len(scheds) != 2 {
 		t.Errorf("schedulers = %+v", scheds)
 	}
+}
 
-	// Legacy unprefixed routes still answer, marked deprecated.
-	resp, err := http.Get(ts.URL + "/healthz")
+// cutWriter aborts its connection after writing limit bytes, modelling
+// a network drop mid-stream.
+type cutWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (c *cutWriter) Write(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if len(p) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.ResponseWriter.Write(p)
+	c.remaining -= n
+	return n, err
+}
+
+func (c *cutWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// dropResultsOnce cuts the FIRST un-resumed results stream (no ?from=)
+// after limit bytes; every other request passes through.
+type dropResultsOnce struct {
+	inner http.Handler
+	limit int
+	fired atomic.Bool
+}
+
+func (d *dropResultsOnce) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasSuffix(r.URL.Path, "/results") && r.URL.Query().Get("from") == "" &&
+		d.fired.CompareAndSwap(false, true) {
+		d.inner.ServeHTTP(&cutWriter{ResponseWriter: w, remaining: d.limit}, r)
+		return
+	}
+	d.inner.ServeHTTP(w, r)
+}
+
+// TestClientAsyncEndToEnd is the asynchronous acceptance test from the
+// SDK's side: Submit admits the batch, Wait polls it to completion,
+// and ResultsAll streams the retained buffer — surviving a connection
+// killed mid-stream by resuming with the ?from= offset — into a result
+// set byte-identical to a direct driver.CompileAll run.
+func TestClientAsyncEndToEnd(t *testing.T) {
+	_, texts := readGoldenLoops(t)
+	svc := server.New(server.Options{})
+	drop := &dropResultsOnce{inner: svc.Handler(), limit: 900}
+	ts := httptest.NewServer(drop)
+	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
+
+	req := api.CompileRequest{
+		Loops:      texts,
+		Machines:   []api.MachineSpec{{Clusters: 2}, {Clusters: 4}},
+		Schedulers: []string{"dms", "twophase"},
+	}
+	cli := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond), WithPollInterval(5*time.Millisecond))
+
+	job, err := cli.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("legacy /healthz status %d", resp.StatusCode)
+	if job.Jobs != req.Jobs() || job.State.Terminal() {
+		t.Fatalf("created job = %+v", job)
 	}
-	if dep := resp.Header.Get(api.DeprecationHeader); dep != "true" {
-		t.Errorf("legacy /healthz deprecation header = %q, want \"true\"", dep)
+
+	done, err := cli.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != api.JobDone || done.Done != req.Jobs() || done.Errors != 0 {
+		t.Fatalf("terminal job = %+v", done)
+	}
+
+	results, sum, err := cli.ResultsAll(context.Background(), job.ID, done.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drop.fired.Load() {
+		t.Fatal("the connection cut never fired; the resume path was not exercised")
+	}
+	if sum.Jobs != req.Jobs() || sum.Errors != 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+	want := directWant(t, texts, []*machine.Machine{machine.Clustered(2), machine.Clustered(4)}, req.Schedulers)
+	assertRecords(t, results, want)
+}
+
+// saturate fills a single-executor service: one batch holds the
+// executor (behind its scheduler's gate), one batch holds a queue
+// slot.
+func saturate(t *testing.T, cli *Client, texts []string) {
+	t.Helper()
+	running, err := cli.Submit(context.Background(), api.CompileRequest{
+		Loops: texts[:1], Machines: []api.MachineSpec{{Clusters: 2}}, Schedulers: []string{"dms"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, err := cli.Job(context.Background(), running.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == api.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := cli.Submit(context.Background(), api.CompileRequest{
+		Loops: texts[1:2], Machines: []api.MachineSpec{{Clusters: 2}}, Schedulers: []string{"dms"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientSubmitHonorsRetryAfter: a Submit against a saturated queue
+// waits out the server-sent Retry-After hint and succeeds once the
+// queue drains — no caller-side handling required.
+func TestClientSubmitHonorsRetryAfter(t *testing.T) {
+	_, texts := readGoldenLoops(t)
+	gated, err := drivertest.NewGated("dms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := driver.NewRegistry()
+	reg.MustRegister(gated)
+	_, ts := newTestService(t, server.Options{
+		Registry:      reg,
+		QueueCapacity: 1,
+		QueueWorkers:  1,
+		RetryAfter:    time.Second,
+	})
+
+	cli := New(ts.URL, WithBackoff(time.Millisecond), WithPollInterval(5*time.Millisecond))
+	saturate(t, cli, texts)
+
+	// A near-zero wait budget confirms the queue is full and the typed
+	// error carries the decoded Retry-After hint (the 1s hint cannot
+	// fit a 1ms budget, so the first rejection is surfaced).
+	_, err = New(ts.URL, WithMaxRetryWait(time.Millisecond)).Submit(context.Background(), api.CompileRequest{
+		Loops: texts[2:3], Machines: []api.MachineSpec{{Clusters: 2}}, Schedulers: []string{"dms"},
+	})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeQueueFull {
+		t.Fatalf("saturated submit error = %v, want queue_full", err)
+	}
+	if apiErr.RetryAfter != time.Second {
+		t.Fatalf("decoded Retry-After = %v, want 1s", apiErr.RetryAfter)
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Errorf("budget-exhausted error %q does not say so", err)
+	}
+
+	// With a budget, Submit waits the hint out; the gate opens while it
+	// sleeps, so the retry is admitted. The synchronous surface shares
+	// the admission path, so CompileAll must recover the same way.
+	start := time.Now()
+	syncDone := make(chan error, 1)
+	go func() {
+		_, sum, err := cli.CompileAll(context.Background(), api.CompileRequest{
+			Loops: texts[3:4], Machines: []api.MachineSpec{{Clusters: 2}}, Schedulers: []string{"dms"},
+		})
+		if err == nil && sum.Errors != 0 {
+			err = fmt.Errorf("sync summary %+v", sum)
+		}
+		syncDone <- err
+	}()
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		close(gated.Gate)
+	}()
+	job, err := cli.Submit(context.Background(), api.CompileRequest{
+		Loops: texts[2:3], Machines: []api.MachineSpec{{Clusters: 2}}, Schedulers: []string{"dms"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited < time.Second {
+		t.Errorf("Submit returned after %v, before the 1s Retry-After hint elapsed", waited)
+	}
+	if done, err := cli.Wait(context.Background(), job.ID); err != nil || done.State != api.JobDone {
+		t.Fatalf("admitted job = %+v, %v", done, err)
+	}
+	if err := <-syncDone; err != nil {
+		t.Fatalf("synchronous CompileAll did not recover from queue_full: %v", err)
+	}
+}
+
+// TestClientRetryBudgetExhaustion: the cumulative retry wait is capped
+// and the error surfaces how long the client waited and why.
+func TestClientRetryBudgetExhaustion(t *testing.T) {
+	_, texts := readGoldenLoops(t)
+	gated, err := drivertest.NewGated("dms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := driver.NewRegistry()
+	reg.MustRegister(gated)
+	_, ts := newTestService(t, server.Options{
+		Registry:      reg,
+		QueueCapacity: 1,
+		QueueWorkers:  1,
+		RetryAfter:    time.Second,
+	})
+	defer close(gated.Gate)
+
+	cli := New(ts.URL, WithBackoff(time.Millisecond), WithPollInterval(5*time.Millisecond))
+	saturate(t, cli, texts)
+
+	budgeted := New(ts.URL, WithMaxRetryWait(1500*time.Millisecond))
+	start := time.Now()
+	_, err = budgeted.Submit(context.Background(), api.CompileRequest{
+		Loops: texts[2:3], Machines: []api.MachineSpec{{Clusters: 2}}, Schedulers: []string{"dms"},
+	})
+	if err == nil {
+		t.Fatal("submit against a permanently full queue succeeded")
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") || !strings.Contains(err.Error(), "waited") {
+		t.Errorf("error %q does not surface the exhausted budget and waited time", err)
+	}
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeQueueFull {
+		t.Errorf("budget error does not wrap the queue_full cause: %v", err)
+	}
+	// One 1s Retry-After sleep fits the 1.5s budget, a second does not:
+	// the call must have waited about a second, not two.
+	if waited := time.Since(start); waited < time.Second || waited > 2*time.Second {
+		t.Errorf("budgeted submit took %v, want ~1s (one honored hint, then exhaustion)", waited)
+	}
+}
+
+// TestClientCancelJob: the SDK's cancel path on a queued job — the
+// job finishes canceled with an empty, zero-summary result stream.
+func TestClientCancelJob(t *testing.T) {
+	_, texts := readGoldenLoops(t)
+	gated, err := drivertest.NewGated("dms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := driver.NewRegistry()
+	reg.MustRegister(gated)
+	_, ts := newTestService(t, server.Options{Registry: reg, QueueWorkers: 1})
+	defer close(gated.Gate)
+
+	cli := New(ts.URL, WithPollInterval(5*time.Millisecond))
+	saturate(t, cli, texts) // second submission is queued
+
+	// Saturate returned after submitting two; grab the queued one by
+	// submitting a third and canceling it while the executor is held.
+	victim, err := cli.Submit(context.Background(), api.CompileRequest{
+		Loops: texts[2:3], Machines: []api.MachineSpec{{Clusters: 2}}, Schedulers: []string{"dms"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, err := cli.Cancel(context.Background(), victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canceled.State != api.JobCanceled {
+		t.Fatalf("canceled job state = %s", canceled.State)
+	}
+	recs, sum, err := cli.ResultsAll(context.Background(), victim.ID, 0)
+	if err != nil || len(recs) != 0 || sum.Jobs != 0 {
+		t.Fatalf("canceled job results = %d recs, %+v, %v", len(recs), sum, err)
 	}
 }
 
@@ -214,9 +482,7 @@ func TestClientEndToEnd(t *testing.T) {
 // honored.
 func TestClientStreamIterator(t *testing.T) {
 	_, texts := readGoldenLoops(t)
-	svc := server.New(server.Options{})
-	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
+	_, ts := newTestService(t, server.Options{})
 
 	cli := New(ts.URL)
 	req := api.CompileRequest{
@@ -245,12 +511,11 @@ func TestClientStreamIterator(t *testing.T) {
 }
 
 // TestClientSurfacesStructuredErrors: a request-level failure comes
-// back as the typed *api.Error, not a stringly HTTP error.
+// back as the typed *api.Error, not a stringly HTTP error — on both
+// submission surfaces.
 func TestClientSurfacesStructuredErrors(t *testing.T) {
 	_, texts := readGoldenLoops(t)
-	svc := server.New(server.Options{})
-	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
+	_, ts := newTestService(t, server.Options{})
 
 	cli := New(ts.URL)
 	req := api.CompileRequest{
@@ -265,6 +530,18 @@ func TestClientSurfacesStructuredErrors(t *testing.T) {
 	}
 	if apiErr.Code != api.CodeUnknownScheduler {
 		t.Errorf("code %q, want %q", apiErr.Code, api.CodeUnknownScheduler)
+	}
+	if _, err := cli.Submit(context.Background(), req); !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnknownScheduler {
+		t.Errorf("async submit error = %v, want unknown_scheduler", err)
+	}
+	// An unknown job ID is a typed, non-retryable not_found.
+	if _, err := cli.Job(context.Background(), "no-such-job"); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		t.Errorf("unknown job error = %v, want not_found", err)
+	}
+	for _, err := range cli.Results(context.Background(), "no-such-job") {
+		if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+			t.Errorf("unknown job results error = %v, want not_found", err)
+		}
 	}
 }
 
@@ -282,8 +559,8 @@ func TestClientProtocolHandshake(t *testing.T) {
 	}
 }
 
-// TestClientTruncatedStream: a stream that dies before the summary
-// record is an error, not a silently short result set.
+// TestClientTruncatedStream: a synchronous stream that dies before the
+// summary record is an error, not a silently short result set.
 func TestClientTruncatedStream(t *testing.T) {
 	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(api.ProtocolHeader, api.Version)
@@ -299,5 +576,35 @@ func TestClientTruncatedStream(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "summary") {
 		t.Fatalf("truncated stream not detected: %v", err)
+	}
+}
+
+// TestClientResultsGivesUpWithoutProgress: a results stream that drops
+// repeatedly with no new lines is surfaced as an error after the
+// configured attempts, not retried forever.
+func TestClientResultsGivesUpWithoutProgress(t *testing.T) {
+	var calls atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set(api.ProtocolHeader, api.Version)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler) // drop every connection before any line
+	}))
+	defer fake.Close()
+
+	cli := New(fake.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	var got error
+	for _, err := range cli.Results(context.Background(), "some-job") {
+		got = err
+	}
+	if got == nil || !strings.Contains(got.Error(), "failed after") {
+		t.Fatalf("endless drop not surfaced: %v", got)
+	}
+	// Initial attempt + 2 retries.
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d attempts, want 3", n)
 	}
 }
