@@ -26,6 +26,11 @@
 //	GET    /v1/schedulers        — registered back-ends ([]SchedulerInfo)
 //	GET    /v1/healthz           — liveness probe (Health)
 //
+//	POST   /v1/workers/lease           — lease a chunk of queued compile
+//	                                     units (worker-pull surface)
+//	POST   /v1/workers/{lease}/results — append unit results and
+//	                                     heartbeat the lease
+//
 // # Job lifecycle
 //
 // POST /v1/jobs runs the same request validation as /v1/compile, then
@@ -64,6 +69,27 @@
 // resuming client checks its cumulative line count against the
 // summary.
 //
+// # Worker-pull protocol
+//
+// A coordinator decomposes every admitted batch into compile units —
+// one (loop, machine, scheduler) triple each — and queues them for
+// worker processes to pull. POST /v1/workers/lease hands a worker a
+// chunk of units under a Lease with a heartbeat TTL; units are routed
+// by the canonical content hash of the unit (Hash), so identical loops
+// land on the same worker and its warm schedule cache, while an idle
+// worker steals unrouted or orphaned units rather than starving. The
+// worker posts each unit's result (which also heartbeats the lease) to
+// POST /v1/workers/{lease}/results; a lease whose heartbeat deadline
+// passes has its unresolved units returned to the queue — a crashed
+// worker never loses a job — and any later post under it is rejected
+// with lease_expired, which keeps results exactly-once:
+//
+//	        lease
+//	queued ───────▶ leased ──ack (result posted)──▶ resolved
+//	   ▲               │
+//	   └───────────────┘
+//	    expiry / nack (requeue)
+//
 // # Versioning
 //
 // The protocol version is carried in the Dms-Protocol header of every
@@ -101,12 +127,20 @@ const RetryAfterHeader = "Retry-After"
 
 // Route paths of the v1 surface.
 const (
-	PathCompile    = "/v1/compile"
-	PathJobs       = "/v1/jobs"
-	PathMetrics    = "/v1/metrics"
-	PathSchedulers = "/v1/schedulers"
-	PathHealth     = "/v1/healthz"
+	PathCompile      = "/v1/compile"
+	PathJobs         = "/v1/jobs"
+	PathMetrics      = "/v1/metrics"
+	PathSchedulers   = "/v1/schedulers"
+	PathHealth       = "/v1/healthz"
+	PathWorkers      = "/v1/workers"
+	PathWorkersLease = "/v1/workers/lease"
 )
+
+// WorkerResultsPath returns the result-append/heartbeat route of one
+// lease.
+func WorkerResultsPath(lease string) string {
+	return PathWorkers + "/" + lease + "/results"
+}
 
 // JobPath returns the polling/cancel route of one job resource.
 func JobPath(id string) string { return PathJobs + "/" + id }
@@ -146,6 +180,11 @@ const (
 	CodeNotFound ErrorCode = "not_found"
 	// CodeMethodNotAllowed: the route exists but not for this method.
 	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// CodeLeaseExpired: a worker posted results under a lease whose
+	// heartbeat deadline passed — its unresolved units were already
+	// returned to the queue for another worker. Not retryable: the
+	// worker drops the lease's remaining work and leases afresh.
+	CodeLeaseExpired ErrorCode = "lease_expired"
 	// CodeInternal: any other server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -168,6 +207,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusNotFound
 	case CodeMethodNotAllowed:
 		return http.StatusMethodNotAllowed
+	case CodeLeaseExpired:
+		return http.StatusGone
 	case CodeTimeout:
 		return http.StatusRequestTimeout
 	case CodeQueueFull:
@@ -186,6 +227,12 @@ type Error struct {
 	// Retry-After response header by clients (it is not part of the
 	// JSON body). Zero when the server sent none.
 	RetryAfter time.Duration `json:"-"`
+
+	// QueuePos, on a queue_full error, is the 1-based queue position a
+	// resubmission would occupy once a slot frees — the same gauge an
+	// asynchronous submitter reads from its Job resource, surfaced here
+	// so synchronous /v1/compile clients see their place in line too.
+	QueuePos int `json:"queue_pos,omitempty"`
 }
 
 // Error implements the error interface.
@@ -449,6 +496,29 @@ type QueueMetrics struct {
 	Rejected  uint64 `json:"rejected"`
 	Completed uint64 `json:"completed"`
 	Canceled  uint64 `json:"canceled"`
+	// Workers is the executor pool size the queue drains into.
+	Workers int `json:"workers,omitempty"`
+	// EWMAServiceMS is the exponentially weighted moving average of
+	// completed batches' service times in milliseconds — the signal the
+	// adaptive Retry-After hint scales with queue depth. Zero until the
+	// first batch completes.
+	EWMAServiceMS float64 `json:"ewma_service_ms,omitempty"`
+}
+
+// DispatchMetrics is a snapshot of a coordinator's compile-unit
+// dispatcher: the worker-pull queue behind /v1/workers/lease.
+type DispatchMetrics struct {
+	// PendingUnits are queued units awaiting a lease; LeasedUnits are
+	// held by workers under the ActiveLeases live leases.
+	PendingUnits int `json:"pending_units"`
+	LeasedUnits  int `json:"leased_units"`
+	ActiveLeases int `json:"active_leases"`
+	// Dispatched/Resolved/Requeued are monotonic counters: units handed
+	// to the queue, units resolved by a posted result, and units
+	// returned to the queue by lease expiry or nack.
+	Dispatched uint64 `json:"dispatched"`
+	Resolved   uint64 `json:"resolved"`
+	Requeued   uint64 `json:"requeued"`
 }
 
 // ServerMetrics is the GET /v1/metrics payload.
@@ -458,12 +528,100 @@ type ServerMetrics struct {
 	JobErrors int64        `json:"job_errors"`
 	Cache     CacheMetrics `json:"cache"`
 	Queue     QueueMetrics `json:"queue"`
+	// Dispatch reports the worker-pull dispatcher (present on servers
+	// that serve the /v1/workers surface; absent on older servers).
+	Dispatch *DispatchMetrics `json:"dispatch,omitempty"`
 }
 
 // Health is the GET /v1/healthz payload.
 type Health struct {
 	Status   string `json:"status"` // "ok"
 	Protocol string `json:"protocol"`
+}
+
+// LeaseRequest is the JSON body of POST /v1/workers/lease: a worker
+// asking the coordinator for a chunk of compile units.
+type LeaseRequest struct {
+	// Protocol asserts the protocol version the worker speaks (""
+	// or "v1").
+	Protocol string `json:"protocol,omitempty"`
+	// Worker is the caller's stable identity — the routing key that
+	// affinitizes identical loops onto its warm cache. Required.
+	Worker string `json:"worker"`
+	// MaxUnits bounds the chunk (0 = server default; the server may
+	// cap it lower).
+	MaxUnits int `json:"max_units,omitempty"`
+	// WaitMS long-polls: with no work queued the server holds the
+	// request up to this long before answering with an empty lease
+	// (0 = answer immediately; the server caps the wait).
+	WaitMS int `json:"wait_ms,omitempty"`
+}
+
+// WorkUnit is one leasable compile unit: a single (loop, machine,
+// scheduler) triple of some batch, self-contained so a worker needs no
+// other context to compile it.
+type WorkUnit struct {
+	// ID addresses the unit in result posts; it is unique while the
+	// unit is live and opaque to workers.
+	ID string `json:"id"`
+	// Hash is the unit's canonical content hash — identical to the
+	// coordinator's schedule-cache key, so workers can key their own
+	// caches compatibly.
+	Hash string `json:"hash"`
+	// Loop is the canonical loop text.
+	Loop string `json:"loop"`
+	// Machine carries the full machine description.
+	Machine MachineSpec `json:"machine"`
+	// Scheduler is the registry name to schedule with.
+	Scheduler string `json:"scheduler"`
+	// Options tune the scheduler.
+	Options Options `json:"options"`
+	// TimeoutMS bounds the unit's scheduling time (0 = none).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache asks the worker to skip its cache lookup (results are
+	// still stored), mirroring CompileRequest.NoCache.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Lease is the response of POST /v1/workers/lease. An empty lease
+// (ID "") means no work was available within the wait budget; the
+// worker re-polls after PollMS.
+type Lease struct {
+	ID    string     `json:"id,omitempty"`
+	Units []WorkUnit `json:"units,omitempty"`
+	// TTLMS is the heartbeat deadline: a lease that posts no results
+	// (and no empty heartbeat) for this long has its unresolved units
+	// returned to the queue.
+	TTLMS int `json:"ttl_ms,omitempty"`
+	// PollMS is the coordinator's re-poll hint for an empty lease.
+	PollMS int `json:"poll_ms,omitempty"`
+}
+
+// UnitResult pairs one leased unit with its compile outcome. The
+// result's Index is assigned by the coordinator; workers leave it 0.
+type UnitResult struct {
+	Unit   string    `json:"unit"`
+	Result JobResult `json:"result"`
+}
+
+// WorkResultsRequest is the JSON body of POST /v1/workers/{lease}/results.
+// An empty Results slice is a pure heartbeat.
+type WorkResultsRequest struct {
+	Protocol string       `json:"protocol,omitempty"`
+	Results  []UnitResult `json:"results"`
+}
+
+// WorkResultsResponse reports what the coordinator did with a result
+// post.
+type WorkResultsResponse struct {
+	// Acked counts results accepted as the authoritative resolution of
+	// their unit. A posted result not counted here raced a lease expiry
+	// — another worker owns that unit now — and was discarded.
+	Acked int `json:"acked"`
+	// Canceled lists still-leased units whose batch has been canceled;
+	// the worker should skip compiling them and post a canceled result
+	// to release them cheaply.
+	Canceled []string `json:"canceled,omitempty"`
 }
 
 // FormatExtra renders a Stats.Extra counter map as "k1=v1 k2=v2" with

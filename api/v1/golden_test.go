@@ -31,6 +31,13 @@ func goldenDoc() any {
 		Schedulers     []SchedulerInfo `json:"schedulers"`
 		ServerMetrics  ServerMetrics   `json:"server_metrics"`
 		Health         Health          `json:"health"`
+		// Worker-pull surface (additive in this protocol revision).
+		LeaseRequest  LeaseRequest        `json:"lease_request"`
+		Lease         Lease               `json:"lease"`
+		EmptyLease    Lease               `json:"empty_lease"`
+		WorkResults   WorkResultsRequest  `json:"work_results_request"`
+		WorkResultsOK WorkResultsResponse `json:"work_results_response"`
+		LeaseExpired  ErrorResponse       `json:"lease_expired_response"`
 	}{
 		CompileRequest: CompileRequest{
 			Protocol:   Version,
@@ -109,7 +116,7 @@ func goldenDoc() any {
 		},
 		SummaryLine:   mustSummaryLine(Summary{Jobs: 7, Errors: 1, Cached: 3}),
 		ErrorResponse: ErrorResponse{Error: Error{Code: CodeUnknownScheduler, Message: `driver: unknown scheduler "nope" (have dms, ims, sms, twophase)`}},
-		QueueFull:     ErrorResponse{Error: Error{Code: CodeQueueFull, Message: "admission queue at capacity (64 queued); retry after 1s"}},
+		QueueFull:     ErrorResponse{Error: Error{Code: CodeQueueFull, Message: "admission queue at capacity (64 queued); retry after 1s", QueuePos: 65}},
 		Schedulers: []SchedulerInfo{
 			{Name: "dms", Clustered: true},
 			{Name: "ims", Clustered: false},
@@ -120,9 +127,47 @@ func goldenDoc() any {
 			Queue: QueueMetrics{
 				Depth: 3, Running: 2, Retained: 9, RetainedBytes: 73114, Capacity: 64,
 				Admitted: 118, Rejected: 4, Completed: 102, Canceled: 11,
+				Workers: 2, EWMAServiceMS: 412.5,
+			},
+			Dispatch: &DispatchMetrics{
+				PendingUnits: 12, LeasedUnits: 8, ActiveLeases: 2,
+				Dispatched: 960, Resolved: 940, Requeued: 6,
 			},
 		},
 		Health: Health{Status: "ok", Protocol: Version},
+		LeaseRequest: LeaseRequest{
+			Protocol: Version,
+			Worker:   "worker-7f3a",
+			MaxUnits: 8,
+			WaitMS:   2000,
+		},
+		Lease: Lease{
+			ID: "9c1e4b22aa30dd41",
+			Units: []WorkUnit{{
+				ID:        "a3f9c2e15b7d40618e24f0a9c6d83b57/3",
+				Hash:      "51b7c1b0d7b9f0f1a2e3d4c5b6a79881726354450918273645546372819faceb",
+				Loop:      "loop dot trip 100\nx = load\ny = load\nm = mul x, y\nacc = add m, acc@1\nout = store acc\n",
+				Machine:   MachineSpec{Clusters: 4},
+				Scheduler: "dms",
+				Options:   Options{BudgetRatio: 6},
+				TimeoutMS: 30000,
+			}},
+			TTLMS: 15000,
+		},
+		EmptyLease: Lease{PollMS: 500},
+		WorkResults: WorkResultsRequest{
+			Protocol: Version,
+			Results: []UnitResult{{
+				Unit: "a3f9c2e15b7d40618e24f0a9c6d83b57/3",
+				Result: JobResult{
+					Job: "dot/clustered-4/dms",
+					MII: 2, II: 3,
+					Schedule: "t=0 c=0 mem x\nt=0 c=1 mem y\n",
+				},
+			}},
+		},
+		WorkResultsOK: WorkResultsResponse{Acked: 1, Canceled: []string{"a3f9c2e15b7d40618e24f0a9c6d83b57/5"}},
+		LeaseExpired:  ErrorResponse{Error: Error{Code: CodeLeaseExpired, Message: "lease 9c1e4b22aa30dd41 expired; its units were requeued"}},
 	}
 }
 
@@ -175,6 +220,9 @@ func TestGoldenDecodes(t *testing.T) {
 		JobResult      JobResult      `json:"job_result"`
 		ErrorResult    JobResult      `json:"error_result"`
 		QueueFull      ErrorResponse  `json:"queue_full_response"`
+		Lease          Lease          `json:"lease"`
+		EmptyLease     Lease          `json:"empty_lease"`
+		LeaseExpired   ErrorResponse  `json:"lease_expired_response"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
@@ -196,5 +244,20 @@ func TestGoldenDecodes(t *testing.T) {
 	}
 	if !doc.QueueFull.Error.Code.Retryable() {
 		t.Errorf("golden %q must be retryable", doc.QueueFull.Error.Code)
+	}
+	if doc.QueueFull.Error.QueuePos != 65 {
+		t.Errorf("golden queue_full position = %d, want 65", doc.QueueFull.Error.QueuePos)
+	}
+	if len(doc.Lease.Units) != 1 || doc.Lease.Units[0].Hash == "" || doc.Lease.TTLMS != 15000 {
+		t.Errorf("golden lease decoded wrong: %+v", doc.Lease)
+	}
+	if doc.EmptyLease.ID != "" || doc.EmptyLease.PollMS != 500 {
+		t.Errorf("golden empty lease decoded wrong: %+v", doc.EmptyLease)
+	}
+	if doc.LeaseExpired.Error.Code.Retryable() {
+		t.Errorf("golden %q must not be retryable (the worker drops the lease, it does not repost)", doc.LeaseExpired.Error.Code)
+	}
+	if doc.LeaseExpired.Error.Code.HTTPStatus() != 410 {
+		t.Errorf("lease_expired maps to HTTP %d, want 410", doc.LeaseExpired.Error.Code.HTTPStatus())
 	}
 }

@@ -29,8 +29,15 @@ func wireTypes() []any {
 		SchedulerInfo{},
 		CacheMetrics{},
 		QueueMetrics{},
+		DispatchMetrics{},
 		ServerMetrics{},
 		Health{},
+		LeaseRequest{},
+		WorkUnit{},
+		Lease{},
+		UnitResult{},
+		WorkResultsRequest{},
+		WorkResultsResponse{},
 	}
 }
 

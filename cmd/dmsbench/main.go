@@ -6,11 +6,18 @@
 //
 //	dmsbench [-fig all|4|5|6] [-n 1258] [-seed 19990109] [-par N]
 //	dmsbench -clustered twophase -n 200     # swap the clustered back-end
+//	dmsbench -corpus ./corpus               # loops from a loopgen -out dump
 //
 // Schedulers are resolved by name through internal/driver
 // (-clustered / -unclustered select them), and the (loop × machine)
 // jobs run concurrently on the driver's worker pool. The full corpus
 // takes a few minutes; use -n for a quick look.
+//
+// With -corpus the loops come from a directory dumped by
+// `loopgen -out` instead of being generated in-process (-n and -seed
+// are then ignored): the dump is deterministic and the loader parses
+// the canonical text format, so a checked-in corpus regenerates
+// figures bit-exactly across machines.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/loop"
 	"repro/internal/perfect"
 )
 
@@ -38,6 +46,7 @@ func main() {
 		clustered   = flag.String("clustered", "", "clustered scheduler name (default dms; see internal/driver)")
 		unclustered = flag.String("unclustered", "", "unclustered scheduler name (default ims)")
 		compare     = flag.String("compare", "", "extended study instead of the figures: twophase or pressure")
+		corpus      = flag.String("corpus", "", "load loops from this loopgen -out directory instead of generating them (-n/-seed ignored)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -52,7 +61,16 @@ func main() {
 	// dying with work half-printed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	loops := perfect.CorpusN(*seed, *n)
+	var loops []*loop.Loop
+	if *corpus != "" {
+		var err error
+		if loops, err = experiment.LoadCorpusDir(*corpus); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d loops from %s", len(loops), *corpus)
+	} else {
+		loops = perfect.CorpusN(*seed, *n)
+	}
 	if *compare != "" {
 		cfg := experiment.Config{Parallelism: *par}
 		switch *compare {

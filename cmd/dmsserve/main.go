@@ -1,12 +1,28 @@
-// Command dmsserve runs the long-running compile service: an HTTP
-// JSON API over the batch driver with a content-addressed schedule
-// cache and an asynchronous job engine — a bounded FIFO admission
-// queue in front of a fixed executor pool (see internal/server and
-// internal/jobs). The wire contract is repro/api/v1, served under /v1.
+// Command dmsserve runs the compile service in one of three roles:
 //
-// Usage:
+//	dmsserve                        # standalone: serve and compile in one process
+//	dmsserve -role coordinator      # serve the API, farm compiles out to workers
+//	dmsserve -role worker -coordinator http://host:8080
 //
-//	dmsserve -addr :8080 -cache 4096 -timeout 30s -queue 64 -executors 2 -job-ttl 5m
+// Standalone (the default) is the single-process service of earlier
+// releases, byte-compatible on the wire: an HTTP JSON API over the
+// batch driver with a content-addressed schedule cache and an
+// asynchronous job engine — a bounded FIFO admission queue in front of
+// a fixed executor pool (see internal/server and internal/jobs). The
+// wire contract is repro/api/v1, served under /v1.
+//
+// A coordinator serves the same client API but does no scheduling
+// itself: admitted batches decompose into compile units that worker
+// processes lease in chunks over POST /v1/workers/lease — routed by
+// content hash, so identical loops land on the same worker's warm
+// cache — and resolve over POST /v1/workers/{lease}/results. A worker
+// that crashes mid-chunk loses its lease after -lease-ttl without
+// heartbeats and its units return to the queue; clients cannot tell
+// how many workers served them, or that workers exist at all.
+//
+// A worker is the other half: a headless pull loop (internal/worker)
+// against the coordinator named by -coordinator, compiling with the
+// local driver through a local schedule cache.
 //
 // Submit work with cmd/dmsclient, the pkg/dmsclient SDK, or any HTTP
 // client. The synchronous surface streams NDJSON closed by a summary
@@ -25,11 +41,15 @@
 //	curl localhost:8080/v1/metrics
 //
 // When the admission queue is full, submissions answer 429 queue_full
-// with a Retry-After hint (-retry-after).
+// with the queue position in the error detail and a Retry-After hint
+// that scales with queue depth × the observed batch service time
+// (-retry-after seeds the hint until the first batch completes).
 //
 // SIGINT/SIGTERM drain the server gracefully: in-flight requests get a
 // shutdown grace period and their contexts cancel any scheduling work
-// still running; queued jobs finish as canceled without compiling.
+// still running; queued jobs finish as canceled without compiling. A
+// worker exits promptly; its unposted units return to the queue when
+// its leases expire.
 package main
 
 import (
@@ -45,13 +65,15 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/server"
+	"repro/internal/worker"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dmsserve: ")
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
+		role       = flag.String("role", "standalone", "standalone (serve + compile), coordinator (serve, farm out to workers) or worker (pull from -coordinator)")
+		addr       = flag.String("addr", ":8080", "listen address (standalone/coordinator)")
 		cacheSize  = flag.Int("cache", server.DefaultCacheSize, "max cached schedules")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-job scheduling timeout (0 = none)")
 		par        = flag.Int("par", 0, "per-batch worker parallelism (0 = GOMAXPROCS)")
@@ -59,13 +81,47 @@ func main() {
 		executors  = flag.Int("executors", jobs.DefaultWorkers, "batches executing concurrently")
 		jobTTL     = flag.Duration("job-ttl", jobs.DefaultTTL, "retention of finished jobs' results for polling/resume")
 		jobBytes   = flag.Int64("job-bytes", jobs.DefaultMaxRetainedBytes, "approximate cap on retained results' total size")
-		retryAfter = flag.Duration("retry-after", server.DefaultRetryAfter, "backoff hint sent with 429 queue_full responses")
+		retryAfter = flag.Duration("retry-after", server.DefaultRetryAfter, "429 backoff hint until batch service times are observed (then adaptive)")
+		shards     = flag.Int("result-shards", 0, "shard the result-buffer index N ways by content hash (0/1 = single table)")
 		grace      = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+
+		// Distribution (coordinator/worker roles).
+		coordinator = flag.String("coordinator", "http://localhost:8080", "coordinator base URL (worker role)")
+		workerID    = flag.String("worker-id", "", "stable worker identity for hash routing (worker role; default hostname+random)")
+		chunk       = flag.Int("chunk", 0, "max compile units per lease (coordinator: hand-out cap; worker: request size; 0 = default)")
+		leaseTTL    = flag.Duration("lease-ttl", server.DefaultLeaseTTL, "worker lease heartbeat deadline before units requeue (coordinator)")
+		workerPoll  = flag.Duration("worker-poll", server.DefaultWorkerPoll, "re-poll hint sent with empty leases (coordinator)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch *role {
+	case "worker":
+		log.Printf("worker pulling from %s (chunk %d, cache %d entries)", *coordinator, *chunk, *cacheSize)
+		err := worker.Run(ctx, worker.Options{
+			Coordinator: *coordinator,
+			ID:          *workerID,
+			Chunk:       *chunk,
+			Parallelism: *par,
+			CacheSize:   *cacheSize,
+			Logf:        log.Printf,
+		})
+		if err != nil && !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
+		log.Print("worker stopped")
+		return
+	case "standalone", "coordinator":
+		// Both serve the full /v1 surface; they differ only in where
+		// admitted batches compile.
+	default:
+		log.Fatalf("unknown -role %q (want standalone, coordinator or worker)", *role)
 	}
 
 	svc := server.New(server.Options{
@@ -77,6 +133,11 @@ func main() {
 		JobTTL:           *jobTTL,
 		MaxRetainedBytes: *jobBytes,
 		RetryAfter:       *retryAfter,
+		ResultShards:     *shards,
+		Distribute:       *role == "coordinator",
+		LeaseTTL:         *leaseTTL,
+		LeaseChunk:       *chunk,
+		WorkerPoll:       *workerPoll,
 	})
 	defer svc.Close()
 	httpSrv := &http.Server{
@@ -84,13 +145,10 @@ func main() {
 		Handler: svc.Handler(),
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (cache %d entries, job timeout %v, queue %d, %d executors)",
-			*addr, *cacheSize, *timeout, *queue, *executors)
+		log.Printf("%s listening on %s (cache %d entries, job timeout %v, queue %d, %d executors)",
+			*role, *addr, *cacheSize, *timeout, *queue, *executors)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

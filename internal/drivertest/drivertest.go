@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ddg"
 	"repro/internal/driver"
@@ -46,6 +47,35 @@ func (g *Gated) Schedule(ctx context.Context, gr *ddg.Graph, m *machine.Machine,
 		return nil, driver.Stats{}, ctx.Err()
 	}
 	return g.Scheduler.Schedule(ctx, gr, m, opt)
+}
+
+// Slow wraps a real back-end behind a fixed delay, so tests can give
+// batches a known, nontrivial service time (e.g. to establish the
+// adaptive Retry-After EWMA) without a gate to coordinate.
+type Slow struct {
+	driver.Scheduler
+	Delay time.Duration
+}
+
+// NewSlow returns a Slow wrapper around the registered back-end named
+// name.
+func NewSlow(name string, delay time.Duration) (*Slow, error) {
+	real, err := driver.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Slow{Scheduler: real, Delay: delay}, nil
+}
+
+func (s *Slow) Schedule(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt driver.Options) (*schedule.Schedule, driver.Stats, error) {
+	t := time.NewTimer(s.Delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		return nil, driver.Stats{}, ctx.Err()
+	}
+	return s.Scheduler.Schedule(ctx, g, m, opt)
 }
 
 // Flaky wraps a real back-end and fails exactly once — with a

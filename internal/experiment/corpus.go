@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/loop"
+)
+
+// LoadCorpusDir loads a corpus dumped by `loopgen -out <dir>` back
+// into memory: every *.loop file of dir, parsed from the canonical
+// text format, in filename order. Because the dump is deterministic
+// and Format is a canonical fixed point, a checked-in dump regenerates
+// figures bit-exactly on any machine — the load half of corpus
+// persistence.
+//
+// The loop's declared name must match its filename (loopgen writes
+// <name>.loop), so a stray rename cannot silently relabel a figure
+// row.
+func LoadCorpusDir(dir string) ([]*loop.Loop, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: corpus dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".loop") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("experiment: no *.loop files in %s", dir)
+	}
+	loops := make([]*loop.Loop, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		l, err := loop.ParseString(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", name, err)
+		}
+		if want := strings.TrimSuffix(name, ".loop"); l.Name != want {
+			return nil, fmt.Errorf("experiment: %s declares loop %q, want %q (renamed dump file?)", name, l.Name, want)
+		}
+		loops = append(loops, l)
+	}
+	return loops, nil
+}

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loop"
+	"repro/internal/perfect"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden corpus figures file")
+
+// TestLoadCorpusDirRoundTrip: the checked-in dump loads to exactly the
+// loops the generator produces for the same parameters — the load half
+// of corpus persistence inverts the dump half.
+func TestLoadCorpusDirRoundTrip(t *testing.T) {
+	loaded, err := LoadCorpusDir(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := perfect.CorpusN(perfect.DefaultSeed, len(loaded))
+	if len(loaded) != len(want) {
+		t.Fatalf("loaded %d loops, generator yields %d", len(loaded), len(want))
+	}
+	for i := range want {
+		if got, w := loop.Format(loaded[i]), loop.Format(want[i]); got != w {
+			t.Errorf("loop %d (%s) diverges from the generator:\n got %q\nwant %q", i, want[i].Name, got, w)
+		}
+	}
+}
+
+// TestLoadCorpusDirRejectsRename: a dump file whose name no longer
+// matches its loop is an error, not a silently relabeled figure row.
+func TestLoadCorpusDirRejectsRename(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile(filepath.Join("testdata", "corpus", "pc0000.loop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "renamed.loop"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpusDir(dir); err == nil || !strings.Contains(err.Error(), "renamed") {
+		t.Fatalf("renamed dump file loaded without error: %v", err)
+	}
+}
+
+// TestLoadCorpusDirEmpty: an empty directory is an explicit error.
+func TestLoadCorpusDirEmpty(t *testing.T) {
+	if _, err := LoadCorpusDir(t.TempDir()); err == nil {
+		t.Fatal("empty corpus dir loaded without error")
+	}
+}
+
+// TestCorpusFiguresBitExact is the reproducibility contract of corpus
+// persistence: running the paper's evaluation over the checked-in
+// corpus renders figures byte-identical to the golden file, on any
+// machine, at any parallelism. Regenerate with -update after an
+// intentional scheduler change.
+func TestCorpusFiguresBitExact(t *testing.T) {
+	loops, err := LoadCorpusDir(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), loops, []int{1, 2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(FormatFigure4(res.Figure4()))
+	sb.WriteString("\n")
+	sb.WriteString(FormatFigure5(res.Figure5()))
+	sb.WriteString("\n")
+	sb.WriteString(FormatFigure6(res.Figure6()))
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "corpus_figures.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/experiment -update` once to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("figures drifted from the golden corpus rendering:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -3,11 +3,24 @@
 // executors, with per-job result buffers that outlive the submitting
 // connection.
 //
+// The engine is built on two interface seams, so its storage and
+// distribution back-ends swap without touching the lifecycle logic:
+//
+//   - Queue — admission plus lease/ack/nack with requeue on lease
+//     expiry. The engine's executors lease one batch at a time; the
+//     coordinator of a distributed deployment runs a second Queue of
+//     compile units that remote workers lease in chunks (see
+//     internal/server and internal/worker).
+//   - ResultStore — the per-job append-only result buffers. The
+//     default is a single in-process table; NewShardedStore spreads
+//     the index over N lock-independent shards keyed by content hash
+//     of the job ID.
+//
 // The engine is execution-agnostic: Submit takes a closure that
 // produces the results (the server wires it to driver.CompileAll
-// through the schedule cache) and an expected result count. Each
-// admitted submission becomes a Job resource that moves strictly
-// forward through
+// through the schedule cache, or to the worker dispatcher) and an
+// expected result count. Each admitted submission becomes a Job
+// resource that moves strictly forward through
 //
 //	queued → running → done
 //	queued | running → canceled
@@ -54,7 +67,7 @@ type RunFunc func(ctx context.Context, emit func(api.JobResult))
 type Options struct {
 	// Capacity bounds the number of jobs waiting for an executor
 	// (0 = DefaultCapacity). Running and finished jobs do not count
-	// against it.
+	// against it. Ignored when Queue is set.
 	Capacity int
 	// Workers is the number of batches executing concurrently
 	// (0 = DefaultWorkers). Each batch parallelizes internally, so a
@@ -71,6 +84,13 @@ type Options struct {
 	// before their TTL, so large unfetched batches cannot pin the heap
 	// (0 = DefaultMaxRetainedBytes).
 	MaxRetainedBytes int64
+	// Queue substitutes the admission queue implementation
+	// (nil = NewMemQueue(Capacity)).
+	Queue Queue
+	// Store substitutes the result-buffer store
+	// (nil = NewMemStore()). Use NewShardedStore to spread index
+	// contention over independent shards.
+	Store ResultStore
 }
 
 // Defaults for Options.
@@ -117,37 +137,47 @@ func (o Options) maxRetainedBytes() int64 {
 	return DefaultMaxRetainedBytes
 }
 
+// ewmaAlpha weights new batch service-time samples in the smoothed
+// average the adaptive Retry-After hint is computed from.
+const ewmaAlpha = 0.2
+
 // Engine owns the queue, the executor pool and the job table. Create
 // one with New; it is safe for concurrent use.
 type Engine struct {
-	opt Options
+	opt   Options
+	q     Queue
+	store ResultStore
 
 	mu            sync.Mutex
-	cond          *sync.Cond // signaled when the queue gains a job or Close runs
-	queue         []*Job     // FIFO of admitted, not-yet-running jobs
 	byID          map[string]*Job
 	finished      []*Job // terminal jobs in finish order, awaiting GC
 	retainedBytes int64  // approximate result bytes across e.finished
 	running       int
 	closed        bool
+	ewma          time.Duration // smoothed service time of completed batches
 
 	admitted  uint64
 	rejected  uint64
 	completed uint64
 	canceled  uint64
 
-	gcStop chan struct{}
-	wg     sync.WaitGroup
+	stop chan struct{} // closed by Close; wakes executors and the janitor
+	wg   sync.WaitGroup
 }
 
 // New starts an engine with the given options (executors run until
 // Close).
 func New(opt Options) *Engine {
-	e := &Engine{opt: opt, byID: make(map[string]*Job), gcStop: make(chan struct{})}
-	e.cond = sync.NewCond(&e.mu)
+	e := &Engine{opt: opt, q: opt.Queue, store: opt.Store, byID: make(map[string]*Job), stop: make(chan struct{})}
+	if e.q == nil {
+		e.q = NewMemQueue(opt.capacity())
+	}
+	if e.store == nil {
+		e.store = NewMemStore()
+	}
 	for i := 0; i < opt.workers(); i++ {
 		e.wg.Add(1)
-		go e.worker()
+		go e.worker(i)
 	}
 	e.wg.Add(1)
 	go e.janitor()
@@ -174,7 +204,7 @@ func (e *Engine) janitor() {
 			e.mu.Lock()
 			e.gcLocked(time.Now())
 			e.mu.Unlock()
-		case <-e.gcStop:
+		case <-e.stop:
 			return
 		}
 	}
@@ -192,13 +222,11 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	close(e.gcStop)
-	drained := e.queue
-	e.queue = nil
+	drained := e.q.Drain()
 	// Mark every live job cancel-requested and cancel running ones'
 	// contexts, or a stuck batch would wedge the wg.Wait below (and
 	// with it graceful shutdown) indefinitely. The mark also catches a
-	// job a worker has dequeued but not yet started — its executor
+	// job a worker has leased but not yet started — its executor
 	// observes the flag and finishes it as canceled without running.
 	var cancels []context.CancelFunc
 	for _, j := range e.byID {
@@ -211,13 +239,14 @@ func (e *Engine) Close() {
 		}
 		j.mu.Unlock()
 	}
-	e.cond.Broadcast()
+	close(e.stop)
 	e.mu.Unlock()
 	for _, cancel := range cancels {
 		cancel()
 	}
 	now := time.Now()
-	for _, j := range drained {
+	for _, t := range drained {
+		j := t.Payload.(*Job)
 		j.mu.Lock()
 		finished := j.finishLocked(api.JobCanceled, "", now)
 		j.mu.Unlock()
@@ -261,14 +290,14 @@ func (e *Engine) Submit(n int, run RunFunc) (*Job, error) {
 		return nil, ErrClosed
 	}
 	e.gcLocked(now)
-	if len(e.queue) >= e.opt.capacity() {
+	j.buf = e.store.Create(j.id)
+	if err := e.q.Enqueue(Task{ID: j.id, Payload: j}); err != nil {
+		e.store.Drop(j.id)
 		e.rejected++
-		return nil, ErrQueueFull
+		return nil, err
 	}
 	e.admitted++
-	e.queue = append(e.queue, j)
 	e.byID[j.id] = j
-	e.cond.Signal()
 	return j, nil
 }
 
@@ -290,19 +319,14 @@ func (e *Engine) Get(id string) (*Job, bool) {
 func (e *Engine) Cancel(id string) (*Job, bool) {
 	e.mu.Lock()
 	j, ok := e.byID[id]
+	e.mu.Unlock()
 	if !ok {
-		e.mu.Unlock()
 		return nil, false
 	}
-	// Remove from the queue first so the executors cannot pick it up
-	// in the window between unlocking the engine and marking the job.
-	for i, q := range e.queue {
-		if q == j {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
-			break
-		}
-	}
-	e.mu.Unlock()
+	// Withdraw from the queue first so the executors cannot lease it in
+	// the window before the job is marked; a job an executor already
+	// holds is caught by the state check in execute.
+	e.q.Withdraw(id)
 
 	now := time.Now()
 	j.mu.Lock()
@@ -331,11 +355,12 @@ func (e *Engine) Cancel(id string) (*Job, bool) {
 
 // Metrics snapshots the queue gauges and counters in the wire form.
 func (e *Engine) Metrics() api.QueueMetrics {
+	qs := e.q.Stats()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.gcLocked(time.Now())
 	return api.QueueMetrics{
-		Depth:         len(e.queue),
+		Depth:         qs.Pending,
 		Running:       e.running,
 		Retained:      len(e.finished),
 		RetainedBytes: e.retainedBytes,
@@ -344,56 +369,63 @@ func (e *Engine) Metrics() api.QueueMetrics {
 		Rejected:      e.rejected,
 		Completed:     e.completed,
 		Canceled:      e.canceled,
+		Workers:       e.opt.workers(),
+		EWMAServiceMS: float64(e.ewma) / float64(time.Millisecond),
 	}
 }
 
-// worker is one executor: it pulls the queue head and runs it to a
-// terminal state, forever, until Close.
-func (e *Engine) worker() {
+// worker is one executor: it leases the queue head and runs it to a
+// terminal state, forever, until Close. In-process executors lease
+// without a TTL — they cannot crash independently of the queue, so
+// expiry-requeue is for remote consumers.
+func (e *Engine) worker(i int) {
 	defer e.wg.Done()
+	owner := fmt.Sprintf("executor-%d", i)
 	for {
+		ch := e.q.Changed()
+		lease, tasks := e.q.Lease(owner, 1, 0)
+		if len(tasks) == 0 {
+			select {
+			case <-ch:
+				continue
+			case <-e.stop:
+				return
+			}
+		}
+		j := tasks[0].Payload.(*Job)
 		e.mu.Lock()
-		for len(e.queue) == 0 && !e.closed {
-			e.cond.Wait()
-		}
-		if e.closed {
-			e.mu.Unlock()
-			return
-		}
-		j := e.queue[0]
-		e.queue = e.queue[1:]
 		e.running++
 		e.mu.Unlock()
 		e.execute(j)
+		e.q.Ack(lease, tasks[0].ID)
+		e.mu.Lock()
+		e.running--
+		e.mu.Unlock()
 	}
 }
 
-// execute runs one dequeued job to a terminal state.
+// execute runs one leased job to a terminal state.
 func (e *Engine) execute(j *Job) {
 	now := time.Now()
 	j.mu.Lock()
 	if j.state != api.JobQueued {
-		// Canceled after dequeue but before this executor marked it
+		// Canceled after lease but before this executor marked it
 		// running; nothing to do.
 		j.mu.Unlock()
-		e.mu.Lock()
-		e.running--
-		e.mu.Unlock()
 		return
 	}
 	if j.cancelRequested {
-		// Canceled (or the engine closed) in the dequeue window, before
+		// Canceled (or the engine closed) in the lease window, before
 		// this executor marked it running: finish it without ever
 		// invoking its run function.
 		finished := j.finishLocked(api.JobCanceled, "", now)
 		j.mu.Unlock()
-		e.mu.Lock()
-		e.running--
 		if finished {
+			e.mu.Lock()
 			e.canceled++
 			e.retireLocked(j, now)
+			e.mu.Unlock()
 		}
-		e.mu.Unlock()
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -417,17 +449,25 @@ func (e *Engine) execute(j *Job) {
 	case failure != "":
 		state = api.JobFailed
 	}
+	started := j.started
 	finished := j.finishLocked(state, failure, now)
 	j.mu.Unlock()
 
 	e.mu.Lock()
-	e.running--
 	if finished {
 		switch state {
 		case api.JobCanceled:
 			e.canceled++
 		default:
 			e.completed++
+			// Fold the batch's service time into the smoothed average
+			// the adaptive Retry-After hint scales with.
+			sample := now.Sub(started)
+			if e.ewma == 0 {
+				e.ewma = sample
+			} else {
+				e.ewma = time.Duration((1-ewmaAlpha)*float64(e.ewma) + ewmaAlpha*float64(sample))
+			}
 		}
 		e.retireLocked(j, now)
 	}
@@ -452,13 +492,13 @@ func runGuarded(ctx context.Context, run RunFunc, emit func(api.JobResult)) (fai
 func (e *Engine) retireLocked(j *Job, now time.Time) {
 	j.mu.Lock()
 	released := j.released
-	size := j.bytes
 	j.mu.Unlock()
 	if released {
 		delete(e.byID, j.id)
+		e.store.Drop(j.id)
 	} else {
 		e.finished = append(e.finished, j)
-		e.retainedBytes += size
+		e.retainedBytes += j.buf.Stats().Bytes
 	}
 	e.gcLocked(now)
 }
@@ -485,12 +525,11 @@ func (e *Engine) Release(id string) {
 		return // the executor's retire will drop it
 	}
 	delete(e.byID, id)
+	e.store.Drop(id)
 	for i, f := range e.finished {
 		if f == j {
 			e.finished = append(e.finished[:i], e.finished[i+1:]...)
-			j.mu.Lock()
-			e.retainedBytes -= j.bytes
-			j.mu.Unlock()
+			e.retainedBytes -= j.buf.Stats().Bytes
 			break
 		}
 	}
@@ -510,10 +549,9 @@ func (e *Engine) gcLocked(now time.Time) {
 		// re-evaluates per job and stops at the first one that fits.
 		overweight := e.retainedBytes > maxBytes
 		if expired || overflow || overweight {
-			j.mu.Lock()
-			e.retainedBytes -= j.bytes
-			j.mu.Unlock()
+			e.retainedBytes -= j.buf.Stats().Bytes
 			delete(e.byID, j.id)
+			e.store.Drop(j.id)
 			continue
 		}
 		keep = append(keep, j)
@@ -521,20 +559,18 @@ func (e *Engine) gcLocked(now time.Time) {
 	e.finished = keep
 }
 
-// Job is one admitted batch: its lifecycle state and its append-only
-// result buffer. All methods are safe for concurrent use.
+// Job is one admitted batch: its lifecycle state plus its append-only
+// result buffer, which lives in the engine's ResultStore. All methods
+// are safe for concurrent use.
 type Job struct {
 	id     string
 	engine *Engine
 	n      int
 	run    RunFunc
+	buf    Buffer
 
 	mu              sync.Mutex
 	state           api.JobState
-	results         []api.JobResult // completion order
-	bytes           int64           // approximate size of results
-	errors          int
-	cached          int
 	failure         string
 	cancel          context.CancelFunc
 	cancelRequested bool
@@ -561,25 +597,12 @@ func (j *Job) FinishedAt() time.Time {
 }
 
 // append adds one result to the buffer (the emit callback handed to
-// RunFunc).
+// RunFunc) and wakes the streams following it.
 func (j *Job) append(rec api.JobResult) {
+	j.buf.Append(rec)
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.results = append(j.results, rec)
-	j.bytes += recSize(rec)
-	if rec.Error != "" {
-		j.errors++
-	}
-	if rec.Cached {
-		j.cached++
-	}
 	j.broadcastLocked()
-}
-
-// recSize approximates one result's heap footprint: the variable-size
-// strings plus a flat allowance for the fixed fields.
-func recSize(rec api.JobResult) int64 {
-	return int64(192 + len(rec.Job) + len(rec.Schedule) + len(rec.Error))
+	j.mu.Unlock()
 }
 
 // finishLocked moves the job to a terminal state, reporting whether
@@ -608,21 +631,17 @@ func (j *Job) broadcastLocked() {
 // Snapshot renders the job in its wire form, including the live queue
 // position.
 func (j *Job) Snapshot() api.Job {
-	pos := j.engine.queuePos(j)
+	bs := j.buf.Stats()
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	job := api.Job{
 		ID:            j.id,
 		State:         j.state,
 		Jobs:          j.n,
-		Done:          len(j.results),
-		Errors:        j.errors,
-		Cached:        j.cached,
+		Done:          bs.Results,
+		Errors:        bs.Errors,
+		Cached:        bs.Cached,
 		Error:         j.failure,
 		CreatedUnixMS: j.created.UnixMilli(),
-	}
-	if j.state == api.JobQueued {
-		job.QueuePos = pos
 	}
 	if !j.started.IsZero() {
 		job.StartedUnixMS = j.started.UnixMilli()
@@ -630,36 +649,26 @@ func (j *Job) Snapshot() api.Job {
 	if !j.finished.IsZero() {
 		job.FinishedUnixMS = j.finished.UnixMilli()
 	}
-	return job
-}
-
-// queuePos returns j's 1-based queue position, or 0 if not queued.
-func (e *Engine) queuePos(j *Job) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for i, q := range e.queue {
-		if q == j {
-			return i + 1
-		}
+	j.mu.Unlock()
+	// The position scan takes the queue lock; only pay for it while the
+	// job can actually have one — polls of running/finished jobs are
+	// the dominant traffic and need no queue access at all.
+	if job.State == api.JobQueued {
+		job.QueuePos = j.engine.q.Pos(j.id)
 	}
-	return 0
+	return job
 }
 
 // Results copies the buffered results from offset from (in completion
 // order) and reports the job's state at that instant. A from beyond
-// the buffer yields an empty slice.
+// the buffer yields an empty slice. The state is read before the
+// buffer, so a terminal state guarantees the returned slice covers the
+// job's full result set.
 func (j *Job) Results(from int) ([]api.JobResult, api.JobState) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if from < 0 {
-		from = 0
-	}
-	if from >= len(j.results) {
-		return nil, j.state
-	}
-	out := make([]api.JobResult, len(j.results)-from)
-	copy(out, j.results[from:])
-	return out, j.state
+	state := j.state
+	j.mu.Unlock()
+	return j.buf.Results(from), state
 }
 
 // Changed returns a channel closed at the next mutation (new result or
@@ -686,9 +695,8 @@ func (j *Job) Changed() <-chan struct{} {
 // Summary renders the terminal summary record of the job's stream: the
 // counts over the full result set.
 func (j *Job) Summary() api.Summary {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return api.Summary{Jobs: len(j.results), Errors: j.errors, Cached: j.cached}
+	bs := j.buf.Stats()
+	return api.Summary{Jobs: bs.Results, Errors: bs.Errors, Cached: bs.Cached}
 }
 
 // Wait blocks until the job reaches a terminal state or ctx ends,

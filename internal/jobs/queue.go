@@ -1,0 +1,421 @@
+package jobs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Task is one leasable unit of work in a Queue: an opaque payload
+// addressed by a unique ID, optionally carrying a content hash that
+// routes it (see Lease) to the owner already working on identical
+// content.
+type Task struct {
+	// ID is unique within the queue for the task's lifetime.
+	ID string
+	// Hash is the affinity/routing key — typically a content hash of
+	// the work, so identical work lands on the same owner and its warm
+	// cache. "" opts out of routing (plain FIFO).
+	Hash string
+	// Payload is the work itself; the queue never inspects it.
+	Payload any
+}
+
+// QueueStats is a snapshot of a queue's gauges and counters.
+type QueueStats struct {
+	// Pending tasks are admitted and waiting; Leased tasks are handed
+	// out under one of Leases active leases and not yet acked.
+	Pending int
+	Leased  int
+	Leases  int
+	// Requeued counts tasks returned to the queue by lease expiry or
+	// Nack over the queue's lifetime.
+	Requeued uint64
+}
+
+// Queue is the admission and work-distribution seam of the job engine:
+// a bounded FIFO with lease/ack/nack semantics and requeue on lease
+// expiry, so a consumer that crashes mid-lease never loses work — its
+// tasks return to the queue once the lease's heartbeat deadline
+// passes.
+//
+// The in-process implementation (NewMemQueue) backs both the engine's
+// batch queue (executors lease one batch at a time with no expiry —
+// in-process consumers do not crash independently) and the
+// coordinator's compile-unit queue (remote workers lease chunks under
+// a TTL and heartbeat by posting results). All implementations must be
+// safe for concurrent use.
+type Queue interface {
+	// Enqueue admits a task, or returns ErrQueueFull when the queue is
+	// at capacity.
+	Enqueue(t Task) error
+	// Lease hands up to max pending tasks to owner under a fresh lease
+	// and returns its ID. Tasks whose Hash is already affinitized to
+	// owner are preferred, unclaimed hashes are affinitized to owner on
+	// first lease, and an owner with no eligible work steals the oldest
+	// pending tasks (re-affinitizing their hashes), so a dead owner's
+	// hashes migrate instead of starving. An empty lease returns
+	// ("", nil). ttl 0 means the lease never expires.
+	Lease(owner string, max int, ttl time.Duration) (lease string, tasks []Task)
+	// Heartbeat extends the lease's expiry by its TTL, reporting false
+	// when the lease is unknown or already expired.
+	Heartbeat(lease string) bool
+	// Ack resolves one task of the lease, removing it from the queue
+	// for good. It reports false when the lease no longer owns the task
+	// (expired and requeued, or already acked) — the caller must treat
+	// a false Ack as "someone else owns this work now" and discard its
+	// result. A lease whose last task is acked completes and is
+	// forgotten. Ack implies Heartbeat.
+	Ack(lease, taskID string) bool
+	// Nack returns one leased task to the front of the queue (dropping
+	// its hash affinity, so another owner picks it up) and reports
+	// whether the lease owned it.
+	Nack(lease, taskID string) bool
+	// Withdraw removes a pending (not leased) task, reporting whether
+	// it was found. Leased tasks cannot be withdrawn — their consumer
+	// resolves them via Ack or loses them to expiry.
+	Withdraw(taskID string) bool
+	// Pos returns a pending task's 1-based FIFO position (1 = next to
+	// lease), or 0 when the task is not pending.
+	Pos(taskID string) int
+	// Drain removes and returns every pending task (leased tasks stay
+	// with their consumers). The engine uses it on Close to cancel
+	// queued batches without running them.
+	Drain() []Task
+	// Expire requeues the tasks of every lease whose heartbeat deadline
+	// has passed, returning the number of tasks requeued. Lease and the
+	// other mutating calls also expire lazily; Expire exists for
+	// periodic sweeps while the queue is idle.
+	Expire(now time.Time) int
+	// Changed returns a channel closed at the next queue mutation
+	// (enqueue, requeue, drain, ...). Grab it before checking for work,
+	// like Job.Changed.
+	Changed() <-chan struct{}
+	// Stats snapshots the queue gauges and counters.
+	Stats() QueueStats
+}
+
+// maxAffinity bounds the hash→owner routing table of a MemQueue; past
+// it the table resets rather than growing without bound (affinity is a
+// cache-warmth hint, not a correctness property).
+const maxAffinity = 4096
+
+// DefaultAffinityWait bounds how long a pending task defers to its
+// hash's claimed owner: past it, any leasing owner takes the task and
+// its hash. Affinity is a warm-cache preference, never a reservation —
+// without this bound, a hash claimed by an owner that acked its last
+// task and then vanished (crashed, decommissioned) would starve later
+// tasks of that hash forever, since lease expiry only clears the
+// affinity of tasks the dead owner still held.
+const DefaultAffinityWait = 5 * time.Second
+
+// memQueue is the in-process Queue: a mutex-guarded FIFO with an
+// affinity table and per-lease deadlines.
+type memQueue struct {
+	capacity     int           // <= 0: unbounded
+	affinityWait time.Duration // see DefaultAffinityWait
+
+	mu       sync.Mutex
+	pending  []*qtask
+	byID     map[string]*qtask // pending + leased
+	leases   map[string]*qlease
+	affinity map[string]string // task hash → owner
+	changed  chan struct{}
+	requeued uint64
+}
+
+type qtask struct {
+	task     Task
+	lease    string    // "" while pending
+	enqueued time.Time // admission time; kept across requeues
+}
+
+type qlease struct {
+	owner    string
+	ttl      time.Duration
+	deadline time.Time // zero: never expires
+	tasks    map[string]*qtask
+}
+
+// NewMemQueue returns the in-process Queue implementation, bounded to
+// capacity pending tasks (<= 0: unbounded).
+func NewMemQueue(capacity int) Queue {
+	return &memQueue{
+		capacity:     capacity,
+		affinityWait: DefaultAffinityWait,
+		byID:         make(map[string]*qtask),
+		leases:       make(map[string]*qlease),
+		affinity:     make(map[string]string),
+		changed:      make(chan struct{}),
+	}
+}
+
+// newLeaseID returns a fresh 64-bit lease ID.
+func newLeaseID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: lease id entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (q *memQueue) Enqueue(t Task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(time.Now())
+	if q.capacity > 0 && len(q.pending) >= q.capacity {
+		return ErrQueueFull
+	}
+	if _, dup := q.byID[t.ID]; dup {
+		return fmt.Errorf("jobs: task %q already queued", t.ID)
+	}
+	qt := &qtask{task: t, enqueued: time.Now()}
+	q.pending = append(q.pending, qt)
+	q.byID[t.ID] = qt
+	q.broadcastLocked()
+	return nil
+}
+
+func (q *memQueue) Lease(owner string, max int, ttl time.Duration) (string, []Task) {
+	if max < 1 {
+		max = 1
+	}
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(now)
+
+	// Pass 1: tasks routed to this owner — affinitized to it, unrouted
+	// (hash unclaimed or empty), or deferred past the affinity wait
+	// (the claimed owner is not draining them: crashed, or swamped).
+	// Claiming affinity here is what dedupes identical content onto
+	// one owner's warm cache; the wait bound is what keeps that a
+	// preference rather than a starvation hazard.
+	var picked []*qtask
+	for _, qt := range q.pending {
+		if len(picked) >= max {
+			break
+		}
+		h := qt.task.Hash
+		if h == "" {
+			picked = append(picked, qt)
+			continue
+		}
+		cur, claimed := q.affinity[h]
+		if !claimed || cur == owner || now.Sub(qt.enqueued) > q.affinityWait {
+			q.affinityLocked(h, owner)
+			picked = append(picked, qt)
+		}
+	}
+	// Pass 2 (work stealing): an owner with nothing routed to it takes
+	// the oldest pending tasks regardless of affinity and re-routes
+	// their hashes to itself — a crashed or slow owner's backlog must
+	// migrate, not starve.
+	if len(picked) == 0 {
+		for _, qt := range q.pending {
+			if len(picked) >= max {
+				break
+			}
+			if h := qt.task.Hash; h != "" {
+				q.affinityLocked(h, owner)
+			}
+			picked = append(picked, qt)
+		}
+	}
+	if len(picked) == 0 {
+		return "", nil
+	}
+
+	id := newLeaseID()
+	l := &qlease{owner: owner, ttl: ttl, tasks: make(map[string]*qtask, len(picked))}
+	if ttl > 0 {
+		l.deadline = now.Add(ttl)
+	}
+	taken := make(map[*qtask]bool, len(picked))
+	tasks := make([]Task, 0, len(picked))
+	for _, qt := range picked {
+		qt.lease = id
+		l.tasks[qt.task.ID] = qt
+		taken[qt] = true
+		tasks = append(tasks, qt.task)
+	}
+	kept := q.pending[:0]
+	for _, qt := range q.pending {
+		if !taken[qt] {
+			kept = append(kept, qt)
+		}
+	}
+	q.pending = kept
+	q.leases[id] = l
+	return id, tasks
+}
+
+// affinityLocked routes hash to owner, resetting the table at its
+// bound. Requires q.mu.
+func (q *memQueue) affinityLocked(hash, owner string) {
+	if len(q.affinity) >= maxAffinity {
+		q.affinity = make(map[string]string)
+	}
+	q.affinity[hash] = owner
+}
+
+func (q *memQueue) Heartbeat(lease string) bool {
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(now)
+	l, ok := q.leases[lease]
+	if !ok {
+		return false
+	}
+	if l.ttl > 0 {
+		l.deadline = now.Add(l.ttl)
+	}
+	return true
+}
+
+func (q *memQueue) Ack(lease, taskID string) bool {
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(now)
+	l, ok := q.leases[lease]
+	if !ok {
+		return false
+	}
+	qt, owned := l.tasks[taskID]
+	if !owned {
+		return false
+	}
+	delete(l.tasks, taskID)
+	delete(q.byID, qt.task.ID)
+	if l.ttl > 0 {
+		l.deadline = now.Add(l.ttl)
+	}
+	if len(l.tasks) == 0 {
+		delete(q.leases, lease)
+	}
+	return true
+}
+
+func (q *memQueue) Nack(lease, taskID string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(time.Now())
+	l, ok := q.leases[lease]
+	if !ok {
+		return false
+	}
+	qt, owned := l.tasks[taskID]
+	if !owned {
+		return false
+	}
+	delete(l.tasks, taskID)
+	if len(l.tasks) == 0 {
+		delete(q.leases, lease)
+	}
+	q.requeueLocked(qt)
+	return true
+}
+
+// requeueLocked returns a leased task to the front of the queue and
+// drops its affinity, so the next Lease — from any owner — picks it
+// up. Requires q.mu.
+func (q *memQueue) requeueLocked(qt *qtask) {
+	qt.lease = ""
+	delete(q.affinity, qt.task.Hash)
+	q.pending = append([]*qtask{qt}, q.pending...)
+	q.requeued++
+	q.broadcastLocked()
+}
+
+func (q *memQueue) Withdraw(taskID string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	qt, ok := q.byID[taskID]
+	if !ok || qt.lease != "" {
+		return false
+	}
+	for i, p := range q.pending {
+		if p == qt {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			break
+		}
+	}
+	delete(q.byID, taskID)
+	q.broadcastLocked()
+	return true
+}
+
+func (q *memQueue) Pos(taskID string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, qt := range q.pending {
+		if qt.task.ID == taskID {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func (q *memQueue) Drain() []Task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	tasks := make([]Task, 0, len(q.pending))
+	for _, qt := range q.pending {
+		tasks = append(tasks, qt.task)
+		delete(q.byID, qt.task.ID)
+	}
+	q.pending = nil
+	q.broadcastLocked()
+	return tasks
+}
+
+func (q *memQueue) Expire(now time.Time) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.expireLocked(now)
+}
+
+// expireLocked requeues the tasks of every overdue lease. Requires
+// q.mu.
+func (q *memQueue) expireLocked(now time.Time) int {
+	n := 0
+	for id, l := range q.leases {
+		if l.deadline.IsZero() || now.Before(l.deadline) {
+			continue
+		}
+		delete(q.leases, id)
+		for _, qt := range l.tasks {
+			q.requeueLocked(qt)
+			n++
+		}
+	}
+	return n
+}
+
+func (q *memQueue) Changed() <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.changed
+}
+
+// broadcastLocked wakes every waiter by closing the current change
+// channel and installing a fresh one. Requires q.mu.
+func (q *memQueue) broadcastLocked() {
+	close(q.changed)
+	q.changed = make(chan struct{})
+}
+
+func (q *memQueue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Pending:  len(q.pending),
+		Leased:   len(q.byID) - len(q.pending),
+		Leases:   len(q.leases),
+		Requeued: q.requeued,
+	}
+}

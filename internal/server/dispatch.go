@@ -1,0 +1,424 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	api "repro/api/v1"
+	"repro/internal/driver"
+	"repro/internal/jobs"
+	"repro/internal/loop"
+)
+
+// Defaults for the worker-pull dispatcher.
+const (
+	// DefaultLeaseTTL is the heartbeat deadline of a worker lease: a
+	// lease that posts nothing for this long has its unresolved units
+	// returned to the queue.
+	DefaultLeaseTTL = 15 * time.Second
+	// DefaultLeaseChunk caps the compile units handed out per lease.
+	DefaultLeaseChunk = 8
+	// DefaultWorkerPoll is the re-poll hint sent with empty leases.
+	DefaultWorkerPoll = 500 * time.Millisecond
+	// maxLeaseWait caps a lease request's long-poll budget.
+	maxLeaseWait = 10 * time.Second
+)
+
+// errLeaseExpired reports a post under a lease the dispatcher no
+// longer honors; the handler maps it to the lease_expired wire error.
+var errLeaseExpired = errors.New("server: lease expired")
+
+// dispatcher is the coordinator half of the distributed execution
+// path: it decomposes admitted batches into compile units on a
+// jobs.Queue that worker processes lease chunks of (routed by the
+// units' content hashes, with work stealing — see jobs.Queue), and
+// routes posted results back into each batch's emit stream. A unit is
+// resolved exactly once: the queue Ack is the authoritative claim, so
+// a result raced by a lease expiry is discarded, never double-emitted.
+type dispatcher struct {
+	q     jobs.Queue
+	cache *Cache
+	ttl   time.Duration
+	chunk int
+	poll  time.Duration
+
+	mu         sync.Mutex
+	units      map[string]*unit    // live (pending or leased) units by ID
+	leases     map[string][]string // lease → unit IDs handed out under it
+	dispatched uint64
+	resolved   uint64
+
+	batchSeq atomic.Uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// unit is one dispatched compile unit: the in-process job plus its
+// prebuilt wire form and the batch it reports back to.
+type unit struct {
+	id    string
+	key   string // content hash (cache key + routing hash)
+	job   driver.Job
+	wire  api.WorkUnit
+	batch *dispatchBatch
+	index int
+}
+
+// dispatchBatch tracks one batch's outstanding units. closed flips
+// when the batch ends (all units resolved, or its context canceled);
+// results arriving afterwards are discarded.
+type dispatchBatch struct {
+	mu      sync.Mutex
+	closed  bool
+	pending int
+	emit    func(api.JobResult)
+	done    chan struct{}
+}
+
+func newDispatcher(cache *Cache, ttl time.Duration, chunk int, poll time.Duration) *dispatcher {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	if chunk <= 0 {
+		chunk = DefaultLeaseChunk
+	}
+	if poll <= 0 {
+		poll = DefaultWorkerPoll
+	}
+	d := &dispatcher{
+		q:      jobs.NewMemQueue(0), // admission is bounded per batch upstream
+		cache:  cache,
+		ttl:    ttl,
+		chunk:  chunk,
+		poll:   poll,
+		units:  make(map[string]*unit),
+		leases: make(map[string][]string),
+		stop:   make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go d.janitor()
+	return d
+}
+
+// janitor sweeps overdue leases while no worker traffic is driving the
+// lazy expiry, so a crashed worker's units requeue even on an
+// otherwise idle coordinator, and prunes resolved units out of the
+// lease index.
+func (d *dispatcher) janitor() {
+	defer d.wg.Done()
+	interval := d.ttl / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			d.q.Expire(time.Now())
+			d.mu.Lock()
+			for id, unitIDs := range d.leases {
+				kept := unitIDs[:0]
+				for _, uid := range unitIDs {
+					if _, live := d.units[uid]; live {
+						kept = append(kept, uid)
+					}
+				}
+				if len(kept) == 0 {
+					delete(d.leases, id)
+				} else {
+					d.leases[id] = kept
+				}
+			}
+			d.mu.Unlock()
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// Close stops the janitor; in-flight RunBatch calls are ended by their
+// own contexts (the engine cancels them on shutdown).
+func (d *dispatcher) Close() {
+	close(d.stop)
+	d.wg.Wait()
+}
+
+// RunBatch is the coordinator's run closure body: it resolves cache
+// hits immediately, queues the misses as leasable units, and blocks
+// until every unit has a result or ctx ends (canceling the batch and
+// withdrawing its pending units). emit observes exactly the same
+// record stream the in-process path produces: completion order, Index
+// set, Cached marking cache hits.
+func (d *dispatcher) RunBatch(ctx context.Context, jobList []driver.Job, timeout time.Duration, noCache bool, emit func(api.JobResult)) {
+	b := &dispatchBatch{emit: emit, done: make(chan struct{})}
+	batchID := fmt.Sprintf("b%d", d.batchSeq.Add(1))
+	var enq []*unit
+	for i, job := range jobList {
+		key := JobKey(job)
+		if !noCache {
+			if v, ok := d.cache.Lookup(key); ok {
+				rec := v.(api.JobResult)
+				rec.Index = i
+				rec.Cached = true
+				emit(rec)
+				continue
+			}
+		}
+		u := &unit{
+			id:    fmt.Sprintf("%s/%d", batchID, i),
+			key:   key,
+			job:   job,
+			batch: b,
+			index: i,
+		}
+		u.wire = wireUnit(u, timeout, noCache)
+		enq = append(enq, u)
+	}
+	if len(enq) == 0 {
+		return
+	}
+	b.pending = len(enq)
+	d.mu.Lock()
+	for _, u := range enq {
+		d.units[u.id] = u
+	}
+	d.dispatched += uint64(len(enq))
+	d.mu.Unlock()
+	for _, u := range enq {
+		// The unit queue is unbounded — admission control already
+		// happened at the batch queue — so Enqueue cannot fail here.
+		if err := d.q.Enqueue(jobs.Task{ID: u.id, Hash: u.key, Payload: u}); err != nil {
+			panic(fmt.Sprintf("server: unit enqueue failed: %v", err))
+		}
+	}
+	select {
+	case <-b.done:
+	case <-ctx.Done():
+		d.cancelBatch(b, enq)
+	}
+}
+
+// cancelBatch closes the batch (discarding any later results) and
+// withdraws its still-pending units from the queue. Units a worker
+// already holds are released when their results arrive — discarded,
+// acked off the queue — or by lease expiry; the worker learns they are
+// moot from the Canceled list of its next results post.
+func (d *dispatcher) cancelBatch(b *dispatchBatch, units []*unit) {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, u := range units {
+		if d.q.Withdraw(u.id) {
+			delete(d.units, u.id)
+			d.resolved++
+		}
+	}
+}
+
+// lease hands the calling worker a chunk of units, long-polling up to
+// wait when the queue is empty. The tick that re-arms the wait also
+// drives lease expiry, so requeued units of a crashed worker become
+// leasable without separate traffic.
+func (d *dispatcher) lease(ctx context.Context, worker string, max int, wait time.Duration) api.Lease {
+	if max <= 0 || max > d.chunk {
+		max = d.chunk
+	}
+	if wait > maxLeaseWait {
+		wait = maxLeaseWait
+	}
+	deadline := time.Now().Add(wait)
+	empty := api.Lease{PollMS: int(d.poll / time.Millisecond)}
+	for {
+		d.q.Expire(time.Now())
+		ch := d.q.Changed()
+		id, tasks := d.q.Lease(worker, max, d.ttl)
+		if len(tasks) > 0 {
+			units := make([]api.WorkUnit, len(tasks))
+			ids := make([]string, len(tasks))
+			for i, t := range tasks {
+				u := t.Payload.(*unit)
+				units[i] = u.wire
+				ids[i] = u.id
+			}
+			d.mu.Lock()
+			d.leases[id] = ids
+			d.mu.Unlock()
+			return api.Lease{ID: id, Units: units, TTLMS: int(d.ttl / time.Millisecond)}
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return empty
+		}
+		tick := 250 * time.Millisecond
+		if tick > remaining {
+			tick = remaining
+		}
+		timer := time.NewTimer(tick)
+		select {
+		case <-ch:
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return empty
+		case <-d.stop:
+			timer.Stop()
+			return empty
+		}
+		timer.Stop()
+	}
+}
+
+// postResults applies one worker post: every result whose queue Ack
+// succeeds resolves its unit (exactly once — an Ack that fails lost
+// the unit to expiry and the result is discarded); an empty post is a
+// pure heartbeat. It returns errLeaseExpired when the lease itself is
+// no longer honored. The response lists the lease's still-outstanding
+// units whose batch has been canceled, so the worker skips them.
+func (d *dispatcher) postResults(lease string, results []api.UnitResult) (*api.WorkResultsResponse, error) {
+	if !d.q.Heartbeat(lease) {
+		d.mu.Lock()
+		delete(d.leases, lease)
+		d.mu.Unlock()
+		return nil, errLeaseExpired
+	}
+	resp := &api.WorkResultsResponse{}
+	for _, ur := range results {
+		if !d.q.Ack(lease, ur.Unit) {
+			continue // lost to expiry: another worker owns this unit now
+		}
+		d.mu.Lock()
+		u := d.units[ur.Unit]
+		delete(d.units, ur.Unit)
+		if u != nil {
+			d.resolved++
+		}
+		d.mu.Unlock()
+		if u == nil {
+			continue
+		}
+		d.resolve(u, ur.Result)
+		resp.Acked++
+	}
+	d.mu.Lock()
+	outstanding := d.leases[lease]
+	kept := outstanding[:0]
+	for _, uid := range outstanding {
+		u, live := d.units[uid]
+		if !live {
+			continue
+		}
+		kept = append(kept, uid)
+		u.batch.mu.Lock()
+		closed := u.batch.closed
+		u.batch.mu.Unlock()
+		if closed {
+			resp.Canceled = append(resp.Canceled, uid)
+		}
+	}
+	if len(kept) == 0 {
+		delete(d.leases, lease)
+	} else {
+		d.leases[lease] = kept
+	}
+	d.mu.Unlock()
+	return resp, nil
+}
+
+// resolve feeds one authoritative unit result back to its batch,
+// memoizing successes in the coordinator cache (stored shorn of Index
+// and Cached, like the in-process path stores them).
+func (d *dispatcher) resolve(u *unit, rec api.JobResult) {
+	if rec.Error == "" {
+		stored := rec
+		stored.Index = 0
+		stored.Cached = false
+		d.cache.Add(u.key, stored)
+	}
+	rec.Index = u.index
+	b := u.batch
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.emit(rec)
+	b.pending--
+	if b.pending == 0 {
+		b.closed = true
+		close(b.done)
+	}
+}
+
+// Metrics snapshots the dispatcher in its wire form.
+func (d *dispatcher) Metrics() api.DispatchMetrics {
+	qs := d.q.Stats()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return api.DispatchMetrics{
+		PendingUnits: qs.Pending,
+		LeasedUnits:  qs.Leased,
+		ActiveLeases: qs.Leases,
+		Dispatched:   d.dispatched,
+		Resolved:     d.resolved,
+		Requeued:     qs.Requeued,
+	}
+}
+
+// wireUnit renders a unit in its self-contained wire form: canonical
+// loop text, the full machine config, and the scheduler options.
+func wireUnit(u *unit, timeout time.Duration, noCache bool) api.WorkUnit {
+	mj, err := json.Marshal(u.job.Machine)
+	if err != nil {
+		// Machine marshaling is infallible for valid machines (see Key).
+		panic(fmt.Sprintf("server: machine %s failed to marshal: %v", u.job.Machine.Name, err))
+	}
+	return api.WorkUnit{
+		ID:        u.id,
+		Hash:      u.key,
+		Loop:      loop.Format(u.job.Loop),
+		Machine:   api.MachineSpec{Config: mj},
+		Scheduler: u.job.Scheduler,
+		Options:   wireOptions(u.job.Options),
+		TimeoutMS: int(timeout / time.Millisecond),
+		NoCache:   noCache,
+	}
+}
+
+// wireOptions maps driver options back onto the wire form — the exact
+// inverse of driverOptions, so a unit round-trips through a worker
+// with the same tuning the batch was admitted with.
+func wireOptions(o driver.Options) api.Options {
+	return api.Options{
+		BudgetRatio:      o.BudgetRatio,
+		MaxII:            o.MaxII,
+		DisableChains:    o.DisableChains,
+		OneDirectionOnly: o.OneDirectionOnly,
+		RefinementPasses: o.RefinementPasses,
+		LoadSlack:        o.LoadSlack,
+	}
+}
+
+// UnitJob assembles the in-process compile job of one wire unit. It is
+// the worker-side counterpart of wireUnit and shares the server's
+// machine/option conversions, so a unit compiles identically wherever
+// it lands.
+func UnitJob(u api.WorkUnit) (driver.Job, error) {
+	l, err := loop.ParseString(u.Loop)
+	if err != nil {
+		return driver.Job{}, fmt.Errorf("unit %s: bad loop: %w", u.ID, err)
+	}
+	m, err := machineSpec(u.Machine).machine()
+	if err != nil {
+		return driver.Job{}, fmt.Errorf("unit %s: bad machine: %w", u.ID, err)
+	}
+	return driver.Job{Loop: l, Machine: m, Scheduler: u.Scheduler, Options: driverOptions(u.Options)}, nil
+}

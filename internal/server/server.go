@@ -103,8 +103,31 @@ type Options struct {
 	// their TTL (0 = jobs.DefaultMaxRetainedBytes).
 	MaxRetainedBytes int64
 	// RetryAfter is the backoff hint sent with queue_full responses
-	// (0 = DefaultRetryAfter).
+	// before the server has observed any batch service times
+	// (0 = DefaultRetryAfter). Once batches have completed, the hint
+	// scales adaptively: queue depth × EWMA batch service time over the
+	// executor pool (see adaptiveRetryAfter).
 	RetryAfter time.Duration
+	// ResultShards spreads the engine's result-buffer index over N
+	// content-hash-keyed shards (0 or 1 = the single in-process store).
+	ResultShards int
+	// Distribute routes admitted batches to the worker-pull surface
+	// (/v1/workers/lease) instead of compiling them in-process: the
+	// server becomes a coordinator and does no scheduling work itself.
+	// Worker processes (internal/worker, dmsserve -role worker) lease
+	// compile units and post results back. The client-facing API is
+	// identical either way.
+	Distribute bool
+	// LeaseTTL is the worker-lease heartbeat deadline: a lease that
+	// posts nothing for this long has its unresolved units requeued
+	// (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// LeaseChunk caps the compile units handed out per lease
+	// (0 = DefaultLeaseChunk).
+	LeaseChunk int
+	// WorkerPoll is the re-poll hint sent with empty leases
+	// (0 = DefaultWorkerPoll).
+	WorkerPoll time.Duration
 }
 
 func (o Options) registry() *driver.Registry {
@@ -124,9 +147,10 @@ func (o Options) retryAfter() time.Duration {
 // Server is the compile service. Create one with New; it is safe for
 // concurrent use.
 type Server struct {
-	opt    Options
-	cache  *Cache
-	engine *jobs.Engine
+	opt      Options
+	cache    *Cache
+	engine   *jobs.Engine
+	dispatch *dispatcher
 
 	requests  atomic.Int64
 	jobs      atomic.Int64
@@ -136,22 +160,33 @@ type Server struct {
 // New returns a service with the given options; its executor pool runs
 // until Close.
 func New(opt Options) *Server {
+	cache := NewCache(opt.CacheSize)
 	return &Server{
 		opt:   opt,
-		cache: NewCache(opt.CacheSize),
+		cache: cache,
 		engine: jobs.New(jobs.Options{
 			Capacity:         opt.QueueCapacity,
 			Workers:          opt.QueueWorkers,
 			TTL:              opt.JobTTL,
 			MaxRetainedBytes: opt.MaxRetainedBytes,
+			Store:            jobs.NewShardedStore(opt.ResultShards),
 		}),
+		// The dispatcher exists in every mode — the /v1/workers surface
+		// is always served (a worker attached to a non-distributing
+		// server just leases nothing) — but only Distribute routes
+		// batches through it.
+		dispatch: newDispatcher(cache, opt.LeaseTTL, opt.LeaseChunk, opt.WorkerPoll),
 	}
 }
 
 // Close stops the job engine: queued jobs finish as canceled without
 // reaching the driver, running batches have their contexts canceled so
 // the schedulers abort cooperatively, and the executor pool drains.
-func (s *Server) Close() { s.engine.Close() }
+// The dispatcher's janitor stops with it.
+func (s *Server) Close() {
+	s.engine.Close()
+	s.dispatch.Close()
+}
 
 // Cache exposes the result cache (for tests and metrics).
 func (s *Server) Cache() *Cache { return s.cache }
@@ -198,6 +233,8 @@ func (s *Server) Handler() http.Handler {
 		}
 	}))
 	mux.HandleFunc(api.PathJobs+"/{id}/results", route(http.MethodGet, s.handleJobResults))
+	mux.HandleFunc(api.PathWorkersLease, route(http.MethodPost, s.handleWorkerLease))
+	mux.HandleFunc(api.PathWorkers+"/{lease}/results", route(http.MethodPost, s.handleWorkerResults))
 	mux.HandleFunc(api.PathMetrics, route(http.MethodGet, s.handleMetrics))
 	mux.HandleFunc(api.PathSchedulers, route(http.MethodGet, s.handleSchedulers))
 	mux.HandleFunc(api.PathHealth, route(http.MethodGet, s.handleHealth))
@@ -355,22 +392,37 @@ func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (req api.C
 }
 
 // submit admits a batch to the job engine. The run closure is the one
-// execution path both the synchronous and asynchronous surfaces share:
-// a driver worker pool over the content-addressed cache, emitting wire
-// records into the job's buffer in completion order.
+// execution path both the synchronous and asynchronous surfaces share.
+// In-process mode it is a driver worker pool over the
+// content-addressed cache; in Distribute mode the dispatcher queues
+// the batch's units for remote workers instead. Either way, wire
+// records land in the job's buffer in completion order with Index set,
+// so the client cannot tell where the batch was compiled.
 func (s *Server) submit(jobList []driver.Job, timeout time.Duration, noCache bool) (*jobs.Job, error) {
-	run := func(ctx context.Context, emit func(api.JobResult)) {
-		driver.ForEach(len(jobList), s.opt.Parallelism, func(i int) {
-			rec := s.compileJob(ctx, jobList[i], timeout, noCache)
-			rec.Index = i
-			// Jobs drained by a cancellation are not compile failures;
-			// counting them would make every canceled batch look like an
-			// error storm on the metrics endpoint.
-			if rec.Error != "" && ctx.Err() == nil {
-				s.jobErrors.Add(1)
-			}
-			emit(rec)
-		})
+	// Jobs drained by a cancellation are not compile failures; counting
+	// them would make every canceled batch look like an error storm on
+	// the metrics endpoint.
+	var run jobs.RunFunc
+	if s.opt.Distribute {
+		run = func(ctx context.Context, emit func(api.JobResult)) {
+			s.dispatch.RunBatch(ctx, jobList, timeout, noCache, func(rec api.JobResult) {
+				if rec.Error != "" && ctx.Err() == nil {
+					s.jobErrors.Add(1)
+				}
+				emit(rec)
+			})
+		}
+	} else {
+		run = func(ctx context.Context, emit func(api.JobResult)) {
+			driver.ForEach(len(jobList), s.opt.Parallelism, func(i int) {
+				rec := s.compileJob(ctx, jobList[i], timeout, noCache)
+				rec.Index = i
+				if rec.Error != "" && ctx.Err() == nil {
+					s.jobErrors.Add(1)
+				}
+				emit(rec)
+			})
+		}
 	}
 	j, err := s.engine.Submit(len(jobList), run)
 	if err != nil {
@@ -380,18 +432,52 @@ func (s *Server) submit(jobList []driver.Job, timeout time.Duration, noCache boo
 	return j, nil
 }
 
+// MaxRetryAfter caps the adaptive queue_full backoff hint, so a deep
+// queue of slow batches cannot tell clients to go away for hours.
+const MaxRetryAfter = 5 * time.Minute
+
+// adaptiveRetryAfter sizes the queue_full backoff hint from the
+// observed state of the queue: the time until a freed slot is roughly
+// (depth+1)/workers batches' worth of the smoothed service time. Until
+// a first batch has completed (ewma 0) the configured fallback hint is
+// used; the result is floored at one second (the header's grammar) and
+// capped at MaxRetryAfter.
+func adaptiveRetryAfter(depth, workers int, ewma, fallback time.Duration) time.Duration {
+	if ewma <= 0 {
+		return fallback
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	est := time.Duration(float64(depth+1) * float64(ewma) / float64(workers))
+	if est > MaxRetryAfter {
+		est = MaxRetryAfter
+	}
+	if est < time.Second {
+		est = time.Second
+	}
+	return est
+}
+
 // writeQueueFull maps an ErrQueueFull admission failure to the wire:
-// HTTP 429, the structured queue_full error, and a Retry-After backoff
-// hint in integer seconds (never below 1, per the header's grammar).
+// HTTP 429, the structured queue_full error carrying the queue
+// position a resubmission would occupy, and a Retry-After backoff hint
+// in integer seconds (never below 1, per the header's grammar) scaled
+// with queue depth × observed EWMA batch service time.
 func (s *Server) writeQueueFull(w http.ResponseWriter) {
-	retry := s.opt.retryAfter()
+	m := s.engine.Metrics()
+	retry := adaptiveRetryAfter(m.Depth, m.Workers,
+		time.Duration(m.EWMAServiceMS*float64(time.Millisecond)), s.opt.retryAfter())
 	secs := int((retry + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set(api.RetryAfterHeader, strconv.Itoa(secs))
-	writeError(w, api.CodeQueueFull, "admission queue at capacity (%d queued); retry after %ds",
-		s.engine.Metrics().Depth, secs)
+	writeAPIError(w, api.Error{
+		Code:     api.CodeQueueFull,
+		Message:  fmt.Sprintf("admission queue at capacity (%d queued); retry after %ds", m.Depth, secs),
+		QueuePos: m.Depth + 1,
+	})
 }
 
 // handleJobSubmit is POST /v1/jobs: validate, admit, and answer 202
@@ -523,6 +609,54 @@ func streamJob(ctx context.Context, w http.ResponseWriter, j *jobs.Job, from int
 	}
 }
 
+// handleWorkerLease is POST /v1/workers/lease: hand the calling
+// worker a chunk of queued compile units, long-polling within the
+// request's wait budget when the queue is empty.
+func (s *Server) handleWorkerLease(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var req api.LeaseRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, api.CodeInvalidRequest, "bad lease request: %v", err)
+		return
+	}
+	if req.Protocol != "" && req.Protocol != api.Version {
+		writeError(w, api.CodeInvalidRequest, "protocol %q not supported (this server speaks %s)", req.Protocol, api.Version)
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, api.CodeInvalidRequest, "lease request needs a worker identity")
+		return
+	}
+	lease := s.dispatch.lease(r.Context(), req.Worker, req.MaxUnits, time.Duration(req.WaitMS)*time.Millisecond)
+	writeJSON(w, lease)
+}
+
+// handleWorkerResults is POST /v1/workers/{lease}/results: append unit
+// results (each Ack'd exactly once) and heartbeat the lease; an empty
+// post is a pure heartbeat. An expired lease answers 410 lease_expired
+// — its unresolved units already belong to the queue again.
+func (s *Server) handleWorkerResults(w http.ResponseWriter, r *http.Request) {
+	leaseID := r.PathValue("lease")
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var req api.WorkResultsRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, api.CodeInvalidRequest, "bad results post: %v", err)
+		return
+	}
+	if req.Protocol != "" && req.Protocol != api.Version {
+		writeError(w, api.CodeInvalidRequest, "protocol %q not supported (this server speaks %s)", req.Protocol, api.Version)
+		return
+	}
+	resp, err := s.dispatch.postResults(leaseID, req.Results)
+	if err != nil {
+		writeError(w, api.CodeLeaseExpired, "lease %s expired; its units were requeued", leaseID)
+		return
+	}
+	writeJSON(w, resp)
+}
+
 // handleCompile is POST /v1/compile: the synchronous wrapper over the
 // job engine. It submits the batch like /v1/jobs would — the same
 // admission control, executor pool and cache path — then streams the
@@ -559,16 +693,24 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	streamJob(r.Context(), w, j, 0)
 }
 
-// compileJob resolves one job through the cache: a content-addressed
-// lookup, then a single-flight compile on miss. Only successful
-// results are cached; failures (including cancellations) are
-// recomputed on the next request.
+// compileJob resolves one job through the server's cache with its
+// configured registry and timeout.
 func (s *Server) compileJob(ctx context.Context, job driver.Job, timeout time.Duration, noCache bool) api.JobResult {
-	batch := driver.BatchOptions{
+	return CompileRecord(ctx, s.cache, job, driver.BatchOptions{
 		Timeout:   timeout,
 		Latencies: &job.Machine.Lat,
 		Registry:  s.opt.Registry,
-	}
+	}, noCache)
+}
+
+// CompileRecord resolves one job through a cache: a content-addressed
+// lookup, then a single-flight compile on miss. Only successful
+// results are cached; failures (including cancellations) are
+// recomputed on the next request. It is shared by the server's
+// in-process executors and the worker pull loop (internal/worker),
+// which runs it against its own local cache — one compile path,
+// wherever the unit lands.
+func CompileRecord(ctx context.Context, cache *Cache, job driver.Job, batch driver.BatchOptions, noCache bool) api.JobResult {
 	compute := func() (any, error) {
 		res := driver.Compile(ctx, job, batch)
 		if res.Err != nil {
@@ -585,10 +727,10 @@ func (s *Server) compileJob(ctx context.Context, job driver.Job, timeout time.Du
 			return fail(err)
 		}
 		rec := val.(api.JobResult)
-		s.cache.Add(JobKey(job), rec)
+		cache.Add(JobKey(job), rec)
 		return rec
 	}
-	val, hit, err := s.cache.Do(ctx, JobKey(job), compute)
+	val, hit, err := cache.Do(ctx, JobKey(job), compute)
 	if err != nil {
 		return fail(err)
 	}
@@ -647,12 +789,14 @@ func errorCode4xx(err error) api.ErrorCode {
 
 // Snapshot collects the service counters.
 func (s *Server) Snapshot() api.ServerMetrics {
+	dm := s.dispatch.Metrics()
 	return api.ServerMetrics{
 		Requests:  s.requests.Load(),
 		Jobs:      s.jobs.Load(),
 		JobErrors: s.jobErrors.Load(),
 		Cache:     s.cache.Metrics(),
 		Queue:     s.engine.Metrics(),
+		Dispatch:  &dm,
 	}
 }
 
@@ -692,8 +836,13 @@ func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 // writeError sends the structured api error JSON with the status the
 // code maps to.
 func writeError(w http.ResponseWriter, code api.ErrorCode, format string, args ...any) {
+	writeAPIError(w, api.Error{Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// writeAPIError sends a fully assembled structured error (for callers
+// that set detail fields beyond code and message).
+func writeAPIError(w http.ResponseWriter, e api.Error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code.HTTPStatus())
-	msg := fmt.Sprintf(format, args...)
-	json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.Error{Code: code, Message: msg}})
+	w.WriteHeader(e.Code.HTTPStatus())
+	json.NewEncoder(w).Encode(api.ErrorResponse{Error: e})
 }

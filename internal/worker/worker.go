@@ -1,0 +1,275 @@
+// Package worker is the pull loop of a distributed compile worker: a
+// process that leases chunks of compile units from a coordinator
+// (internal/server with Distribute set, or dmsserve -role
+// coordinator), schedules them on the local driver through a local
+// content-addressed cache, and posts the results back.
+//
+// The protocol is the repro/api/v1 worker-pull surface:
+//
+//	POST /v1/workers/lease           — lease up to Chunk units, routed
+//	                                   by content hash so loops this
+//	                                   worker compiled before come back
+//	                                   to its warm cache
+//	POST /v1/workers/{lease}/results — append results; every post (and
+//	                                   the idle-lease heartbeat ticker)
+//	                                   extends the lease's deadline
+//
+// Crash safety is the coordinator's lease expiry: a worker that stops
+// posting — killed, partitioned, wedged — loses its lease and the
+// unresolved units return to the queue for the remaining workers. A
+// worker that learns its lease expired (410 lease_expired) drops the
+// remaining work immediately instead of computing results nobody will
+// accept. Results are exactly-once end to end because only a
+// successful coordinator-side Ack resolves a unit.
+//
+// The loop reuses the pkg/dmsclient transport (connection pooling,
+// protocol handshake, structured errors) and the server's compile
+// path (server.CompileRecord over a server.Cache), so a unit compiles
+// byte-identically wherever it lands.
+package worker
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	api "repro/api/v1"
+	"repro/internal/driver"
+	"repro/internal/server"
+	"repro/pkg/dmsclient"
+)
+
+// Defaults for Options.
+const (
+	DefaultWait    = 2 * time.Second
+	DefaultBackoff = 250 * time.Millisecond
+	maxBackoff     = 5 * time.Second
+)
+
+// Options configure a worker.
+type Options struct {
+	// Coordinator is the coordinator's base URL (ignored when Client
+	// is set).
+	Coordinator string
+	// ID is the worker's stable identity — the affinity key identical
+	// loops are routed by. "" derives one from the hostname plus a
+	// random suffix.
+	ID string
+	// Chunk bounds the units requested per lease (0 = the
+	// coordinator's default).
+	Chunk int
+	// Parallelism is the worker pool compiling a chunk
+	// (0 = GOMAXPROCS).
+	Parallelism int
+	// CacheSize bounds the local schedule cache
+	// (0 = server.DefaultCacheSize).
+	CacheSize int
+	// Wait is the long-poll budget sent with lease requests
+	// (0 = DefaultWait).
+	Wait time.Duration
+	// Registry resolves scheduler names (nil = driver.Default).
+	Registry *driver.Registry
+	// Client substitutes the coordinator client (tests); nil dials
+	// Coordinator.
+	Client *dmsclient.Client
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) id() string {
+	if o.ID != "" {
+		return o.ID
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("worker: id entropy unavailable: %v", err))
+	}
+	return host + "-" + hex.EncodeToString(b[:])
+}
+
+func (o Options) wait() time.Duration {
+	if o.Wait > 0 {
+		return o.Wait
+	}
+	return DefaultWait
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Run pulls and compiles work until ctx ends, returning ctx's error.
+// Transport failures back off exponentially and never abort the loop —
+// a worker outlives coordinator restarts.
+func (w Options) run(ctx context.Context) error {
+	cli := w.Client
+	if cli == nil {
+		cli = dmsclient.New(w.Coordinator)
+	}
+	id := w.id()
+	cache := server.NewCache(w.CacheSize)
+	w.logf("worker %s pulling from %s", id, w.Coordinator)
+	backoff := DefaultBackoff
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lease, err := cli.LeaseWork(ctx, api.LeaseRequest{
+			Worker:   id,
+			MaxUnits: w.Chunk,
+			WaitMS:   int(w.wait() / time.Millisecond),
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("worker %s: lease: %v (retrying in %v)", id, err, backoff)
+			if !sleepCtx(ctx, backoff) {
+				return ctx.Err()
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		backoff = DefaultBackoff
+		if lease.ID == "" || len(lease.Units) == 0 {
+			poll := time.Duration(lease.PollMS) * time.Millisecond
+			if poll <= 0 {
+				poll = server.DefaultWorkerPoll
+			}
+			if !sleepCtx(ctx, poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.runLease(ctx, cli, cache, id, lease)
+	}
+}
+
+// Run pulls and compiles work until ctx ends, returning ctx's error.
+func Run(ctx context.Context, opt Options) error { return opt.run(ctx) }
+
+// runLease compiles one leased chunk, posting each unit's result as it
+// completes (which heartbeats the lease) plus an idle heartbeat ticker
+// for units that outlast the TTL. The lease context is canceled the
+// moment the coordinator reports the lease expired, so the worker
+// stops burning cycles on work that has been requeued elsewhere.
+func (w Options) runLease(ctx context.Context, cli *dmsclient.Client, cache *server.Cache, id string, lease *api.Lease) {
+	leaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var mu sync.Mutex
+	canceled := make(map[string]bool)
+	merge := func(resp *api.WorkResultsResponse) {
+		if resp == nil || len(resp.Canceled) == 0 {
+			return
+		}
+		mu.Lock()
+		for _, uid := range resp.Canceled {
+			canceled[uid] = true
+		}
+		mu.Unlock()
+	}
+	isCanceled := func(uid string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return canceled[uid]
+	}
+	// post delivers one unit result (or, with "" unit, a pure
+	// heartbeat), canceling the lease on lease_expired.
+	post := func(results []api.UnitResult) {
+		resp, err := cli.PushWorkResults(leaseCtx, lease.ID, results)
+		if err != nil {
+			var apiErr *api.Error
+			if errors.As(err, &apiErr) && apiErr.Code == api.CodeLeaseExpired {
+				w.logf("worker %s: lease %s expired; dropping its remaining units", id, lease.ID)
+				cancel()
+			}
+			return
+		}
+		merge(resp)
+	}
+
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		interval := time.Duration(lease.TTLMS) * time.Millisecond / 3
+		if interval < 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				post(nil)
+			case <-hbStop:
+				return
+			case <-leaseCtx.Done():
+				return
+			}
+		}
+	}()
+
+	driver.ForEach(len(lease.Units), w.Parallelism, func(i int) {
+		if leaseCtx.Err() != nil {
+			return // lease dead or shutting down: expiry requeues the rest
+		}
+		u := lease.Units[i]
+		var rec api.JobResult
+		if isCanceled(u.ID) {
+			// The batch is gone; a cheap canceled record releases the
+			// unit from the queue without scheduling anything.
+			rec = api.JobResult{Job: u.Scheduler, Error: "canceled by coordinator", ErrorCode: api.CodeCanceled}
+		} else {
+			rec = w.compileUnit(leaseCtx, cache, u)
+		}
+		if leaseCtx.Err() != nil {
+			return
+		}
+		post([]api.UnitResult{{Unit: u.ID, Result: rec}})
+	})
+	close(hbStop)
+	hbWG.Wait()
+}
+
+// compileUnit schedules one wire unit through the local cache — the
+// same CompileRecord path the in-process executors use.
+func (w Options) compileUnit(ctx context.Context, cache *server.Cache, u api.WorkUnit) api.JobResult {
+	job, err := server.UnitJob(u)
+	if err != nil {
+		return api.JobResult{Error: err.Error(), ErrorCode: api.CodeInternal}
+	}
+	return server.CompileRecord(ctx, cache, job, driver.BatchOptions{
+		Timeout:   time.Duration(u.TimeoutMS) * time.Millisecond,
+		Latencies: &job.Machine.Lat,
+		Registry:  w.Registry,
+	}, u.NoCache)
+}
+
+// sleepCtx sleeps for d unless ctx ends first, reporting whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

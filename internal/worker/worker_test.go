@@ -1,0 +1,348 @@
+package worker_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	api "repro/api/v1"
+	"repro/internal/driver"
+	"repro/internal/drivertest"
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/server"
+	"repro/internal/worker"
+	"repro/pkg/dmsclient"
+)
+
+// goldenLoops reads the checked-in loop corpus, so the distributed
+// path is exercised on exactly the loops whose schedules the rest of
+// the suite pins down.
+func goldenLoops(t *testing.T) []string {
+	t.Helper()
+	dir := filepath.Join("..", "loop", "testdata")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".loop") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		texts = append(texts, string(data))
+	}
+	if len(texts) == 0 {
+		t.Fatal("no golden loops found")
+	}
+	return texts
+}
+
+// newCoordinator starts a distributing service and its HTTP front end,
+// both torn down with the test.
+func newCoordinator(t *testing.T, opt server.Options) (*server.Server, *httptest.Server) {
+	t.Helper()
+	opt.Distribute = true
+	svc := server.New(opt)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
+	return svc, ts
+}
+
+// startWorker runs a pull loop against url until the returned stop
+// function is called (registered as test cleanup too).
+func startWorker(t *testing.T, url string, opt worker.Options) (stop func()) {
+	t.Helper()
+	opt.Coordinator = url
+	if opt.Wait == 0 {
+		opt.Wait = 500 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		worker.Run(ctx, opt)
+	}()
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		<-done
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+// marshal renders a record the way the stream does, for byte-for-byte
+// comparison.
+func marshal(t *testing.T, rec api.JobResult) string {
+	t.Helper()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// directRecords compiles the request's cross product straight through
+// driver.CompileAll and renders the wire records the distributed path
+// must reproduce byte-for-byte.
+func directRecords(t *testing.T, req api.CompileRequest, machines []*machine.Machine) []string {
+	t.Helper()
+	var loops []*loop.Loop
+	for _, text := range req.Loops {
+		l, err := loop.ParseString(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loops = append(loops, l)
+	}
+	jobs := driver.Jobs(loops, machines, req.Schedulers, driver.Options{})
+	direct := driver.CompileAll(context.Background(), jobs, driver.BatchOptions{})
+	want := make([]string, len(jobs))
+	for i, res := range direct {
+		if res.Err != nil {
+			t.Fatalf("direct %s: %v", res.Job, res.Err)
+		}
+		rec := server.Record(res)
+		rec.Index = i
+		want[i] = marshal(t, rec)
+	}
+	return want
+}
+
+// compareRecords asserts every reassembled record matches the direct
+// driver output byte-for-byte (Cached normalized away, as it reports
+// serving provenance rather than schedule content).
+func compareRecords(t *testing.T, got []api.JobResult, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i, rec := range got {
+		rec.Cached = false
+		if g := marshal(t, rec); g != want[i] {
+			t.Errorf("job %d diverges from direct CompileAll:\n got %s\nwant %s", i, g, want[i])
+		}
+	}
+}
+
+// TestWorkerEndToEnd is the distributed acceptance test: a batch
+// submitted through pkg/dmsclient against a coordinator with two
+// worker processes yields results byte-identical to direct
+// driver.CompileAll — the client cannot tell the workers exist. A
+// second identical batch is then served from the coordinator's cache
+// without dispatching a single unit.
+func TestWorkerEndToEnd(t *testing.T) {
+	svc, ts := newCoordinator(t, server.Options{QueueWorkers: 2})
+	startWorker(t, ts.URL, worker.Options{ID: "w1"})
+	startWorker(t, ts.URL, worker.Options{ID: "w2"})
+
+	req := api.CompileRequest{
+		Protocol:   api.Version,
+		Loops:      goldenLoops(t),
+		Machines:   []api.MachineSpec{{Clusters: 2}, {Clusters: 4}},
+		Schedulers: []string{"dms", "twophase"},
+	}
+	want := directRecords(t, req, []*machine.Machine{machine.Clustered(2), machine.Clustered(4)})
+	njobs := req.Jobs()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	cli := dmsclient.New(ts.URL)
+
+	// Async surface: submit, poll, stream retained results.
+	job, err := cli.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := cli.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != api.JobDone || done.Errors != 0 {
+		t.Fatalf("distributed job = %+v", done)
+	}
+	recs, sum, err := cli.ResultsAll(ctx, job.ID, done.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != njobs || sum.Errors != 0 {
+		t.Fatalf("summary = %+v, want %d jobs", sum, njobs)
+	}
+	compareRecords(t, recs, want)
+
+	dm := svc.Snapshot().Dispatch
+	if dm == nil || dm.Dispatched != uint64(njobs) || dm.Resolved != uint64(njobs) {
+		t.Errorf("dispatch metrics = %+v, want %d dispatched and resolved", dm, njobs)
+	}
+
+	// Sync surface, identical batch: full coordinator cache hit — no
+	// new units dispatched, every record marked cached and otherwise
+	// byte-identical.
+	recs2, sum2, err := cli.CompileAll(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs2 {
+		if !rec.Cached {
+			t.Errorf("warm job %d not served from the coordinator cache", i)
+		}
+	}
+	if sum2.Cached != njobs {
+		t.Errorf("warm summary = %+v, want %d cached", sum2, njobs)
+	}
+	compareRecords(t, recs2, want)
+	if dm := svc.Snapshot().Dispatch; dm.Dispatched != uint64(njobs) {
+		t.Errorf("warm batch dispatched %d new units, want 0", dm.Dispatched-uint64(njobs))
+	}
+}
+
+// TestWorkerCrashRequeues is the crash-safety acceptance test: a
+// worker that leases units and dies without posting loses its lease,
+// the units return to the queue, and a healthy worker finishes the
+// batch with results byte-identical to direct driver.CompileAll.
+func TestWorkerCrashRequeues(t *testing.T) {
+	svc, ts := newCoordinator(t, server.Options{
+		QueueWorkers: 1,
+		LeaseTTL:     300 * time.Millisecond,
+	})
+
+	// Worker A schedules through a gate that never opens: it leases
+	// units, heartbeats, and computes nothing until it is killed.
+	gated, err := drivertest.NewGated("dms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gatedReg := driver.NewRegistry()
+	gatedReg.MustRegister(gated)
+	stopA := startWorker(t, ts.URL, worker.Options{ID: "doomed", Chunk: 2, Registry: gatedReg})
+
+	req := api.CompileRequest{
+		Protocol:   api.Version,
+		Loops:      goldenLoops(t),
+		Machines:   []api.MachineSpec{{Clusters: 2}},
+		Schedulers: []string{"dms"},
+	}
+	want := directRecords(t, req, []*machine.Machine{machine.Clustered(2)})
+	njobs := req.Jobs()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	cli := dmsclient.New(ts.URL)
+	job, err := cli.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the doomed worker holds leased units, then kill it
+	// mid-batch: its lease must expire and the units requeue.
+	deadline := time.Now().Add(30 * time.Second)
+	for svc.Snapshot().Dispatch.LeasedUnits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker A never leased a unit")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if calls := gated.Calls.Load(); calls == 0 {
+		// The lease is held but scheduling has not begun; either way the
+		// worker dies holding unresolved units.
+		t.Logf("killing worker A before its first schedule call")
+	}
+	stopA()
+
+	// The healthy worker B finishes everything, including the requeued
+	// units A died holding.
+	startWorker(t, ts.URL, worker.Options{ID: "survivor"})
+
+	done, err := cli.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != api.JobDone || done.Errors != 0 {
+		t.Fatalf("post-crash job = %+v", done)
+	}
+	recs, sum, err := cli.ResultsAll(ctx, job.ID, done.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != njobs || sum.Errors != 0 {
+		t.Fatalf("post-crash summary = %+v, want %d jobs", sum, njobs)
+	}
+	compareRecords(t, recs, want)
+
+	dm := svc.Snapshot().Dispatch
+	if dm.Requeued == 0 {
+		t.Error("no units were requeued — the crash never cost worker A its lease")
+	}
+	if dm.Resolved != uint64(njobs) {
+		t.Errorf("resolved = %d, want %d", dm.Resolved, njobs)
+	}
+}
+
+// TestWorkerLeaseExpiredPostRejected pins the exactly-once guarantee
+// at the wire: a worker posting under an expired lease gets 410
+// lease_expired and zero acks — the units already belong to the queue
+// (or another worker) again.
+func TestWorkerLeaseExpiredPostRejected(t *testing.T) {
+	_, ts := newCoordinator(t, server.Options{LeaseTTL: 50 * time.Millisecond})
+
+	req := api.CompileRequest{
+		Loops:      goldenLoops(t)[:1],
+		Machines:   []api.MachineSpec{{Clusters: 2}},
+		Schedulers: []string{"dms"},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cli := dmsclient.New(ts.URL)
+	if _, err := cli.Submit(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	lease, err := cli.LeaseWork(ctx, api.LeaseRequest{Worker: "slow", WaitMS: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.ID == "" || len(lease.Units) == 0 {
+		t.Fatalf("no lease handed out: %+v", lease)
+	}
+	// Outlive the TTL without a heartbeat, then try to post.
+	time.Sleep(200 * time.Millisecond)
+	_, err = cli.PushWorkResults(ctx, lease.ID, []api.UnitResult{{
+		Unit:   lease.Units[0].ID,
+		Result: api.JobResult{Job: "late", Error: "too late", ErrorCode: api.CodeInternal},
+	}})
+	var apiErr *api.Error
+	if err == nil || !errors.As(err, &apiErr) || apiErr.Code != api.CodeLeaseExpired {
+		t.Fatalf("post under an expired lease: err = %v, want lease_expired", err)
+	}
+	if apiErr.Code.Retryable() {
+		t.Error("lease_expired must not be retryable")
+	}
+
+	// The unit is leasable again — by a different worker.
+	release, err := cli.LeaseWork(ctx, api.LeaseRequest{Worker: "fresh", WaitMS: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if release.ID == "" || len(release.Units) == 0 {
+		t.Fatalf("expired units were not requeued: %+v", release)
+	}
+	if release.Units[0].ID != lease.Units[0].ID {
+		t.Errorf("requeued unit %q, want %q", release.Units[0].ID, lease.Units[0].ID)
+	}
+}

@@ -582,6 +582,52 @@ func (c *Client) retryJob(ctx context.Context, req *api.CompileRequest, failed a
 	return failed
 }
 
+// LeaseWork posts to POST /v1/workers/lease: the worker half of the
+// distributed execution protocol. The returned lease is empty (ID "")
+// when the coordinator had no work within the request's wait budget;
+// re-poll after the lease's PollMS hint. Plain transport plumbing —
+// the pull loop around it lives in internal/worker.
+func (c *Client) LeaseWork(ctx context.Context, req api.LeaseRequest) (*api.Lease, error) {
+	if req.Protocol == "" {
+		req.Protocol = api.Version
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, api.PathWorkersLease, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var lease api.Lease
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		return nil, err
+	}
+	return &lease, nil
+}
+
+// PushWorkResults posts unit results (or, with an empty slice, a pure
+// heartbeat) to POST /v1/workers/{lease}/results. A lease the
+// coordinator no longer honors surfaces as an *api.Error with code
+// lease_expired — the worker must drop the lease's remaining work.
+func (c *Client) PushWorkResults(ctx context.Context, lease string, results []api.UnitResult) (*api.WorkResultsResponse, error) {
+	body, err := json.Marshal(api.WorkResultsRequest{Protocol: api.Version, Results: results})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, api.WorkerResultsPath(lease), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out api.WorkResultsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // sleepCtx sleeps for d unless ctx ends first; it reports whether the
 // full sleep elapsed.
 func sleepCtx(ctx context.Context, d time.Duration) bool {
