@@ -1,0 +1,45 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/perfect"
+)
+
+// scheduleAllocBudget is the checked-in allocation baseline for one
+// full DMS compile (graph build + copy insertion + core.Schedule) on
+// the 8-cluster benchmark configuration. PR 6's raw-speed pass
+// measured ~207 allocs/op (BENCH_PR6.json); the budget leaves ~50%
+// headroom for corpus drift while still catching any regression that
+// reintroduces per-candidate-II cloning or per-call scratch (the
+// pre-PR 6 code sat at ~1631).
+const scheduleAllocBudget = 320
+
+// TestScheduleAllocBudget fails when core.Schedule's allocation rate
+// regresses above the checked-in baseline — the guard behind the CI
+// benchmark smoke job.
+func TestScheduleAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	sample := perfect.CorpusN(perfect.DefaultSeed, 32)
+	lat := machine.DefaultLatencies()
+	m := machine.Clustered(8)
+	i := 0
+	avg := testing.AllocsPerRun(64, func() {
+		g := ddg.FromLoop(sample[i%len(sample)], lat)
+		i++
+		ddg.InsertCopies(g, ddg.MaxUses)
+		if _, _, err := core.Schedule(g, m, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("core.Schedule pipeline: %.1f allocs/op (budget %d)", avg, scheduleAllocBudget)
+	if avg > scheduleAllocBudget {
+		t.Fatalf("core.Schedule pipeline allocates %.1f/op, above the checked-in budget of %d — "+
+			"the scheduling inner loop has regressed (see BENCH_PR6.json)", avg, scheduleAllocBudget)
+	}
+}

@@ -28,35 +28,54 @@ type plannedChain struct {
 	mvTimes []int             // chosen issue times, one per Via cluster
 }
 
-// tentativeUse tracks hypothetical reservations while chain options are
-// costed, without touching the real reservation table.
-type tentativeUse map[tentKey]int
+// The tentative-reservation ledger tracks hypothetical bookings while
+// chain options are costed, without touching the real reservation
+// table. It is a flat per-(slot, cluster, kind) counter array on the
+// worker (tentUse), cleared between options via the touched-index list
+// (tentTick), plus a per-cluster tally of tentative copy-unit bookings
+// (tentCopy) so the scoring loop reads free copy slots in O(1).
 
-type tentKey struct {
-	slot, cluster int
-	kind          machine.FUKind
+func (w *worker) tentClear() {
+	for _, idx := range w.tentTick {
+		w.tentUse[idx] = 0
+	}
+	w.tentTick = w.tentTick[:0]
+	for i := range w.tentCopy {
+		w.tentCopy[i] = 0
+	}
 }
 
-func (w *worker) tentFree(t, cluster int, class machine.OpClass, tent tentativeUse) bool {
+func (w *worker) tentIdx(t, cluster int, k machine.FUKind) int {
+	slot := ((t % w.ii) + w.ii) % w.ii
+	return (slot*w.m.Clusters+cluster)*machine.NumFUKinds + int(k)
+}
+
+func (w *worker) tentFree(t, cluster int, class machine.OpClass) bool {
 	if !w.s.Table().Free(t, cluster, class) {
 		return false
 	}
 	k := class.FU()
-	slot := ((t % w.ii) + w.ii) % w.ii
-	used := w.s.Table().Used(t, cluster, k) + tent[tentKey{slot, cluster, k}]
+	used := w.s.Table().Used(t, cluster, k) + int(w.tentUse[w.tentIdx(t, cluster, k)])
 	return used < w.m.Capacity(cluster, k)
 }
 
-func (w *worker) tentReserve(t, cluster int, class machine.OpClass, tent tentativeUse) {
-	slot := ((t % w.ii) + w.ii) % w.ii
-	tent[tentKey{slot, cluster, class.FU()}]++
+func (w *worker) tentReserve(t, cluster int, class machine.OpClass) {
+	k := class.FU()
+	idx := w.tentIdx(t, cluster, k)
+	if w.tentUse[idx] == 0 {
+		w.tentTick = append(w.tentTick, int32(idx))
+	}
+	w.tentUse[idx]++
+	if k == machine.FUCopy {
+		w.tentCopy[cluster]++
+	}
 }
 
 // findSlotTentative scans the II-wide window from estart for a slot
 // free both in the reservation table and in the tentative ledger.
-func (w *worker) findSlotTentative(estart, cluster int, class machine.OpClass, tent tentativeUse) (int, bool) {
+func (w *worker) findSlotTentative(estart, cluster int, class machine.OpClass) (int, bool) {
 	for t := estart; t < estart+w.ii; t++ {
-		if w.tentFree(t, cluster, class, tent) {
+		if w.tentFree(t, cluster, class) {
 			return t, true
 		}
 	}
@@ -71,6 +90,12 @@ func (w *worker) findSlotTentative(estart, cluster int, class machine.OpClass, t
 // find free copy-unit slots, and picks the option that maximises the
 // number of free copy slots remaining in the tightest cluster, then the
 // fewest moves, then the earliest op slot (paper §3).
+//
+// Direction combinations are walked with an odometer over the per-edge
+// path choices (rightmost position fastest — the same order the old
+// materialised cartesian product produced), and the ledger, far-edge
+// list and planned-chain list are worker scratch, so costing an option
+// allocates nothing; only an improved best option is copied out.
 func (w *worker) strategy2(op int) bool {
 	class := w.g.Node(op).Class
 	moveLat := w.g.Lat().Of(machine.Move)
@@ -82,9 +107,13 @@ func (w *worker) strategy2(op int) bool {
 		}
 		// Split scheduled predecessors: near ones constrain the start
 		// time directly; far true-dependence ones need chains.
-		var farEdges []ddg.Edge
+		farEdges := w.farEdges[:0]
 		nearEstart := 0
-		for _, e := range w.g.In(op) {
+		for _, eid := range w.g.InEdgeIDs(op) {
+			if !w.g.EdgeAlive(eid) {
+				continue
+			}
+			e := w.g.EdgeAt(eid)
 			if e.From == op {
 				continue
 			}
@@ -93,89 +122,57 @@ func (w *worker) strategy2(op int) bool {
 				continue
 			}
 			if e.Carries && !w.m.Adjacent(p.Cluster, c) {
-				farEdges = append(farEdges, e)
+				farEdges = append(farEdges, *e)
 				continue
 			}
 			if t := p.Time + e.Delay - w.ii*e.Distance; t > nearEstart {
 				nearEstart = t
 			}
 		}
+		w.farEdges = farEdges
 		if len(farEdges) == 0 {
 			continue // nothing for chains to fix in this cluster
 		}
 
 		// Enumerate direction combinations (≤ 2 per far predecessor;
 		// fan-in is bounded by the copy prepass, so this stays tiny).
-		pathChoices := make([][]machine.ChainPath, len(farEdges))
-		for i, e := range farEdges {
-			p, _ := w.s.At(e.From)
-			paths := w.m.ChainPaths(p.Cluster, c)
+		nFar := len(farEdges)
+		if cap(w.pathsBuf) < nFar {
+			w.pathsBuf = make([][]machine.ChainPath, nFar)
+			w.comboIdx = make([]int, nFar)
+			w.combo = make([]machine.ChainPath, nFar)
+		}
+		pathChoices := w.pathsBuf[:nFar]
+		for i := range farEdges {
+			p, _ := w.s.At(farEdges[i].From)
+			paths := w.chainPaths(p.Cluster, c)
 			if w.opt.OneDirectionOnly && len(paths) > 1 {
 				paths = paths[:1]
 			}
 			pathChoices[i] = paths
 		}
-		for _, combo := range cartesian(pathChoices) {
-			tent := make(tentativeUse)
-			est := nearEstart
-			planned := make([]plannedChain, 0, len(farEdges))
-			feasible := true
-			totalMoves := 0
-			for i, e := range farEdges {
-				p, _ := w.s.At(e.From)
-				pc := plannedChain{edge: e, path: combo[i]}
-				tPrev, delayPrev, distNext := p.Time, e.Delay, e.Distance
-				for _, via := range pc.path.Via {
-					mvEst := tPrev + delayPrev - w.ii*distNext
-					if mvEst < 0 {
-						mvEst = 0
-					}
-					tmv, ok := w.findSlotTentative(mvEst, via, machine.Move, tent)
-					if !ok {
-						feasible = false
-						break
-					}
-					w.tentReserve(tmv, via, machine.Move, tent)
-					pc.mvTimes = append(pc.mvTimes, tmv)
-					tPrev, delayPrev, distNext = tmv, moveLat, 0
-					totalMoves++
+		comboIdx := w.comboIdx[:nFar]
+		combo := w.combo[:nFar]
+		for i := range comboIdx {
+			comboIdx[i] = 0
+		}
+	combos:
+		for {
+			for i := range comboIdx {
+				combo[i] = pathChoices[i][comboIdx[i]]
+			}
+			w.evalCombo(op, c, heurIdx, class, moveLat, nearEstart, combo, &best)
+			// Advance the odometer, rightmost position fastest.
+			k := nFar - 1
+			for k >= 0 {
+				comboIdx[k]++
+				if comboIdx[k] < len(pathChoices[k]) {
+					continue combos
 				}
-				if !feasible {
-					break
-				}
-				if t := tPrev + delayPrev - w.ii*distNext; t > est {
-					est = t
-				}
-				planned = append(planned, pc)
+				comboIdx[k] = 0
+				k--
 			}
-			if !feasible {
-				continue
-			}
-			if est < 0 {
-				est = 0
-			}
-			tOp, ok := w.findSlotTentative(est, c, class, tent)
-			if !ok {
-				continue
-			}
-			// Score: free copy slots left in the tightest cluster after
-			// the tentative reservations.
-			minFree := int(^uint(0) >> 1)
-			for cl := 0; cl < w.m.Clusters; cl++ {
-				free := w.s.Table().FreeKindSlots(cl, machine.FUCopy)
-				for k, n := range tent {
-					if k.cluster == cl && k.kind == machine.FUCopy {
-						free -= n
-					}
-				}
-				if free < minFree {
-					minFree = free
-				}
-			}
-			cand := &chainOption{cluster: c, opTime: tOp, chains: planned, nMoves: totalMoves, minFree: minFree, heurIdx: heurIdx}
-			if cand.better(best) {
-				best = cand
-			}
+			break
 		}
 	}
 	if best == nil {
@@ -183,6 +180,77 @@ func (w *worker) strategy2(op int) bool {
 	}
 	w.commitChains(op, best.cluster, best.opTime, best.chains)
 	return true
+}
+
+// evalCombo costs one direction combination for scheduling op in
+// cluster c and replaces *best if the option is feasible and better.
+func (w *worker) evalCombo(op, c, heurIdx int, class machine.OpClass, moveLat, nearEstart int, combo []machine.ChainPath, best **chainOption) {
+	w.tentClear()
+	est := nearEstart
+	planned := w.planned[:0]
+	w.mvBuf = w.mvBuf[:0]
+	totalMoves := 0
+	for i := range w.farEdges {
+		e := &w.farEdges[i]
+		p, _ := w.s.At(e.From)
+		pc := plannedChain{edge: *e, path: combo[i]}
+		tPrev, delayPrev, distNext := p.Time, e.Delay, e.Distance
+		mvBase := len(w.mvBuf)
+		for _, via := range pc.path.Via {
+			mvEst := tPrev + delayPrev - w.ii*distNext
+			if mvEst < 0 {
+				mvEst = 0
+			}
+			tmv, ok := w.findSlotTentative(mvEst, via, machine.Move)
+			if !ok {
+				w.planned = planned
+				return
+			}
+			w.tentReserve(tmv, via, machine.Move)
+			w.mvBuf = append(w.mvBuf, tmv)
+			tPrev, delayPrev, distNext = tmv, moveLat, 0
+			totalMoves++
+		}
+		pc.mvTimes = w.mvBuf[mvBase:len(w.mvBuf):len(w.mvBuf)]
+		if t := tPrev + delayPrev - w.ii*distNext; t > est {
+			est = t
+		}
+		planned = append(planned, pc)
+	}
+	w.planned = planned
+	if est < 0 {
+		est = 0
+	}
+	tOp, ok := w.findSlotTentative(est, c, class)
+	if !ok {
+		return
+	}
+	// Score: free copy slots left in the tightest cluster after the
+	// tentative reservations.
+	minFree := int(^uint(0) >> 1)
+	for cl := 0; cl < w.m.Clusters; cl++ {
+		free := w.s.Table().FreeKindSlots(cl, machine.FUCopy) - int(w.tentCopy[cl])
+		if free < minFree {
+			minFree = free
+		}
+	}
+	cand := chainOption{cluster: c, opTime: tOp, nMoves: totalMoves, minFree: minFree, heurIdx: heurIdx}
+	if !cand.better(*best) {
+		return
+	}
+	// Copy the winning option out of the scratch buffers (mvTimes alias
+	// w.mvBuf, which the next combo reuses).
+	b := *best
+	if b == nil {
+		b = new(chainOption)
+		*best = b
+	}
+	chains := append(b.chains[:0], planned...)
+	for i := range chains {
+		chains[i].mvTimes = append([]int(nil), chains[i].mvTimes...)
+	}
+	cand.chains = chains
+	*b = cand
 }
 
 // chainOption is one feasible way of scheduling op with chains.
@@ -238,12 +306,13 @@ func (w *worker) commitChains(op, cluster, opTime int, planned []plannedChain) {
 				fmt.Sprintf("%s.mv%d.%d", w.g.Node(pc.edge.From).Name, ch.id, h), -1)
 			ch.moves = append(ch.moves, mv)
 			ch.edges = append(ch.edges, w.g.AddEdge(prev, mv, prevDelay, prevDist, true))
+			w.ensureNode(mv)
 			w.s.Place(mv, schedule.Placement{Time: pc.mvTimes[h], Cluster: via})
 			w.prevTime[mv] = pc.mvTimes[h]
 			prev, prevDelay, prevDist = mv, moveLat, 0
 		}
 		ch.edges = append(ch.edges, w.g.AddEdge(prev, op, prevDelay, prevDist, true))
-		w.chains[ch.id] = ch
+		w.chains = append(w.chains, ch)
 		w.chainsByNode[ch.producer] = append(w.chainsByNode[ch.producer], ch.id)
 		w.chainsByNode[op] = append(w.chainsByNode[op], ch.id)
 		for _, mv := range ch.moves {
@@ -261,11 +330,11 @@ func (w *worker) commitChains(op, cluster, opTime int, planned []plannedChain) {
 // edge is re-checked for adjacency and timing, evicting the consumer on
 // violation (paper §3's backtracking rules for chains).
 func (w *worker) dissolveChain(cid int) {
-	ch, ok := w.chains[cid]
-	if !ok {
+	ch := w.chains[cid]
+	if ch == nil {
 		return // already dissolved by a cascade
 	}
-	delete(w.chains, cid)
+	w.chains[cid] = nil
 	w.st.ChainsDissolved++
 	w.removeChainRef(ch.producer, cid)
 	w.removeChainRef(ch.consumer, cid)
@@ -302,27 +371,4 @@ func (w *worker) removeChainRef(node, cid int) {
 			break
 		}
 	}
-	if len(w.chainsByNode[node]) == 0 {
-		delete(w.chainsByNode, node)
-	}
-}
-
-// cartesian enumerates one choice per slice position.
-func cartesian(choices [][]machine.ChainPath) [][]machine.ChainPath {
-	if len(choices) == 0 {
-		return nil
-	}
-	out := [][]machine.ChainPath{{}}
-	for _, cs := range choices {
-		var next [][]machine.ChainPath
-		for _, prefix := range out {
-			for _, c := range cs {
-				row := make([]machine.ChainPath, len(prefix), len(prefix)+1)
-				copy(row, prefix)
-				next = append(next, append(row, c))
-			}
-		}
-		out = next
-	}
-	return out
 }

@@ -79,10 +79,11 @@ type Stats struct {
 }
 
 // Schedule runs DMS for the graph on a clustered machine. The input
-// graph is treated as immutable: every candidate II works on a clone,
-// and the returned schedule references the clone that succeeded (whose
-// extra move nodes are part of the final code). Run the copy-insertion
-// prepass (ddg.InsertCopies) first for machines with ≥ 2 clusters.
+// graph is treated as immutable: the search works on a single internal
+// clone, rolled back between candidate IIs, and the returned schedule
+// references that clone in its successful state (whose extra move
+// nodes are part of the final code). Run the copy-insertion prepass
+// (ddg.InsertCopies) first for machines with ≥ 2 clusters.
 func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
 	return ScheduleCtx(context.Background(), g, m, opt)
 }
@@ -91,6 +92,12 @@ func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule
 // checks ctx between candidate IIs and periodically inside each
 // attempt's budget loop, so a canceled context aborts within one
 // candidate II. The returned error wraps ctx.Err().
+//
+// The II search clones the input graph once and reuses one worker
+// across candidate IIs: graph mutations of a failed attempt are undone
+// with ddg.Rollback, and all II-invariant state (node ID set, scratch
+// buffers, queue storage) is computed once — only the II-dependent
+// heights are recomputed per candidate, into a reused buffer.
 func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
 	var st Stats
 	if err := m.Validate(); err != nil {
@@ -108,16 +115,28 @@ func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Opti
 	if maxII < mii {
 		maxII = mii
 	}
+	work := g.Clone()
+	snap := work.Snapshot()
+	w := &worker{
+		ctx: ctx,
+		g:   work,
+		m:   m,
+		opt: opt,
+		st:  &st,
+		q:   schedule.NewQueue(),
+		ids: work.NodeIDs(),
+	}
 	for ii := mii; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
 			return nil, st, fmt.Errorf("core: %s on %s: %w", g.Name(), m.Name, err)
 		}
 		st.IIsTried++
-		w := newWorker(ctx, g.Clone(), m, ii, opt, &st)
+		w.resetForII(ii)
 		if s, ok := w.run(); ok {
 			st.II = ii
 			return s, st, nil
 		}
+		work.Rollback(snap)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, st, fmt.Errorf("core: %s on %s: %w", g.Name(), m.Name, err)
@@ -125,7 +144,10 @@ func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Opti
 	return nil, st, fmt.Errorf("core: %s did not schedule on %s within MaxII %d", g.Name(), m.Name, maxII)
 }
 
-// worker holds the state of one candidate-II attempt.
+// worker holds the state of one candidate-II attempt plus the scratch
+// buffers reused across attempts. All per-node state is slice-indexed
+// by node ID (IDs are dense ints) — the maps of the original
+// implementation dominated the inner loop's time and allocations.
 type worker struct {
 	ctx context.Context
 	g   *ddg.Graph
@@ -137,28 +159,97 @@ type worker struct {
 	s        *schedule.Schedule
 	heights  []int
 	q        *schedule.Queue
-	prevTime map[int]int // last placement time per node; presence = scheduled before
+	prevTime []int // last placement time per node; -1 = never scheduled
 	budget   int
 
-	chains       map[int]*chain
-	chainsByNode map[int][]int
+	chains       []*chain // indexed by chain ID; nil = dissolved
+	chainsByNode [][]int
 	nextChainID  int
+
+	// II-invariant state and reusable scratch.
+	ids      []int                 // live node IDs of the input graph
+	paths    [][]machine.ChainPath // ChainPaths cache, indexed src*Clusters+dst
+	cand     []clusterScore        // candidateClusters scratch
+	candIdx  []int
+	victims  []int
+	farEdges []ddg.Edge // strategy-2 scratch
+	pathsBuf [][]machine.ChainPath
+	comboIdx []int
+	combo    []machine.ChainPath
+	planned  []plannedChain
+	mvBuf    []int   // backing store for plannedChain.mvTimes while costing
+	tentUse  []int32 // tentative reservations per (slot, cluster, kind)
+	tentCopy []int32 // tentative copy-unit reservations per cluster
+	tentTick []int32 // touched tentUse indices, cleared between options
 }
 
-func newWorker(ctx context.Context, g *ddg.Graph, m *machine.Machine, ii int, opt Options, st *Stats) *worker {
-	return &worker{
-		ctx:          ctx,
-		g:            g,
-		m:            m,
-		ii:           ii,
-		opt:          opt,
-		st:           st,
-		s:            schedule.New(g, m, ii),
-		heights:      g.Heights(ii),
-		q:            schedule.NewQueue(),
-		prevTime:     make(map[int]int),
-		chains:       make(map[int]*chain),
-		chainsByNode: make(map[int][]int),
+// resetForII rewinds the worker for a fresh candidate-II attempt,
+// reusing every buffer whose capacity survives.
+func (w *worker) resetForII(ii int) {
+	w.ii = ii
+	if w.s == nil {
+		w.s = schedule.New(w.g, w.m, ii)
+	} else {
+		w.s.Reset(ii)
+	}
+	w.heights = w.g.HeightsInto(ii, w.heights)
+	w.q.Reset()
+	n := w.g.NumIDs()
+	if cap(w.prevTime) < n {
+		w.prevTime = make([]int, n)
+	}
+	w.prevTime = w.prevTime[:n]
+	for i := range w.prevTime {
+		w.prevTime[i] = -1
+	}
+	w.chains = w.chains[:0]
+	w.nextChainID = 0
+	if cap(w.chainsByNode) < n {
+		w.chainsByNode = make([][]int, n)
+	}
+	w.chainsByNode = w.chainsByNode[:n]
+	for i := range w.chainsByNode {
+		w.chainsByNode[i] = w.chainsByNode[i][:0]
+	}
+	cells := ii * w.m.Clusters * machine.NumFUKinds
+	if cap(w.tentUse) < cells {
+		w.tentUse = make([]int32, cells)
+	}
+	w.tentUse = w.tentUse[:cells]
+	for i := range w.tentUse {
+		w.tentUse[i] = 0
+	}
+	if cap(w.tentCopy) < w.m.Clusters {
+		w.tentCopy = make([]int32, w.m.Clusters)
+	}
+	w.tentCopy = w.tentCopy[:w.m.Clusters]
+	w.tentTick = w.tentTick[:0]
+}
+
+// chainPaths returns the candidate routes from src to dst, memoised:
+// the ring topology is fixed for the whole search, and recomputing the
+// routes dominated strategy 2's allocations.
+func (w *worker) chainPaths(src, dst int) []machine.ChainPath {
+	if w.paths == nil {
+		w.paths = make([][]machine.ChainPath, w.m.Clusters*w.m.Clusters)
+	}
+	idx := src*w.m.Clusters + dst
+	if p := w.paths[idx]; p != nil {
+		return p
+	}
+	p := w.m.ChainPaths(src, dst)
+	w.paths[idx] = p
+	return p
+}
+
+// ensureNode grows the per-node slices when a move node extends the
+// graph's ID space mid-attempt.
+func (w *worker) ensureNode(n int) {
+	for n >= len(w.prevTime) {
+		w.prevTime = append(w.prevTime, -1)
+	}
+	for n >= len(w.chainsByNode) {
+		w.chainsByNode = append(w.chainsByNode, nil)
 	}
 }
 
@@ -166,11 +257,10 @@ func newWorker(ctx context.Context, g *ddg.Graph, m *machine.Machine, ii int, op
 // out (or the context was canceled) and the caller should try a larger
 // II (or bail out).
 func (w *worker) run() (*schedule.Schedule, bool) {
-	ids := w.g.NodeIDs()
-	for _, n := range ids {
+	for _, n := range w.ids {
 		w.q.Push(n, w.heights[n])
 	}
-	w.budget = w.opt.budgetRatio() * len(ids)
+	w.budget = w.opt.budgetRatio() * len(w.ids)
 	for w.q.Len() > 0 {
 		if w.budget == 0 {
 			return nil, false
@@ -210,7 +300,11 @@ func (w *worker) scheduleOp(op int) {
 // satisfied by II ≥ RecMII).
 func (w *worker) earliestStart(op int) int {
 	estart := 0
-	for _, e := range w.g.In(op) {
+	for _, eid := range w.g.InEdgeIDs(op) {
+		if !w.g.EdgeAlive(eid) {
+			continue
+		}
+		e := w.g.EdgeAt(eid)
 		if e.From == op {
 			continue
 		}
@@ -228,8 +322,12 @@ func (w *worker) earliestStart(op int) int {
 func (w *worker) place(op, t, cluster int) {
 	w.s.Place(op, schedule.Placement{Time: t, Cluster: cluster})
 	w.prevTime[op] = t
-	var victims []int
-	for _, e := range w.g.Out(op) {
+	victims := w.victims[:0]
+	for _, eid := range w.g.OutEdgeIDs(op) {
+		if !w.g.EdgeAlive(eid) {
+			continue
+		}
+		e := w.g.EdgeAt(eid)
 		if e.To == op {
 			continue
 		}
@@ -237,6 +335,7 @@ func (w *worker) place(op, t, cluster int) {
 			victims = append(victims, e.To)
 		}
 	}
+	w.victims = victims
 	for _, v := range victims {
 		w.evictNode(v)
 	}
@@ -258,9 +357,12 @@ func (w *worker) evictNode(n int) {
 		w.q.Push(n, w.heightOf(n))
 	}
 	// Dissolve chains last: dissolution may recursively evict this
-	// node's neighbours, and n itself is already off the schedule.
-	for _, cid := range append([]int(nil), w.chainsByNode[n]...) {
-		w.dissolveChain(cid)
+	// node's neighbours, and n itself is already off the schedule. The
+	// refs are copied because dissolution edits the per-node lists.
+	if n < len(w.chainsByNode) && len(w.chainsByNode[n]) > 0 {
+		for _, cid := range append([]int(nil), w.chainsByNode[n]...) {
+			w.dissolveChain(cid)
+		}
 	}
 }
 

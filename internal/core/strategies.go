@@ -1,53 +1,76 @@
 package core
 
-import "sort"
+// clusterScore ranks one cluster for candidateClusters.
+type clusterScore struct {
+	cluster, dist, load int
+}
 
 // candidateClusters orders every cluster by scheduling desirability for
 // op: first by total ring distance to op's scheduled true-dependence
 // neighbours (placing the op near the values it exchanges), then by
 // current load on the functional unit kind it needs, then by index for
-// determinism.
+// determinism. The returned slice is worker scratch, valid until the
+// next call.
 func (w *worker) candidateClusters(op int) []int {
 	kind := w.g.Node(op).Class.FU()
-	type scored struct {
-		cluster, dist, load int
+	nc := w.m.Clusters
+	if cap(w.cand) < nc {
+		w.cand = make([]clusterScore, nc)
+		w.candIdx = make([]int, nc)
 	}
-	cs := make([]scored, w.m.Clusters)
-	for c := 0; c < w.m.Clusters; c++ {
-		cs[c] = scored{
+	cs := w.cand[:nc]
+	for c := 0; c < nc; c++ {
+		cs[c] = clusterScore{
 			cluster: c,
 			dist:    w.neighbourDistance(op, c),
 			load:    w.s.Table().KindUsage(c, kind),
 		}
 	}
-	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].dist != cs[j].dist {
-			return cs[i].dist < cs[j].dist
+	// Insertion sort: the ordering is a strict total order (the cluster
+	// index breaks every tie), so any comparison sort yields the same
+	// permutation and determinism is preserved.
+	for i := 1; i < nc; i++ {
+		for j := i; j > 0 && scoreLess(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
 		}
-		if cs[i].load != cs[j].load {
-			return cs[i].load < cs[j].load
-		}
-		return cs[i].cluster < cs[j].cluster
-	})
-	out := make([]int, len(cs))
-	for i, c := range cs {
-		out[i] = c.cluster
+	}
+	out := w.candIdx[:nc]
+	for i := range cs {
+		out[i] = cs[i].cluster
 	}
 	return out
+}
+
+func scoreLess(a, b clusterScore) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	if a.load != b.load {
+		return a.load < b.load
+	}
+	return a.cluster < b.cluster
 }
 
 // neighbourDistance sums the ring distance from cluster c to every
 // scheduled true-dependence neighbour of op.
 func (w *worker) neighbourDistance(op, c int) int {
 	sum := 0
-	for _, e := range w.g.In(op) {
+	for _, eid := range w.g.InEdgeIDs(op) {
+		if !w.g.EdgeAlive(eid) {
+			continue
+		}
+		e := w.g.EdgeAt(eid)
 		if e.Carries && e.From != op {
 			if p, ok := w.s.At(e.From); ok {
 				sum += w.m.RingDistance(p.Cluster, c)
 			}
 		}
 	}
-	for _, e := range w.g.Out(op) {
+	for _, eid := range w.g.OutEdgeIDs(op) {
+		if !w.g.EdgeAlive(eid) {
+			continue
+		}
+		e := w.g.EdgeAt(eid)
 		if e.Carries && e.To != op {
 			if p, ok := w.s.At(e.To); ok {
 				sum += w.m.RingDistance(c, p.Cluster)
@@ -60,7 +83,11 @@ func (w *worker) neighbourDistance(op, c int) int {
 // commOK reports whether placing op in cluster c keeps every scheduled
 // true-dependence neighbour directly connected.
 func (w *worker) commOK(op, c int) bool {
-	for _, e := range w.g.In(op) {
+	for _, eid := range w.g.InEdgeIDs(op) {
+		if !w.g.EdgeAlive(eid) {
+			continue
+		}
+		e := w.g.EdgeAt(eid)
 		if e.Carries && e.From != op {
 			if p, ok := w.s.At(e.From); ok && !w.m.Adjacent(p.Cluster, c) {
 				return false
@@ -72,7 +99,11 @@ func (w *worker) commOK(op, c int) bool {
 
 // succCommOK checks only the scheduled true-dependence successors.
 func (w *worker) succCommOK(op, c int) bool {
-	for _, e := range w.g.Out(op) {
+	for _, eid := range w.g.OutEdgeIDs(op) {
+		if !w.g.EdgeAlive(eid) {
+			continue
+		}
+		e := w.g.EdgeAt(eid)
 		if e.Carries && e.To != op {
 			if p, ok := w.s.At(e.To); ok && !w.m.Adjacent(c, p.Cluster) {
 				return false
@@ -118,7 +149,7 @@ func (w *worker) strategy1(op, estart int) bool {
 // indirectly-connected clusters (communication conflicts).
 func (w *worker) strategy3(op, estart int) {
 	t := estart
-	if prev, ok := w.prevTime[op]; ok && prev+1 > t {
+	if prev := w.prevTime[op]; prev >= 0 && prev+1 > t {
 		t = prev + 1
 	}
 	c := w.candidateClusters(op)[0]
@@ -130,21 +161,30 @@ func (w *worker) strategy3(op, estart int) {
 	w.place(op, t, c)
 
 	// Communication conflicts with the remaining scheduled neighbours.
-	var victims []int
-	for _, e := range w.g.In(op) {
+	victims := w.victims[:0]
+	for _, eid := range w.g.InEdgeIDs(op) {
+		if !w.g.EdgeAlive(eid) {
+			continue
+		}
+		e := w.g.EdgeAt(eid)
 		if e.Carries && e.From != op {
 			if p, ok := w.s.At(e.From); ok && !w.m.Adjacent(p.Cluster, c) {
 				victims = append(victims, e.From)
 			}
 		}
 	}
-	for _, e := range w.g.Out(op) {
+	for _, eid := range w.g.OutEdgeIDs(op) {
+		if !w.g.EdgeAlive(eid) {
+			continue
+		}
+		e := w.g.EdgeAt(eid)
 		if e.Carries && e.To != op {
 			if p, ok := w.s.At(e.To); ok && !w.m.Adjacent(c, p.Cluster) {
 				victims = append(victims, e.To)
 			}
 		}
 	}
+	w.victims = victims
 	for _, v := range victims {
 		w.evictNode(v)
 	}

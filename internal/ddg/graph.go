@@ -236,6 +236,23 @@ func (g *Graph) NodeIDs() []int {
 	return ids
 }
 
+// OutEdgeIDs returns the node's out-edge IDs — live and dead, in
+// insertion order — as a view of the graph's internal adjacency list.
+// Callers must not mutate it and must filter with EdgeAlive. This is
+// the allocation-free iteration surface of the scheduling inner loops;
+// Out/In remain for callers that want the filtered copy.
+func (g *Graph) OutEdgeIDs(id int) []int { return g.out[id] }
+
+// InEdgeIDs returns the node's in-edge IDs — live and dead, in
+// insertion order — as a view of the graph's internal adjacency list.
+// Callers must not mutate it and must filter with EdgeAlive.
+func (g *Graph) InEdgeIDs(id int) []int { return g.in[id] }
+
+// EdgeAt returns a pointer to edge metadata for allocation- and
+// copy-free reads. The edge may be dead. The pointer is invalidated by
+// the next AddEdge; callers must not retain or mutate it.
+func (g *Graph) EdgeAt(id int) *Edge { return &g.edges[id] }
+
 // Out returns the live out-edges of a node, in insertion order.
 func (g *Graph) Out(id int) []Edge {
 	var out []Edge
@@ -287,6 +304,63 @@ func (g *Graph) UsefulOps() int {
 		}
 	})
 	return n
+}
+
+// Snapshot captures the graph's current shape — node/edge ID space,
+// alive flags and adjacency list lengths — so a scheduler that mutates
+// the graph (inserting move chains, removing edges) can roll every
+// candidate-II attempt back with Rollback instead of deep-cloning the
+// graph per candidate. Entities added after the snapshot must be the
+// only ones whose adjacency grew beyond the recorded lengths, which
+// holds for all graph mutations (AddNode/AddEdge/RemoveEdge/
+// RemoveNode).
+type Snapshot struct {
+	nodes, edges   int
+	aliveN, aliveE int
+	nodeAlive      []bool
+	edgeAlive      []bool
+	outLen, inLen  []int32
+}
+
+// Snapshot records the current graph state for Rollback.
+func (g *Graph) Snapshot() *Snapshot {
+	s := &Snapshot{
+		nodes:     len(g.nodes),
+		edges:     len(g.edges),
+		aliveN:    g.aliveN,
+		aliveE:    g.aliveE,
+		nodeAlive: append([]bool(nil), g.nodeAlive...),
+		edgeAlive: append([]bool(nil), g.edgeAlive...),
+		outLen:    make([]int32, len(g.nodes)),
+		inLen:     make([]int32, len(g.nodes)),
+	}
+	for i := range g.nodes {
+		s.outLen[i] = int32(len(g.out[i]))
+		s.inLen[i] = int32(len(g.in[i]))
+	}
+	return s
+}
+
+// Rollback restores the graph to the snapshotted state: entities added
+// since are dropped (their IDs will be reissued), removals since are
+// undone, and adjacency lists are truncated to their recorded lengths.
+// A rolled-back graph is indistinguishable from a fresh Clone of the
+// snapshotted one, IDs included.
+func (g *Graph) Rollback(s *Snapshot) {
+	g.nodes = g.nodes[:s.nodes]
+	g.nodeAlive = g.nodeAlive[:s.nodes]
+	copy(g.nodeAlive, s.nodeAlive)
+	g.edges = g.edges[:s.edges]
+	g.edgeAlive = g.edgeAlive[:s.edges]
+	copy(g.edgeAlive, s.edgeAlive)
+	g.out = g.out[:s.nodes]
+	g.in = g.in[:s.nodes]
+	for i := 0; i < s.nodes; i++ {
+		g.out[i] = g.out[i][:s.outLen[i]]
+		g.in[i] = g.in[i][:s.inLen[i]]
+	}
+	g.aliveN = s.aliveN
+	g.aliveE = s.aliveE
 }
 
 func (g *Graph) checkNode(id int) {

@@ -45,9 +45,10 @@ func (g *Graph) RecMII() int {
 	hi := 1
 	g.Edges(func(e Edge) { hi += e.Delay })
 	lo := 1
+	dist := make([]int, len(g.nodes))
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if g.hasPositiveCycle(mid) {
+		if g.hasPositiveCycle(mid, dist) {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -76,18 +77,18 @@ func (g *Graph) FeasibleII(ii int) bool {
 	if ii < 1 {
 		return false
 	}
-	return !g.hasPositiveCycle(ii)
+	return !g.hasPositiveCycle(ii, make([]int, len(g.nodes)))
 }
 
 // hasPositiveCycle runs Bellman-Ford longest-path relaxation with edge
 // weights delay − II·distance; a relaxation still possible after
-// |V| passes proves a positive-weight cycle.
-func (g *Graph) hasPositiveCycle(ii int) bool {
-	dist := make(map[int]int, g.aliveN)
-	for i, alive := range g.nodeAlive {
-		if alive {
-			dist[i] = 0
-		}
+// |V| passes proves a positive-weight cycle. dist is caller-provided
+// scratch of at least NumIDs entries (node IDs are dense) so the
+// binary search in RecMII relaxes over one reusable slice instead of
+// rebuilding a map per probe; it is reset here.
+func (g *Graph) hasPositiveCycle(ii int, dist []int) bool {
+	for i := range dist {
+		dist[i] = 0
 	}
 	for pass := 0; pass <= g.aliveN; pass++ {
 		changed := false
@@ -95,7 +96,7 @@ func (g *Graph) hasPositiveCycle(ii int) bool {
 			if !alive {
 				continue
 			}
-			e := g.edges[i]
+			e := &g.edges[i]
 			w := e.Delay - ii*e.Distance
 			if d := dist[e.From] + w; d > dist[e.To] {
 				dist[e.To] = d
@@ -119,14 +120,30 @@ func (g *Graph) hasPositiveCycle(ii int) bool {
 // Heights requires II ≥ RecMII; it panics on positive cycles (which
 // would make heights unbounded).
 func (g *Graph) Heights(ii int) []int {
-	h := make([]int, len(g.nodes))
+	return g.HeightsInto(ii, nil)
+}
+
+// HeightsInto is Heights with a caller-provided buffer: buf is resized
+// (or reallocated when too small) to NumIDs entries, reset, filled and
+// returned, so an II search can recompute heights per candidate II
+// without allocating.
+func (g *Graph) HeightsInto(ii int, buf []int) []int {
+	if cap(buf) < len(g.nodes) {
+		buf = make([]int, len(g.nodes))
+	} else {
+		buf = buf[:len(g.nodes)]
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	h := buf
 	for pass := 0; pass <= g.aliveN; pass++ {
 		changed := false
 		for i, alive := range g.edgeAlive {
 			if !alive {
 				continue
 			}
-			e := g.edges[i]
+			e := &g.edges[i]
 			if v := h[e.To] + e.Delay - ii*e.Distance; v > h[e.From] {
 				h[e.From] = v
 				changed = true

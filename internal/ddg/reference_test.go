@@ -1,0 +1,123 @@
+package ddg_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/perfect"
+)
+
+// collectEdges snapshots the alive edges through the public iterator,
+// so the references below share no code with the optimized paths.
+func collectEdges(g *ddg.Graph) []ddg.Edge {
+	var edges []ddg.Edge
+	g.Edges(func(e ddg.Edge) { edges = append(edges, e) })
+	return edges
+}
+
+// naiveFeasible is a from-scratch Bellman-Ford over a map: II is
+// feasible iff the graph with edge weights delay − II·distance has no
+// positive cycle.
+func naiveFeasible(edges []ddg.Edge, numIDs, ii int) bool {
+	dist := map[int]int{}
+	for pass := 0; pass <= numIDs; pass++ {
+		changed := false
+		for _, e := range edges {
+			if d := dist[e.From] + e.Delay - ii*e.Distance; d > dist[e.To] {
+				dist[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+// naiveRecMII scans II upward from 1 — no binary search, no reused
+// scratch — until the first feasible value.
+func naiveRecMII(g *ddg.Graph) int {
+	edges := collectEdges(g)
+	hi := 1
+	for _, e := range edges {
+		hi += e.Delay
+	}
+	for ii := 1; ii < hi; ii++ {
+		if naiveFeasible(edges, g.NumIDs(), ii) {
+			return ii
+		}
+	}
+	return hi
+}
+
+// naiveHeights computes longest weighted path to any sink via a
+// map-based fixpoint, the textbook definition of the IMS priority.
+func naiveHeights(g *ddg.Graph, ii int) map[int]int {
+	edges := collectEdges(g)
+	h := map[int]int{}
+	for pass := 0; pass <= g.NumIDs(); pass++ {
+		changed := false
+		for _, e := range edges {
+			if v := h[e.To] + e.Delay - ii*e.Distance; v > h[e.From] {
+				h[e.From] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return h
+}
+
+// The binary-search RecMII with its dense reusable scratch must agree
+// with the naive linear scan on every graph, before and after copy
+// insertion.
+func TestRecMIIMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 150; i++ {
+		g := ddg.FromLoop(perfect.Generate(rng, "p"), machine.DefaultLatencies())
+		if got, want := g.RecMII(), naiveRecMII(g); got != want {
+			t.Fatalf("trial %d: RecMII %d, naive reference %d", i, got, want)
+		}
+		ddg.InsertCopies(g, ddg.MaxUses)
+		if got, want := g.RecMII(), naiveRecMII(g); got != want {
+			t.Fatalf("trial %d (with copies): RecMII %d, naive reference %d", i, got, want)
+		}
+	}
+}
+
+// HeightsInto with a buffer reused across IIs must agree with the
+// map-based fixpoint reference at every II, for every alive node.
+func TestHeightsMatchNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var buf []int
+	for i := 0; i < 150; i++ {
+		g := ddg.FromLoop(perfect.Generate(rng, "p"), machine.DefaultLatencies())
+		if i%2 == 1 {
+			ddg.InsertCopies(g, ddg.MaxUses)
+		}
+		rec := g.RecMII()
+		for ii := rec; ii < rec+3; ii++ {
+			buf = g.HeightsInto(ii, buf)
+			want := naiveHeights(g, ii)
+			for _, id := range g.NodeIDs() {
+				if buf[id] != want[id] {
+					t.Fatalf("trial %d ii %d: height[%d] = %d, naive reference %d",
+						i, ii, id, buf[id], want[id])
+				}
+			}
+			// A fresh allocation must match the reused buffer too.
+			fresh := g.Heights(ii)
+			for _, id := range g.NodeIDs() {
+				if fresh[id] != buf[id] {
+					t.Fatalf("trial %d ii %d: Heights and HeightsInto disagree at node %d: %d vs %d",
+						i, ii, id, fresh[id], buf[id])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/machine"
+)
+
+var updateStats = flag.Bool("update-stats", false, "rewrite the scheduler-stats golden file")
+
+// statsGoldenRow pins the full normalized Stats of one (loop,
+// scheduler, clusters) compilation.
+type statsGoldenRow struct {
+	Loop      string         `json:"loop"`
+	Scheduler string         `json:"scheduler"`
+	Clusters  int            `json:"clusters"`
+	Stats     driver.Stats   `json:"stats"`
+	Extra     map[string]int `json:"extra,omitempty"`
+}
+
+// TestSchedulerStatsGolden locks the scheduler search trajectory —
+// IIsTried, Placements, Evictions and every back-end-specific counter —
+// over the checked-in golden corpus. The raw-speed refactors of the
+// scheduling inner loop (dense Bellman-Ford state, flat MRT, scratch
+// graph reuse) must be behaviour-preserving, and the final schedule
+// alone cannot prove that: two searches can land on the same schedule
+// via different trajectories. This golden file proves the search
+// itself is untouched. Regenerate with -update-stats only for a change
+// that intends to alter scheduling behaviour.
+func TestSchedulerStatsGolden(t *testing.T) {
+	loops, err := LoadCorpusDir("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := machine.DefaultLatencies()
+	var rows []statsGoldenRow
+	for _, l := range loops {
+		for _, name := range driver.Default.Names() {
+			s, err := driver.Default.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clusterCounts := []int{4}
+			if s.Clustered() {
+				clusterCounts = []int{2, 8}
+			}
+			for _, c := range clusterCounts {
+				m := driver.MachineFor(s, c)
+				g, _ := driver.Prepare(s, l, m, lat)
+				_, st, err := s.Schedule(context.Background(), g, m, driver.Options{})
+				if err != nil {
+					t.Fatalf("%s/%s@%d: %v", l.Name, name, c, err)
+				}
+				extra := st.Extra
+				st.Extra = nil
+				rows = append(rows, statsGoldenRow{
+					Loop: l.Name, Scheduler: name, Clusters: c, Stats: st, Extra: extra,
+				})
+			}
+		}
+	}
+
+	const golden = "testdata/scheduler_stats.golden.json"
+	if *updateStats {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d rows)", golden, len(rows))
+		return
+	}
+
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-stats)", err)
+	}
+	var want []statsGoldenRow
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(rows) {
+		t.Fatalf("golden has %d rows, run produced %d (regenerate with -update-stats?)", len(want), len(rows))
+	}
+	for i, row := range rows {
+		if !reflect.DeepEqual(row, want[i]) {
+			t.Errorf("stats drifted for %s/%s@%d clusters:\n got %s\nwant %s",
+				row.Loop, row.Scheduler, row.Clusters, mustJSON(row), mustJSON(want[i]))
+		}
+	}
+}
+
+func mustJSON(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%+v", v)
+	}
+	return string(data)
+}

@@ -95,12 +95,24 @@ func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Opti
 	if maxII < mii {
 		maxII = mii
 	}
+	// II-invariant state is computed once and reused across candidate
+	// IIs: IMS never mutates the graph, so the node set, scratch
+	// buffers, schedule storage and ready queue all survive — only the
+	// heights are II-dependent and are recomputed into a reused buffer.
+	sr := &searcher{
+		g:              g,
+		m:              m,
+		ids:            g.NodeIDs(),
+		prevTime:       make([]int, g.NumIDs()),
+		neverScheduled: make([]bool, g.NumIDs()),
+		q:              schedule.NewQueue(),
+	}
 	for ii := mii; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
 			return nil, st, fmt.Errorf("ims: %s on %s: %w", g.Name(), m.Name, err)
 		}
 		st.IIsTried++
-		s, ok := tryII(ctx, g, m, ii, opt.budgetRatio(), &st)
+		s, ok := sr.tryII(ctx, ii, opt.budgetRatio(), &st)
 		if ok {
 			st.II = ii
 			return s, st, nil
@@ -112,23 +124,42 @@ func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Opti
 	return nil, st, fmt.Errorf("ims: %s did not schedule within MaxII %d", g.Name(), maxII)
 }
 
+// searcher holds the II-invariant state of one scheduling run plus the
+// per-II scratch that is rewound rather than reallocated.
+type searcher struct {
+	g              *ddg.Graph
+	m              *machine.Machine
+	ids            []int
+	s              *schedule.Schedule
+	heights        []int
+	prevTime       []int
+	neverScheduled []bool
+	q              *schedule.Queue
+}
+
 // tryII attempts one candidate II. It returns ok=false when the budget
 // is exhausted or the context is canceled (the caller re-checks ctx).
-func tryII(ctx context.Context, g *ddg.Graph, m *machine.Machine, ii, budgetRatio int, st *Stats) (*schedule.Schedule, bool) {
-	s := schedule.New(g, m, ii)
-	heights := g.Heights(ii)
-	prevTime := make([]int, g.NumIDs())
-	neverScheduled := make([]bool, g.NumIDs())
+func (sr *searcher) tryII(ctx context.Context, ii, budgetRatio int, st *Stats) (*schedule.Schedule, bool) {
+	g := sr.g
+	if sr.s == nil {
+		sr.s = schedule.New(g, sr.m, ii)
+	} else {
+		sr.s.Reset(ii)
+	}
+	s := sr.s
+	sr.heights = g.HeightsInto(ii, sr.heights)
+	heights := sr.heights
+	prevTime, neverScheduled := sr.prevTime, sr.neverScheduled
 	for i := range neverScheduled {
 		neverScheduled[i] = true
 	}
 
-	q := schedule.NewQueue()
-	ids := g.NodeIDs()
-	for _, n := range ids {
+	q := sr.q
+	q.Reset()
+	for _, n := range sr.ids {
 		q.Push(n, heights[n])
 	}
-	budget := budgetRatio * len(ids)
+	budget := budgetRatio * len(sr.ids)
 
 	for q.Len() > 0 {
 		if budget == 0 {
@@ -169,7 +200,11 @@ func tryII(ctx context.Context, g *ddg.Graph, m *machine.Machine, ii, budgetRati
 
 		// Unschedule successors whose dependence constraints the new
 		// placement violates (their earliest start moved past them).
-		for _, e := range g.Out(op) {
+		for _, eid := range g.OutEdgeIDs(op) {
+			if !g.EdgeAlive(eid) {
+				continue
+			}
+			e := g.EdgeAt(eid)
 			if e.To == op {
 				continue
 			}
@@ -187,7 +222,11 @@ func tryII(ctx context.Context, g *ddg.Graph, m *machine.Machine, ii, budgetRati
 // op given its currently scheduled predecessors.
 func earliestStart(g *ddg.Graph, s *schedule.Schedule, op, ii int) int {
 	estart := 0
-	for _, e := range g.In(op) {
+	for _, eid := range g.InEdgeIDs(op) {
+		if !g.EdgeAlive(eid) {
+			continue
+		}
+		e := g.EdgeAt(eid)
 		if e.From == op {
 			continue // self edges are satisfied by II ≥ RecMII
 		}

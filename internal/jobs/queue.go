@@ -98,8 +98,9 @@ type Queue interface {
 }
 
 // maxAffinity bounds the hash→owner routing table of a MemQueue; past
-// it the table resets rather than growing without bound (affinity is a
-// cache-warmth hint, not a correctness property).
+// it a small batch of routes is evicted rather than letting the table
+// grow without bound (affinity is a cache-warmth hint, not a
+// correctness property).
 const maxAffinity = 4096
 
 // DefaultAffinityWait bounds how long a pending task defers to its
@@ -252,11 +253,22 @@ func (q *memQueue) Lease(owner string, max int, ttl time.Duration) (string, []Ta
 	return id, tasks
 }
 
-// affinityLocked routes hash to owner, resetting the table at its
-// bound. Requires q.mu.
+// affinityLocked routes hash to owner. When adding a new route would
+// push the table past its bound, it evicts a small batch of other
+// routes instead of resetting the table: dropping every route at once
+// made all in-flight hashes migrate to whichever owners leased next,
+// a stampede that discarded the whole fleet's cache warmth in one
+// step. Requires q.mu.
 func (q *memQueue) affinityLocked(hash, owner string) {
-	if len(q.affinity) >= maxAffinity {
-		q.affinity = make(map[string]string)
+	if _, known := q.affinity[hash]; !known && len(q.affinity) >= maxAffinity {
+		evict := maxAffinity / 64
+		for h := range q.affinity {
+			if evict == 0 {
+				break
+			}
+			delete(q.affinity, h)
+			evict--
+		}
 	}
 	q.affinity[hash] = owner
 }
@@ -316,16 +328,22 @@ func (q *memQueue) Nack(lease, taskID string) bool {
 	if len(l.tasks) == 0 {
 		delete(q.leases, lease)
 	}
-	q.requeueLocked(qt)
+	q.requeueLocked(qt, l.owner)
 	return true
 }
 
 // requeueLocked returns a leased task to the front of the queue and
-// drops its affinity, so the next Lease — from any owner — picks it
-// up. Requires q.mu.
-func (q *memQueue) requeueLocked(qt *qtask) {
+// drops its hash route — but only while the route still points at the
+// owner that held the task. The hash may have been re-routed to
+// another owner in the meantime (affinity-wait takeover, work
+// stealing); deleting unconditionally severed that owner's live route,
+// scattering its identical-content tasks across the fleet. Requires
+// q.mu.
+func (q *memQueue) requeueLocked(qt *qtask, owner string) {
 	qt.lease = ""
-	delete(q.affinity, qt.task.Hash)
+	if h := qt.task.Hash; h != "" && q.affinity[h] == owner {
+		delete(q.affinity, h)
+	}
 	q.pending = append([]*qtask{qt}, q.pending...)
 	q.requeued++
 	q.broadcastLocked()
@@ -389,7 +407,7 @@ func (q *memQueue) expireLocked(now time.Time) int {
 		}
 		delete(q.leases, id)
 		for _, qt := range l.tasks {
-			q.requeueLocked(qt)
+			q.requeueLocked(qt, l.owner)
 			n++
 		}
 	}

@@ -1,0 +1,112 @@
+package jobs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestAffinityEvictionBounded pins the routing-table bound down to a
+// bounded eviction: when a new hash arrives at a full table, only a
+// small batch of old routes may go — not the whole table. (The table
+// used to reset wholesale, which migrated every in-flight hash to
+// whichever owners leased next and discarded the fleet's cache warmth
+// in one step.)
+func TestAffinityEvictionBounded(t *testing.T) {
+	q := NewMemQueue(0).(*memQueue)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := 0; i < maxAffinity; i++ {
+		q.affinity[fmt.Sprintf("h%04d", i)] = "owner-a"
+	}
+
+	// A route update for a known hash never evicts, even at the bound.
+	q.affinityLocked("h0000", "owner-b")
+	if got := len(q.affinity); got != maxAffinity {
+		t.Fatalf("update of known hash at capacity: table size %d, want %d", got, maxAffinity)
+	}
+	if got := q.affinity["h0000"]; got != "owner-b" {
+		t.Fatalf("h0000 routed to %q, want owner-b", got)
+	}
+
+	// A new hash at the bound evicts exactly one small batch.
+	q.affinityLocked("fresh", "owner-c")
+	if got := q.affinity["fresh"]; got != "owner-c" {
+		t.Fatalf("fresh routed to %q, want owner-c", got)
+	}
+	want := maxAffinity - maxAffinity/64 + 1
+	if got := len(q.affinity); got != want {
+		t.Fatalf("table size after eviction: %d, want %d (bounded batch, not a reset)", got, want)
+	}
+	surviving := 0
+	for h, owner := range q.affinity {
+		if h != "fresh" && owner != "" {
+			surviving++
+		}
+	}
+	if surviving < maxAffinity-maxAffinity/64 {
+		t.Fatalf("only %d routes survived eviction, want >= %d", surviving, maxAffinity-maxAffinity/64)
+	}
+}
+
+// TestRequeueKeepsTakenOverRoute pins the requeue/affinity interaction:
+// a Nack (or lease expiry) drops the task's hash route only while it
+// still points at the nacking task's owner. If another owner took the
+// hash over in the meantime — affinity-wait takeover, work stealing —
+// the route is that owner's live state and must survive. (Requeue used
+// to delete the route unconditionally, severing the new owner's route
+// and scattering its identical-content tasks across the fleet.)
+func TestRequeueKeepsTakenOverRoute(t *testing.T) {
+	q := NewMemQueue(0).(*memQueue)
+
+	// Owner A leases t1 and thereby claims hash H.
+	if err := q.Enqueue(Task{ID: "t1", Hash: "H"}); err != nil {
+		t.Fatal(err)
+	}
+	leaseA, tasks := q.Lease("owner-a", 1, 0)
+	if len(tasks) != 1 || tasks[0].ID != "t1" {
+		t.Fatalf("owner-a leased %v, want [t1]", tasks)
+	}
+
+	// t2 shares hash H but has been waiting past the affinity bound, so
+	// owner B's lease takes the hash over: H now routes to B.
+	if err := q.Enqueue(Task{ID: "t2", Hash: "H"}); err != nil {
+		t.Fatal(err)
+	}
+	q.mu.Lock()
+	q.byID["t2"].enqueued = time.Now().Add(-q.affinityWait - time.Second)
+	q.mu.Unlock()
+	leaseB, tasks := q.Lease("owner-b", 1, 0)
+	if len(tasks) != 1 || tasks[0].ID != "t2" {
+		t.Fatalf("owner-b leased %v, want [t2]", tasks)
+	}
+	q.mu.Lock()
+	if got := q.affinity["H"]; got != "owner-b" {
+		q.mu.Unlock()
+		t.Fatalf("after takeover H routes to %q, want owner-b", got)
+	}
+	q.mu.Unlock()
+
+	// A nacks its stale t1: B's route must survive the requeue.
+	if !q.Nack(leaseA, "t1") {
+		t.Fatal("owner-a's Nack of t1 rejected")
+	}
+	q.mu.Lock()
+	got, ok := q.affinity["H"]
+	q.mu.Unlock()
+	if !ok || got != "owner-b" {
+		t.Fatalf("after owner-a's nack H routes to %q (present=%v), want owner-b", got, ok)
+	}
+
+	// The current route holder's own nack still releases the hash so
+	// other owners can pick the requeued work up immediately.
+	if !q.Nack(leaseB, "t2") {
+		t.Fatal("owner-b's Nack of t2 rejected")
+	}
+	q.mu.Lock()
+	_, ok = q.affinity["H"]
+	q.mu.Unlock()
+	if ok {
+		t.Fatal("owner-b's own nack should drop its route to H")
+	}
+}

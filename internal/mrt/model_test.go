@@ -1,0 +1,170 @@
+package mrt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mrt"
+)
+
+// refMRT is a deliberately naive reservation table: a map from
+// (slot, cluster, kind) to the occupant list. It exists only to check
+// the flat-slice Table against an implementation too simple to be
+// wrong.
+type refMRT struct {
+	ii       int
+	clusters int
+	capac    [machine.NumFUKinds]int
+	occ      map[[3]int][]int
+	placed   map[int][3]int
+}
+
+func newRefMRT(m *machine.Machine, ii int) *refMRT {
+	r := &refMRT{ii: ii, clusters: m.Clusters, occ: map[[3]int][]int{}, placed: map[int][3]int{}}
+	for k := 0; k < machine.NumFUKinds; k++ {
+		r.capac[k] = m.PerCluster[k]
+	}
+	return r
+}
+
+func (r *refMRT) slot(time int) int {
+	s := time % r.ii
+	if s < 0 {
+		s += r.ii
+	}
+	return s
+}
+
+func (r *refMRT) key(time, cluster int, k machine.FUKind) [3]int {
+	return [3]int{r.slot(time), cluster, int(k)}
+}
+
+func (r *refMRT) free(time, cluster int, class machine.OpClass) bool {
+	k := class.FU()
+	return len(r.occ[r.key(time, cluster, k)]) < r.capac[k]
+}
+
+func (r *refMRT) place(node, time, cluster int, class machine.OpClass) {
+	key := r.key(time, cluster, class.FU())
+	r.occ[key] = append(r.occ[key], node)
+	r.placed[node] = key
+}
+
+func (r *refMRT) remove(node int) {
+	key := r.placed[node]
+	delete(r.placed, node)
+	cell := r.occ[key]
+	for i, n := range cell {
+		if n == node {
+			r.occ[key] = append(cell[:i:i], cell[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *refMRT) kindUsage(cluster int, k machine.FUKind) int {
+	total := 0
+	for s := 0; s < r.ii; s++ {
+		total += len(r.occ[[3]int{s, cluster, int(k)}])
+	}
+	return total
+}
+
+// compare checks every observable of the Table against the reference:
+// all cells' occupant lists (including order), Free for every class,
+// Placed for every node seen, and the per-(cluster, kind) aggregates.
+func compare(t *testing.T, trial, step int, tab *mrt.Table, ref *refMRT, maxNode int) {
+	t.Helper()
+	for s := 0; s < ref.ii; s++ {
+		for c := 0; c < ref.clusters; c++ {
+			for k := machine.FUKind(0); int(k) < machine.NumFUKinds; k++ {
+				want := ref.occ[[3]int{s, c, int(k)}]
+				got := tab.Occupants(s, c, k)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d step %d: cell (%d,%d,%v) has %v, reference %v", trial, step, s, c, k, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d step %d: cell (%d,%d,%v) order %v, reference %v", trial, step, s, c, k, got, want)
+					}
+				}
+				if got := tab.Used(s, c, k); got != len(want) {
+					t.Fatalf("trial %d step %d: Used(%d,%d,%v) = %d, reference %d", trial, step, s, c, k, got, len(want))
+				}
+			}
+			for class := machine.OpClass(0); int(class) < machine.NumOpClasses; class++ {
+				if got, want := tab.Free(s, c, class), ref.free(s, c, class); got != want {
+					t.Fatalf("trial %d step %d: Free(%d,%d,%v) = %v, reference %v", trial, step, s, c, class, got, want)
+				}
+			}
+		}
+	}
+	for c := 0; c < ref.clusters; c++ {
+		for k := machine.FUKind(0); int(k) < machine.NumFUKinds; k++ {
+			if got, want := tab.KindUsage(c, k), ref.kindUsage(c, k); got != want {
+				t.Fatalf("trial %d step %d: KindUsage(%d,%v) = %d, reference %d", trial, step, c, k, got, want)
+			}
+			if got, want := tab.FreeKindSlots(c, k), ref.ii*ref.capac[k]-ref.kindUsage(c, k); got != want {
+				t.Fatalf("trial %d step %d: FreeKindSlots(%d,%v) = %d, reference %d", trial, step, c, k, got, want)
+			}
+		}
+	}
+	for n := 0; n < maxNode; n++ {
+		_, want := ref.placed[n]
+		if got := tab.Placed(n); got != want {
+			t.Fatalf("trial %d step %d: Placed(%d) = %v, reference %v", trial, step, n, got, want)
+		}
+	}
+}
+
+// TestTableMatchesMapModel drives one Table through random
+// place/remove/Reset sequences — negative times included, Reset
+// reusing the same Table across changing IIs the way the II search
+// does — and checks every observable against the map model after each
+// step.
+func TestTableMatchesMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 40; trial++ {
+		m := machine.Clustered(1 + rng.Intn(4))
+		ii := 1 + rng.Intn(8)
+		tab := mrt.New(m, ii)
+		ref := newRefMRT(m, ii)
+		const maxNode = 64
+		var live []int
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op == 0: // Reset to a fresh II, reusing the table
+				ii = 1 + rng.Intn(8)
+				tab.Reset(ii)
+				ref = newRefMRT(m, ii)
+				live = live[:0]
+			case op < 7 || len(live) == 0: // place
+				node := rng.Intn(maxNode)
+				if _, dup := ref.placed[node]; dup {
+					continue
+				}
+				time := rng.Intn(4*ii) - 2*ii // wraps, sometimes negative
+				cluster := rng.Intn(m.Clusters)
+				class := machine.OpClass(rng.Intn(machine.NumOpClasses))
+				if !ref.free(time, cluster, class) {
+					if tab.Free(time, cluster, class) {
+						t.Fatalf("trial %d step %d: Table reports free where reference is full", trial, step)
+					}
+					continue
+				}
+				tab.Place(node, time, cluster, class)
+				ref.place(node, time, cluster, class)
+				live = append(live, node)
+			default: // remove a random live node
+				i := rng.Intn(len(live))
+				node := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				tab.Remove(node)
+				ref.remove(node)
+			}
+			compare(t, trial, step, tab, ref, maxNode)
+		}
+	}
+}

@@ -5,6 +5,15 @@
 //
 // The table tracks which graph node occupies each slot so that
 // backtracking schedulers (IMS, DMS) can pick eviction victims.
+//
+// The representation is flat: occupant IDs live in one slice carved
+// into fixed-capacity cells (one cell per slot × cluster × unit kind,
+// sized by the machine's capacity for that kind), occupancy counts and
+// per-(cluster, kind) usage totals are maintained incrementally, and
+// node positions are a dense slice over node IDs. Every operation —
+// Free, Place, Remove, KindUsage, FreeKindSlots — is O(1) apart from
+// the in-cell shift in Remove (cells hold at most a handful of units),
+// and none allocates after construction.
 package mrt
 
 import (
@@ -16,32 +25,71 @@ import (
 // Table books functional units of one machine at one initiation
 // interval.
 type Table struct {
-	ii int
-	m  *machine.Machine
-	// occ[slot][cluster][kind] lists the occupant node IDs.
-	occ [][][][]int
-	pos map[int]position
-}
+	ii       int
+	m        *machine.Machine
+	clusters int
 
-type position struct {
-	slot, cluster int
-	kind          machine.FUKind
+	// capac[k] is the per-cluster unit count of kind k; kindBase[k] is
+	// where kind k's cells start in occ. The cell for (slot, cluster,
+	// kind) is occ[kindBase[k]+(slot*clusters+cluster)*capac[k]:] with
+	// capac[k] entries, of which used[cellIndex(slot,cluster,k)] are
+	// occupied (in placement order).
+	capac    [machine.NumFUKinds]int
+	kindBase [machine.NumFUKinds]int
+	occ      []int32
+	used     []int32
+	// usage[cluster*NumFUKinds+k] is the all-slot total of kind k in
+	// the cluster, so KindUsage/FreeKindSlots never scan the II slots.
+	usage []int32
+	// pos[node] is the node's cell index, or -1 while unplaced.
+	pos []int32
 }
 
 // New returns an empty table for machine m at initiation interval ii.
 func New(m *machine.Machine, ii int) *Table {
+	t := &Table{m: m, clusters: m.Clusters}
+	for k := 0; k < machine.NumFUKinds; k++ {
+		t.capac[k] = m.PerCluster[k]
+	}
+	t.Reset(ii)
+	return t
+}
+
+// Reset empties the table and re-sizes it for a new initiation
+// interval, reusing the existing buffers when they are large enough —
+// the II search resets one table per candidate II instead of
+// reallocating it.
+func (t *Table) Reset(ii int) {
 	if ii < 1 {
 		panic(fmt.Sprintf("mrt: initiation interval %d < 1", ii))
 	}
-	t := &Table{ii: ii, m: m, pos: make(map[int]position)}
-	t.occ = make([][][][]int, ii)
-	for s := range t.occ {
-		t.occ[s] = make([][][]int, m.Clusters)
-		for c := range t.occ[s] {
-			t.occ[s][c] = make([][]int, machine.NumFUKinds)
-		}
+	t.ii = ii
+	occLen := 0
+	for k := 0; k < machine.NumFUKinds; k++ {
+		t.kindBase[k] = occLen
+		occLen += ii * t.clusters * t.capac[k]
 	}
-	return t
+	t.occ = resize(t.occ, occLen)
+	t.used = resize(t.used, ii*t.clusters*machine.NumFUKinds)
+	t.usage = resize(t.usage, t.clusters*machine.NumFUKinds)
+	for i := range t.used {
+		t.used[i] = 0
+	}
+	for i := range t.usage {
+		t.usage[i] = 0
+	}
+	for i := range t.pos {
+		t.pos[i] = -1
+	}
+}
+
+// resize returns s with exactly n entries, reallocating only on
+// growth. Contents are unspecified; callers reset what they need.
+func resize(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // II returns the initiation interval the table was built for.
@@ -58,49 +106,91 @@ func (t *Table) slot(time int) int {
 	return s
 }
 
+// cell returns the index into used for (slot, cluster, kind).
+func (t *Table) cell(slot, cluster int, k machine.FUKind) int {
+	return (slot*t.clusters+cluster)*machine.NumFUKinds + int(k)
+}
+
+// cellOcc returns the occupant sub-slice (backing capacity, not just
+// the used prefix) of a cell.
+func (t *Table) cellOcc(slot, cluster int, k machine.FUKind) []int32 {
+	base := t.kindBase[k] + (slot*t.clusters+cluster)*t.capac[k]
+	return t.occ[base : base+t.capac[k]]
+}
+
 // Free reports whether an operation of the given class can issue at the
 // given absolute time in the cluster.
 func (t *Table) Free(time, cluster int, class machine.OpClass) bool {
 	k := class.FU()
-	return len(t.occ[t.slot(time)][cluster][k]) < t.m.Capacity(cluster, k)
+	return int(t.used[t.cell(t.slot(time), cluster, k)]) < t.capac[k]
 }
 
 // Used returns the number of booked units at time/cluster for the kind.
 func (t *Table) Used(time, cluster int, k machine.FUKind) int {
-	return len(t.occ[t.slot(time)][cluster][k])
+	return int(t.used[t.cell(t.slot(time), cluster, k)])
 }
 
-// Occupants returns a copy of the node IDs occupying the slot.
+// Occupants returns a copy of the node IDs occupying the slot, in
+// placement order.
 func (t *Table) Occupants(time, cluster int, k machine.FUKind) []int {
-	return append([]int(nil), t.occ[t.slot(time)][cluster][k]...)
+	s := t.slot(time)
+	n := int(t.used[t.cell(s, cluster, k)])
+	out := make([]int, n)
+	for i, node := range t.cellOcc(s, cluster, k)[:n] {
+		out[i] = int(node)
+	}
+	return out
+}
+
+// EachOccupant calls f for every node occupying the slot, in placement
+// order, without allocating. f must not mutate the table.
+func (t *Table) EachOccupant(time, cluster int, k machine.FUKind, f func(node int)) {
+	s := t.slot(time)
+	n := int(t.used[t.cell(s, cluster, k)])
+	for _, node := range t.cellOcc(s, cluster, k)[:n] {
+		f(int(node))
+	}
 }
 
 // Place books one unit for the node. It panics if the node is already
 // placed or the slot is full: callers check Free (or evict) first.
 func (t *Table) Place(node, time, cluster int, class machine.OpClass) {
-	if _, dup := t.pos[node]; dup {
+	for node >= len(t.pos) {
+		t.pos = append(t.pos, -1)
+	}
+	if t.pos[node] >= 0 {
 		panic(fmt.Sprintf("mrt: node %d placed twice", node))
 	}
 	k := class.FU()
 	s := t.slot(time)
-	if len(t.occ[s][cluster][k]) >= t.m.Capacity(cluster, k) {
+	ci := t.cell(s, cluster, k)
+	n := int(t.used[ci])
+	if n >= t.capac[k] {
 		panic(fmt.Sprintf("mrt: slot %d cluster %d %v over capacity", s, cluster, k))
 	}
-	t.occ[s][cluster][k] = append(t.occ[s][cluster][k], node)
-	t.pos[node] = position{slot: s, cluster: cluster, kind: k}
+	t.cellOcc(s, cluster, k)[n] = int32(node)
+	t.used[ci] = int32(n + 1)
+	t.usage[cluster*machine.NumFUKinds+int(k)]++
+	t.pos[node] = int32(ci)
 }
 
 // Remove releases the node's unit. It panics if the node is not placed.
 func (t *Table) Remove(node int) {
-	p, ok := t.pos[node]
-	if !ok {
+	if node >= len(t.pos) || t.pos[node] < 0 {
 		panic(fmt.Sprintf("mrt: node %d not placed", node))
 	}
-	delete(t.pos, node)
-	list := t.occ[p.slot][p.cluster][p.kind]
-	for i, n := range list {
-		if n == node {
-			t.occ[p.slot][p.cluster][p.kind] = append(list[:i], list[i+1:]...)
+	ci := int(t.pos[node])
+	t.pos[node] = -1
+	k := machine.FUKind(ci % machine.NumFUKinds)
+	cluster := (ci / machine.NumFUKinds) % t.clusters
+	slot := ci / (machine.NumFUKinds * t.clusters)
+	cell := t.cellOcc(slot, cluster, k)
+	n := int(t.used[ci])
+	for i := 0; i < n; i++ {
+		if cell[i] == int32(node) {
+			copy(cell[i:n-1], cell[i+1:n]) // preserve placement order
+			t.used[ci] = int32(n - 1)
+			t.usage[cluster*machine.NumFUKinds+int(k)]--
 			return
 		}
 	}
@@ -109,18 +199,13 @@ func (t *Table) Remove(node int) {
 
 // Placed reports whether the node currently books a unit.
 func (t *Table) Placed(node int) bool {
-	_, ok := t.pos[node]
-	return ok
+	return node < len(t.pos) && t.pos[node] >= 0
 }
 
 // KindUsage returns the number of booked units of kind k in the cluster
 // across all II slots.
 func (t *Table) KindUsage(cluster int, k machine.FUKind) int {
-	n := 0
-	for s := 0; s < t.ii; s++ {
-		n += len(t.occ[s][cluster][k])
-	}
-	return n
+	return int(t.usage[cluster*machine.NumFUKinds+int(k)])
 }
 
 // FreeKindSlots returns the number of free unit-slots of kind k in the
@@ -128,5 +213,5 @@ func (t *Table) KindUsage(cluster int, k machine.FUKind) int {
 // selects among chain options ("maximizes the number of free slots left
 // available to schedule move operations", paper §3).
 func (t *Table) FreeKindSlots(cluster int, k machine.FUKind) int {
-	return t.ii*t.m.Capacity(cluster, k) - t.KindUsage(cluster, k)
+	return t.ii*t.capac[k] - t.KindUsage(cluster, k)
 }

@@ -2,7 +2,6 @@ package schedule
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/machine"
@@ -22,13 +21,7 @@ func Gantt(s *Schedule) string {
 			grid[c][k] = make([]string, ii)
 		}
 	}
-	var ids []int
-	for id := range s.place {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		p := s.place[id]
+	s.Each(func(id int, p Placement) {
 		n := g.Node(id)
 		slot := ((p.Time % ii) + ii) % ii
 		k := n.Class.FU()
@@ -38,7 +31,7 @@ func Gantt(s *Schedule) string {
 		} else {
 			grid[p.Cluster][k][slot] = cellText
 		}
-	}
+	})
 
 	width := 12
 	for c := range grid {

@@ -1,49 +1,85 @@
 package schedule
 
-import "container/heap"
-
 // Queue is the ready queue shared by IMS and DMS: a max-heap of node
 // IDs keyed by scheduling priority (height), with deterministic
 // tie-breaking on the smaller node ID.
+//
+// The heap is hand-rolled over a plain slice rather than built on
+// container/heap: the interface-based API boxes every pushed element
+// into an allocation, and Push/Pop sit on the scheduling inner loop.
+// The sift algorithms mirror container/heap exactly, so the pop order
+// is identical to the previous implementation.
 type Queue struct {
-	h nodeHeap
+	h []queued
 }
 
 // NewQueue returns an empty queue.
 func NewQueue() *Queue { return &Queue{} }
 
+// Reset empties the queue, keeping its backing storage for reuse
+// across candidate IIs.
+func (q *Queue) Reset() { q.h = q.h[:0] }
+
 // Push adds a node with its priority.
 func (q *Queue) Push(node, priority int) {
-	heap.Push(&q.h, queued{node: node, priority: priority})
+	q.h = append(q.h, queued{node: node, priority: priority})
+	q.up(len(q.h) - 1)
 }
 
 // Pop removes and returns the highest-priority node.
 func (q *Queue) Pop() int {
-	return heap.Pop(&q.h).(queued).node
+	top := q.h[0].node
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h = q.h[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return top
 }
 
 // Len returns the number of queued nodes.
-func (q *Queue) Len() int { return q.h.Len() }
+func (q *Queue) Len() int { return len(q.h) }
 
 type queued struct {
 	node, priority int
 }
 
-type nodeHeap []queued
-
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].priority != h[j].priority {
-		return h[i].priority > h[j].priority
+// less orders the heap: higher priority first, smaller node ID on ties.
+func (q *Queue) less(i, j int) bool {
+	if q.h[i].priority != q.h[j].priority {
+		return q.h[i].priority > q.h[j].priority
 	}
-	return h[i].node < h[j].node
+	return q.h[i].node < q.h[j].node
 }
-func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(queued)) }
-func (h *nodeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (q *Queue) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !q.less(j, i) {
+			return
+		}
+		q.h[i], q.h[j] = q.h[j], q.h[i]
+		j = i
+	}
+}
+
+func (q *Queue) down(i0 int) {
+	n := len(q.h)
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			return
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && q.less(j2, j1) {
+			j = j2 // right child
+		}
+		if !q.less(j, i) {
+			return
+		}
+		q.h[i], q.h[j] = q.h[j], q.h[i]
+		i = j
+	}
 }

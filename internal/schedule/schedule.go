@@ -20,24 +20,51 @@ type Placement struct {
 }
 
 // Schedule is a (possibly partial) modulo schedule of a dependence
-// graph on a machine at a fixed initiation interval.
+// graph on a machine at a fixed initiation interval. Placements are a
+// dense slice over node IDs (which are dense ints, growing only when
+// DMS inserts move nodes), so the scheduling inner loop's At/Place/
+// Evict are branch-cheap slice accesses with no map or hashing cost.
 type Schedule struct {
-	g     *ddg.Graph
-	m     *machine.Machine
-	ii    int
-	tab   *mrt.Table
-	place map[int]Placement
+	g      *ddg.Graph
+	m      *machine.Machine
+	ii     int
+	tab    *mrt.Table
+	place  []Placement // indexed by node ID; valid iff placed[ID]
+	placed []bool
+	n      int
 }
 
 // New returns an empty schedule.
 func New(g *ddg.Graph, m *machine.Machine, ii int) *Schedule {
+	ids := g.NumIDs()
 	return &Schedule{
-		g:     g,
-		m:     m,
-		ii:    ii,
-		tab:   mrt.New(m, ii),
-		place: make(map[int]Placement, g.NumNodes()),
+		g:      g,
+		m:      m,
+		ii:     ii,
+		tab:    mrt.New(m, ii),
+		place:  make([]Placement, ids),
+		placed: make([]bool, ids),
 	}
+}
+
+// Reset rewinds the schedule to empty at a new initiation interval,
+// reusing the backing storage (including the reservation table's).
+// The graph may have shrunk or grown since New — e.g. after a rollback
+// between candidate IIs — so the per-node slices are resized.
+func (s *Schedule) Reset(ii int) {
+	s.ii = ii
+	s.tab.Reset(ii)
+	n := s.g.NumIDs()
+	if cap(s.placed) < n {
+		s.place = make([]Placement, n)
+		s.placed = make([]bool, n)
+	}
+	s.place = s.place[:n]
+	s.placed = s.placed[:n]
+	for i := range s.placed {
+		s.placed[i] = false
+	}
+	s.n = 0
 }
 
 // II returns the initiation interval.
@@ -56,14 +83,15 @@ func (s *Schedule) Table() *mrt.Table { return s.tab }
 
 // Scheduled reports whether the node is currently placed.
 func (s *Schedule) Scheduled(n int) bool {
-	_, ok := s.place[n]
-	return ok
+	return n < len(s.placed) && s.placed[n]
 }
 
 // At returns the node's placement.
 func (s *Schedule) At(n int) (Placement, bool) {
-	p, ok := s.place[n]
-	return p, ok
+	if n >= len(s.placed) || !s.placed[n] {
+		return Placement{}, false
+	}
+	return s.place[n], true
 }
 
 // Place books the node at the placement. The slot must be free and the
@@ -76,28 +104,37 @@ func (s *Schedule) Place(n int, p Placement) {
 		panic(fmt.Sprintf("schedule: node %d is dead", n))
 	}
 	s.tab.Place(n, p.Time, p.Cluster, s.g.Node(n).Class)
+	for n >= len(s.placed) { // moves inserted after New
+		s.place = append(s.place, Placement{})
+		s.placed = append(s.placed, false)
+	}
 	s.place[n] = p
+	s.placed[n] = true
+	s.n++
 }
 
 // Evict removes the node from the schedule.
 func (s *Schedule) Evict(n int) {
-	if _, ok := s.place[n]; !ok {
+	if n >= len(s.placed) || !s.placed[n] {
 		panic(fmt.Sprintf("schedule: evicting unscheduled node %d", n))
 	}
 	s.tab.Remove(n)
-	delete(s.place, n)
+	s.placed[n] = false
+	s.n--
 }
 
 // NumScheduled returns the number of placed nodes.
-func (s *Schedule) NumScheduled() int { return len(s.place) }
+func (s *Schedule) NumScheduled() int { return s.n }
 
 // Complete reports whether every live node is placed.
-func (s *Schedule) Complete() bool { return len(s.place) == s.g.NumNodes() }
+func (s *Schedule) Complete() bool { return s.n == s.g.NumNodes() }
 
-// Each calls f for every placed node.
+// Each calls f for every placed node, in increasing node ID order.
 func (s *Schedule) Each(f func(n int, p Placement)) {
-	for n, p := range s.place {
-		f(n, p)
+	for n, ok := range s.placed {
+		if ok {
+			f(n, s.place[n])
+		}
 	}
 }
 
@@ -107,8 +144,11 @@ func (s *Schedule) Each(f func(n int, p Placement)) {
 func (s *Schedule) Len() int {
 	maxEnd := 0
 	lat := s.g.Lat()
-	for n, p := range s.place {
-		if end := p.Time + lat.Of(s.g.Node(n).Class); end > maxEnd {
+	for n, ok := range s.placed {
+		if !ok {
+			continue
+		}
+		if end := s.place[n].Time + lat.Of(s.g.Node(n).Class); end > maxEnd {
 			maxEnd = end
 		}
 	}
@@ -122,7 +162,7 @@ func (s *Schedule) Stages() int { return (s.Len() + s.ii - 1) / s.ii }
 // String summarises the schedule.
 func (s *Schedule) String() string {
 	return fmt.Sprintf("schedule %s on %s: II=%d len=%d stages=%d (%d/%d ops placed)",
-		s.g.Name(), s.m.Name, s.ii, s.Len(), s.Stages(), len(s.place), s.g.NumNodes())
+		s.g.Name(), s.m.Name, s.ii, s.Len(), s.Stages(), s.n, s.g.NumNodes())
 }
 
 // Metrics are the dynamic measurements of the paper's §4: total cycles

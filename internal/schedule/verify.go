@@ -23,7 +23,7 @@ func Verify(s *Schedule) error {
 
 	// Completeness and placement sanity.
 	for _, id := range g.NodeIDs() {
-		p, ok := s.place[id]
+		p, ok := s.At(id)
 		if !ok {
 			return fmt.Errorf("verify %s: node %d (%s) not scheduled", g.Name(), id, g.Node(id).Name)
 		}
@@ -34,10 +34,14 @@ func Verify(s *Schedule) error {
 			return fmt.Errorf("verify %s: node %d in cluster %d of %d", g.Name(), id, p.Cluster, m.Clusters)
 		}
 	}
-	for id := range s.place {
-		if !g.Alive(id) {
-			return fmt.Errorf("verify %s: dead node %d still scheduled", g.Name(), id)
+	var deadErr error
+	s.Each(func(id int, _ Placement) {
+		if deadErr == nil && !g.Alive(id) {
+			deadErr = fmt.Errorf("verify %s: dead node %d still scheduled", g.Name(), id)
 		}
+	})
+	if deadErr != nil {
+		return deadErr
 	}
 
 	// Timing and communication.
@@ -46,15 +50,16 @@ func Verify(s *Schedule) error {
 		if err != nil {
 			return
 		}
-		tf, tt := s.place[e.From].Time, s.place[e.To].Time
-		if tt < tf+e.Delay-ii*e.Distance {
+		pf, _ := s.At(e.From)
+		pt, _ := s.At(e.To)
+		if pt.Time < pf.Time+e.Delay-ii*e.Distance {
 			err = fmt.Errorf("verify %s: edge %s→%s violated: t=%d,%d delay=%d dist=%d II=%d",
-				g.Name(), g.Node(e.From).Name, g.Node(e.To).Name, tf, tt, e.Delay, e.Distance, ii)
+				g.Name(), g.Node(e.From).Name, g.Node(e.To).Name, pf.Time, pt.Time, e.Delay, e.Distance, ii)
 			return
 		}
-		if e.Carries && !m.Adjacent(s.place[e.From].Cluster, s.place[e.To].Cluster) {
+		if e.Carries && !m.Adjacent(pf.Cluster, pt.Cluster) {
 			err = fmt.Errorf("verify %s: communication conflict on edge %s→%s: clusters %d and %d not adjacent",
-				g.Name(), g.Node(e.From).Name, g.Node(e.To).Name, s.place[e.From].Cluster, s.place[e.To].Cluster)
+				g.Name(), g.Node(e.From).Name, g.Node(e.To).Name, pf.Cluster, pt.Cluster)
 		}
 	})
 	if err != nil {
@@ -67,14 +72,18 @@ func Verify(s *Schedule) error {
 		kind          machine.FUKind
 	}
 	usage := make(map[slotKey]int)
-	for id, p := range s.place {
+	var resErr error
+	s.Each(func(id int, p Placement) {
+		if resErr != nil {
+			return
+		}
 		k := g.Node(id).Class.FU()
 		key := slotKey{((p.Time % ii) + ii) % ii, p.Cluster, k}
 		usage[key]++
 		if usage[key] > m.Capacity(p.Cluster, k) {
-			return fmt.Errorf("verify %s: slot %d cluster %d %v oversubscribed (%d > %d)",
+			resErr = fmt.Errorf("verify %s: slot %d cluster %d %v oversubscribed (%d > %d)",
 				g.Name(), key.slot, key.cluster, k, usage[key], m.Capacity(p.Cluster, k))
 		}
-	}
-	return nil
+	})
+	return resErr
 }

@@ -86,22 +86,38 @@ func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Opti
 	// cannot poison another. If every candidate II fails, Schedule
 	// falls back to IMS — the standard production-compiler safety net —
 	// and records it in Stats.FellBack.
+	// The swing order depends on MII (not the candidate II) and on the
+	// boosts, which reset between candidate IIs — so the boost-free
+	// order is II-invariant: compute it once and recompute only after a
+	// promotion. The placement scratch (reservation table, times) is
+	// likewise allocated once and rewound per attempt.
+	baseOrder := ordering(g, mii, nil)
+	sr := &searcher{
+		g:     g,
+		m:     m,
+		ids:   g.NodeIDs(),
+		times: make([]int, g.NumIDs()),
+		has:   make([]bool, g.NumIDs()),
+	}
 	for ii := mii; ii <= maxII; ii++ {
-		boost := make(map[int]int)
-		order := ordering(g, mii, boost)
+		var boost map[int]int
+		order := baseOrder
 		promotions := 0
 		for {
 			if err := ctx.Err(); err != nil {
 				return nil, st, fmt.Errorf("sms: %s on %s: %w", g.Name(), m.Name, err)
 			}
 			st.IIsTried++
-			s, ok, stuck := tryII(g, m, order, ii, &st)
+			s, ok, stuck := sr.tryII(order, ii, &st)
 			if ok {
 				st.II = ii
 				return s, st, nil
 			}
 			if stuck < 0 || promotions >= 2*g.NumNodes() {
 				break // resource failure: a larger II is the only cure
+			}
+			if boost == nil {
+				boost = make(map[int]int)
 			}
 			boost[stuck]++
 			promotions++
@@ -242,36 +258,65 @@ func depths(g *ddg.Graph, ii int) []int {
 	panic(fmt.Sprintf("sms: depths(%d) called below RecMII", ii))
 }
 
+// searcher holds the II-invariant state of one SMS run: the node set
+// and the placement scratch (reservation table, tentative times)
+// rewound at every attempt instead of reallocated.
+type searcher struct {
+	g     *ddg.Graph
+	m     *machine.Machine
+	ids   []int
+	tab   *mrt.Table
+	times []int
+	has   []bool
+}
+
 // tryII places every node once, in swing order, with no backtracking.
 // Times may go negative during the scan; the final schedule is shifted
 // by a multiple of II so they are non-negative (which changes nothing
 // modulo II). On failure, stuck identifies a node whose feasibility
 // window was structurally empty (lstart < estart), or -1 for a plain
 // resource failure.
-func tryII(g *ddg.Graph, m *machine.Machine, order []int, ii int, st *Stats) (s *schedule.Schedule, ok bool, stuck int) {
-	tab := mrt.New(m, ii)
-	times := make(map[int]int, len(order))
+func (sr *searcher) tryII(order []int, ii int, st *Stats) (s *schedule.Schedule, ok bool, stuck int) {
+	g, m := sr.g, sr.m
+	if sr.tab == nil {
+		sr.tab = mrt.New(m, ii)
+	} else {
+		sr.tab.Reset(ii)
+	}
+	tab := sr.tab
+	times, has := sr.times, sr.has
+	for i := range has {
+		has[i] = false
+	}
 	class := func(n int) machine.OpClass { return g.Node(n).Class }
 
 	const unbounded = 1 << 30
 	for _, op := range order {
 		estart, lstart := -unbounded, unbounded
-		for _, e := range g.In(op) {
+		for _, eid := range g.InEdgeIDs(op) {
+			if !g.EdgeAlive(eid) {
+				continue
+			}
+			e := g.EdgeAt(eid)
 			if e.From == op {
 				continue
 			}
-			if t, ok := times[e.From]; ok {
-				if v := t + e.Delay - ii*e.Distance; v > estart {
+			if has[e.From] {
+				if v := times[e.From] + e.Delay - ii*e.Distance; v > estart {
 					estart = v
 				}
 			}
 		}
-		for _, e := range g.Out(op) {
+		for _, eid := range g.OutEdgeIDs(op) {
+			if !g.EdgeAlive(eid) {
+				continue
+			}
+			e := g.EdgeAt(eid)
 			if e.To == op {
 				continue
 			}
-			if t, ok := times[e.To]; ok {
-				if v := t - e.Delay + ii*e.Distance; v < lstart {
+			if has[e.To] {
+				if v := times[e.To] - e.Delay + ii*e.Distance; v < lstart {
 					lstart = v
 				}
 			}
@@ -324,13 +369,14 @@ func tryII(g *ddg.Graph, m *machine.Machine, order []int, ii int, st *Stats) (s 
 		}
 		tab.Place(op, slot, 0, class(op))
 		times[op] = slot
+		has[op] = true
 	}
 
 	// Normalise: shift by a multiple of II so all times are ≥ 0.
 	minT := 0
-	for _, t := range times {
-		if t < minT {
-			minT = t
+	for n, ok := range has {
+		if ok && times[n] < minT {
+			minT = times[n]
 		}
 	}
 	shift := 0
@@ -338,9 +384,7 @@ func tryII(g *ddg.Graph, m *machine.Machine, order []int, ii int, st *Stats) (s 
 		shift = ((-minT + ii - 1) / ii) * ii
 	}
 	s = schedule.New(g, m, ii)
-	ids := g.NodeIDs()
-	sort.Ints(ids)
-	for _, n := range ids {
+	for _, n := range sr.ids {
 		s.Place(n, schedule.Placement{Time: times[n] + shift, Cluster: 0})
 	}
 	return s, true, -1

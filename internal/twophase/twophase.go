@@ -101,7 +101,10 @@ func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Opti
 	}
 	work := g.Clone()
 
-	assign := Partition(work, m, opt)
+	// RecMII is II-invariant and needed by both the partitioner (height
+	// priorities) and the pinned resource bound: compute it once.
+	recMII := work.RecMII()
+	assign := partition(work, m, opt, recMII)
 	st.CommCost = commCost(work, m, assign)
 	moves, err := route(work, m, assign)
 	if err != nil {
@@ -109,7 +112,7 @@ func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Opti
 	}
 	st.MovesInserted = moves
 
-	mii, err := pinnedMII(work, m, assign)
+	mii, err := pinnedMII(work, m, assign, recMII)
 	if err != nil {
 		return nil, st, err
 	}
@@ -121,12 +124,25 @@ func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Opti
 	if maxII < mii {
 		maxII = mii
 	}
+	// Pin the cluster assignment into a dense slice and reuse the
+	// schedule, queue and per-node scratch across candidate IIs.
+	sr := &searcher{
+		g:        work,
+		m:        m,
+		ids:      work.NodeIDs(),
+		assign:   make([]int, work.NumIDs()),
+		prevTime: make([]int, work.NumIDs()),
+		q:        schedule.NewQueue(),
+	}
+	for n, c := range assign {
+		sr.assign[n] = c
+	}
 	for ii := mii; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
 			return nil, st, fmt.Errorf("twophase: %s on %s: %w", g.Name(), m.Name, err)
 		}
 		st.IIsTried++
-		if s, ok := tryII(ctx, work, m, assign, ii, opt.budgetRatio(), &st); ok {
+		if s, ok := sr.tryII(ctx, ii, opt.budgetRatio(), &st); ok {
 			st.II = ii
 			return s, st, nil
 		}
@@ -141,6 +157,12 @@ func ScheduleCtx(ctx context.Context, g *ddg.Graph, m *machine.Machine, opt Opti
 // height order (neighbour-affine, load-capped), then refined by
 // single-node moves that lower the communication cost.
 func Partition(g *ddg.Graph, m *machine.Machine, opt Options) map[int]int {
+	return partition(g, m, opt, g.RecMII())
+}
+
+// partition is Partition with the graph's RecMII precomputed, so the
+// II search can share one recurrence analysis with pinnedMII.
+func partition(g *ddg.Graph, m *machine.Machine, opt Options, recMII int) map[int]int {
 	assign := make(map[int]int, g.NumNodes())
 	if m.Clusters == 1 {
 		for _, id := range g.NodeIDs() {
@@ -162,7 +184,7 @@ func Partition(g *ddg.Graph, m *machine.Machine, opt Options) map[int]int {
 		load[c] = make([]int, machine.NumFUKinds)
 	}
 
-	heights := g.Heights(g.RecMII())
+	heights := g.Heights(recMII)
 	order := g.NodeIDs()
 	sort.Slice(order, func(i, j int) bool {
 		if heights[order[i]] != heights[order[j]] {
@@ -307,7 +329,7 @@ func pathLoad(load []int, via []int) int {
 // pinnedMII is the resource bound with the partition fixed: the
 // busiest (cluster, kind) pair sets the floor, which is why a bad
 // partition costs II before scheduling even starts.
-func pinnedMII(g *ddg.Graph, m *machine.Machine, assign map[int]int) (int, error) {
+func pinnedMII(g *ddg.Graph, m *machine.Machine, assign map[int]int, recMII int) (int, error) {
 	load := make([][]int, m.Clusters)
 	for c := range load {
 		load[c] = make([]int, machine.NumFUKinds)
@@ -316,7 +338,7 @@ func pinnedMII(g *ddg.Graph, m *machine.Machine, assign map[int]int) (int, error
 	g.Nodes(func(n ddg.Node) {
 		load[assign[n.ID]][n.Class.FU()]++
 	})
-	res := g.RecMII()
+	res := recMII
 	for c := 0; c < m.Clusters; c++ {
 		for k := machine.FUKind(0); int(k) < machine.NumFUKinds; k++ {
 			if load[c][k] == 0 {
@@ -334,20 +356,43 @@ func pinnedMII(g *ddg.Graph, m *machine.Machine, assign map[int]int) (int, error
 	return res, err
 }
 
+// searcher holds the II-invariant state of the pinned-cluster II
+// search plus per-II scratch rewound between candidates.
+type searcher struct {
+	g        *ddg.Graph
+	m        *machine.Machine
+	ids      []int
+	assign   []int // pinned cluster per node ID
+	s        *schedule.Schedule
+	heights  []int
+	prevTime []int // last placement time per node; -1 = never scheduled
+	q        *schedule.Queue
+}
+
 // tryII is the IMS core with pinned clusters. It returns ok=false when
 // the budget is exhausted or the context is canceled (the caller
 // re-checks ctx).
-func tryII(ctx context.Context, g *ddg.Graph, m *machine.Machine, assign map[int]int, ii, budgetRatio int, st *Stats) (*schedule.Schedule, bool) {
-	s := schedule.New(g, m, ii)
-	heights := g.Heights(ii)
-	prevTime := make(map[int]int)
+func (sr *searcher) tryII(ctx context.Context, ii, budgetRatio int, st *Stats) (*schedule.Schedule, bool) {
+	g := sr.g
+	if sr.s == nil {
+		sr.s = schedule.New(g, sr.m, ii)
+	} else {
+		sr.s.Reset(ii)
+	}
+	s := sr.s
+	sr.heights = g.HeightsInto(ii, sr.heights)
+	heights := sr.heights
+	prevTime := sr.prevTime
+	for i := range prevTime {
+		prevTime[i] = -1
+	}
 
-	q := schedule.NewQueue()
-	ids := g.NodeIDs()
-	for _, n := range ids {
+	q := sr.q
+	q.Reset()
+	for _, n := range sr.ids {
 		q.Push(n, heights[n])
 	}
-	budget := budgetRatio * len(ids)
+	budget := budgetRatio * len(sr.ids)
 
 	heightOf := func(n int) int {
 		if n < len(heights) {
@@ -366,11 +411,15 @@ func tryII(ctx context.Context, g *ddg.Graph, m *machine.Machine, assign map[int
 		budget--
 		op := q.Pop()
 		st.Placements++
-		cluster := assign[op]
+		cluster := sr.assign[op]
 		class := g.Node(op).Class
 
 		estart := 0
-		for _, e := range g.In(op) {
+		for _, eid := range g.InEdgeIDs(op) {
+			if !g.EdgeAlive(eid) {
+				continue
+			}
+			e := g.EdgeAt(eid)
 			if e.From == op {
 				continue
 			}
@@ -389,7 +438,7 @@ func tryII(ctx context.Context, g *ddg.Graph, m *machine.Machine, assign map[int
 		}
 		if !found {
 			timeSlot = estart
-			if prev, ok := prevTime[op]; ok && prev+1 > timeSlot {
+			if prev := prevTime[op]; prev >= 0 && prev+1 > timeSlot {
 				timeSlot = prev + 1
 			}
 			kind := class.FU()
@@ -408,7 +457,11 @@ func tryII(ctx context.Context, g *ddg.Graph, m *machine.Machine, assign map[int
 		}
 		s.Place(op, schedule.Placement{Time: timeSlot, Cluster: cluster})
 		prevTime[op] = timeSlot
-		for _, e := range g.Out(op) {
+		for _, eid := range g.OutEdgeIDs(op) {
+			if !g.EdgeAlive(eid) {
+				continue
+			}
+			e := g.EdgeAt(eid)
 			if e.To == op {
 				continue
 			}

@@ -202,7 +202,39 @@ func (w Options) runLease(ctx context.Context, cli *dmsclient.Client, cache *ser
 		merge(resp)
 	}
 
+	// Unit results and idle heartbeats are serialized behind postMu
+	// with a remaining-units counter, and the post of the last unit
+	// stops the heartbeat ticker before releasing the mutex. The
+	// coordinator forgets a lease the moment its final unit is acked,
+	// so a heartbeat racing (or following) that final post would draw a
+	// spurious 410 lease_expired and cancel work that drained cleanly.
 	hbStop := make(chan struct{})
+	var postMu sync.Mutex
+	remaining := len(lease.Units)
+	stopHeartbeatLocked := func() {
+		select {
+		case <-hbStop:
+		default:
+			close(hbStop)
+		}
+	}
+	postUnit := func(r api.UnitResult) {
+		postMu.Lock()
+		defer postMu.Unlock()
+		post([]api.UnitResult{r})
+		if remaining--; remaining == 0 {
+			stopHeartbeatLocked()
+		}
+	}
+	heartbeat := func() {
+		postMu.Lock()
+		defer postMu.Unlock()
+		if remaining == 0 {
+			return // lease already completed by its final unit result
+		}
+		post(nil)
+	}
+
 	var hbWG sync.WaitGroup
 	hbWG.Add(1)
 	go func() {
@@ -216,7 +248,7 @@ func (w Options) runLease(ctx context.Context, cli *dmsclient.Client, cache *ser
 		for {
 			select {
 			case <-t.C:
-				post(nil)
+				heartbeat()
 			case <-hbStop:
 				return
 			case <-leaseCtx.Done():
@@ -241,9 +273,11 @@ func (w Options) runLease(ctx context.Context, cli *dmsclient.Client, cache *ser
 		if leaseCtx.Err() != nil {
 			return
 		}
-		post([]api.UnitResult{{Unit: u.ID, Result: rec}})
+		postUnit(api.UnitResult{Unit: u.ID, Result: rec})
 	})
-	close(hbStop)
+	postMu.Lock()
+	stopHeartbeatLocked() // units may have been skipped on a dead lease
+	postMu.Unlock()
 	hbWG.Wait()
 }
 

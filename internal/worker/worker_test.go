@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -291,6 +293,102 @@ func TestWorkerCrashRequeues(t *testing.T) {
 	}
 	if dm.Resolved != uint64(njobs) {
 		t.Errorf("resolved = %d, want %d", dm.Resolved, njobs)
+	}
+}
+
+// TestWorkerCleanDrainNoSpuriousExpiry pins the heartbeat shutdown
+// order: the coordinator forgets a lease the moment its final unit
+// result is acked, so a heartbeat that fires while (or after) the
+// final post is in flight draws 410 lease_expired for a lease that
+// drained cleanly — and the worker would log a spurious expiry and
+// cancel its lease context. The fake coordinator here marks the lease
+// complete as soon as the last result arrives and then stalls the
+// response well past the heartbeat interval: every heartbeat the
+// worker lets slip through during or after that window is counted as
+// a spurious 410.
+func TestWorkerCleanDrainNoSpuriousExpiry(t *testing.T) {
+	loopText := goldenLoops(t)[0]
+	const leaseID = "lease-drain"
+	unit := func(id string) api.WorkUnit {
+		return api.WorkUnit{ID: id, Hash: id, Loop: loopText, Machine: api.MachineSpec{Clusters: 2}, Scheduler: "dms"}
+	}
+
+	var (
+		mu        sync.Mutex
+		handed    bool
+		resolved  = map[string]bool{}
+		complete  bool
+		spurious  int // posts (heartbeat or result) answered 410 after clean completion
+		ackedAll  = make(chan struct{})
+		closeOnce sync.Once
+	)
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set(api.ProtocolHeader, api.Version)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathWorkersLease, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		first := !handed
+		handed = true
+		mu.Unlock()
+		if first {
+			writeJSON(w, http.StatusOK, api.Lease{ID: leaseID, Units: []api.WorkUnit{unit("u1"), unit("u2")}, TTLMS: 150})
+			return
+		}
+		writeJSON(w, http.StatusOK, api.Lease{PollMS: 60_000})
+	})
+	mux.HandleFunc(api.WorkerResultsPath(leaseID), func(w http.ResponseWriter, r *http.Request) {
+		var req api.WorkResultsRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad results body: %v", err)
+		}
+		mu.Lock()
+		if complete {
+			spurious++
+			mu.Unlock()
+			writeJSON(w, http.StatusGone, api.ErrorResponse{Error: api.Error{Code: api.CodeLeaseExpired, Message: "lease expired"}})
+			return
+		}
+		for _, ur := range req.Results {
+			resolved[ur.Unit] = true
+		}
+		done := len(resolved) == 2
+		if done {
+			complete = true
+		}
+		mu.Unlock()
+		if done {
+			// Stall the final ack across several heartbeat intervals:
+			// a ticker the worker has not stopped by then will post
+			// into the now-forgotten lease.
+			time.Sleep(300 * time.Millisecond)
+			closeOnce.Do(func() { close(ackedAll) })
+		}
+		writeJSON(w, http.StatusOK, api.WorkResultsResponse{Acked: len(req.Results)})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	startWorker(t, ts.URL, worker.Options{ID: "drain", Parallelism: 1, Wait: 100 * time.Millisecond})
+
+	select {
+	case <-ackedAll:
+	case <-time.After(30 * time.Second):
+		t.Fatal("lease never drained")
+	}
+	// Grace period for any straggler heartbeat to land.
+	time.Sleep(300 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if !resolved["u1"] || !resolved["u2"] {
+		t.Fatalf("units resolved = %v, want both", resolved)
+	}
+	if spurious != 0 {
+		t.Errorf("clean lease drain drew %d spurious lease_expired responses", spurious)
 	}
 }
 

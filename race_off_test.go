@@ -1,0 +1,8 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget gate skips under -race, where the instrumented
+// runtime inflates allocation counts.
+const raceEnabled = false
