@@ -521,6 +521,19 @@ type DispatchMetrics struct {
 	Requeued   uint64 `json:"requeued"`
 }
 
+// DurabilityMetrics reports the disk-backed control plane of a
+// coordinator started with a data directory.
+type DurabilityMetrics struct {
+	// RecoveredTasks counts the queue tasks replayed from the
+	// write-ahead log when this process started; RecoveredBuffers
+	// counts the result buffers rebuilt from disk segments.
+	RecoveredTasks   int `json:"recovered_tasks"`
+	RecoveredBuffers int `json:"recovered_buffers"`
+	// WALBytes is the current size of the queue's durable log
+	// (snapshot + live tail, after compaction).
+	WALBytes int64 `json:"wal_bytes"`
+}
+
 // ServerMetrics is the GET /v1/metrics payload.
 type ServerMetrics struct {
 	Requests  int64        `json:"requests"`
@@ -531,6 +544,9 @@ type ServerMetrics struct {
 	// Dispatch reports the worker-pull dispatcher (present on servers
 	// that serve the /v1/workers surface; absent on older servers).
 	Dispatch *DispatchMetrics `json:"dispatch,omitempty"`
+	// Durability reports the durable control plane (absent on servers
+	// running without a data directory).
+	Durability *DurabilityMetrics `json:"durability,omitempty"`
 }
 
 // Health is the GET /v1/healthz payload.

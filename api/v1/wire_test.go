@@ -30,6 +30,7 @@ func wireTypes() []any {
 		CacheMetrics{},
 		QueueMetrics{},
 		DispatchMetrics{},
+		DurabilityMetrics{},
 		ServerMetrics{},
 		Health{},
 		LeaseRequest{},

@@ -24,6 +24,15 @@
 // against the coordinator named by -coordinator, compiling with the
 // local driver through a local schedule cache.
 //
+// Both serving roles accept -data-dir, which makes the control plane
+// durable: the unit queue is write-ahead logged and result buffers
+// live in disk segments under that directory. A coordinator killed
+// mid-batch and restarted over the same -data-dir resumes interrupted
+// jobs under their original IDs — workers drain the recovered queue —
+// and finished jobs stay pollable. A standalone server keeps finished
+// results across restarts; its in-flight batches (which never reach
+// the unit queue) finish as canceled with an explanatory failure.
+//
 // Submit work with cmd/dmsclient, the pkg/dmsclient SDK, or any HTTP
 // client. The synchronous surface streams NDJSON closed by a summary
 // record; the asynchronous surface decouples submission from result
@@ -82,7 +91,9 @@ func main() {
 		jobTTL     = flag.Duration("job-ttl", jobs.DefaultTTL, "retention of finished jobs' results for polling/resume")
 		jobBytes   = flag.Int64("job-bytes", jobs.DefaultMaxRetainedBytes, "approximate cap on retained results' total size")
 		retryAfter = flag.Duration("retry-after", server.DefaultRetryAfter, "429 backoff hint until batch service times are observed (then adaptive)")
-		shards     = flag.Int("result-shards", 0, "shard the result-buffer index N ways by content hash (0/1 = single table)")
+		shards     = flag.Int("result-shards", 0, "shard the result-buffer index N ways by content hash (0/1 = single table; ignored with -data-dir)")
+		dataDir    = flag.String("data-dir", "", "durable state directory: queue WAL + result segments, recovered on restart (empty = in-memory)")
+		fsync      = flag.Bool("fsync", true, "fsync every durable append (with -data-dir; off rides the OS page cache)")
 		grace      = flag.Duration("grace", 10*time.Second, "shutdown grace period")
 
 		// Distribution (coordinator/worker roles).
@@ -124,7 +135,7 @@ func main() {
 		log.Fatalf("unknown -role %q (want standalone, coordinator or worker)", *role)
 	}
 
-	svc := server.New(server.Options{
+	svc, err := server.Open(server.Options{
 		CacheSize:        *cacheSize,
 		Timeout:          *timeout,
 		Parallelism:      *par,
@@ -138,8 +149,18 @@ func main() {
 		LeaseTTL:         *leaseTTL,
 		LeaseChunk:       *chunk,
 		WorkerPoll:       *workerPoll,
+		DataDir:          *dataDir,
+		Fsync:            *fsync,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer svc.Close()
+	if *dataDir != "" {
+		m := svc.Snapshot()
+		log.Printf("durable state in %s (fsync %v): recovered %d queued units, %d result buffers",
+			*dataDir, *fsync, m.Durability.RecoveredTasks, m.Durability.RecoveredBuffers)
+	}
 	httpSrv := &http.Server{
 		Addr:    *addr,
 		Handler: svc.Handler(),

@@ -175,9 +175,37 @@ func testQueueConformance(t *testing.T, mk func(capacity int) Queue) {
 		}
 	})
 
+	t.Run("ExpiryRestoresFIFO", func(t *testing.T) {
+		// The requeue-order property: a crashed owner's lease of N
+		// hashed tasks comes back at the front of the queue in the
+		// original admission order, not scrambled.
+		q := mk(0)
+		const n = 12
+		for i := 0; i < n; i++ {
+			if err := q.Enqueue(Task{ID: fmt.Sprintf("t%02d", i), Hash: fmt.Sprintf("h%02d", i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, tasks := q.Lease("crasher", n, 10*time.Millisecond); len(tasks) != n {
+			t.Fatalf("leased %d tasks, want %d", len(tasks), n)
+		}
+		if got := q.Expire(time.Now().Add(time.Minute)); got != n {
+			t.Fatalf("Expire requeued %d, want %d", got, n)
+		}
+		_, tasks := q.Lease("survivor", n, 0)
+		if len(tasks) != n {
+			t.Fatalf("re-leased %d tasks, want %d", len(tasks), n)
+		}
+		for i, task := range tasks {
+			if want := fmt.Sprintf("t%02d", i); task.ID != want {
+				t.Fatalf("requeue order broken at %d: got %s, want %s", i, task.ID, want)
+			}
+		}
+	})
+
 	t.Run("StaleAffinityDoesNotStarve", func(t *testing.T) {
 		q := mk(0)
-		if mq, ok := q.(*memQueue); ok {
+		if mq, ok := unwrapQueue(q).(*memQueue); ok {
 			mq.affinityWait = 20 * time.Millisecond
 		}
 		// w1 claims hash h and acks its task — then vanishes. Lease
@@ -292,8 +320,33 @@ func testQueueConformance(t *testing.T, mk func(capacity int) Queue) {
 	})
 }
 
+// unwrapQueue strips decorators (the WAL) off a queue so suite tweaks
+// that need the concrete in-process queue still reach it.
+func unwrapQueue(q Queue) Queue {
+	for {
+		w, ok := q.(interface{ Inner() Queue })
+		if !ok {
+			return q
+		}
+		q = w.Inner()
+	}
+}
+
 func TestMemQueueConformance(t *testing.T) {
 	testQueueConformance(t, NewMemQueue)
+}
+
+// TestWALQueueConformance holds the write-ahead-log decorator to the
+// exact same behavioural contract as the queue it wraps.
+func TestWALQueueConformance(t *testing.T) {
+	testQueueConformance(t, func(capacity int) Queue {
+		w, err := NewWALQueue(NewMemQueue(capacity), t.TempDir(), WALOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		return w
+	})
 }
 
 // testStoreConformance runs the ResultStore contract against a
@@ -415,6 +468,34 @@ func TestMemStoreConformance(t *testing.T) {
 
 func TestShardedStoreConformance(t *testing.T) {
 	testStoreConformance(t, func() ResultStore { return NewShardedStore(4) })
+}
+
+func TestDiskStoreConformance(t *testing.T) {
+	testStoreConformance(t, func() ResultStore {
+		s, err := NewDiskStore(t.TempDir(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}
+
+// TestDiskStoreConformanceFsync reruns the store contract under the
+// fsync-each-append policy — the durability knob must not change
+// observable behaviour, only crash guarantees.
+func TestDiskStoreConformanceFsync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fsync per append in -short mode")
+	}
+	testStoreConformance(t, func() ResultStore {
+		s, err := NewDiskStore(t.TempDir(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
 }
 
 // TestEngineWithShardedStore runs a full engine lifecycle on the

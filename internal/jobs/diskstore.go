@@ -1,0 +1,330 @@
+package jobs
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	api "repro/api/v1"
+)
+
+// DiskStore is the durable ResultStore: one append-only segment file
+// per job, each a sequence of checksummed frames (segment.go), plus
+// the full in-memory index and record set of the in-process store. The
+// disk side exists purely for durability — reads are always served
+// from memory, so streaming stays as fast as the in-memory store and a
+// read never blocks on I/O.
+//
+// Opening a directory recovers it: every segment is scanned, torn
+// tails (a crash mid-append) are truncated away, and the buffers come
+// back with their records, counters and metadata intact. The engine
+// re-registers recovered jobs via Engine.RecoverFinished /
+// Engine.Recover.
+//
+// Dropping a buffer deletes its segment — the engine's retention GC
+// bounds disk the same way it bounds memory. As with every
+// ResultStore, holders of a dropped Buffer keep reading it (from
+// memory); only durability ends at Drop.
+type DiskStore struct {
+	dir  string
+	sync bool // fsync after every append
+
+	mu        sync.Mutex
+	byID      map[string]*diskBuffer
+	recovered []string // job IDs restored by Open, in no particular order
+	ioErrs    uint64   // failed disk appends (memory stays authoritative)
+}
+
+// segExt suffixes one job's segment file; the name stem is the
+// hex-encoded job ID.
+const segExt = ".seg"
+
+// Segment frame ops.
+const (
+	opRecord = 'R' // payload: JSON api.JobResult
+	opMeta   = 'M' // payload: opaque job metadata (see MetaStore)
+)
+
+// NewDiskStore opens (creating if needed) a durable result store in
+// dir and recovers every segment found there. With syncEachAppend set
+// every appended record is fsynced before Append returns — a machine
+// crash loses nothing acked; without it the OS page cache decides, and
+// a crash can lose the last moments of results (a process crash alone
+// loses nothing either way).
+func NewDiskStore(dir string, syncEachAppend bool) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &DiskStore{dir: dir, sync: syncEachAppend, byID: make(map[string]*diskBuffer)}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, segExt) {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, segExt))
+		if err != nil {
+			continue // not one of ours
+		}
+		id := string(raw)
+		b, err := s.recoverSegment(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("jobs: recover segment %s: %w", name, err)
+		}
+		s.byID[id] = b
+		s.recovered = append(s.recovered, id)
+	}
+	return s, nil
+}
+
+// recoverSegment replays one segment file, truncates its torn tail,
+// and returns the rebuilt buffer with the file open for appends.
+func (s *DiskStore) recoverSegment(path string) (*diskBuffer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	b := &diskBuffer{store: s, f: f}
+	valid, err := scanFrames(f, func(op byte, payload []byte) error {
+		switch op {
+		case opRecord:
+			var rec api.JobResult
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return fmt.Errorf("record frame: %w", err)
+			}
+			b.applyLocked(rec)
+		case opMeta:
+			b.meta = append([]byte(nil), payload...)
+		}
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := truncateTorn(f, valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+func (s *DiskStore) segPath(id string) string {
+	return filepath.Join(s.dir, hex.EncodeToString([]byte(id))+segExt)
+}
+
+func (s *DiskStore) Create(id string) Buffer {
+	b := &diskBuffer{store: s}
+	f, err := os.OpenFile(s.segPath(id), os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err == nil {
+		b.f = f
+	} else {
+		s.noteIOErr()
+	}
+	s.mu.Lock()
+	if old := s.byID[id]; old != nil {
+		old.detach()
+	}
+	s.byID[id] = b
+	s.mu.Unlock()
+	return b
+}
+
+func (s *DiskStore) Get(id string) (Buffer, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.byID[id]
+	return b, ok
+}
+
+func (s *DiskStore) Drop(id string) {
+	s.mu.Lock()
+	b := s.byID[id]
+	delete(s.byID, id)
+	s.mu.Unlock()
+	if b != nil {
+		b.detach()
+		os.Remove(s.segPath(id))
+	}
+}
+
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// SetMeta durably attaches opaque metadata to a job's segment (the
+// engine records the expected result count here, so recovery can tell
+// a finished job from one that died mid-run). Implements MetaStore.
+func (s *DiskStore) SetMeta(id string, meta []byte) error {
+	s.mu.Lock()
+	b := s.byID[id]
+	s.mu.Unlock()
+	if b == nil {
+		return fmt.Errorf("jobs: SetMeta on unknown job %q", id)
+	}
+	return b.setMeta(meta)
+}
+
+// Meta returns the metadata last attached to id, if any.
+func (s *DiskStore) Meta(id string) ([]byte, bool) {
+	s.mu.Lock()
+	b := s.byID[id]
+	s.mu.Unlock()
+	if b == nil {
+		return nil, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.meta == nil {
+		return nil, false
+	}
+	return append([]byte(nil), b.meta...), true
+}
+
+// RecoveredIDs returns the job IDs restored when the store was opened.
+func (s *DiskStore) RecoveredIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.recovered...)
+}
+
+// IOErrors counts disk appends that failed; the in-memory side stays
+// authoritative, so serving is unaffected — only durability of those
+// records is lost.
+func (s *DiskStore) IOErrors() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ioErrs
+}
+
+func (s *DiskStore) noteIOErr() {
+	s.mu.Lock()
+	s.ioErrs++
+	s.mu.Unlock()
+}
+
+// Close releases every open segment file handle. Buffers stay
+// readable from memory; further appends lose durability only.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	bufs := make([]*diskBuffer, 0, len(s.byID))
+	for _, b := range s.byID {
+		bufs = append(bufs, b)
+	}
+	s.mu.Unlock()
+	for _, b := range bufs {
+		b.detach()
+	}
+	return nil
+}
+
+// diskBuffer is a memBuffer-alike whose appends also land in the
+// job's segment file. meta is written via the store, guarded by the
+// same mutex as the records.
+type diskBuffer struct {
+	store *DiskStore
+
+	mu     sync.Mutex
+	f      *os.File // nil once detached (dropped/closed): memory-only
+	recs   []api.JobResult
+	errors int
+	cached int
+	bytes  int64
+	meta   []byte
+}
+
+// applyLocked accounts one record in memory. Callers hold b.mu or are
+// single-threaded (recovery).
+func (b *diskBuffer) applyLocked(rec api.JobResult) {
+	b.recs = append(b.recs, rec)
+	b.bytes += recSize(rec)
+	if rec.Error != "" {
+		b.errors++
+	}
+	if rec.Cached {
+		b.cached++
+	}
+}
+
+func (b *diskBuffer) Append(rec api.JobResult) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.applyLocked(rec)
+	if b.f == nil {
+		return
+	}
+	if err := b.appendFrameLocked(opRecord, mustJSON(rec)); err != nil {
+		b.store.noteIOErr()
+	}
+}
+
+func (b *diskBuffer) setMeta(meta []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.meta = append([]byte(nil), meta...)
+	if b.f == nil {
+		return nil
+	}
+	return b.appendFrameLocked(opMeta, meta)
+}
+
+// appendFrameLocked writes one frame to the segment, fsyncing under
+// the store's sync policy. Requires b.mu.
+func (b *diskBuffer) appendFrameLocked(op byte, payload []byte) error {
+	if _, err := appendFrame(b.f, op, payload); err != nil {
+		return err
+	}
+	if b.store.sync {
+		return b.f.Sync()
+	}
+	return nil
+}
+
+// detach closes the segment file; the buffer lives on in memory.
+func (b *diskBuffer) detach() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f != nil {
+		b.f.Close()
+		b.f = nil
+	}
+}
+
+func (b *diskBuffer) Results(from int) []api.JobResult {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(b.recs) {
+		return nil
+	}
+	out := make([]api.JobResult, len(b.recs)-from)
+	copy(out, b.recs[from:])
+	return out
+}
+
+func (b *diskBuffer) Stats() BufferStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BufferStats{Results: len(b.recs), Errors: b.errors, Cached: b.cached, Bytes: b.bytes}
+}
+
+// mustJSON marshals v, which must be a plain wire struct; the wire
+// types marshal without error by construction.
+func mustJSON(v any) []byte {
+	out, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

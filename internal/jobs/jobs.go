@@ -41,6 +41,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -62,6 +63,34 @@ var ErrClosed = errors.New("jobs: engine closed")
 // many results were emitted). Emit is safe for concurrent use by the
 // run's own workers.
 type RunFunc func(ctx context.Context, emit func(api.JobResult))
+
+// jobIDKey carries the executing job's ID in the RunFunc context.
+type jobIDKey struct{}
+
+// JobID returns the ID of the job a RunFunc was invoked for, or ""
+// outside an executor context. Run functions that hand work to an
+// external system (the coordinator's unit dispatcher) key it by this
+// ID, so state restored after a crash re-attaches to the same job.
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey{}).(string)
+	return id
+}
+
+// MetaStore is the optional ResultStore extension a durable store
+// implements: opaque per-job metadata persisted alongside the result
+// buffer. The engine writes a BufferMeta at Submit so recovery can
+// tell a finished job (buffer holds all n results) from one that died
+// mid-run.
+type MetaStore interface {
+	SetMeta(id string, meta []byte) error
+	Meta(id string) ([]byte, bool)
+}
+
+// BufferMeta is the engine's durable per-job metadata.
+type BufferMeta struct {
+	// N is the expected result count promised to Submit.
+	N int `json:"n"`
+}
 
 // Options configure an Engine.
 type Options struct {
@@ -291,6 +320,15 @@ func (e *Engine) Submit(n int, run RunFunc) (*Job, error) {
 	}
 	e.gcLocked(now)
 	j.buf = e.store.Create(j.id)
+	// Persist the expected result count before the job can produce any
+	// visible effect: recovery needs it to distinguish a complete
+	// buffer from a truncated one. Best-effort — a failed write only
+	// degrades this job's recoverability, not its execution.
+	if ms, ok := e.store.(MetaStore); ok {
+		if meta, err := json.Marshal(BufferMeta{N: n}); err == nil {
+			ms.SetMeta(j.id, meta)
+		}
+	}
 	if err := e.q.Enqueue(Task{ID: j.id, Payload: j}); err != nil {
 		e.store.Drop(j.id)
 		e.rejected++
@@ -299,6 +337,83 @@ func (e *Engine) Submit(n int, run RunFunc) (*Job, error) {
 	e.admitted++
 	e.byID[j.id] = j
 	return j, nil
+}
+
+// RecoverFinished re-registers a job restored from a durable store in
+// a terminal state: its buffer (looked up in the store by ID) serves
+// polls and streams exactly like a job that finished in this process,
+// and the retention TTL counts from now. Used by the server when
+// recovery finds a complete result set — or an unresumable partial
+// one, which it registers as canceled with a failure note.
+func (e *Engine) RecoverFinished(id string, n int, state api.JobState, failure string) (*Job, error) {
+	if !state.Terminal() {
+		return nil, fmt.Errorf("jobs: RecoverFinished with non-terminal state %q", state)
+	}
+	now := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	j, err := e.recoveredJobLocked(id, n, now)
+	if err != nil {
+		return nil, err
+	}
+	j.state = state
+	j.failure = failure
+	j.finished = now
+	e.byID[id] = j
+	e.finished = append(e.finished, j)
+	e.retainedBytes += j.buf.Stats().Bytes
+	return j, nil
+}
+
+// Recover re-registers a restored job whose batch is still in flight
+// and queues run for an executor, exactly like Submit minus the buffer
+// creation — the buffer (with however many results the previous
+// process persisted) is adopted from the store. The run function must
+// emit only the missing results; recovery wiring (the coordinator's
+// dispatcher adoption) is responsible for that arithmetic.
+func (e *Engine) Recover(id string, n int, run RunFunc) (*Job, error) {
+	now := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	j, err := e.recoveredJobLocked(id, n, now)
+	if err != nil {
+		return nil, err
+	}
+	j.run = run
+	if err := e.q.Enqueue(Task{ID: id, Payload: j}); err != nil {
+		return nil, err
+	}
+	e.admitted++
+	e.byID[id] = j
+	return j, nil
+}
+
+// recoveredJobLocked builds the Job shell shared by the two recovery
+// paths: ID checked for collisions, buffer adopted from the store
+// (created empty when the store lost it). Requires e.mu.
+func (e *Engine) recoveredJobLocked(id string, n int, now time.Time) (*Job, error) {
+	if _, dup := e.byID[id]; dup {
+		return nil, fmt.Errorf("jobs: job %q already registered", id)
+	}
+	buf, ok := e.store.Get(id)
+	if !ok {
+		buf = e.store.Create(id)
+	}
+	return &Job{
+		id:      id,
+		engine:  e,
+		n:       n,
+		buf:     buf,
+		state:   api.JobQueued,
+		changed: make(chan struct{}),
+		created: now,
+	}, nil
 }
 
 // Get returns the job with the given ID, if it is still known (queued,
@@ -428,7 +543,7 @@ func (e *Engine) execute(j *Job) {
 		}
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.WithValue(context.Background(), jobIDKey{}, j.id))
 	j.cancel = cancel
 	j.state = api.JobRunning
 	j.started = now

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -480,5 +481,147 @@ func TestEngineCloseDrainsQueue(t *testing.T) {
 	}
 	if _, err := e.Submit(1, func(context.Context, func(api.JobResult)) {}); err != ErrClosed {
 		t.Errorf("submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestRunFuncSeesJobID pins the JobID context plumbing: a run function
+// must observe the ID of its own job, so external dispatch state keyed
+// by it survives a restart.
+func TestRunFuncSeesJobID(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	got := make(chan string, 1)
+	j, err := e.Submit(1, func(ctx context.Context, emit func(api.JobResult)) {
+		got <- JobID(ctx)
+		emit(api.JobResult{Index: 0})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state, err := j.Wait(context.Background()); err != nil || state != api.JobDone {
+		t.Fatalf("Wait = %v, %v", state, err)
+	}
+	if id := <-got; id != j.ID() {
+		t.Fatalf("JobID(ctx) = %q, want %q", id, j.ID())
+	}
+	if JobID(context.Background()) != "" {
+		t.Fatal("JobID outside an executor context should be empty")
+	}
+}
+
+// TestSubmitPersistsMeta pins the MetaStore handshake: a durable store
+// under the engine learns each job's expected result count before the
+// job runs.
+func TestSubmitPersistsMeta(t *testing.T) {
+	ds, err := NewDiskStore(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	e := New(Options{Workers: 1, Store: ds})
+	defer e.Close()
+	j := submitN(t, e, 3)
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	meta, ok := ds.Meta(j.ID())
+	if !ok {
+		t.Fatal("no metadata persisted at Submit")
+	}
+	var bm BufferMeta
+	if err := json.Unmarshal(meta, &bm); err != nil || bm.N != 3 {
+		t.Fatalf("meta = %q (%v), want n=3", meta, err)
+	}
+}
+
+// TestEngineRecoverFinished: a terminal job restored from a durable
+// store serves polls, streams, and summaries exactly like one that
+// finished in-process, and honors the retention TTL from recovery.
+func TestEngineRecoverFinished(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDiskStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(Options{Workers: 1, Store: ds})
+	j1 := submitN(t, e1, 3)
+	if state, err := j1.Wait(context.Background()); err != nil || state != api.JobDone {
+		t.Fatalf("Wait = %v, %v", state, err)
+	}
+	e1.Close()
+	ds.Close()
+
+	// "Restart": fresh store over the same dir, fresh engine, adopt.
+	ds2, err := NewDiskStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	e2 := New(Options{Workers: 1, Store: ds2})
+	defer e2.Close()
+	j2, err := e2.RecoverFinished(j1.ID(), 3, api.JobDone, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e2.Get(j1.ID())
+	if !ok || got != j2 {
+		t.Fatal("recovered job not registered")
+	}
+	recs, state := j2.Results(0)
+	if state != api.JobDone || len(recs) != 3 {
+		t.Fatalf("recovered job: state %v, %d recs", state, len(recs))
+	}
+	if sum := j2.Summary(); sum.Jobs != 3 {
+		t.Fatalf("recovered summary = %+v", sum)
+	}
+	if m := e2.Metrics(); m.Retained != 1 {
+		t.Fatalf("Retained = %d, want 1", m.Retained)
+	}
+	// Double recovery of the same ID is rejected, not silently merged.
+	if _, err := e2.RecoverFinished(j1.ID(), 3, api.JobDone, ""); err == nil {
+		t.Fatal("duplicate recovery accepted")
+	}
+	// A non-terminal state is a caller bug.
+	if _, err := e2.RecoverFinished("other", 1, api.JobRunning, ""); err == nil {
+		t.Fatal("RecoverFinished accepted a non-terminal state")
+	}
+}
+
+// TestEngineRecoverResumes: a recovered in-flight job runs its
+// (resumption) closure and finishes with the union of restored and
+// freshly emitted results.
+func TestEngineRecoverResumes(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDiskStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the pre-crash process: buffer with 1 of 3 results.
+	ds.Create("job-r").Append(api.JobResult{Index: 0, Job: "persisted"})
+	ds.Close()
+
+	ds2, err := NewDiskStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	e := New(Options{Workers: 1, Store: ds2})
+	defer e.Close()
+	j, err := e.Recover("job-r", 3, func(ctx context.Context, emit func(api.JobResult)) {
+		if JobID(ctx) != "job-r" {
+			t.Error("resumed run lost its job ID")
+		}
+		emit(api.JobResult{Index: 1, Job: "fresh"})
+		emit(api.JobResult{Index: 2, Job: "fresh"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state, err := j.Wait(context.Background()); err != nil || state != api.JobDone {
+		t.Fatalf("Wait = %v, %v", state, err)
+	}
+	recs, _ := j.Results(0)
+	if len(recs) != 3 || recs[0].Job != "persisted" || recs[2].Job != "fresh" {
+		t.Fatalf("resumed job results = %+v", recs)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -123,14 +125,17 @@ type memQueue struct {
 	byID     map[string]*qtask // pending + leased
 	leases   map[string]*qlease
 	affinity map[string]string // task hash → owner
+	hashRefs map[string]int    // task hash → live (pending + leased) tasks
 	changed  chan struct{}
 	requeued uint64
+	seq      uint64 // admission order, assigned at Enqueue
 }
 
 type qtask struct {
 	task     Task
 	lease    string    // "" while pending
 	enqueued time.Time // admission time; kept across requeues
+	seq      uint64    // admission order; ties requeues back to FIFO
 }
 
 type qlease struct {
@@ -149,15 +154,34 @@ func NewMemQueue(capacity int) Queue {
 		byID:         make(map[string]*qtask),
 		leases:       make(map[string]*qlease),
 		affinity:     make(map[string]string),
+		hashRefs:     make(map[string]int),
 		changed:      make(chan struct{}),
 	}
 }
 
-// newLeaseID returns a fresh 64-bit lease ID.
+// leaseEntropy feeds newLeaseID; a test can swap it out to exercise
+// the fallback path.
+var leaseEntropy io.Reader = rand.Reader
+
+// leaseIDFallback hands out sequential IDs when the entropy source
+// fails. Sequential IDs are fine here: lease IDs only need to be
+// unique within one queue's lifetime, not unguessable.
+var leaseIDFallback struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// newLeaseID returns a fresh 64-bit lease ID. A transient entropy
+// read failure falls back to a counter-based ID — a coordinator must
+// not crash because /dev/urandom hiccuped under fd pressure.
 func newLeaseID() string {
 	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("jobs: lease id entropy unavailable: %v", err))
+	if _, err := io.ReadFull(leaseEntropy, b[:]); err != nil {
+		leaseIDFallback.mu.Lock()
+		leaseIDFallback.n++
+		n := leaseIDFallback.n
+		leaseIDFallback.mu.Unlock()
+		return fmt.Sprintf("lease-%016x", n)
 	}
 	return hex.EncodeToString(b[:])
 }
@@ -172,9 +196,13 @@ func (q *memQueue) Enqueue(t Task) error {
 	if _, dup := q.byID[t.ID]; dup {
 		return fmt.Errorf("jobs: task %q already queued", t.ID)
 	}
-	qt := &qtask{task: t, enqueued: time.Now()}
+	q.seq++
+	qt := &qtask{task: t, enqueued: time.Now(), seq: q.seq}
 	q.pending = append(q.pending, qt)
 	q.byID[t.ID] = qt
+	if t.Hash != "" {
+		q.hashRefs[t.Hash]++
+	}
 	q.broadcastLocked()
 	return nil
 }
@@ -303,6 +331,10 @@ func (q *memQueue) Ack(lease, taskID string) bool {
 	}
 	delete(l.tasks, taskID)
 	delete(q.byID, qt.task.ID)
+	// Keep the hash route even when this was the last task of the hash:
+	// a completed hash's route is the cache-warmth hint that steers the
+	// next identical task back to the owner that just computed it.
+	q.dropHashRefLocked(qt.task.Hash, false)
 	if l.ttl > 0 {
 		l.deadline = now.Add(l.ttl)
 	}
@@ -333,20 +365,44 @@ func (q *memQueue) Nack(lease, taskID string) bool {
 }
 
 // requeueLocked returns a leased task to the front of the queue and
-// drops its hash route — but only while the route still points at the
-// owner that held the task. The hash may have been re-routed to
-// another owner in the meantime (affinity-wait takeover, work
-// stealing); deleting unconditionally severed that owner's live route,
-// scattering its identical-content tasks across the fleet. Requires
-// q.mu.
+// releases its hash route (see releaseRouteLocked). Requires q.mu.
 func (q *memQueue) requeueLocked(qt *qtask, owner string) {
 	qt.lease = ""
-	if h := qt.task.Hash; h != "" && q.affinity[h] == owner {
-		delete(q.affinity, h)
-	}
+	q.releaseRouteLocked(qt, owner)
 	q.pending = append([]*qtask{qt}, q.pending...)
 	q.requeued++
 	q.broadcastLocked()
+}
+
+// releaseRouteLocked drops a requeued task's hash route — but only
+// while the route still points at the owner that held the task. The
+// hash may have been re-routed to another owner in the meantime
+// (affinity-wait takeover, work stealing); deleting unconditionally
+// severed that owner's live route, scattering its identical-content
+// tasks across the fleet. Requires q.mu.
+func (q *memQueue) releaseRouteLocked(qt *qtask, owner string) {
+	if h := qt.task.Hash; h != "" && q.affinity[h] == owner {
+		delete(q.affinity, h)
+	}
+}
+
+// dropHashRefLocked releases one live-task reference on hash. With
+// dropRoute set and no live task left sharing the hash, the affinity
+// route goes too: a route whose every task was withdrawn or drained
+// is a squatter — later tasks of that hash would defer up to
+// affinityWait to an owner that may never lease again. (Ack passes
+// false: a completed task's route is a warm-cache hint worth keeping.)
+// Requires q.mu.
+func (q *memQueue) dropHashRefLocked(hash string, dropRoute bool) {
+	if hash == "" {
+		return
+	}
+	if q.hashRefs[hash]--; q.hashRefs[hash] <= 0 {
+		delete(q.hashRefs, hash)
+		if dropRoute {
+			delete(q.affinity, hash)
+		}
+	}
 }
 
 func (q *memQueue) Withdraw(taskID string) bool {
@@ -363,6 +419,7 @@ func (q *memQueue) Withdraw(taskID string) bool {
 		}
 	}
 	delete(q.byID, taskID)
+	q.dropHashRefLocked(qt.task.Hash, true)
 	q.broadcastLocked()
 	return true
 }
@@ -385,6 +442,7 @@ func (q *memQueue) Drain() []Task {
 	for _, qt := range q.pending {
 		tasks = append(tasks, qt.task)
 		delete(q.byID, qt.task.ID)
+		q.dropHashRefLocked(qt.task.Hash, true)
 	}
 	q.pending = nil
 	q.broadcastLocked()
@@ -397,21 +455,33 @@ func (q *memQueue) Expire(now time.Time) int {
 	return q.expireLocked(now)
 }
 
-// expireLocked requeues the tasks of every overdue lease. Requires
-// q.mu.
+// expireLocked requeues the tasks of every overdue lease, restoring
+// them to the front of the queue in original admission order. The
+// tasks are collected across all overdue leases, sorted by admission
+// seq, and prepended in one batch: requeueing them one by one in Go
+// map iteration order scrambled a recovered batch nondeterministically
+// and cost O(k·n) in repeated front-prepends. Requires q.mu.
 func (q *memQueue) expireLocked(now time.Time) int {
-	n := 0
+	var expired []*qtask
 	for id, l := range q.leases {
 		if l.deadline.IsZero() || now.Before(l.deadline) {
 			continue
 		}
 		delete(q.leases, id)
 		for _, qt := range l.tasks {
-			q.requeueLocked(qt, l.owner)
-			n++
+			qt.lease = ""
+			q.releaseRouteLocked(qt, l.owner)
+			expired = append(expired, qt)
 		}
 	}
-	return n
+	if len(expired) == 0 {
+		return 0
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].seq < expired[j].seq })
+	q.pending = append(expired, q.pending...)
+	q.requeued += uint64(len(expired))
+	q.broadcastLocked()
+	return len(expired)
 }
 
 func (q *memQueue) Changed() <-chan struct{} {

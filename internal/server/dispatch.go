@@ -54,6 +54,7 @@ type dispatcher struct {
 	resolved   uint64
 
 	batchSeq atomic.Uint64
+	shutdown atomic.Bool // process exiting: keep canceled units durable
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -72,16 +73,23 @@ type unit struct {
 
 // dispatchBatch tracks one batch's outstanding units. closed flips
 // when the batch ends (all units resolved, or its context canceled);
-// results arriving afterwards are discarded.
+// results arriving afterwards are discarded. A batch recovered after a
+// restart exists before its run closure does: results that land in
+// that window buffer in backlog and flush when the executor attaches
+// the emit stream.
 type dispatchBatch struct {
 	mu      sync.Mutex
 	closed  bool
 	pending int
 	emit    func(api.JobResult)
+	backlog []api.JobResult // results resolved before emit attached
 	done    chan struct{}
 }
 
-func newDispatcher(cache *Cache, ttl time.Duration, chunk int, poll time.Duration) *dispatcher {
+func newDispatcher(cache *Cache, q jobs.Queue, ttl time.Duration, chunk int, poll time.Duration) *dispatcher {
+	if q == nil {
+		q = jobs.NewMemQueue(0) // admission is bounded per batch upstream
+	}
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
 	}
@@ -92,7 +100,7 @@ func newDispatcher(cache *Cache, ttl time.Duration, chunk int, poll time.Duratio
 		poll = DefaultWorkerPoll
 	}
 	d := &dispatcher{
-		q:      jobs.NewMemQueue(0), // admission is bounded per batch upstream
+		q:      q,
 		cache:  cache,
 		ttl:    ttl,
 		chunk:  chunk,
@@ -158,7 +166,14 @@ func (d *dispatcher) Close() {
 // set, Cached marking cache hits.
 func (d *dispatcher) RunBatch(ctx context.Context, jobList []driver.Job, timeout time.Duration, noCache bool, emit func(api.JobResult)) {
 	b := &dispatchBatch{emit: emit, done: make(chan struct{})}
-	batchID := fmt.Sprintf("b%d", d.batchSeq.Add(1))
+	// Units are keyed by the engine job ID so that durable queue state
+	// written under one process re-attaches to the same job resource in
+	// the next; callers outside an executor (tests) fall back to a
+	// process-local sequence.
+	batchID := jobs.JobID(ctx)
+	if batchID == "" {
+		batchID = fmt.Sprintf("b%d", d.batchSeq.Add(1))
+	}
 	var enq []*unit
 	for i, job := range jobList {
 		key := JobKey(job)
@@ -210,10 +225,18 @@ func (d *dispatcher) RunBatch(ctx context.Context, jobList []driver.Job, timeout
 // already holds are released when their results arrive — discarded,
 // acked off the queue — or by lease expiry; the worker learns they are
 // moot from the Canceled list of its next results post.
+//
+// During process shutdown the withdraw is skipped: the engine cancels
+// every running batch on Close, but those units are not abandoned work
+// — on a durable queue they are exactly the state the next process
+// must recover, and withdrawing would erase them from the WAL.
 func (d *dispatcher) cancelBatch(b *dispatchBatch, units []*unit) {
 	b.mu.Lock()
 	b.closed = true
 	b.mu.Unlock()
+	if d.shutdown.Load() {
+		return
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, u := range units {
@@ -222,6 +245,14 @@ func (d *dispatcher) cancelBatch(b *dispatchBatch, units []*unit) {
 			d.resolved++
 		}
 	}
+}
+
+// beginShutdown marks the process as exiting, so batch cancellations
+// triggered by the engine's own Close keep their units on the durable
+// queue instead of withdrawing them. Must be called before the engine
+// closes.
+func (d *dispatcher) beginShutdown() {
+	d.shutdown.Store(true)
 }
 
 // lease hands the calling worker a chunk of units, long-polling up to
@@ -242,16 +273,31 @@ func (d *dispatcher) lease(ctx context.Context, worker string, max int, wait tim
 		ch := d.q.Changed()
 		id, tasks := d.q.Lease(worker, max, d.ttl)
 		if len(tasks) > 0 {
-			units := make([]api.WorkUnit, len(tasks))
-			ids := make([]string, len(tasks))
-			for i, t := range tasks {
-				u := t.Payload.(*unit)
-				units[i] = u.wire
-				ids[i] = u.id
-			}
+			// Resolve units through the dispatcher's own index, not the
+			// task payload: a task replayed from the durable queue
+			// carries its wire form, and the authoritative *unit (with
+			// its batch binding) is the adopted one under d.units.
+			units := make([]api.WorkUnit, 0, len(tasks))
+			ids := make([]string, 0, len(tasks))
 			d.mu.Lock()
-			d.leases[id] = ids
+			for _, t := range tasks {
+				u, live := d.units[t.ID]
+				if !live {
+					// No batch owns this unit (its job was lost in
+					// recovery); ack it off the queue for good.
+					d.q.Ack(id, t.ID)
+					continue
+				}
+				units = append(units, u.wire)
+				ids = append(ids, u.id)
+			}
+			if len(ids) > 0 {
+				d.leases[id] = ids
+			}
 			d.mu.Unlock()
+			if len(ids) == 0 {
+				continue
+			}
 			return api.Lease{ID: id, Units: units, TTLMS: int(d.ttl / time.Millisecond)}
 		}
 		remaining := time.Until(deadline)
@@ -350,11 +396,86 @@ func (d *dispatcher) resolve(u *unit, rec api.JobResult) {
 	if b.closed {
 		return
 	}
-	b.emit(rec)
+	if b.emit == nil {
+		b.backlog = append(b.backlog, rec)
+	} else {
+		b.emit(rec)
+	}
 	b.pending--
 	if b.pending == 0 {
 		b.closed = true
 		close(b.done)
+	}
+}
+
+// adoptedUnit is one compile unit reconstructed from the durable queue
+// during recovery: its queue identity, its index within the original
+// batch, and the wire form the previous process logged.
+type adoptedUnit struct {
+	ID    string
+	Index int
+	Wire  api.WorkUnit
+}
+
+// adopt rebinds recovered units to a fresh batch and returns the run
+// closure that resumes it. The units are registered immediately — their
+// tasks are already on the replayed queue, so a worker may lease one
+// before an executor picks the run up; results that land in that window
+// buffer in the batch backlog and flush when emit attaches. A unit
+// whose wire form no longer parses is withdrawn and resolved as an
+// error record, so the batch still reaches a terminal state.
+func (d *dispatcher) adopt(unitList []adoptedUnit) jobs.RunFunc {
+	b := &dispatchBatch{pending: len(unitList), done: make(chan struct{})}
+	var live []*unit
+	for _, au := range unitList {
+		job, err := UnitJob(au.Wire)
+		if err != nil {
+			d.q.Withdraw(au.ID)
+			b.backlog = append(b.backlog, api.JobResult{
+				Index:     au.Index,
+				Error:     fmt.Sprintf("recovered unit unusable: %v", err),
+				ErrorCode: api.CodeInternal,
+			})
+			b.pending--
+			continue
+		}
+		live = append(live, &unit{
+			id:    au.ID,
+			key:   au.Wire.Hash,
+			job:   job,
+			wire:  au.Wire,
+			batch: b,
+			index: au.Index,
+		})
+	}
+	if b.pending == 0 {
+		b.closed = true
+		close(b.done)
+	}
+	d.mu.Lock()
+	for _, u := range live {
+		d.units[u.id] = u
+	}
+	d.dispatched += uint64(len(unitList))
+	d.resolved += uint64(len(unitList) - len(live))
+	d.mu.Unlock()
+	return func(ctx context.Context, emit func(api.JobResult)) {
+		b.mu.Lock()
+		for _, rec := range b.backlog {
+			emit(rec)
+		}
+		b.backlog = nil
+		b.emit = emit
+		finished := b.closed
+		b.mu.Unlock()
+		if finished {
+			return
+		}
+		select {
+		case <-b.done:
+		case <-ctx.Done():
+			d.cancelBatch(b, live)
+		}
 	}
 }
 

@@ -128,6 +128,18 @@ type Options struct {
 	// WorkerPoll is the re-poll hint sent with empty leases
 	// (0 = DefaultWorkerPoll).
 	WorkerPoll time.Duration
+	// DataDir roots the durable control-plane state: the unit queue's
+	// write-ahead log and the job result segments live under it, and a
+	// server opened over a previous process's DataDir recovers that
+	// state (see Open and recoverDurable). "" keeps queue and results
+	// in memory — exactly the pre-durability behavior. With DataDir
+	// set, ResultShards is ignored: the disk store is the result index.
+	DataDir string
+	// Fsync syncs every WAL and segment append to stable storage
+	// before acknowledging it; off, appends ride the OS page cache
+	// (surviving process crashes but not machine crashes). Meaningful
+	// only with DataDir.
+	Fsync bool
 }
 
 func (o Options) registry() *driver.Registry {
@@ -151,6 +163,7 @@ type Server struct {
 	cache    *Cache
 	engine   *jobs.Engine
 	dispatch *dispatcher
+	durable  *durableState // nil without Options.DataDir
 
 	requests  atomic.Int64
 	jobs      atomic.Int64
@@ -158,34 +171,73 @@ type Server struct {
 }
 
 // New returns a service with the given options; its executor pool runs
-// until Close.
+// until Close. It panics when durable state under Options.DataDir
+// cannot be opened — callers setting DataDir should prefer Open.
 func New(opt Options) *Server {
+	s, err := Open(opt)
+	if err != nil {
+		panic(fmt.Sprintf("server: %v", err))
+	}
+	return s
+}
+
+// Open is New with the durable-state error surfaced: with
+// Options.DataDir set it opens (or creates) the disk-backed result
+// store and queue WAL under that directory and recovers whatever a
+// previous process left there — interrupted batches resume under their
+// original job IDs — before any request can be served.
+func Open(opt Options) (*Server, error) {
 	cache := NewCache(opt.CacheSize)
-	return &Server{
-		opt:   opt,
-		cache: cache,
+	store := jobs.ResultStore(jobs.NewShardedStore(opt.ResultShards))
+	var q jobs.Queue // nil = the dispatcher's own in-memory queue
+	var durable *durableState
+	if opt.DataDir != "" {
+		var err error
+		if durable, err = openDurable(opt.DataDir, opt.Fsync); err != nil {
+			return nil, err
+		}
+		store = durable.store
+		q = durable.wal
+	}
+	s := &Server{
+		opt:     opt,
+		cache:   cache,
+		durable: durable,
 		engine: jobs.New(jobs.Options{
 			Capacity:         opt.QueueCapacity,
 			Workers:          opt.QueueWorkers,
 			TTL:              opt.JobTTL,
 			MaxRetainedBytes: opt.MaxRetainedBytes,
-			Store:            jobs.NewShardedStore(opt.ResultShards),
+			Store:            store,
 		}),
-		// The dispatcher exists in every mode — the /v1/workers surface
-		// is always served (a worker attached to a non-distributing
-		// server just leases nothing) — but only Distribute routes
-		// batches through it.
-		dispatch: newDispatcher(cache, opt.LeaseTTL, opt.LeaseChunk, opt.WorkerPoll),
 	}
+	// The dispatcher exists in every mode — the /v1/workers surface
+	// is always served (a worker attached to a non-distributing
+	// server just leases nothing) — but only Distribute routes
+	// batches through it.
+	s.dispatch = newDispatcher(cache, q, opt.LeaseTTL, opt.LeaseChunk, opt.WorkerPoll)
+	if durable != nil {
+		s.recoverDurable()
+	}
+	return s, nil
 }
 
 // Close stops the job engine: queued jobs finish as canceled without
 // reaching the driver, running batches have their contexts canceled so
 // the schedulers abort cooperatively, and the executor pool drains.
-// The dispatcher's janitor stops with it.
+// The dispatcher's janitor stops with it. A durable server marks the
+// shutdown first, so the engine canceling its running batches does not
+// withdraw their units from the WAL — they are the state the next
+// process recovers — and closes the durable files last.
 func (s *Server) Close() {
+	if s.durable != nil {
+		s.dispatch.beginShutdown()
+	}
 	s.engine.Close()
 	s.dispatch.Close()
+	if s.durable != nil {
+		s.durable.close()
+	}
 }
 
 // Cache exposes the result cache (for tests and metrics).
@@ -790,7 +842,7 @@ func errorCode4xx(err error) api.ErrorCode {
 // Snapshot collects the service counters.
 func (s *Server) Snapshot() api.ServerMetrics {
 	dm := s.dispatch.Metrics()
-	return api.ServerMetrics{
+	m := api.ServerMetrics{
 		Requests:  s.requests.Load(),
 		Jobs:      s.jobs.Load(),
 		JobErrors: s.jobErrors.Load(),
@@ -798,6 +850,14 @@ func (s *Server) Snapshot() api.ServerMetrics {
 		Queue:     s.engine.Metrics(),
 		Dispatch:  &dm,
 	}
+	if s.durable != nil {
+		m.Durability = &api.DurabilityMetrics{
+			RecoveredTasks:   s.durable.recoveredTasks,
+			RecoveredBuffers: s.durable.recoveredBuffers,
+			WALBytes:         s.durable.wal.WALBytes(),
+		}
+	}
+	return m
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
