@@ -348,6 +348,7 @@ type JobResult struct {
 	Job string `json:"job"`
 	// Error and ErrorCode are set instead of the remaining fields when
 	// the job failed. Jobs with a Retryable code may be resubmitted.
+	//dms:wireok pre-analyzer name: JobResult.Error (string) and ErrorResponse.Error (object) never share an envelope
 	Error     string    `json:"error,omitempty"`
 	ErrorCode ErrorCode `json:"error_code,omitempty"`
 
@@ -370,6 +371,7 @@ type Summary struct {
 	// Errors counts result lines with a non-empty Error.
 	Errors int `json:"errors"`
 	// Cached counts result lines served from the cache.
+	//dms:wireok pre-analyzer name: Summary.Cached (count) and JobResult.Cached (flag) never share an envelope
 	Cached int `json:"cached"`
 }
 
@@ -449,8 +451,10 @@ type Job struct {
 	// Done, Errors and Cached count the results produced so far.
 	Done   int `json:"done"`
 	Errors int `json:"errors,omitempty"`
+	//dms:wireok pre-analyzer name: Job.Cached (count) and JobResult.Cached (flag) never share an envelope
 	Cached int `json:"cached,omitempty"`
 	// Error is the executor failure that moved the job to "failed".
+	//dms:wireok pre-analyzer name: Job.Error (string) and ErrorResponse.Error (object) never share an envelope
 	Error string `json:"error,omitempty"`
 	// Lifecycle timestamps, milliseconds since the Unix epoch; zero
 	// (omitted) until the corresponding transition happened.
@@ -637,6 +641,7 @@ type WorkResultsResponse struct {
 	// Canceled lists still-leased units whose batch has been canceled;
 	// the worker should skip compiling them and post a canceled result
 	// to release them cheaply.
+	//dms:wireok pre-analyzer name: WorkResultsResponse.Canceled (ID list) and QueueMetrics.Canceled (count) never share an envelope
 	Canceled []string `json:"canceled,omitempty"`
 }
 

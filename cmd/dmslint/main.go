@@ -1,0 +1,134 @@
+// dmslint is the project-invariant static analysis gate: a
+// multichecker over the five analyzers in internal/analysis
+// (mapiter, lockheld, ctxflow, wiretags, hotalloc), applied to this
+// module with the suite's package scoping.
+//
+// Usage:
+//
+//	dmslint ./...          check the module rooted in the cwd
+//	dmslint -C dir ./...   check the module rooted at dir
+//	dmslint -update ./...  regenerate api/v1/fieldset.golden, then check
+//	dmslint -list          print the analyzers and exit
+//
+// Findings print one per line as file:line:col: analyzer: message;
+// the exit status is 1 when there are findings, 2 on analysis failure
+// (unreadable module, type error), 0 when clean. CI runs `dmslint
+// ./...` as a required gate before the test jobs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		chdir  = flag.String("C", ".", "module root to analyze (directory containing go.mod)")
+		update = flag.Bool("update", false, "regenerate api/v1/fieldset.golden before checking")
+		list   = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dmslint [-C dir] [-update] ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	// The only supported pattern is the whole module; accept ./... (or
+	// nothing), reject anything narrower loudly instead of silently
+	// analyzing the wrong scope.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && !strings.HasPrefix(arg, "repro") {
+			fmt.Fprintf(os.Stderr, "dmslint: unsupported pattern %q (the gate always runs module-wide: ./...)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	root, err := findModuleRoot(*chdir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *update {
+		if err := updateFieldset(root); err != nil {
+			fmt.Fprintf(os.Stderr, "dmslint: -update: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	diags, err := analysis.RunRepo(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmslint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		rel := d.Pos
+		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Filename = r
+		}
+		fmt.Printf("%s: %s: %s\n", rel, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dmslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// updateFieldset regenerates api/v1/fieldset.golden from the current
+// wire structs.
+func updateFieldset(root string) error {
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	pkg, err := l.Load(l.ModulePath + "/api/v1")
+	if err != nil {
+		return err
+	}
+	lines := analysis.Fieldset(pkg)
+	var b strings.Builder
+	b.WriteString("# api/v1 wire field set — one line per exported struct field.\n")
+	b.WriteString("# Checked by the wiretags analyzer: entries may only be added, never\n")
+	b.WriteString("# removed, renamed or retyped (additive-only wire contract).\n")
+	b.WriteString("# Regenerate with: go run ./cmd/dmslint -update ./...\n")
+	for _, line := range lines {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(pkg.Dir, analysis.FieldsetGolden)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dmslint: wrote %s (%d fields)\n", path, len(lines))
+	return nil
+}

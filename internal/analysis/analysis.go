@@ -1,0 +1,295 @@
+// Package analysis is the project's static-analysis suite: five
+// analyzers that turn load-bearing conventions of this codebase —
+// deterministic output, lock discipline in the distributed control
+// plane, cooperative cancellation, an additive-only wire contract and
+// allocation-free hot paths — into machine-checked invariants, wired
+// into CI through cmd/dmslint.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic) but is self-contained on the
+// standard library (go/ast, go/types, go/parser, go/build), so the
+// repository keeps its zero-dependency go.mod and the gate runs in
+// hermetic environments with no module proxy. Should the tree ever
+// vendor x/tools, each analyzer's Run function ports over unchanged.
+//
+// See README.md in this directory for the analyzer catalogue and the
+// //dms:hotpath, //dms:orderok, //dms:lockok, //dms:ctxok and
+// //dms:allocok annotations.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass: a named checker over a
+// single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CI summaries.
+	Name string
+	// Doc is the one-paragraph description shown by `dmslint -help`.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report. The error return is for analysis failures
+	// (e.g. a missing golden file), not for findings.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	// ImportPath is the package's import path ("repro/internal/core");
+	// fixture packages use their bare directory name.
+	ImportPath string
+	// Dir is the package's directory on disk (where per-package golden
+	// files such as fieldset.golden live).
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: an analyzer name, a position and a
+// message.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer —
+// the deterministic order cmd/dmslint prints and tests compare in.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// run executes one analyzer over one loaded package and returns its
+// findings.
+func run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:   a,
+		ImportPath: pkg.ImportPath,
+		Dir:        pkg.Dir,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	return pass.diagnostics, nil
+}
+
+// Analyzers is the full suite in the order cmd/dmslint runs it.
+var Analyzers = []*Analyzer{
+	MapIter,
+	LockHeld,
+	CtxFlow,
+	WireTags,
+	HotAlloc,
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// ---- dms:* annotations -------------------------------------------------
+//
+// Suppressions and markers are ordinary comments of the form
+//
+//	//dms:orderok <reason>   — mapiter: this map iteration is safe
+//	//dms:lockok <reason>    — lockheld: this blocking op under a lock is deliberate
+//	//dms:ctxok <reason>     — ctxflow: this Background()/TODO() or ctx-less export is deliberate
+//	//dms:allocok <reason>   — hotalloc: this allocation in a hot path is deliberate
+//	//dms:hotpath            — hotalloc: statically check this function for per-call allocations
+//
+// A suppression must carry a non-empty reason; a bare marker is itself
+// a diagnostic. Suppressions attach to the line they sit on or to the
+// line directly below them (doc-comment style).
+
+// annotations indexes every //dms:* comment of a file set by line.
+type annotations struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> list of (verb, reason).
+	byLine map[string]map[int][]annotation
+}
+
+type annotation struct {
+	verb   string // "orderok", "lockok", ...
+	reason string
+	pos    token.Pos
+}
+
+const annPrefix = "//dms:"
+
+// collectAnnotations scans the files' comments for //dms:* markers.
+func collectAnnotations(fset *token.FileSet, files []*ast.File) *annotations {
+	ann := &annotations{fset: fset, byLine: make(map[string]map[int][]annotation)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, annPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, annPrefix)
+				verb, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				m := ann.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]annotation)
+					ann.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], annotation{
+					verb:   verb,
+					reason: strings.TrimSpace(reason),
+					pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return ann
+}
+
+// find returns the annotation with the given verb attached to pos: on
+// the same line, or on any directly preceding comment-only line (a
+// doc-comment style block immediately above).
+func (a *annotations) find(verb string, pos token.Pos) (annotation, bool) {
+	p := a.fset.Position(pos)
+	m := a.byLine[p.Filename]
+	if m == nil {
+		return annotation{}, false
+	}
+	for _, cand := range m[p.Line] {
+		if cand.verb == verb {
+			return cand, true
+		}
+	}
+	// Walk upward through contiguous annotated lines (a comment block
+	// directly above the statement).
+	for line := p.Line - 1; line > 0; line-- {
+		anns, ok := m[line]
+		if !ok {
+			break
+		}
+		for _, cand := range anns {
+			if cand.verb == verb {
+				return cand, true
+			}
+		}
+	}
+	return annotation{}, false
+}
+
+// suppressed reports whether a finding at pos is suppressed by the
+// given verb; a suppression without a reason is reported as its own
+// finding instead of honoured.
+func (a *annotations) suppressed(pass *Pass, verb string, pos token.Pos) bool {
+	ann, ok := a.find(verb, pos)
+	if !ok {
+		return false
+	}
+	if ann.reason == "" {
+		pass.Reportf(ann.pos, "//dms:%s needs a written justification: //dms:%s <reason>", verb, verb)
+		return true // annotated, but the bare marker itself was flagged
+	}
+	return true
+}
+
+// ---- shared type helpers ----------------------------------------------
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// namedPathIs reports whether t (possibly a pointer) is the named type
+// pkgPath.name.
+func namedPathIs(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeOf resolves the static callee of a call expression, or nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcPath renders a callee as "pkgpath.Func" or "pkgpath.(Recv).Meth"
+// for matching against the blocking table.
+func funcPath(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name() // builtins like error.Error
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, okp := recv.(*types.Pointer); okp {
+			recv = ptr.Elem()
+		}
+		if named, okn := recv.(*types.Named); okn {
+			return fn.Pkg().Path() + ".(" + named.Obj().Name() + ")." + fn.Name()
+		}
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}

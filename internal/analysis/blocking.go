@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file is the shared notion of a "blocking operation" used by
+// lockheld (blocking while a mutex is held) and ctxflow (blocking
+// exports must take a context): channel communication, time.Sleep,
+// WaitGroup waits, and calls into the network/file-I/O corners of the
+// standard library plus this project's own RPC surface.
+
+// blockingOp describes one blocking construct found in a function.
+type blockingOp struct {
+	node ast.Node
+	desc string
+}
+
+// blockingCallees maps fully-qualified callees (see funcPath) to a
+// human description. Entries are exact matches; package-wide rules
+// live in isBlockingCall.
+var blockingCallees = map[string]string{
+	"time.Sleep":            "time.Sleep",
+	"sync.(WaitGroup).Wait": "sync.WaitGroup.Wait",
+
+	"os.Open":       "file I/O (os.Open)",
+	"os.OpenFile":   "file I/O (os.OpenFile)",
+	"os.Create":     "file I/O (os.Create)",
+	"os.CreateTemp": "file I/O (os.CreateTemp)",
+	"os.ReadFile":   "file I/O (os.ReadFile)",
+	"os.WriteFile":  "file I/O (os.WriteFile)",
+	"os.ReadDir":    "file I/O (os.ReadDir)",
+	"os.Remove":     "file I/O (os.Remove)",
+	"os.RemoveAll":  "file I/O (os.RemoveAll)",
+	"os.Rename":     "file I/O (os.Rename)",
+	"os.Mkdir":      "file I/O (os.Mkdir)",
+	"os.MkdirAll":   "file I/O (os.MkdirAll)",
+	"os.Truncate":   "file I/O (os.Truncate)",
+
+	"bufio.(Writer).Flush": "file I/O (bufio.Writer.Flush)",
+
+	"net/http.Get":                            "network I/O (http.Get)",
+	"net/http.Head":                           "network I/O (http.Head)",
+	"net/http.Post":                           "network I/O (http.Post)",
+	"net/http.PostForm":                       "network I/O (http.PostForm)",
+	"net/http.ListenAndServe":                 "network I/O (http.ListenAndServe)",
+	"net/http.ListenAndServeTLS":              "network I/O (http.ListenAndServeTLS)",
+	"net/http.Serve":                          "network I/O (http.Serve)",
+	"net/http.ServeTLS":                       "network I/O (http.ServeTLS)",
+	"net/http.(Client).Do":                    "network I/O (http.Client.Do)",
+	"net/http.(Client).Get":                   "network I/O (http.Client.Get)",
+	"net/http.(Client).Head":                  "network I/O (http.Client.Head)",
+	"net/http.(Client).Post":                  "network I/O (http.Client.Post)",
+	"net/http.(Client).PostForm":              "network I/O (http.Client.PostForm)",
+	"net/http.(Server).ListenAndServe":        "network I/O (http.Server.ListenAndServe)",
+	"net/http.(Server).ListenAndServeTLS":     "network I/O (http.Server.ListenAndServeTLS)",
+	"net/http.(Server).Serve":                 "network I/O (http.Server.Serve)",
+	"net/http.(Server).ServeTLS":              "network I/O (http.Server.ServeTLS)",
+	"net/http.(Server).Shutdown":              "network I/O (http.Server.Shutdown)",
+	"net/http.(Server).Close":                 "network I/O (http.Server.Close)",
+	"net/http.(Transport).RoundTrip":          "network I/O (http.Transport.RoundTrip)",
+	"net.Dial":                                "network I/O (net.Dial)",
+	"net.DialTimeout":                         "network I/O (net.DialTimeout)",
+	"net.Listen":                              "network I/O (net.Listen)",
+	"net.ListenPacket":                        "network I/O (net.ListenPacket)",
+	"net.(Dialer).Dial":                       "network I/O (net.Dialer.Dial)",
+	"net.(Dialer).DialContext":                "network I/O (net.Dialer.DialContext)",
+	"net.(ListenConfig).Listen":               "network I/O (net.ListenConfig.Listen)",
+	"os/exec.(Cmd).Run":                       "subprocess (exec.Cmd.Run)",
+	"os/exec.(Cmd).Output":                    "subprocess (exec.Cmd.Output)",
+	"os/exec.(Cmd).CombinedOutput":            "subprocess (exec.Cmd.CombinedOutput)",
+	"os/exec.(Cmd).Wait":                      "subprocess (exec.Cmd.Wait)",
+	"golang.org/x/sync/errgroup.(Group).Wait": "errgroup.Group.Wait",
+}
+
+// blockingPackageSuffixes marks whole packages whose every exported
+// call is a remote call — this project's SDK: a worker's lease and
+// result posts all round-trip to the coordinator. Matched by path
+// suffix so fixtures can model the shape.
+var blockingPackageSuffixes = []string{
+	"pkg/dmsclient",
+}
+
+// isBlockingCall classifies a resolved callee, returning a description
+// when it blocks.
+func isBlockingCall(fn *types.Func) (string, bool) {
+	path := funcPath(fn)
+	if desc, ok := blockingCallees[path]; ok {
+		return desc, true
+	}
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	pkgPath := fn.Pkg().Path()
+	// Any method on *os.File is file I/O.
+	if pkgPath == "os" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+			namedPathIs(sig.Recv().Type(), "os", "File") {
+			return "file I/O (os.File." + fn.Name() + ")", true
+		}
+	}
+	for _, suffix := range blockingPackageSuffixes {
+		if (pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)) && fn.Exported() {
+			return "RPC (" + suffix + "." + fn.Name() + ")", true
+		}
+	}
+	return "", false
+}
+
+// directBlockingOps scans one statement subtree for primitive blocking
+// constructs, without descending into function literals (a closure's
+// body runs later, in its own context). blockingFns, when non-nil,
+// extends the primitive set with same-package functions already known
+// to block (the lockheld fixpoint).
+func directBlockingOps(info *types.Info, root ast.Node, blockingFns map[*types.Func]string) []blockingOp {
+	var ops []blockingOp
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			ops = append(ops, blockingOp{node, "channel send"})
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				ops = append(ops, blockingOp{node, "channel receive"})
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) {
+				ops = append(ops, blockingOp{node, "blocking select"})
+			}
+			// Don't descend: the comm clauses' channel ops are already
+			// covered by the select's own classification (and are
+			// non-blocking when a default clause exists).
+			return false
+		case *ast.RangeStmt:
+			if t := info.TypeOf(node.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					ops = append(ops, blockingOp{node, "range over channel"})
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeOf(info, node)
+			if fn == nil {
+				return true
+			}
+			if desc, ok := isBlockingCall(fn); ok {
+				ops = append(ops, blockingOp{node, desc})
+			} else if desc, ok := blockingFns[fn]; ok {
+				ops = append(ops, blockingOp{node, "call to " + fn.Name() + " (" + desc + ")"})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if comm, ok := clause.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// packageBlockingFns computes, by fixpoint over the package's static
+// call graph, which package-level functions (transitively) perform a
+// primitive blocking operation outside any closure, and a short reason
+// for each.
+func packageBlockingFns(pass *Pass) map[*types.Func]string {
+	type decl struct {
+		fn *types.Func
+		fd *ast.FuncDecl
+	}
+	var decls []decl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls = append(decls, decl{fn, fd})
+			}
+		}
+	}
+	blocking := make(map[*types.Func]string)
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if _, done := blocking[d.fn]; done {
+				continue
+			}
+			if ops := directBlockingOps(pass.Info, d.fd.Body, blocking); len(ops) > 0 {
+				blocking[d.fn] = ops[0].desc
+				changed = true
+			}
+		}
+	}
+	// The set is a fixpoint, but the reason recorded for a function can
+	// depend on discovery order (reasons chain through callees);
+	// recompute reasons against the full set until they stabilize so
+	// diagnostics are deterministic.
+	// (Capped: mutually recursive blocking functions would otherwise
+	// grow their chained reasons forever.)
+	for iter, stable := 0, false; !stable && iter < 10; iter++ {
+		stable = true
+		for _, d := range decls {
+			if _, ok := blocking[d.fn]; !ok {
+				continue
+			}
+			if ops := directBlockingOps(pass.Info, d.fd.Body, blocking); len(ops) > 0 && blocking[d.fn] != ops[0].desc {
+				blocking[d.fn] = ops[0].desc
+				stable = false
+			}
+		}
+	}
+	return blocking
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the PR 2 cooperative-cancellation contract in
+// library code (every non-main, non-test package):
+//
+//  1. context.Background() and context.TODO() mint fresh roots that
+//     detach the callee from its caller's deadline and cancel signal —
+//     in a library they silently break the cancel-on-win portfolio
+//     path and server shutdown. Thread the caller's ctx instead, or
+//     justify the root with //dms:ctxok <reason> (e.g. a documented
+//     ctx-less compatibility wrapper, or a server-side root
+//     deliberately detached from the submitting request).
+//
+//  2. An exported function that performs blocking work (channel ops,
+//     sleeps, network/file I/O — see blocking.go) must accept a
+//     context.Context, and as its first parameter. Well-known
+//     interface methods that cannot change shape (ServeHTTP, Read,
+//     Write, Close, ...) are exempt, as are methods whose signature
+//     carries an *http.Request (its Context() is the ctx).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background()/TODO() in library code and blocking exported " +
+		"functions without a leading context.Context parameter unless //dms:ctxok",
+	Run: runCtxFlow,
+}
+
+// ctxExemptMethods are method names whose shape is pinned by a stdlib
+// interface contract and therefore cannot grow a ctx parameter.
+var ctxExemptMethods = map[string]bool{
+	"ServeHTTP": true, // http.Handler
+	"Read":      true, // io.Reader
+	"Write":     true, // io.Writer
+	"Close":     true, // io.Closer
+	"Seek":      true, // io.Seeker
+	"ReadFrom":  true, // io.ReaderFrom
+	"WriteTo":   true, // io.WriterTo
+	"Flush":     true, // http.Flusher / bufio
+	"Sync":      true, // fsync-style
+	"String":    true, // fmt.Stringer
+	"Error":     true, // error
+}
+
+func runCtxFlow(pass *Pass) error {
+	if isMainPackage(pass) {
+		return nil
+	}
+	ann := collectAnnotations(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		// Rule 1: fresh context roots in library code.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() != "Background" && fn.Name() != "TODO" {
+				return true
+			}
+			if ann.suppressed(pass, "ctxok", call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "context.%s() in library code detaches the callee from its caller's "+
+				"cancellation; thread the caller's ctx or annotate //dms:ctxok <reason>", fn.Name())
+			return true
+		})
+		// Rule 2: blocking exports must take ctx first.
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if ctxExemptMethods[fd.Name.Name] && fd.Recv != nil {
+				continue
+			}
+			params := fd.Type.Params
+			if hasCtxParam(pass.Info, params, 0) {
+				continue // ctx first: the contract holds
+			}
+			if hasRequestParam(pass.Info, params) {
+				continue // handler shape: *http.Request carries the ctx
+			}
+			ops := directBlockingOps(pass.Info, fd.Body, nil)
+			if len(ops) == 0 {
+				continue
+			}
+			if ann.suppressed(pass, "ctxok", fd.Pos()) {
+				continue
+			}
+			if hasCtxParamAnywhere(pass.Info, params) {
+				pass.Reportf(fd.Pos(), "exported %s does blocking work (%s); its context.Context parameter "+
+					"should come first (or annotate //dms:ctxok <reason>)", fd.Name.Name, ops[0].desc)
+				continue
+			}
+			pass.Reportf(fd.Pos(), "exported %s does blocking work (%s) without a context.Context first "+
+				"parameter; add ctx for cooperative cancellation or annotate //dms:ctxok <reason>",
+				fd.Name.Name, ops[0].desc)
+		}
+	}
+	return nil
+}
+
+func isMainPackage(pass *Pass) bool {
+	return pass.Pkg.Name() == "main"
+}
+
+// hasCtxParam reports whether parameter index i exists and has type
+// context.Context.
+func hasCtxParam(info *types.Info, params *ast.FieldList, i int) bool {
+	if params == nil {
+		return false
+	}
+	idx := 0
+	for _, field := range params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for range n {
+			if idx == i {
+				return isCtxType(info.TypeOf(field.Type))
+			}
+			idx++
+		}
+	}
+	return false
+}
+
+func hasCtxParamAnywhere(info *types.Info, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		if isCtxType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasRequestParam(info *types.Info, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		if namedPathIs(info.TypeOf(field.Type), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+func isCtxType(t types.Type) bool {
+	return t != nil && strings.HasSuffix(t.String(), "context.Context") && namedPathIs(t, "context", "Context")
+}

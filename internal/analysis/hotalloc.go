@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc is the static half of the allocation budget: for every
+// function annotated
+//
+//	//dms:hotpath
+//
+// in its doc comment, it flags constructs that allocate on each call —
+// make/new, pointer and slice/map composite literals, append to
+// anything that is not reused scratch (a field of the receiver, or a
+// variable whose name says scratch), closure literals and go
+// statements. The runtime gate (allocs_test.go) catches a regression
+// after it happens and only on the benchmarked corpus; this analyzer
+// catches it in review, on any path through the annotated functions.
+//
+// The annotated set is the PR 6 scheduling inner loop: the per-II
+// placement workers in internal/core, the mrt.Table operations and the
+// ddg scratch paths. A deliberate allocation (e.g. the one-time growth
+// of an amortized buffer) is annotated
+//
+//	//dms:allocok <reason>
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flags per-call allocations (make/new, escaping literals, append to " +
+		"non-scratch, closures, go) inside //dms:hotpath functions unless //dms:allocok",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	ann := collectAnnotations(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			scanHotFunc(pass, ann, fd)
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //dms:hotpath marker.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, annPrefix+"hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+func scanHotFunc(pass *Pass, ann *annotations, fd *ast.FuncDecl) {
+	recvNames := make(map[string]bool)
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				recvNames[name.Name] = true
+			}
+		}
+	}
+	scratchLocals := collectScratchLocals(fd.Body, recvNames)
+	report := func(n ast.Node, msg string) {
+		if ann.suppressed(pass, "allocok", n.Pos()) {
+			return
+		}
+		pass.Reportf(n.Pos(), "%s in //dms:hotpath function %s; hoist it into reused scratch "+
+			"or annotate //dms:allocok <reason>", msg, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			report(node, "closure literal allocates per call")
+			return false
+		case *ast.GoStmt:
+			report(node, "go statement allocates per call")
+		case *ast.UnaryExpr:
+			if node.Op.String() == "&" {
+				if cl, ok := node.X.(*ast.CompositeLit); ok {
+					report(cl, "&composite literal allocates per call")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.Info.TypeOf(node)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(node, "slice literal allocates per call")
+			case *types.Map:
+				report(node, "map literal allocates per call")
+			}
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(node.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			b, ok := pass.Info.Uses[id].(*types.Builtin)
+			if !ok {
+				return true
+			}
+			switch b.Name() {
+			case "make":
+				report(node, "make allocates per call")
+			case "new":
+				report(node, "new allocates per call")
+			case "append":
+				if len(node.Args) > 0 && !isScratchExpr(node.Args[0], recvNames, scratchLocals) {
+					report(node, "append to non-scratch slice "+types.ExprString(node.Args[0])+
+						" may allocate per call")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isScratchExpr reports whether the append destination is amortized
+// scratch: a field reached through the method receiver, a variable
+// whose name marks it as scratch, or a local sliced off receiver
+// scratch (victims := w.victims[:0]).
+func isScratchExpr(e ast.Expr, recvNames, scratchLocals map[string]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		root := x.X
+		for {
+			if sel, ok := ast.Unparen(root).(*ast.SelectorExpr); ok {
+				root = sel.X
+				continue
+			}
+			break
+		}
+		if id, ok := ast.Unparen(root).(*ast.Ident); ok {
+			return recvNames[id.Name] || isScratchName(id.Name)
+		}
+		return false
+	case *ast.Ident:
+		return isScratchName(x.Name) || scratchLocals[x.Name]
+	case *ast.IndexExpr:
+		return isScratchExpr(x.X, recvNames, scratchLocals)
+	}
+	return false
+}
+
+// collectScratchLocals finds locals assigned from a slice of a
+// receiver-rooted expression (victims := w.victims[:0]) — appends to
+// them reuse the receiver's amortized backing array.
+func collectScratchLocals(body *ast.BlockStmt, recvNames map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if se, ok := ast.Unparen(as.Rhs[i]).(*ast.SliceExpr); ok &&
+				isScratchExpr(se.X, recvNames, out) {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isScratchName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "scratch") || strings.Contains(lower, "buf")
+}

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one loaded, type-checked package: the unit an Analyzer
+// runs over.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// A Loader type-checks packages of one module plus their transitive
+// dependencies, entirely offline: module packages resolve under the
+// module directory, everything else from GOROOT source (including the
+// GOROOT vendor tree). Cgo is disabled so pure-Go fallbacks are
+// selected — the types are identical for analysis purposes.
+//
+// A Loader is safe for concurrent use by a single goroutine per
+// package load; the suite loads sequentially, so no locking beyond the
+// memoization guard is needed.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+	Fset       *token.FileSet
+
+	ctxt build.Context
+
+	mu   sync.Mutex
+	pkgs map[string]*Package // memoized by import path
+}
+
+// NewLoader builds a loader for the module rooted at dir (the
+// directory holding go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	ctxt.GOOS = runtime.GOOS
+	ctxt.GOARCH = runtime.GOARCH
+	return &Loader{
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		Fset:       token.NewFileSet(),
+		ctxt:       ctxt,
+		pkgs:       make(map[string]*Package),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s", gomod)
+}
+
+// Load type-checks the package with the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.load(path, nil)
+}
+
+// LoadDir type-checks the single package in dir under the given
+// import path, regardless of where dir lives — the entry point for
+// analysistest fixtures under testdata (which go tooling otherwise
+// ignores).
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadDir(dir, asPath, nil)
+}
+
+// load resolves path to a directory and type-checks it, memoized.
+// chain carries the active import stack for cycle reporting.
+func (l *Loader) load(path string, chain []string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %s (chain %s)", path, strings.Join(chain, " -> "))
+		}
+		return pkg, nil
+	}
+	dir, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = nil // cycle guard
+	pkg, err := l.loadDir(dir, path, append(chain, path))
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// resolve maps an import path to its source directory: module
+// packages under ModuleDir, everything else from GOROOT (plus the
+// GOROOT vendor tree used by net/http et al).
+func (l *Loader) resolve(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.ModuleDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+	}
+	goroot := runtime.GOROOT()
+	for _, cand := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if fi, err := os.Stat(cand); err == nil && fi.IsDir() {
+			return cand, nil
+		}
+	}
+	return "", fmt.Errorf("cannot resolve import %q (not in module %s, GOROOT src or GOROOT vendor)", path, l.ModulePath)
+}
+
+// loadDir parses and type-checks the package in dir.
+func (l *Loader) loadDir(dir, asPath string, chain []string) (*Package, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("scan %s: %w", dir, err)
+	}
+	mode := parser.SkipObjectResolution
+	if l.inModule(asPath) || chain == nil {
+		// Annotations live in comments; only the analyzed module (and
+		// fixture) packages need them.
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			pkg, err := l.load(path, chain)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(asPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", asPath, err)
+	}
+	return &Package{
+		ImportPath: asPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// inModule reports whether path belongs to the loader's module.
+func (l *Loader) inModule(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ModulePackages enumerates the module's package import paths in
+// lexical order — the loader-side expansion of "./...". Directories
+// named testdata or vendor and hidden directories are skipped, as the
+// go tool does.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		hasGo := false
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.ModulePath)
+		} else {
+			paths = append(paths, l.ModulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

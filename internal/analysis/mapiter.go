@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags iteration order escaping from Go maps in
+// determinism-critical packages: `for range` over a map value, and
+// `for range` directly over maps.Keys/maps.Values (whose iterator
+// order is as random as the map's).
+//
+// The schedulers, the differential suite, the durability e2e and the
+// golden corpus all assert bit-identical output across runs and across
+// coordinator crashes; one map-ordered loop in a scheduling or
+// summary-assembly path breaks every one of them, usually only under
+// load. A loop is accepted when its body is provably
+// order-insensitive (pure integer accumulation, map-to-map transfer
+// keyed by the range key, deletes) or when it carries a justified
+//
+//	//dms:orderok <reason>
+//
+// annotation. The fix is usually `for _, k := range
+// slices.Sorted(maps.Keys(m))`.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flags map-ordered iteration (for range over maps, maps.Keys without a sort) " +
+		"in determinism-critical packages unless order-insensitive or //dms:orderok",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	ann := collectAnnotations(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			x := ast.Unparen(rs.X)
+			switch {
+			case isMapType(pass.Info.TypeOf(x)):
+				if orderInsensitiveBody(pass.Info, rs) {
+					return true
+				}
+				if ann.suppressed(pass, "orderok", rs.Pos()) {
+					return true
+				}
+				pass.Reportf(rs.Pos(), "iteration over map %s has nondeterministic order; "+
+					"sort the keys (slices.Sorted(maps.Keys(m))) or annotate //dms:orderok <reason>",
+					types.ExprString(rs.X))
+			case isMapsKeysCall(pass.Info, x):
+				if ann.suppressed(pass, "orderok", rs.Pos()) {
+					return true
+				}
+				pass.Reportf(rs.Pos(), "iteration over %s has nondeterministic order; "+
+					"wrap it in slices.Sorted(...) or annotate //dms:orderok <reason>",
+					types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMapsKeysCall reports whether x is a direct call to maps.Keys or
+// maps.Values (stdlib or x/exp).
+func isMapsKeysCall(info *types.Info, x ast.Expr) bool {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return (p == "maps" || p == "golang.org/x/exp/maps") && (fn.Name() == "Keys" || fn.Name() == "Values")
+}
+
+// orderInsensitiveBody reports whether every statement of the range
+// body is from the small commutative vocabulary whose result cannot
+// depend on iteration order: integer op-assignments (sum += n),
+// increments/decrements, stores into another map indexed by the range
+// key, deletes, continues, and ifs over only those.
+func orderInsensitiveBody(info *types.Info, rs *ast.RangeStmt) bool {
+	keyIdent, _ := rs.Key.(*ast.Ident)
+	var ok func(stmts []ast.Stmt) bool
+	okStmt := func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.IncDecStmt:
+			return true
+		case *ast.EmptyStmt:
+			return true
+		case *ast.BranchStmt:
+			return st.Tok == token.CONTINUE
+		case *ast.ExprStmt:
+			// delete(m, k) is commutative over distinct keys.
+			call, isCall := st.X.(*ast.CallExpr)
+			if !isCall {
+				return false
+			}
+			id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+			if !isIdent {
+				return false
+			}
+			if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return b.Name() == "delete"
+			}
+			return false
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return false
+			}
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+				// Commutative only over integers: float accumulation is
+				// order-dependent in the low bits.
+				t := info.TypeOf(st.Lhs[0])
+				if t == nil {
+					return false
+				}
+				basic, isBasic := t.Underlying().(*types.Basic)
+				return isBasic && basic.Info()&types.IsInteger != 0
+			case token.ASSIGN:
+				// m2[k] = v (map) or dense[k] = v (slice) — a store
+				// keyed by the range key writes each distinct key's slot
+				// once regardless of visit order.
+				idx, isIdx := st.Lhs[0].(*ast.IndexExpr)
+				if !isIdx {
+					return false
+				}
+				t := info.TypeOf(idx.X)
+				if t == nil {
+					return false
+				}
+				switch t.Underlying().(type) {
+				case *types.Map, *types.Slice, *types.Array:
+				default:
+					return false
+				}
+				return keyIdent != nil && mentionsIdent(info, idx.Index, keyIdent)
+			}
+			return false
+		case *ast.IfStmt:
+			if st.Init != nil || st.Else != nil {
+				return false
+			}
+			return ok(st.Body.List)
+		}
+		return false
+	}
+	ok = func(stmts []ast.Stmt) bool {
+		for _, s := range stmts {
+			if !okStmt(s) {
+				return false
+			}
+		}
+		return true
+	}
+	return ok(rs.Body.List)
+}
+
+// mentionsIdent reports whether expr references the same object as id.
+func mentionsIdent(info *types.Info, expr ast.Expr, id *ast.Ident) bool {
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if use, isIdent := n.(*ast.Ident); isIdent && info.Uses[use] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoClean is the in-tree form of the CI gate: the whole module,
+// under the suite's scope table, must be free of findings. A failure
+// here prints exactly what `go run ./cmd/dmslint ./...` would.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	diags, err := RunRepo(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("RunRepo: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d finding(s); fix them or annotate with a justified //dms:* suppression", len(diags))
+	}
+}
+
+// TestFieldsetGoldenCurrent pins api/v1/fieldset.golden to the wire
+// structs as they are: if a field was added without rerunning
+// `dmslint -update ./...`, this fails locally before CI does.
+func TestFieldsetGoldenCurrent(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load(l.ModulePath + "/api/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Fieldset(pkg)
+	data, err := os.ReadFile(filepath.Join(pkg.Dir, FieldsetGolden))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var got []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		got = append(got, line)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("golden has %d fields, wire structs have %d; regenerate with `go run ./cmd/dmslint -update ./...`",
+			len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("golden line %d = %q, want %q (regenerate with `go run ./cmd/dmslint -update ./...`)",
+				i+1, got[i], want[i])
+		}
+	}
+}
+
+// TestFieldsetRoundTrip: parseWireField inverts WireField.String for
+// every recorded field.
+func TestFieldsetRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "api", "v1", FieldsetGolden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		wf, err := parseWireField(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if wf.String() != line {
+			t.Errorf("round trip: %q -> %q", line, wf.String())
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("empty golden")
+	}
+}
+
+// TestApplies pins the scope table: which analyzer gates which part of
+// the tree.
+func TestApplies(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		rel      string
+		want     bool
+	}{
+		{"mapiter", "internal/core", true},
+		{"mapiter", "internal/jobs", true},
+		{"mapiter", "internal/loop", false},
+		{"mapiter", "pkg/dmsclient", false},
+		{"lockheld", "internal/jobs", true},
+		{"lockheld", "internal/server", true},
+		{"lockheld", "internal/worker", true},
+		{"lockheld", "internal/core", false},
+		{"ctxflow", "internal/core", true},
+		{"ctxflow", "pkg/dmsclient", true},
+		{"ctxflow", "cmd/dmslab", false},
+		{"ctxflow", "examples/basic", false},
+		{"wiretags", "api/v1", true},
+		{"wiretags", "internal/server", false},
+		{"hotalloc", "internal/core", true},
+		{"hotalloc", "cmd/dmslab", true},
+	}
+	for _, c := range cases {
+		a := Lookup(c.analyzer)
+		if a == nil {
+			t.Fatalf("unknown analyzer %q", c.analyzer)
+		}
+		if got := Applies(a, c.rel); got != c.want {
+			t.Errorf("Applies(%s, %s) = %v, want %v", c.analyzer, c.rel, got, c.want)
+		}
+	}
+}
+
+// TestAnalyzersRegistered: the multichecker runs all five, and Lookup
+// resolves each by name.
+func TestAnalyzersRegistered(t *testing.T) {
+	want := []string{"mapiter", "lockheld", "ctxflow", "wiretags", "hotalloc"}
+	if len(Analyzers) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(Analyzers), len(want))
+	}
+	for i, name := range want {
+		if Analyzers[i].Name != name {
+			t.Errorf("Analyzers[%d] = %s, want %s", i, Analyzers[i].Name, name)
+		}
+		if Lookup(name) != Analyzers[i] {
+			t.Errorf("Lookup(%s) did not return the suite analyzer", name)
+		}
+		if Analyzers[i].Doc == "" {
+			t.Errorf("%s has no Doc", name)
+		}
+	}
+}

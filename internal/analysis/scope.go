@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Package scoping: which analyzers run over which packages when the
+// suite is applied to this repository (cmd/dmslint and the repo smoke
+// test share this table).
+
+// determinismPackages are the packages whose output the differential
+// suite, the golden corpus and the durability e2e assert to be
+// bit-identical: the scheduling core, its data structures, the four
+// back-ends, the driver's deterministic batch ordering, the
+// coordinator dispatcher and the job engine.
+var determinismPackages = []string{
+	"internal/core",
+	"internal/ddg",
+	"internal/mrt",
+	"internal/schedule",
+	"internal/twophase",
+	"internal/ims",
+	"internal/sms",
+	"internal/driver",
+	"internal/server",
+	"internal/jobs",
+	"internal/experiment",
+}
+
+// lockPackages hold the distributed control plane's concurrency.
+var lockPackages = []string{
+	"internal/jobs",
+	"internal/server",
+	"internal/worker",
+}
+
+// wirePackages carry the public wire contract.
+var wirePackages = []string{
+	"api/v1",
+}
+
+// Applies reports whether analyzer a runs over the package with the
+// given module-relative import path ("" is the module root package).
+func Applies(a *Analyzer, relPath string) bool {
+	switch a.Name {
+	case "mapiter":
+		return hasPrefixIn(relPath, determinismPackages)
+	case "lockheld":
+		return hasPrefixIn(relPath, lockPackages)
+	case "ctxflow":
+		// All library code: not cmd/* or examples/* (main packages).
+		return !strings.HasPrefix(relPath, "cmd/") && !strings.HasPrefix(relPath, "examples/")
+	case "wiretags":
+		return hasPrefixIn(relPath, wirePackages)
+	case "hotalloc":
+		// Cheap no-op on packages without //dms:hotpath annotations.
+		return true
+	}
+	return false
+}
+
+func hasPrefixIn(relPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// RunRepo loads every package of the module rooted at dir and applies
+// the suite under the scope table, returning all findings in
+// deterministic order. It is the programmatic form of
+// `dmslint ./...`.
+func RunRepo(dir string) ([]Diagnostic, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := l.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, path := range paths {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		if rel == "internal/analysis" {
+			// The analysis package itself is not an analysis subject:
+			// its fixture-matching code would trip the suite's own
+			// string heuristics.
+			continue
+		}
+		var needed []*Analyzer
+		for _, a := range Analyzers {
+			if Applies(a, rel) {
+				needed = append(needed, a)
+			}
+		}
+		if len(needed) == 0 {
+			continue
+		}
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range needed {
+			ds, err := run(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}

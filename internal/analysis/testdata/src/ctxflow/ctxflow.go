@@ -1,0 +1,65 @@
+// Package ctxflow is the analysistest fixture for the ctxflow
+// analyzer: fresh context roots in library code, blocking exports
+// without a leading ctx, the pinned-interface and *http.Request
+// exemptions, and //dms:ctxok suppressions.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func fresh() context.Context {
+	return context.Background() // want "context.Background() in library code"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO() in library code"
+}
+
+func quiet() context.Context {
+	return context.Background() //dms:ctxok fixture: documented ctx-less compatibility wrapper
+}
+
+// Blocky sleeps without taking a context.
+func Blocky() { // want "exported Blocky does blocking work (time.Sleep) without a context.Context first parameter"
+	time.Sleep(time.Millisecond)
+}
+
+// BlockyCtx takes ctx first: the contract holds.
+func BlockyCtx(ctx context.Context) {
+	_ = ctx
+	time.Sleep(time.Millisecond)
+}
+
+// BlockyLate takes a context, but not first.
+func BlockyLate(n int, ctx context.Context) { // want "its context.Context parameter should come first"
+	_ = n
+	_ = ctx
+	time.Sleep(time.Millisecond)
+}
+
+type closerShape struct{}
+
+// Close is pinned by io.Closer and cannot grow a ctx parameter.
+func (closerShape) Close() error {
+	time.Sleep(time.Millisecond)
+	return nil
+}
+
+// Handle carries its ctx inside *http.Request.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(time.Millisecond)
+}
+
+// QuietExport is deliberately ctx-less.
+//
+//dms:ctxok fixture: deliberate ctx-less export, bounded local work
+func QuietExport() {
+	time.Sleep(time.Millisecond)
+}
+
+func internalBlock() {
+	time.Sleep(time.Millisecond)
+}

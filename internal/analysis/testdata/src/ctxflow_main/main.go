@@ -1,0 +1,19 @@
+// The ctxflow analyzer exempts main packages: a binary's entry points
+// own their root contexts and their blocking shape.
+package main
+
+import (
+	"context"
+	"time"
+)
+
+// Blocky would be flagged in a library package.
+func Blocky() {
+	time.Sleep(time.Millisecond)
+}
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	Blocky()
+}

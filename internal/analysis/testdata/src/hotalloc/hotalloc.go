@@ -1,0 +1,52 @@
+// Package hotalloc is the analysistest fixture for the hotalloc
+// analyzer: per-call allocations inside //dms:hotpath functions,
+// the receiver-scratch and scratch-local exemptions, and
+// //dms:allocok suppressions.
+package hotalloc
+
+type W struct {
+	scratch []int
+	out     []int
+}
+
+// hot is the annotated inner loop: every allocating construct in it
+// must be flagged.
+//
+//dms:hotpath
+func (w *W) hot(n int) {
+	s := make([]int, n) // want "make allocates per call"
+	_ = s
+	m := map[int]int{} // want "map literal allocates per call"
+	_ = m
+	l := []int{1, 2} // want "slice literal allocates per call"
+	_ = l
+	p := &W{} // want "&composite literal allocates per call"
+	_ = p
+	q := new(W) // want "new allocates per call"
+	_ = q
+	go w.cold()    // want "go statement allocates per call"
+	f := func() {} // want "closure literal allocates per call"
+	_ = f
+	var local []int
+	local = append(local, n) // want "append to non-scratch slice local"
+	_ = local
+
+	// Receiver fields and locals sliced off them are amortized scratch.
+	w.out = append(w.out, n)
+	w.scratch = append(w.scratch, n)
+	v := w.out[:0]
+	v = append(v, n)
+	_ = v
+}
+
+// cold is not annotated: the same constructs pass unremarked.
+func (w *W) cold() {
+	_ = make([]int, 8)
+}
+
+// hotSuppressed grows its buffer deliberately.
+//
+//dms:hotpath
+func (w *W) hotSuppressed(n int) {
+	w.scratch = make([]int, n) //dms:allocok fixture: deliberate one-time growth
+}

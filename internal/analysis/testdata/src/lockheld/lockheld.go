@@ -1,0 +1,108 @@
+// Package lockheld is the analysistest fixture for the lockheld
+// analyzer: blocking work under a held sync.Mutex, lock-ordering
+// acquisitions, the same-package interprocedural fixpoint, and
+// //dms:lockok suppressions.
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+type other struct {
+	mu sync.Mutex
+}
+
+func (b *box) sleepHeld() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while b.mu is held"
+	b.mu.Unlock()
+}
+
+func (b *box) sendHeld() {
+	b.mu.Lock()
+	b.ch <- 1 // want "channel send while b.mu is held"
+	b.mu.Unlock()
+}
+
+func (b *box) recvHeld() {
+	b.mu.Lock()
+	<-b.ch // want "channel receive while b.mu is held"
+	b.mu.Unlock()
+}
+
+func (b *box) selectHeld() {
+	b.mu.Lock()
+	select { // want "blocking select while b.mu is held"
+	case v := <-b.ch:
+		b.n = v
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) selectDefaultOK() {
+	b.mu.Lock()
+	select {
+	case v := <-b.ch:
+		b.n = v
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) deferredHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while b.mu is held"
+}
+
+func (b *box) releasedOK() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func (b *box) nested(o *other) {
+	b.mu.Lock()
+	o.mu.Lock() // want "acquires o.mu while b.mu is held (lock ordering)"
+	o.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func helper() {
+	time.Sleep(time.Millisecond)
+}
+
+func (b *box) viaHelper() {
+	b.mu.Lock()
+	helper() // want "call to helper (time.Sleep) while b.mu is held"
+	b.mu.Unlock()
+}
+
+func (b *box) closureOK() {
+	b.mu.Lock()
+	f := func() { time.Sleep(time.Millisecond) }
+	b.mu.Unlock()
+	f()
+}
+
+func (b *box) condWaitOK(c *sync.Cond) {
+	c.L.Lock()
+	for b.n == 0 {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+func (b *box) suppressed() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) //dms:lockok fixture: the sleep is the serialization point here
+	b.mu.Unlock()
+}

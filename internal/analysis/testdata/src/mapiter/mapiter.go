@@ -1,0 +1,98 @@
+// Package mapiter is the analysistest fixture for the mapiter
+// analyzer: map-ordered iteration escapes vs. the order-insensitive
+// vocabulary and //dms:orderok suppressions.
+package mapiter
+
+import (
+	"maps"
+	"slices"
+)
+
+func flagged(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "iteration over map m has nondeterministic order"
+		out = append(out, k)
+	}
+	return out
+}
+
+func flaggedKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want "wrap it in slices.Sorted"
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedOK(m map[string]int) []string {
+	var out []string
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		out = append(out, k)
+	}
+	return out
+}
+
+func sumOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func floatFlagged(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "nondeterministic order"
+		total += v
+	}
+	return total
+}
+
+func transferOK(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func denseCopyOK(m map[int]string, n int) []string {
+	out := make([]string, n)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func deleteOK(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func condCountOK(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	//dms:orderok fixture: iteration order genuinely immaterial here
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func bareMarker(m map[string]int) []string {
+	var out []string
+	for k := range m { /* want "needs a written justification" */ //dms:orderok
+		out = append(out, k)
+	}
+	return out
+}

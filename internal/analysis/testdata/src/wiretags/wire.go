@@ -1,0 +1,30 @@
+// Package wiretags is the analysistest fixture for the wiretags
+// analyzer: per-struct tag rules, cross-package tag/type consistency,
+// the additive-only golden, and //dms:wireok suppressions. The
+// fieldset.golden in this directory deliberately records one field
+// that no longer exists (Envelope.Gone), an old tag for
+// Envelope.Renamed and an old type for Envelope.Retyped.
+package wiretags // want "wire field Envelope.Gone (json \"gone\") was removed or renamed"
+
+// Envelope exercises the per-struct and golden rules.
+type Envelope struct {
+	ID      string `json:"id"`
+	Count   int    `json:"count"`
+	Missing string // want "exported wire field Envelope.Missing has no json tag"
+	Off     string `json:"-"`
+	Dup     string `json:"id"`          // want "duplicate json tag \"id\" in struct Envelope"
+	Renamed string `json:"renamed_now"` // want "changed json tag \"renamed_old\" -> \"renamed_now\""
+	Retyped int    `json:"retyped"`     // want "changed type string -> int"
+	Fresh   bool   `json:"fresh"`       // want "new wire field Envelope.Fresh (json \"fresh\") is not recorded"
+}
+
+// Other reuses the wire name "count" with an incompatible JSON type.
+type Other struct {
+	Count string `json:"count"` // want "json tag \"count\" is used as number (Envelope.Count) and as string (Other.Count)"
+}
+
+// Quiet reuses "count" too, under a grandfathered suppression.
+type Quiet struct {
+	//dms:wireok fixture: the two contexts never co-occur in one envelope
+	Count bool `json:"count"`
+}

@@ -1,0 +1,8 @@
+// Package wiretags_nogolden has wire structs but no fieldset.golden:
+// the analyzer must demand one rather than silently passing.
+package wiretags_nogolden // want "missing fieldset.golden"
+
+// Thing is an unprotected wire struct.
+type Thing struct {
+	ID string `json:"id"`
+}

@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// FieldsetGolden is the per-package golden file wiretags checks the
+// wire field set against (api/v1/fieldset.golden in this repo).
+const FieldsetGolden = "fieldset.golden"
+
+// WireTags guards the additive-only wire contract of api/v1:
+//
+//   - every exported field of an exported struct carries a json tag
+//     (or an explicit json:"-"),
+//   - within one struct, tag names are unique,
+//   - across the package, one tag name never maps to two different
+//     JSON wire types (an int and an int64 both encode as a JSON
+//     number and may share a tag; an int and a string may not),
+//   - the (struct, field, tag, Go type) set is additive against the
+//     checked-in fieldset.golden: deleting, renaming or retyping a
+//     recorded field fails the analyzer at vet time — before any
+//     wire golden test runs — and a new field must be recorded by
+//     regenerating the golden with `dmslint -update`.
+var WireTags = &Analyzer{
+	Name: "wiretags",
+	Doc: "checks api/v1 wire structs: json tags present and unique, tag types " +
+		"consistent, field set additive against fieldset.golden (dmslint -update)",
+	Run: runWireTags,
+}
+
+// WireField is one recorded wire field.
+type WireField struct {
+	Struct string
+	Field  string
+	Tag    string // json name ("-" for explicitly unserialized fields)
+	Type   string // Go type as written
+}
+
+func (w WireField) String() string {
+	return fmt.Sprintf("%s.%s json=%s type=%s", w.Struct, w.Field, w.Tag, w.Type)
+}
+
+func runWireTags(pass *Pass) error {
+	ann := collectAnnotations(pass.Fset, pass.Files)
+	fields, diags := collectWireFields(pass)
+	for _, d := range diags {
+		pass.Reportf(d.pos, "%s", d.msg)
+	}
+	// Cross-package tag/type consistency.
+	byTag := make(map[string][]WireField)
+	for _, wf := range fields {
+		if wf.Tag == "-" {
+			continue
+		}
+		byTag[wf.Tag] = append(byTag[wf.Tag], wf)
+	}
+	tags := make([]string, 0, len(byTag))
+	for tag := range byTag {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		uses := byTag[tag]
+		first := uses[0]
+		for _, wf := range uses[1:] {
+			if wireShape(wf.Type) != wireShape(first.Type) {
+				pos := structFieldPos(pass, wf)
+				// Pre-analyzer tag reuse that never co-occurs in one
+				// object may be grandfathered with a written reason;
+				// new divergent reuse must pick a fresh name.
+				if ann.suppressed(pass, "wireok", pos) {
+					continue
+				}
+				pass.Reportf(pos, "json tag %q is used as %s (%s.%s) and as %s (%s.%s); "+
+					"one wire name must keep one wire type or annotate //dms:wireok <reason>", tag,
+					wireShape(first.Type), first.Struct, first.Field, wireShape(wf.Type), wf.Struct, wf.Field)
+			}
+		}
+	}
+	// Additivity against the golden.
+	goldenPath := filepath.Join(pass.Dir, FieldsetGolden)
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		pass.Reportf(pass.Files[0].Pos(), "missing %s — the wire field set is unprotected; "+
+			"generate it with `dmslint -update %s`", FieldsetGolden, pass.ImportPath)
+		return nil
+	}
+	golden := make(map[string]WireField) // key Struct.Field
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		wf, err := parseWireField(line)
+		if err != nil {
+			return fmt.Errorf("%s: %w", goldenPath, err)
+		}
+		golden[wf.Struct+"."+wf.Field] = wf
+	}
+	current := make(map[string]WireField)
+	for _, wf := range fields {
+		current[wf.Struct+"."+wf.Field] = wf
+	}
+	var goldenKeys []string
+	for k := range golden {
+		goldenKeys = append(goldenKeys, k)
+	}
+	sort.Strings(goldenKeys)
+	for _, k := range goldenKeys {
+		want := golden[k]
+		got, ok := current[k]
+		if !ok {
+			pass.Reportf(pass.Files[0].Pos(), "wire field %s (json %q) was removed or renamed — "+
+				"within %s the contract is additive-only; restore the field or mint a new API version",
+				k, want.Tag, pass.ImportPath)
+			continue
+		}
+		if got.Tag != want.Tag {
+			pass.Reportf(structFieldPos(pass, got), "wire field %s changed json tag %q -> %q — "+
+				"a recorded wire name may never change", k, want.Tag, got.Tag)
+		}
+		if got.Type != want.Type {
+			pass.Reportf(structFieldPos(pass, got), "wire field %s changed type %s -> %s — "+
+				"a recorded wire field may never be retyped", k, want.Type, got.Type)
+		}
+	}
+	for _, wf := range fields {
+		if _, ok := golden[wf.Struct+"."+wf.Field]; !ok {
+			pass.Reportf(structFieldPos(pass, wf), "new wire field %s.%s (json %q) is not recorded in %s; "+
+				"run `dmslint -update %s` to record it", wf.Struct, wf.Field, wf.Tag, FieldsetGolden, pass.ImportPath)
+		}
+	}
+	return nil
+}
+
+type wireDiag struct {
+	pos token.Pos
+	msg string
+}
+
+// collectWireFields walks the package's exported structs, validating
+// per-struct tag rules and returning every exported field in
+// deterministic (source) order.
+func collectWireFields(pass *Pass) ([]WireField, []wireDiag) {
+	var fields []WireField
+	var diags []wireDiag
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				seen := make(map[string]string) // tag -> field, per struct
+				for _, field := range st.Fields.List {
+					names := field.Names
+					if len(names) == 0 {
+						// Embedded field: the wire shape depends on the
+						// embedded type's own tags; require it to be
+						// explicit instead.
+						diags = append(diags, wireDiag{field.Pos(), fmt.Sprintf(
+							"embedded field in wire struct %s: flatten it into explicitly tagged fields",
+							ts.Name.Name)})
+						continue
+					}
+					for _, name := range names {
+						if !name.IsExported() {
+							continue
+						}
+						tag, ok := jsonTagName(field)
+						if !ok {
+							diags = append(diags, wireDiag{name.Pos(), fmt.Sprintf(
+								"exported wire field %s.%s has no json tag; name its wire form explicitly "+
+									"(or json:\"-\" to keep it off the wire)", ts.Name.Name, name.Name)})
+							continue
+						}
+						if tag != "-" {
+							if prev, dup := seen[tag]; dup {
+								diags = append(diags, wireDiag{name.Pos(), fmt.Sprintf(
+									"duplicate json tag %q in struct %s (fields %s and %s)",
+									tag, ts.Name.Name, prev, name.Name)})
+							}
+							seen[tag] = name.Name
+						}
+						fields = append(fields, WireField{
+							Struct: ts.Name.Name,
+							Field:  name.Name,
+							Tag:    tag,
+							Type:   types.ExprString(field.Type),
+						})
+					}
+				}
+			}
+		}
+	}
+	return fields, diags
+}
+
+// jsonTagName extracts the json tag's name part from a field, if a
+// json tag is present.
+func jsonTagName(field *ast.Field) (string, bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw := strings.Trim(field.Tag.Value, "`")
+	jt, ok := reflect.StructTag(raw).Lookup("json")
+	if !ok {
+		return "", false
+	}
+	name, _, _ := strings.Cut(jt, ",")
+	if name == "" {
+		return "", false // `json:",omitempty"` keeps the Go name: still unnamed
+	}
+	return name, true
+}
+
+// wireShape normalizes a Go type to its JSON wire type, so int and
+// int64 (both JSON numbers) may share a tag while int and string may
+// not.
+func wireShape(goType string) string {
+	t := strings.TrimPrefix(goType, "*")
+	switch {
+	case strings.HasPrefix(t, "[]byte"):
+		return "string" // base64
+	case strings.HasPrefix(t, "[]"):
+		return "array of " + wireShape(strings.TrimPrefix(t, "[]"))
+	case strings.HasPrefix(t, "map["):
+		return "object of " + t
+	}
+	switch t {
+	case "int", "int8", "int16", "int32", "int64",
+		"uint", "uint8", "uint16", "uint32", "uint64",
+		"float32", "float64", "time.Duration":
+		return "number"
+	case "string", "ErrorCode", "JobState":
+		return "string"
+	case "bool":
+		return "boolean"
+	case "json.RawMessage":
+		return "raw"
+	default:
+		return t // distinct structs are distinct wire objects
+	}
+}
+
+// structFieldPos finds the declaration position of a wire field for
+// reporting.
+func structFieldPos(pass *Pass, wf WireField) token.Pos {
+	for _, f := range pass.Files {
+		var found token.Pos
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != wf.Struct {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if name.Name == wf.Field {
+						found = name.Pos()
+						return false
+					}
+				}
+			}
+			return false
+		})
+		if found != 0 {
+			return found
+		}
+	}
+	return pass.Files[0].Pos()
+}
+
+// Fieldset renders the package's wire field set in golden-file form:
+// one sorted line per exported struct field, ready to write to
+// fieldset.golden. Used by `dmslint -update` and by tests.
+func Fieldset(pass *Package) []string {
+	p := &Pass{
+		Analyzer:   WireTags,
+		ImportPath: pass.ImportPath,
+		Dir:        pass.Dir,
+		Fset:       pass.Fset,
+		Files:      pass.Files,
+		Pkg:        pass.Types,
+		Info:       pass.Info,
+	}
+	fields, _ := collectWireFields(p)
+	lines := make([]string, 0, len(fields))
+	for _, wf := range fields {
+		lines = append(lines, wf.String())
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// parseWireField inverts WireField.String.
+func parseWireField(line string) (WireField, error) {
+	var wf WireField
+	parts := strings.Fields(line)
+	if len(parts) != 3 {
+		return wf, fmt.Errorf("bad fieldset line %q", line)
+	}
+	s, f, found := strings.Cut(parts[0], ".")
+	if !found {
+		return wf, fmt.Errorf("bad fieldset entry %q", parts[0])
+	}
+	tag, okTag := strings.CutPrefix(parts[1], "json=")
+	typ, okType := strings.CutPrefix(parts[2], "type=")
+	if !okTag || !okType {
+		return wf, fmt.Errorf("bad fieldset line %q", line)
+	}
+	return WireField{Struct: s, Field: f, Tag: tag, Type: typ}, nil
+}

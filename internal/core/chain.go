@@ -35,6 +35,7 @@ type plannedChain struct {
 // (tentTick), plus a per-cluster tally of tentative copy-unit bookings
 // (tentCopy) so the scoring loop reads free copy slots in O(1).
 
+//dms:hotpath
 func (w *worker) tentClear() {
 	for _, idx := range w.tentTick {
 		w.tentUse[idx] = 0
@@ -45,11 +46,13 @@ func (w *worker) tentClear() {
 	}
 }
 
+//dms:hotpath
 func (w *worker) tentIdx(t, cluster int, k machine.FUKind) int {
 	slot := ((t % w.ii) + w.ii) % w.ii
 	return (slot*w.m.Clusters+cluster)*machine.NumFUKinds + int(k)
 }
 
+//dms:hotpath
 func (w *worker) tentFree(t, cluster int, class machine.OpClass) bool {
 	if !w.s.Table().Free(t, cluster, class) {
 		return false
@@ -59,6 +62,7 @@ func (w *worker) tentFree(t, cluster int, class machine.OpClass) bool {
 	return used < w.m.Capacity(cluster, k)
 }
 
+//dms:hotpath
 func (w *worker) tentReserve(t, cluster int, class machine.OpClass) {
 	k := class.FU()
 	idx := w.tentIdx(t, cluster, k)
@@ -73,6 +77,8 @@ func (w *worker) tentReserve(t, cluster int, class machine.OpClass) {
 
 // findSlotTentative scans the II-wide window from estart for a slot
 // free both in the reservation table and in the tentative ledger.
+//
+//dms:hotpath
 func (w *worker) findSlotTentative(estart, cluster int, class machine.OpClass) (int, bool) {
 	for t := estart; t < estart+w.ii; t++ {
 		if w.tentFree(t, cluster, class) {

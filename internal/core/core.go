@@ -85,7 +85,7 @@ type Stats struct {
 // nodes are part of the final code). Run the copy-insertion prepass
 // (ddg.InsertCopies) first for machines with ≥ 2 clusters.
 func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
-	return ScheduleCtx(context.Background(), g, m, opt)
+	return ScheduleCtx(context.Background(), g, m, opt) //dms:ctxok documented ctx-less compatibility wrapper around ScheduleCtx
 }
 
 // ScheduleCtx is Schedule with cooperative cancellation: the II search
@@ -281,6 +281,8 @@ func (w *worker) run() (*schedule.Schedule, bool) {
 
 // scheduleOp places one operation via the three-strategy cascade. It
 // always succeeds (strategy 3 forces a placement).
+//
+//dms:hotpath
 func (w *worker) scheduleOp(op int) {
 	estart := w.earliestStart(op)
 	if w.strategy1(op, estart) {
@@ -298,6 +300,8 @@ func (w *worker) scheduleOp(op int) {
 // earliestStart is the smallest dependence-feasible issue time given
 // the currently scheduled predecessors (self edges excluded: they are
 // satisfied by II ≥ RecMII).
+//
+//dms:hotpath
 func (w *worker) earliestStart(op int) int {
 	estart := 0
 	for _, eid := range w.g.InEdgeIDs(op) {
@@ -319,6 +323,8 @@ func (w *worker) earliestStart(op int) int {
 
 // place books the node and ejects scheduled successors whose dependence
 // constraints the placement violates.
+//
+//dms:hotpath
 func (w *worker) place(op, t, cluster int) {
 	w.s.Place(op, schedule.Placement{Time: t, Cluster: cluster})
 	w.prevTime[op] = t
@@ -347,6 +353,8 @@ func (w *worker) place(op, t, cluster int) {
 // operation is the original producer, a move operation, or the original
 // consumer"). It is a no-op for already-unscheduled nodes, which makes
 // cascaded dissolution re-entrant.
+//
+//dms:hotpath
 func (w *worker) evictNode(n int) {
 	if !w.s.Scheduled(n) {
 		return
@@ -360,12 +368,13 @@ func (w *worker) evictNode(n int) {
 	// node's neighbours, and n itself is already off the schedule. The
 	// refs are copied because dissolution edits the per-node lists.
 	if n < len(w.chainsByNode) && len(w.chainsByNode[n]) > 0 {
-		for _, cid := range append([]int(nil), w.chainsByNode[n]...) {
+		for _, cid := range append([]int(nil), w.chainsByNode[n]...) { //dms:allocok deliberate copy: dissolution edits the per-node list under us
 			w.dissolveChain(cid)
 		}
 	}
 }
 
+//dms:hotpath
 func (w *worker) heightOf(n int) int {
 	if n < len(w.heights) {
 		return w.heights[n]
@@ -377,6 +386,8 @@ func (w *worker) heightOf(n int) int {
 // smallest height, ties toward the larger (younger) node ID. Moves rank
 // highest so chains are only torn down when nothing else occupies the
 // slot.
+//
+//dms:hotpath
 func (w *worker) lowestPriority(occupants []int) int {
 	victim := occupants[0]
 	for _, n := range occupants[1:] {

@@ -86,6 +86,8 @@ func (g *Graph) FeasibleII(ii int) bool {
 // scratch of at least NumIDs entries (node IDs are dense) so the
 // binary search in RecMII relaxes over one reusable slice instead of
 // rebuilding a map per probe; it is reset here.
+//
+//dms:hotpath
 func (g *Graph) hasPositiveCycle(ii int, dist []int) bool {
 	for i := range dist {
 		dist[i] = 0
@@ -127,9 +129,11 @@ func (g *Graph) Heights(ii int) []int {
 // (or reallocated when too small) to NumIDs entries, reset, filled and
 // returned, so an II search can recompute heights per candidate II
 // without allocating.
+//
+//dms:hotpath
 func (g *Graph) HeightsInto(ii int, buf []int) []int {
 	if cap(buf) < len(g.nodes) {
-		buf = make([]int, len(g.nodes))
+		buf = make([]int, len(g.nodes)) //dms:allocok one-time growth of the caller's reusable buffer
 	} else {
 		buf = buf[:len(g.nodes)]
 		for i := range buf {

@@ -273,6 +273,8 @@ func FirstErr(results []Result) error {
 // (0 = GOMAXPROCS). It is the bare fan-out primitive for harnesses
 // whose unit of work is not a single Job (e.g. the figure experiments,
 // which pair two machines per unit); f must handle its own locking.
+//
+//dms:ctxok bare fan-out primitive; callers scope cancellation around the whole fan-out
 func ForEach(n, parallelism int, f func(i int)) {
 	if n <= 0 {
 		return

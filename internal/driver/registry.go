@@ -3,7 +3,8 @@ package driver
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 	"strings"
 	"sync"
 )
@@ -67,12 +68,7 @@ func (r *Registry) Get(name string) (Scheduler, error) {
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	names := make([]string, 0, len(r.m))
-	for n := range r.m {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return slices.Sorted(maps.Keys(r.m))
 }
 
 // Default is the process-wide registry holding the built-in

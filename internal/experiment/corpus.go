@@ -20,6 +20,8 @@ import (
 // The loop's declared name must match its filename (loopgen writes
 // <name>.loop), so a stray rename cannot silently relabel a figure
 // row.
+//
+//dms:ctxok synchronous local-disk loader run once at process start
 func LoadCorpusDir(dir string) ([]*loop.Loop, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {

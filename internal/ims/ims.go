@@ -67,7 +67,7 @@ func MaxIIBound(g *ddg.Graph) int {
 // (m.Clusters must be 1; clustered machines need DMS). The graph is
 // not modified.
 func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
-	return ScheduleCtx(context.Background(), g, m, opt)
+	return ScheduleCtx(context.Background(), g, m, opt) //dms:ctxok documented ctx-less compatibility wrapper around ScheduleCtx
 }
 
 // ScheduleCtx is Schedule with cooperative cancellation: the II search

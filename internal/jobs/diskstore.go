@@ -55,6 +55,8 @@ const (
 // crash loses nothing acked; without it the OS page cache decides, and
 // a crash can lose the last moments of results (a process crash alone
 // loses nothing either way).
+//
+//dms:ctxok synchronous local-disk open/recovery, run once at process start
 func NewDiskStore(dir string, syncEachAppend bool) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -120,6 +122,7 @@ func (s *DiskStore) segPath(id string) string {
 	return filepath.Join(s.dir, hex.EncodeToString([]byte(id))+segExt)
 }
 
+//dms:ctxok synchronous local-disk store: Create does one bounded open, no remote I/O
 func (s *DiskStore) Create(id string) Buffer {
 	b := &diskBuffer{store: s}
 	f, err := os.OpenFile(s.segPath(id), os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
@@ -129,11 +132,14 @@ func (s *DiskStore) Create(id string) Buffer {
 		s.noteIOErr()
 	}
 	s.mu.Lock()
-	if old := s.byID[id]; old != nil {
-		old.detach()
-	}
+	old := s.byID[id]
 	s.byID[id] = b
 	s.mu.Unlock()
+	if old != nil {
+		// Closing the replaced segment does file I/O; keep it outside
+		// the index lock.
+		old.detach()
+	}
 	return b
 }
 
@@ -144,6 +150,7 @@ func (s *DiskStore) Get(id string) (Buffer, bool) {
 	return b, ok
 }
 
+//dms:ctxok synchronous local-disk store: Drop does one bounded close+remove, no remote I/O
 func (s *DiskStore) Drop(id string) {
 	s.mu.Lock()
 	b := s.byID[id]
@@ -217,6 +224,7 @@ func (s *DiskStore) noteIOErr() {
 func (s *DiskStore) Close() error {
 	s.mu.Lock()
 	bufs := make([]*diskBuffer, 0, len(s.byID))
+	//dms:orderok close sweep: detach is idempotent per buffer, no cross-buffer state
 	for _, b := range s.byID {
 		bufs = append(bufs, b)
 	}
@@ -274,7 +282,7 @@ func (b *diskBuffer) setMeta(meta []byte) error {
 	if b.f == nil {
 		return nil
 	}
-	return b.appendFrameLocked(opMeta, meta)
+	return b.appendFrameLocked(opMeta, meta) //dms:lockok b.mu is the segment's append serialization point; frames must not interleave
 }
 
 // appendFrameLocked writes one frame to the segment, fsyncing under
@@ -294,7 +302,7 @@ func (b *diskBuffer) detach() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.f != nil {
-		b.f.Close()
+		b.f.Close() //dms:lockok b.mu orders the final close against in-flight appends; Close does not block
 		b.f = nil
 	}
 }

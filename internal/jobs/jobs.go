@@ -258,8 +258,9 @@ func (e *Engine) Close() {
 	// job a worker has leased but not yet started — its executor
 	// observes the flag and finishes it as canceled without running.
 	var cancels []context.CancelFunc
+	//dms:orderok shutdown sweep: every live job gets the same mark, no cross-job state
 	for _, j := range e.byID {
-		j.mu.Lock()
+		j.mu.Lock() //dms:lockok established lock order: engine.mu before job.mu
 		if !j.state.Terminal() {
 			j.cancelRequested = true
 			if j.cancel != nil {
@@ -543,6 +544,7 @@ func (e *Engine) execute(j *Job) {
 		}
 		return
 	}
+	//dms:ctxok server-side job root: a job outlives the RPC that submitted it by design
 	ctx, cancel := context.WithCancel(context.WithValue(context.Background(), jobIDKey{}, j.id))
 	j.cancel = cancel
 	j.state = api.JobRunning
@@ -632,7 +634,7 @@ func (e *Engine) Release(id string) {
 	if !ok {
 		return
 	}
-	j.mu.Lock()
+	j.mu.Lock() //dms:lockok established lock order: engine.mu before job.mu
 	j.released = true
 	terminal := j.state.Terminal()
 	j.mu.Unlock()

@@ -290,6 +290,7 @@ func (q *memQueue) Lease(owner string, max int, ttl time.Duration) (string, []Ta
 func (q *memQueue) affinityLocked(hash, owner string) {
 	if _, known := q.affinity[hash]; !known && len(q.affinity) >= maxAffinity {
 		evict := maxAffinity / 64
+		//dms:orderok eviction is deliberately arbitrary: any victims work, cache warmth only
 		for h := range q.affinity {
 			if evict == 0 {
 				break
@@ -463,11 +464,13 @@ func (q *memQueue) Expire(now time.Time) int {
 // and cost O(k·n) in repeated front-prepends. Requires q.mu.
 func (q *memQueue) expireLocked(now time.Time) int {
 	var expired []*qtask
+	//dms:orderok collected tasks are sorted by admission seq below before requeueing
 	for id, l := range q.leases {
 		if l.deadline.IsZero() || now.Before(l.deadline) {
 			continue
 		}
 		delete(q.leases, id)
+		//dms:orderok collected tasks are sorted by admission seq below before requeueing
 		for _, qt := range l.tasks {
 			qt.lease = ""
 			q.releaseRouteLocked(qt, l.owner)

@@ -85,6 +85,8 @@ type walTask struct {
 // into it. The decorator satisfies the full Queue contract (the
 // conformance suite runs against it); Recovered reports what replay
 // restored.
+//
+//dms:ctxok synchronous local-disk open/replay, run once at process start
 func NewWALQueue(inner Queue, dir string, opt WALOptions) (*WALQueue, error) {
 	if opt.Encode == nil {
 		opt.Encode = func(payload any) ([]byte, error) { return json.Marshal(payload) }
@@ -289,7 +291,7 @@ func (w *WALQueue) Ack(lease, taskID string) bool {
 	if !w.inner.Ack(lease, taskID) {
 		return false
 	}
-	w.removeLocked(opWALAck, taskID)
+	w.removeLocked(opWALAck, taskID) //dms:lockok w.mu is the WAL serialization point; frames must match queue-op order
 	return true
 }
 
@@ -299,7 +301,7 @@ func (w *WALQueue) Withdraw(taskID string) bool {
 	if !w.inner.Withdraw(taskID) {
 		return false
 	}
-	w.removeLocked(opWALRemove, taskID)
+	w.removeLocked(opWALRemove, taskID) //dms:lockok w.mu is the WAL serialization point; frames must match queue-op order
 	return true
 }
 
@@ -308,7 +310,7 @@ func (w *WALQueue) Drain() []Task {
 	defer w.mu.Unlock()
 	tasks := w.inner.Drain()
 	for _, t := range tasks {
-		w.removeLocked(opWALRemove, t.ID)
+		w.removeLocked(opWALRemove, t.ID) //dms:lockok w.mu is the WAL serialization point; frames must match queue-op order
 	}
 	return tasks
 }
@@ -371,7 +373,7 @@ func (w *WALQueue) Close() error {
 	if w.log == nil {
 		return nil
 	}
-	err := w.compactLocked()
+	err := w.compactLocked() //dms:lockok final compaction: w.mu orders it against any late queue ops
 	if cerr := w.log.Close(); err == nil {
 		err = cerr
 	}

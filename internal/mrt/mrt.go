@@ -120,12 +120,16 @@ func (t *Table) cellOcc(slot, cluster int, k machine.FUKind) []int32 {
 
 // Free reports whether an operation of the given class can issue at the
 // given absolute time in the cluster.
+//
+//dms:hotpath
 func (t *Table) Free(time, cluster int, class machine.OpClass) bool {
 	k := class.FU()
 	return int(t.used[t.cell(t.slot(time), cluster, k)]) < t.capac[k]
 }
 
 // Used returns the number of booked units at time/cluster for the kind.
+//
+//dms:hotpath
 func (t *Table) Used(time, cluster int, k machine.FUKind) int {
 	return int(t.used[t.cell(t.slot(time), cluster, k)])
 }
@@ -144,6 +148,8 @@ func (t *Table) Occupants(time, cluster int, k machine.FUKind) []int {
 
 // EachOccupant calls f for every node occupying the slot, in placement
 // order, without allocating. f must not mutate the table.
+//
+//dms:hotpath
 func (t *Table) EachOccupant(time, cluster int, k machine.FUKind, f func(node int)) {
 	s := t.slot(time)
 	n := int(t.used[t.cell(s, cluster, k)])
@@ -154,6 +160,8 @@ func (t *Table) EachOccupant(time, cluster int, k machine.FUKind, f func(node in
 
 // Place books one unit for the node. It panics if the node is already
 // placed or the slot is full: callers check Free (or evict) first.
+//
+//dms:hotpath
 func (t *Table) Place(node, time, cluster int, class machine.OpClass) {
 	for node >= len(t.pos) {
 		t.pos = append(t.pos, -1)
@@ -175,6 +183,8 @@ func (t *Table) Place(node, time, cluster int, class machine.OpClass) {
 }
 
 // Remove releases the node's unit. It panics if the node is not placed.
+//
+//dms:hotpath
 func (t *Table) Remove(node int) {
 	if node >= len(t.pos) || t.pos[node] < 0 {
 		panic(fmt.Sprintf("mrt: node %d not placed", node))
@@ -198,12 +208,16 @@ func (t *Table) Remove(node int) {
 }
 
 // Placed reports whether the node currently books a unit.
+//
+//dms:hotpath
 func (t *Table) Placed(node int) bool {
 	return node < len(t.pos) && t.pos[node] >= 0
 }
 
 // KindUsage returns the number of booked units of kind k in the cluster
 // across all II slots.
+//
+//dms:hotpath
 func (t *Table) KindUsage(cluster int, k machine.FUKind) int {
 	return int(t.usage[cluster*machine.NumFUKinds+int(k)])
 }
@@ -212,6 +226,8 @@ func (t *Table) KindUsage(cluster int, k machine.FUKind) int {
 // cluster across all II slots — the quantity DMS maximises when it
 // selects among chain options ("maximizes the number of free slots left
 // available to schedule move operations", paper §3).
+//
+//dms:hotpath
 func (t *Table) FreeKindSlots(cluster int, k machine.FUKind) int {
 	return t.ii*t.capac[k] - t.KindUsage(cluster, k)
 }

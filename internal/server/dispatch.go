@@ -131,6 +131,7 @@ func (d *dispatcher) janitor() {
 		case <-t.C:
 			d.q.Expire(time.Now())
 			d.mu.Lock()
+			//dms:orderok janitor prune: each lease entry is filtered independently
 			for id, unitIDs := range d.leases {
 				kept := unitIDs[:0]
 				for _, uid := range unitIDs {
@@ -363,7 +364,7 @@ func (d *dispatcher) postResults(lease string, results []api.UnitResult) (*api.W
 			continue
 		}
 		kept = append(kept, uid)
-		u.batch.mu.Lock()
+		u.batch.mu.Lock() //dms:lockok established lock order: dispatcher.mu before batch.mu
 		closed := u.batch.closed
 		u.batch.mu.Unlock()
 		if closed {

@@ -110,6 +110,7 @@ func (s *Server) recoverDurable() {
 
 	// Units whose job left no buffer at all (the segment never synced):
 	// without the buffer there is no job resource to resume.
+	//dms:orderok withdraw-only sweep: each leftover unit is dropped independently
 	for _, units := range byJob {
 		for _, u := range units {
 			d.wal.Withdraw(u.ID)

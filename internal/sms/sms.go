@@ -49,7 +49,7 @@ type Stats struct {
 // Schedule modulo-schedules the graph on an unclustered machine with
 // SMS. The graph is not modified.
 func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
-	return ScheduleCtx(context.Background(), g, m, opt)
+	return ScheduleCtx(context.Background(), g, m, opt) //dms:ctxok documented ctx-less compatibility wrapper around ScheduleCtx
 }
 
 // ScheduleCtx is Schedule with cooperative cancellation: ctx is checked
@@ -198,6 +198,7 @@ func ordering(g *ddg.Graph, ii int, boost map[int]int) []int {
 	}
 	for len(pending) > 0 {
 		best, bestKey := -1, [5]int{-1, -1, -1, -1, -1}
+		//dms:orderok argmax under a strict total-order key whose last component is the node ID
 		for n := range pending {
 			succOrdered, predOrdered := 0, 0
 			for _, e := range g.Out(n) {

@@ -87,7 +87,7 @@ type Stats struct {
 // Schedule runs the two-phase baseline. The input graph is cloned;
 // the returned schedule references the clone with its static moves.
 func Schedule(g *ddg.Graph, m *machine.Machine, opt Options) (*schedule.Schedule, Stats, error) {
-	return ScheduleCtx(context.Background(), g, m, opt)
+	return ScheduleCtx(context.Background(), g, m, opt) //dms:ctxok documented ctx-less compatibility wrapper around ScheduleCtx
 }
 
 // ScheduleCtx is Schedule with cooperative cancellation: the II search

@@ -2,6 +2,9 @@
 
 package repro_test
 
-// raceEnabled reports whether the race detector is compiled in; see
-// race_off_test.go.
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget gate skips under -race, where the instrumented
+// runtime inflates allocation counts. Exactly one of
+// race_on_test.go/race_off_test.go builds per tag configuration, and
+// CI vets both (`go vet ./...` and `go vet -tags race ./...`).
 const raceEnabled = true

@@ -304,7 +304,7 @@ type Options struct {
 //
 // Deprecated: use New().Compile with a Request.
 func Compile(l *loop.Loop, clusters int, opt Options) (*Compiled, error) {
-	return CompileCtx(context.Background(), l, clusters, opt)
+	return CompileCtx(context.Background(), l, clusters, opt) //dms:ctxok deprecated ctx-less compatibility wrapper around CompileCtx
 }
 
 // CompileCtx is Compile with cancellation.
