@@ -1,12 +1,14 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/machine"
 	"repro/internal/perfect"
+	"repro/internal/sat"
 )
 
 // scheduleAllocBudget is the checked-in allocation baseline for one
@@ -41,5 +43,59 @@ func TestScheduleAllocBudget(t *testing.T) {
 	if avg > scheduleAllocBudget {
 		t.Fatalf("core.Schedule pipeline allocates %.1f/op, above the checked-in budget of %d — "+
 			"the scheduling inner loop has regressed (see BENCH_PR6.json)", avg, scheduleAllocBudget)
+	}
+}
+
+// satSolveAllocBudget bounds the steady-state allocation rate of one
+// full Reset + encode + Solve cycle on a reused sat.Solver. The solver
+// keeps its trail, watcher lists and clause arena across Reset, and the
+// hot propagation loop (//dms:hotpath in internal/sat) must not
+// allocate at all, so after the warm-up solve the whole cycle settles
+// at zero; the budget leaves slack for incidental runtime noise only.
+const satSolveAllocBudget = 8
+
+// TestSATSolveAllocBudget fails when the SAT inner loop starts
+// allocating — the exact back-end issues thousands of conflicts per
+// candidate II, so a single alloc on the propagation path multiplies
+// into GC pressure across the whole portfolio race.
+func TestSATSolveAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	// Pigeonhole PHP(6,5): small, UNSAT, and conflict-dense — every
+	// solve exercises propagation, 1UIP learning and backtracking.
+	const pigeons, holes = 6, 5
+	s := sat.New()
+	lits := make([]sat.Lit, 0, holes)
+	ctx := context.Background()
+	avg := testing.AllocsPerRun(32, func() {
+		s.Reset(pigeons * holes)
+		v := func(p, h int) int { return p*holes + h }
+		for p := 0; p < pigeons; p++ {
+			lits = lits[:0]
+			for h := 0; h < holes; h++ {
+				lits = append(lits, sat.Pos(v(p, h)))
+			}
+			s.AddClause(lits...)
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 < pigeons; p1++ {
+				for p2 := p1 + 1; p2 < pigeons; p2++ {
+					s.AddClause(sat.Neg(v(p1, h)), sat.Neg(v(p2, h)))
+				}
+			}
+		}
+		ok, err := s.Solve(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatal("pigeonhole PHP(6,5) reported satisfiable")
+		}
+	})
+	t.Logf("sat solve cycle: %.1f allocs/op (budget %d)", avg, satSolveAllocBudget)
+	if avg > satSolveAllocBudget {
+		t.Fatalf("sat Reset+encode+Solve allocates %.1f/op, above the checked-in budget of %d — "+
+			"the propagation hot path has regressed", avg, satSolveAllocBudget)
 	}
 }

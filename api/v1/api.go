@@ -322,6 +322,13 @@ type Stats struct {
 	IIsTried   int `json:"iis_tried"`  // candidate IIs attempted
 	Placements int `json:"placements"` // placement operations across all IIs
 	Evictions  int `json:"evictions"`  // operations unscheduled by backtracking
+	// OptimalII and ProvedOptimal carry the optimality certificate of
+	// back-ends that can produce one (exact proves its own result; the
+	// portfolio meta-scheduler records the bound when its exact entrant
+	// finishes in time). When ProvedOptimal is true the optimality gap
+	// II − OptimalII is also published under Extra["gap"].
+	OptimalII     int  `json:"optimal_ii,omitempty"`
+	ProvedOptimal bool `json:"proved_optimal,omitempty"`
 	// Extra holds scheduler-specific counters under documented keys.
 	Extra map[string]int `json:"extra,omitempty"`
 }
@@ -538,6 +545,28 @@ type DurabilityMetrics struct {
 	WALBytes int64 `json:"wal_bytes"`
 }
 
+// PortfolioMetrics aggregates the portfolio meta-scheduler's races
+// and the optimality-gap measurements contributed by exact runs.
+type PortfolioMetrics struct {
+	// Races counts completed portfolio jobs.
+	Races int64 `json:"races"`
+	// GapObserved counts successful results that carried a proved
+	// optimality bound; GapSum and GapMax aggregate the optimality gap
+	// (II − optimal II, never negative) over those results.
+	GapObserved int64 `json:"gap_observed"`
+	GapSum      int64 `json:"gap_sum"`
+	GapMax      int64 `json:"gap_max"`
+	// ProvedOptimal counts results whose achieved II was proved equal
+	// to the optimum (a certificate with gap zero).
+	//dms:wireok pre-analyzer name: Stats.ProvedOptimal (flag) and PortfolioMetrics.ProvedOptimal (count) never share an envelope
+	ProvedOptimal int64 `json:"proved_optimal"`
+	// Wins, Losses and Cancels count entrant fates across races, keyed
+	// by entrant name ("dms", "exact", ...).
+	Wins    map[string]int64 `json:"wins,omitempty"`
+	Losses  map[string]int64 `json:"losses,omitempty"`
+	Cancels map[string]int64 `json:"cancels,omitempty"`
+}
+
 // ServerMetrics is the GET /v1/metrics payload.
 type ServerMetrics struct {
 	Requests  int64        `json:"requests"`
@@ -551,6 +580,9 @@ type ServerMetrics struct {
 	// Durability reports the durable control plane (absent on servers
 	// running without a data directory).
 	Durability *DurabilityMetrics `json:"durability,omitempty"`
+	// Portfolio aggregates portfolio races and optimality-gap
+	// measurements (absent on older servers).
+	Portfolio *PortfolioMetrics `json:"portfolio,omitempty"`
 }
 
 // Health is the GET /v1/healthz payload.

@@ -100,7 +100,8 @@ func goldenDoc() any {
 			II:    3,
 			Stats: &Stats{
 				MII: 2, II: 3, IIsTried: 2, Placements: 17, Evictions: 4,
-				Extra: map[string]int{"chains_built": 1, "copies_inserted": 2, "strategy1": 9},
+				OptimalII: 2, ProvedOptimal: true,
+				Extra: map[string]int{"chains_built": 1, "copies_inserted": 2, "gap": 1, "strategy1": 9},
 			},
 			Metrics: &ScheduleMetrics{
 				II: 3, Len: 9, Stages: 3, Trip: 100, Useful: 5, Cycles: 306, IPC: 1.633986928104575, MovesIn: 2,
@@ -132,6 +133,12 @@ func goldenDoc() any {
 			Dispatch: &DispatchMetrics{
 				PendingUnits: 12, LeasedUnits: 8, ActiveLeases: 2,
 				Dispatched: 960, Resolved: 940, Requeued: 6,
+			},
+			Portfolio: &PortfolioMetrics{
+				Races: 40, GapObserved: 38, GapSum: 9, GapMax: 2, ProvedOptimal: 31,
+				Wins:    map[string]int64{"dms": 36, "exact": 4},
+				Losses:  map[string]int64{"exact": 20},
+				Cancels: map[string]int64{"dms": 4, "exact": 14},
 			},
 		},
 		Health: Health{Status: "ok", Protocol: Version},

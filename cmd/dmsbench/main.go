@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmsbench [-fig all|4|5|6] [-n 1258] [-seed 19990109] [-par N]
+//	dmsbench [-fig all|4|5|6|gap] [-n 1258] [-seed 19990109] [-par N]
 //	dmsbench -clustered twophase -n 200     # swap the clustered back-end
 //	dmsbench -corpus ./corpus               # loops from a loopgen -out dump
 //
@@ -47,6 +47,7 @@ func main() {
 		unclustered = flag.String("unclustered", "", "unclustered scheduler name (default ims)")
 		compare     = flag.String("compare", "", "extended study instead of the figures: twophase or pressure")
 		corpus      = flag.String("corpus", "", "load loops from this loopgen -out directory instead of generating them (-n/-seed ignored)")
+		exactGap    = flag.Bool("exact-gap", false, "certify optimal IIs with the exact SAT back-end and print the optimality-gap figure (implied by -corpus)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -98,6 +99,7 @@ func main() {
 		Parallelism:          *par,
 		ClusteredScheduler:   *clustered,
 		UnclusteredScheduler: *unclustered,
+		Exact:                *exactGap || *corpus != "",
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -111,13 +113,19 @@ func main() {
 		fmt.Print(experiment.FormatFigure5(res.Figure5()))
 	case "6":
 		fmt.Print(experiment.FormatFigure6(res.Figure6()))
+	case "gap":
+		fmt.Print(experiment.FormatFigureGap(res.FigureGap()))
 	case "all":
 		fmt.Print(experiment.FormatFigure4(res.Figure4()))
 		fmt.Println()
 		fmt.Print(experiment.FormatFigure5(res.Figure5()))
 		fmt.Println()
 		fmt.Print(experiment.FormatFigure6(res.Figure6()))
+		if *exactGap || *corpus != "" {
+			fmt.Println()
+			fmt.Print(experiment.FormatFigureGap(res.FigureGap()))
+		}
 	default:
-		log.Fatalf("unknown figure %q (want all, 4, 5 or 6)", *fig)
+		log.Fatalf("unknown figure %q (want all, 4, 5, 6 or gap)", *fig)
 	}
 }

@@ -101,6 +101,7 @@ func main() {
 		workerID    = flag.String("worker-id", "", "stable worker identity for hash routing (worker role; default hostname+random)")
 		chunk       = flag.Int("chunk", 0, "max compile units per lease (coordinator: hand-out cap; worker: request size; 0 = default)")
 		leaseTTL    = flag.Duration("lease-ttl", server.DefaultLeaseTTL, "worker lease heartbeat deadline before units requeue (coordinator)")
+		leaseExact  = flag.Duration("lease-ttl-exact", server.DefaultLeaseTTLExact, "stretched lease deadline for exact/portfolio units whose SAT solve may post nothing for a while (coordinator)")
 		workerPoll  = flag.Duration("worker-poll", server.DefaultWorkerPoll, "re-poll hint sent with empty leases (coordinator)")
 	)
 	flag.Parse()
@@ -147,6 +148,7 @@ func main() {
 		ResultShards:     *shards,
 		Distribute:       *role == "coordinator",
 		LeaseTTL:         *leaseTTL,
+		LeaseTTLExact:    *leaseExact,
 		LeaseChunk:       *chunk,
 		WorkerPoll:       *workerPoll,
 		DataDir:          *dataDir,

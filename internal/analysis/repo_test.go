@@ -100,6 +100,9 @@ func TestApplies(t *testing.T) {
 	}{
 		{"mapiter", "internal/core", true},
 		{"mapiter", "internal/jobs", true},
+		{"mapiter", "internal/sat", true},
+		{"mapiter", "internal/exact", true},
+		{"mapiter", "internal/portfolio", true},
 		{"mapiter", "internal/loop", false},
 		{"mapiter", "pkg/dmsclient", false},
 		{"lockheld", "internal/jobs", true},

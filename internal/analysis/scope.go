@@ -10,9 +10,11 @@ import (
 
 // determinismPackages are the packages whose output the differential
 // suite, the golden corpus and the durability e2e assert to be
-// bit-identical: the scheduling core, its data structures, the four
-// back-ends, the driver's deterministic batch ordering, the
-// coordinator dispatcher and the job engine.
+// bit-identical: the scheduling core, its data structures, the
+// back-ends (including the SAT solver and exact encoder behind the
+// "exact" scheduler and the portfolio racing engine), the driver's
+// deterministic batch ordering, the coordinator dispatcher and the
+// job engine.
 var determinismPackages = []string{
 	"internal/core",
 	"internal/ddg",
@@ -21,6 +23,9 @@ var determinismPackages = []string{
 	"internal/twophase",
 	"internal/ims",
 	"internal/sms",
+	"internal/sat",
+	"internal/exact",
+	"internal/portfolio",
 	"internal/driver",
 	"internal/server",
 	"internal/jobs",

@@ -1,6 +1,7 @@
 // Package driver is the pluggable scheduling layer of the repro: a
 // Scheduler interface with a name-indexed registry adapting every
-// modulo scheduler in the repo (dms, twophase, ims, sms), and a
+// modulo scheduler in the repo (dms, twophase, ims, sms, exact and
+// the racing meta-scheduler portfolio), and a
 // concurrent batch compiler that shards (loop × machine × scheduler)
 // jobs across a worker pool with per-job timeouts, error isolation and
 // deterministic result ordering.
@@ -62,12 +63,26 @@ type Stats struct {
 	Placements int `json:"placements"` // placement operations across all IIs
 	Evictions  int `json:"evictions"`  // operations unscheduled by backtracking
 
+	// OptimalII and ProvedOptimal carry the optimality certificate when
+	// a back-end can produce one: the exact scheduler proves its own II
+	// optimal, and the portfolio meta-scheduler records the certified
+	// bound when its exact entrant finishes in time (or the winner
+	// already hits its MII). When ProvedOptimal is true the optimality
+	// gap II − OptimalII is also published under Extra["gap"].
+	OptimalII     int  `json:"optimal_ii,omitempty"`
+	ProvedOptimal bool `json:"proved_optimal,omitempty"`
+
 	// Extra holds scheduler-specific counters:
 	//
-	//	dms       strategy1, strategy2, strategy3, chains_built,
-	//	          chains_dissolved, moves_inserted
-	//	twophase  moves_inserted, comm_cost
-	//	sms       forward, backward, promotions, fell_back (0 or 1)
+	//	dms        strategy1, strategy2, strategy3, chains_built,
+	//	           chains_dissolved, moves_inserted
+	//	twophase   moves_inserted, comm_cost
+	//	sms        forward, backward, promotions, fell_back (0 or 1)
+	//	exact      sat_conflicts, sat_decisions, sat_propagations,
+	//	           sat_solves
+	//	portfolio  the winner's own counters plus gap (only when
+	//	           proved), and won_<name>/lost_<name>/canceled_<name>
+	//	           flags recording each entrant's fate
 	//
 	// The batch compiler adds copies_inserted (the communication-copy
 	// prepass count) for clustered back-ends. Nil when there are no

@@ -12,7 +12,7 @@ import (
 )
 
 func TestDefaultRegistryHasAllSchedulers(t *testing.T) {
-	want := []string{"dms", "ims", "sms", "twophase"}
+	want := []string{"dms", "exact", "ims", "portfolio", "sms", "twophase"}
 	got := Names()
 	for _, name := range want {
 		s, err := Get(name)
@@ -28,7 +28,10 @@ func TestDefaultRegistryHasAllSchedulers(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("Names() = %v, want %v", got, want)
 	}
-	clustered := map[string]bool{"dms": true, "twophase": true, "ims": false, "sms": false}
+	clustered := map[string]bool{
+		"dms": true, "twophase": true, "portfolio": true,
+		"ims": false, "sms": false, "exact": false,
+	}
 	for name, want := range clustered {
 		s, _ := Get(name)
 		if s.Clustered() != want {

@@ -66,7 +66,7 @@ func TestCorpusFiguresBitExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(context.Background(), loops, []int{1, 2}, Config{})
+	res, err := Run(context.Background(), loops, []int{1, 2}, Config{Exact: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,6 +76,8 @@ func TestCorpusFiguresBitExact(t *testing.T) {
 	sb.WriteString(FormatFigure5(res.Figure5()))
 	sb.WriteString("\n")
 	sb.WriteString(FormatFigure6(res.Figure6()))
+	sb.WriteString("\n")
+	sb.WriteString(FormatFigureGap(res.FigureGap()))
 	got := sb.String()
 
 	golden := filepath.Join("testdata", "corpus_figures.golden")

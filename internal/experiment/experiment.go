@@ -50,6 +50,13 @@ type Config struct {
 	// pairing).
 	ClusteredScheduler   string
 	UnclusteredScheduler string
+	// Exact additionally compiles every unrolled loop with the exact
+	// SAT back-end on the unclustered machine, certifying the minimal
+	// II of the pooled resource relaxation. The certified optimum is a
+	// lower bound for both sides of the machine pair, so the results
+	// gain the optimality-gap figure (FigureGap). Off by default: the
+	// exhaustive search costs far more than the heuristics.
+	Exact bool
 }
 
 func (c Config) clusteredScheduler() string {
@@ -112,6 +119,12 @@ type LoopResult struct {
 	// UsefulInstr is trip × useful static ops — identical for both
 	// machines because copies and moves are excluded.
 	UsefulInstr int64
+
+	// Exact SAT certification (Config.Exact): the provably minimal II
+	// on the unclustered machine, a lower bound for both schedulers.
+	// ExactProved is false when the run did not certify (Exact off).
+	ExactII     int
+	ExactProved bool
 
 	// Scheduler behaviour, for the ablation reports.
 	Chains int
@@ -230,6 +243,22 @@ func RunOne(ctx context.Context, l *loop.Loop, clusters int, cfg Config) (LoopRe
 	if int64(cres.Metrics.Useful)*int64(ul.Trip) != r.UsefulInstr {
 		return r, fmt.Errorf("%s on %d clusters: useful-instruction accounting diverged (%d vs %d)",
 			l.Name, clusters, cres.Metrics.Useful, ures.Metrics.Useful)
+	}
+	if cfg.Exact {
+		eres, err := comp.Compile(ctx, repro.Request{
+			Loop: ul, Machine: um, Scheduler: "exact", Options: opts,
+		})
+		if err != nil {
+			return r, fmt.Errorf("%s on %d clusters: exact certification: %w", l.Name, clusters, err)
+		}
+		r.ExactII = eres.Stats.II
+		r.ExactProved = eres.Stats.ProvedOptimal
+		// The certified optimum lower-bounds both sides of the pair; a
+		// violation means the bound or a scheduler is broken, not noise.
+		if r.ExactProved && (r.UnclusteredII < r.ExactII || r.ClusteredII < r.ExactII) {
+			return r, fmt.Errorf("%s on %d clusters: II below certified optimum %d (unclustered %d, clustered %d)",
+				l.Name, clusters, r.ExactII, r.UnclusteredII, r.ClusteredII)
+		}
 	}
 	return r, nil
 }

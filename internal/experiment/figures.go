@@ -126,6 +126,91 @@ func (r *Results) Figure6() Figure6 {
 	return fig
 }
 
+// FigureGapRow aggregates one cluster count of the optimality-gap
+// figure: how far the heuristics' IIs sit above the exact SAT optimum
+// of the pooled (unclustered) machine. Only loops whose optimum was
+// certified (LoopResult.ExactProved, see Config.Exact) contribute.
+type FigureGapRow struct {
+	Clusters int
+	Total    int // loops with a certified optimum
+
+	// Unclustered (IMS) side: loops at the optimum, gap sum and max.
+	UnclusteredAtOpt  int
+	UnclusteredGapSum int
+	UnclusteredGapMax int
+	// Clustered (DMS) side.
+	ClusteredAtOpt  int
+	ClusteredGapSum int
+	ClusteredGapMax int
+}
+
+// MeanUnclusteredGap is the mean II excess of the unclustered
+// heuristic over the certified optimum.
+func (r FigureGapRow) MeanUnclusteredGap() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.UnclusteredGapSum) / float64(r.Total)
+}
+
+// MeanClusteredGap is the mean II excess of the clustered heuristic
+// over the certified optimum.
+func (r FigureGapRow) MeanClusteredGap() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.ClusteredGapSum) / float64(r.Total)
+}
+
+// FigureGap derives the optimality-gap distribution. Rows are empty
+// (Total 0) when the run was not configured with Config.Exact.
+func (r *Results) FigureGap() []FigureGapRow {
+	rows := make([]FigureGapRow, len(r.Clusters))
+	for ci, c := range r.Clusters {
+		rows[ci].Clusters = c
+		for li := range r.PerLoop {
+			lr := r.PerLoop[li][ci]
+			if !lr.ExactProved {
+				continue
+			}
+			rows[ci].Total++
+			ugap := lr.UnclusteredII - lr.ExactII
+			cgap := lr.ClusteredII - lr.ExactII
+			rows[ci].UnclusteredGapSum += ugap
+			rows[ci].ClusteredGapSum += cgap
+			if ugap > rows[ci].UnclusteredGapMax {
+				rows[ci].UnclusteredGapMax = ugap
+			}
+			if cgap > rows[ci].ClusteredGapMax {
+				rows[ci].ClusteredGapMax = cgap
+			}
+			if ugap == 0 {
+				rows[ci].UnclusteredAtOpt++
+			}
+			if cgap == 0 {
+				rows[ci].ClusteredAtOpt++
+			}
+		}
+	}
+	return rows
+}
+
+// FormatFigureGap renders the optimality-gap rows: for each machine
+// size, how many loops each heuristic schedules at the certified
+// optimum and the mean/max II excess when it does not.
+func FormatFigureGap(rows []FigureGapRow) string {
+	var sb strings.Builder
+	sb.WriteString("Optimality gap — II excess over the exact SAT optimum (pooled machine)\n")
+	sb.WriteString("clusters   certified   unclustered at-opt mean max   clustered at-opt mean max\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%8d   %9d   %18d %4.2f %3d   %16d %4.2f %3d\n",
+			r.Clusters, r.Total,
+			r.UnclusteredAtOpt, r.MeanUnclusteredGap(), r.UnclusteredGapMax,
+			r.ClusteredAtOpt, r.MeanClusteredGap(), r.ClusteredGapMax)
+	}
+	return sb.String()
+}
+
 // FormatFigure4 renders the rows like the paper's bar chart.
 func FormatFigure4(rows []Figure4Row) string {
 	var sb strings.Builder

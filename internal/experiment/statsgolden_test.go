@@ -43,6 +43,14 @@ func TestSchedulerStatsGolden(t *testing.T) {
 	var rows []statsGoldenRow
 	for _, l := range loops {
 		for _, name := range driver.Default.Names() {
+			if name == "portfolio" {
+				// The portfolio's trajectory is decided by a wall-clock
+				// race (which entrant finishes first, whether the proof
+				// lands inside the grace window), so its counters are
+				// not reproducible and cannot be pinned here. Its
+				// deterministic entrants are both covered above.
+				continue
+			}
 			s, err := driver.Default.Get(name)
 			if err != nil {
 				t.Fatal(err)

@@ -99,6 +99,20 @@ type Queue interface {
 	Stats() QueueStats
 }
 
+// LeaseTTLSetter is the optional Queue extension for per-lease TTL
+// overrides. The coordinator uses it to stretch the heartbeat deadline
+// of leases carrying long-running schedulers (exact, portfolio), whose
+// II search can legitimately outlast the default TTL: without the
+// override their units would requeue mid-solve and be computed twice.
+// Queues that do not implement it simply keep the TTL the lease was
+// created with.
+type LeaseTTLSetter interface {
+	// SetLeaseTTL replaces the lease's TTL (and re-arms its deadline
+	// from now; ttl 0 makes the lease never expire), reporting false
+	// when the lease is unknown or already expired.
+	SetLeaseTTL(lease string, ttl time.Duration) bool
+}
+
 // maxAffinity bounds the hash→owner routing table of a MemQueue; past
 // it a small batch of routes is evicted rather than letting the table
 // grow without bound (affinity is a cache-warmth hint, not a
@@ -300,6 +314,24 @@ func (q *memQueue) affinityLocked(hash, owner string) {
 		}
 	}
 	q.affinity[hash] = owner
+}
+
+func (q *memQueue) SetLeaseTTL(lease string, ttl time.Duration) bool {
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(now)
+	l, ok := q.leases[lease]
+	if !ok {
+		return false
+	}
+	l.ttl = ttl
+	if ttl > 0 {
+		l.deadline = now.Add(ttl)
+	} else {
+		l.deadline = time.Time{}
+	}
+	return true
 }
 
 func (q *memQueue) Heartbeat(lease string) bool {

@@ -337,6 +337,16 @@ func (w *WALQueue) Heartbeat(lease string) bool { return w.inner.Heartbeat(lease
 
 func (w *WALQueue) Nack(lease, taskID string) bool { return w.inner.Nack(lease, taskID) }
 
+// SetLeaseTTL forwards the per-lease TTL override to the inner queue
+// when it supports one (lease deadlines are liveness state, never
+// logged).
+func (w *WALQueue) SetLeaseTTL(lease string, ttl time.Duration) bool {
+	if s, ok := w.inner.(LeaseTTLSetter); ok {
+		return s.SetLeaseTTL(lease, ttl)
+	}
+	return false
+}
+
 func (w *WALQueue) Pos(taskID string) int { return w.inner.Pos(taskID) }
 
 func (w *WALQueue) Expire(now time.Time) int { return w.inner.Expire(now) }

@@ -1,0 +1,285 @@
+// Package portfolio implements a racing meta-scheduler: several
+// scheduling back-ends attack the same loop concurrently on the
+// ctx-aware Schedule seam, the first acceptable result wins and the
+// losers are canceled. An optional exact entrant (internal/exact)
+// upgrades the race into a measurement instrument — when it finishes
+// it proves the optimal II, and the winner's distance from it is the
+// optimality gap the paper-level metrics report.
+//
+// The package is deliberately driver-agnostic: entrants are closures,
+// so the racing engine has no dependency on the scheduler registry
+// (which lives in internal/driver and registers the "portfolio"
+// adapter built on top of this package).
+//
+// Race semantics:
+//
+//   - The first successful heuristic result becomes the provisional
+//     winner and cancels the other heuristics. If its II already
+//     equals its MII it is provably optimal — everything is canceled
+//     and the gap is 0.
+//   - Otherwise the exact entrant keeps running for a grace window.
+//     If it finishes in time the optimum is known: the winner's gap
+//     is recorded, and when the exact entrant is itself a contender
+//     (not bound-only) with a strictly better II, it takes the win.
+//     On a tie the heuristic keeps the win (its result arrived first;
+//     byte-identical output to running it alone).
+//   - If the exact entrant finishes first, its result is already
+//     optimal: contenders are canceled and it wins outright. A
+//     bound-only exact entrant (racing on a relaxed pooled machine
+//     whose schedule is not valid for the target) never wins; it only
+//     contributes the bound.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/schedule"
+)
+
+// DefaultGrace is how long the race keeps the exact entrant alive
+// after a heuristic has already won, waiting for an optimality proof.
+const DefaultGrace = 250 * time.Millisecond
+
+// RunResult is what one entrant produces.
+type RunResult struct {
+	// Sched is the winning schedule candidate; bound-only entrants may
+	// return it but it is never surfaced as the race result.
+	Sched *schedule.Schedule
+	// MII and II are the entrant's lower bound and achieved interval.
+	MII, II int
+	// Payload carries opaque per-entrant data (e.g. driver stats) back
+	// to whoever assembled the race.
+	Payload any
+}
+
+// Entrant is one racing back-end.
+type Entrant struct {
+	// Name labels the entrant in counters; must be unique in the race.
+	Name string
+	// Exact marks the entrant whose success proves the optimal II. At
+	// most one entrant may be exact.
+	Exact bool
+	// BoundOnly excludes the entrant from winning: its result only
+	// feeds the optimality bound (e.g. exact on the pooled relaxation
+	// of a clustered machine, whose schedule targets the wrong
+	// machine).
+	BoundOnly bool
+	// Run executes the back-end under the race's cancellation scope.
+	Run func(ctx context.Context) (RunResult, error)
+}
+
+// Options tune one race.
+type Options struct {
+	// Grace is the post-win wait for the exact entrant's proof:
+	// 0 means DefaultGrace, negative disables waiting entirely.
+	Grace time.Duration
+}
+
+// Outcome reports one race.
+type Outcome struct {
+	// Winner names the entrant whose result is returned.
+	Winner string
+	// Result is the winning entrant's output.
+	Result RunResult
+	// OptimalII and Proved report the optimality bound: Proved is true
+	// when the optimum is known (exact finished, or the winner hit its
+	// MII), and Gap = Result.II − OptimalII ≥ 0.
+	OptimalII int
+	Proved    bool
+	Gap       int
+	// Won, Lost and Canceled partition the entrants by fate, each
+	// sorted by name: the winner; entrants that finished on their own
+	// without winning (including own errors); entrants the race
+	// canceled.
+	Won, Lost, Canceled []string
+}
+
+type arrival struct {
+	i   int
+	res RunResult
+	err error
+}
+
+// Race runs all entrants concurrently and returns the winning result.
+// It blocks until every entrant goroutine has returned (losers exit
+// promptly after cancellation), so no goroutines leak past the call.
+func Race(ctx context.Context, entrants []Entrant, opt Options) (Outcome, error) {
+	var out Outcome
+	if len(entrants) == 0 {
+		return out, errors.New("portfolio: no entrants")
+	}
+	exactIdx := -1
+	contenders := 0
+	for i, e := range entrants {
+		if e.Exact {
+			if exactIdx >= 0 {
+				return out, fmt.Errorf("portfolio: multiple exact entrants (%s, %s)", entrants[exactIdx].Name, e.Name)
+			}
+			exactIdx = i
+		}
+		if !e.BoundOnly {
+			contenders++
+		}
+		for j := i + 1; j < len(entrants); j++ {
+			if entrants[j].Name == e.Name {
+				return out, fmt.Errorf("portfolio: duplicate entrant name %q", e.Name)
+			}
+		}
+	}
+	if contenders == 0 {
+		return out, errors.New("portfolio: every entrant is bound-only")
+	}
+	grace := opt.Grace
+	if grace == 0 {
+		grace = DefaultGrace
+	}
+
+	rctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	cancels := make([]context.CancelFunc, len(entrants))
+	arrivals := make(chan arrival, len(entrants))
+	var wg sync.WaitGroup
+	for i := range entrants {
+		ectx, cancel := context.WithCancel(rctx)
+		cancels[i] = cancel
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := entrants[i].Run(ectx)
+			arrivals <- arrival{i: i, res: r, err: err}
+		}(i)
+	}
+	defer wg.Wait()
+
+	var (
+		finished = make([]bool, len(entrants))
+		canceled = make([]bool, len(entrants))
+		res      = make([]RunResult, len(entrants))
+		errs     = make([]error, len(entrants))
+		winner   = -1
+		optimal  = 0
+		proved   = false
+	)
+	cancelEntrant := func(i int) {
+		if !finished[i] && !canceled[i] {
+			canceled[i] = true
+			cancels[i]()
+		}
+	}
+	cancelOthers := func(keep int, sparExact bool) {
+		for j := range entrants {
+			if j == keep || (sparExact && j == exactIdx) {
+				continue
+			}
+			cancelEntrant(j)
+		}
+	}
+
+	var graceTimer *time.Timer
+	var graceC <-chan time.Time
+	defer func() {
+		if graceTimer != nil {
+			graceTimer.Stop()
+		}
+	}()
+	armGrace := func() {
+		if exactIdx < 0 || finished[exactIdx] || canceled[exactIdx] || graceC != nil {
+			return
+		}
+		if grace < 0 {
+			cancelEntrant(exactIdx)
+			return
+		}
+		graceTimer = time.NewTimer(grace)
+		graceC = graceTimer.C
+	}
+
+	for done := 0; done < len(entrants); {
+		select {
+		case a := <-arrivals:
+			done++
+			finished[a.i] = true
+			errs[a.i] = a.err
+			if a.err != nil {
+				// A loss (or the echo of our own cancellation). If the
+				// exact entrant died on its own the proof is never
+				// coming: stop waiting for it.
+				if a.i == exactIdx && winner >= 0 {
+					cancelOthers(winner, false)
+				}
+				continue
+			}
+			res[a.i] = a.res
+			ent := entrants[a.i]
+			if ent.Exact {
+				// Exact success: the optimum is proved.
+				optimal, proved = a.res.II, true
+				if !ent.BoundOnly && (winner < 0 || a.res.II < res[winner].II) {
+					winner = a.i
+				}
+				if winner >= 0 {
+					cancelOthers(winner, false)
+				}
+				continue
+			}
+			switch {
+			case winner < 0:
+				winner = a.i
+				if a.res.II <= a.res.MII {
+					// Already optimal: no proof needed from exact.
+					optimal, proved = a.res.II, true
+					cancelOthers(winner, false)
+				} else if proved {
+					// Exact (bound-only) finished before any heuristic.
+					cancelOthers(winner, false)
+				} else {
+					cancelOthers(winner, true)
+					armGrace()
+				}
+			case !entrants[winner].Exact && a.res.II < res[winner].II:
+				// A straggler we canceled still finished, and better.
+				winner = a.i
+			}
+		case <-graceC:
+			graceC = nil
+			cancelEntrant(exactIdx)
+		case <-ctx.Done():
+			cancelAll()
+			// Keep draining: every entrant returns promptly now.
+		}
+	}
+
+	if winner < 0 {
+		joined := errors.Join(errs...)
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("portfolio: race canceled: %w", errors.Join(err, joined))
+		}
+		return out, fmt.Errorf("portfolio: every entrant failed: %w", joined)
+	}
+	out.Winner = entrants[winner].Name
+	out.Result = res[winner]
+	out.OptimalII = optimal
+	out.Proved = proved
+	if proved {
+		out.Gap = res[winner].II - optimal
+	}
+	out.Won = []string{entrants[winner].Name}
+	for i := range entrants {
+		if i == winner {
+			continue
+		}
+		if canceled[i] {
+			out.Canceled = append(out.Canceled, entrants[i].Name)
+		} else {
+			out.Lost = append(out.Lost, entrants[i].Name)
+		}
+	}
+	sort.Strings(out.Lost)
+	sort.Strings(out.Canceled)
+	return out, nil
+}

@@ -1,0 +1,276 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// immediate returns res as soon as the entrant starts.
+func immediate(res RunResult) func(context.Context) (RunResult, error) {
+	return func(context.Context) (RunResult, error) { return res, nil }
+}
+
+// blockUntilCancel never produces a result; it exits only when the
+// race cancels it, optionally signalling the cancellation.
+func blockUntilCancel(signal chan<- struct{}) func(context.Context) (RunResult, error) {
+	return func(ctx context.Context) (RunResult, error) {
+		<-ctx.Done()
+		if signal != nil {
+			close(signal)
+		}
+		return RunResult{}, ctx.Err()
+	}
+}
+
+// afterGate returns res once the gate channel closes (or an error if
+// canceled first). Gating on another entrant's observed cancellation
+// makes arrival order deterministic without sleeps.
+func afterGate(gate <-chan struct{}, res RunResult, err error) func(context.Context) (RunResult, error) {
+	return func(ctx context.Context) (RunResult, error) {
+		select {
+		case <-gate:
+			return res, err
+		case <-ctx.Done():
+			return RunResult{}, ctx.Err()
+		}
+	}
+}
+
+func checkPartition(t *testing.T, out Outcome, n int) {
+	t.Helper()
+	if got := len(out.Won) + len(out.Lost) + len(out.Canceled); got != n {
+		t.Errorf("won %v + lost %v + canceled %v covers %d entrants, want %d",
+			out.Won, out.Lost, out.Canceled, got, n)
+	}
+	if len(out.Won) != 1 || out.Won[0] != out.Winner {
+		t.Errorf("Won = %v, want exactly [%s]", out.Won, out.Winner)
+	}
+}
+
+// TestHeuristicAtMIIWinsAndCancelsAll: a heuristic that hits its MII
+// is provably optimal — the exact entrant is canceled, gap is zero.
+func TestHeuristicAtMIIWinsAndCancelsAll(t *testing.T) {
+	entrants := []Entrant{
+		{Name: "dms", Run: immediate(RunResult{MII: 2, II: 2})},
+		{Name: "exact", Exact: true, Run: blockUntilCancel(nil)},
+	}
+	out, err := Race(context.Background(), entrants, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "dms" || !out.Proved || out.Gap != 0 || out.OptimalII != 2 {
+		t.Errorf("outcome %+v, want dms winning proved with gap 0", out)
+	}
+	if len(out.Canceled) != 1 || out.Canceled[0] != "exact" {
+		t.Errorf("Canceled = %v, want [exact]", out.Canceled)
+	}
+	checkPartition(t, out, len(entrants))
+}
+
+// TestExactImprovesWithinGrace: the heuristic wins provisionally with
+// a loose II; exact finishes inside the grace window with a strictly
+// better II and takes the race.
+func TestExactImprovesWithinGrace(t *testing.T) {
+	slowGone := make(chan struct{})
+	entrants := []Entrant{
+		{Name: "dms", Run: immediate(RunResult{MII: 2, II: 4})},
+		{Name: "slow", Run: blockUntilCancel(slowGone)},
+		{Name: "exact", Exact: true, Run: afterGate(slowGone, RunResult{MII: 2, II: 3}, nil)},
+	}
+	out, err := Race(context.Background(), entrants, Options{Grace: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "exact" || !out.Proved || out.OptimalII != 3 || out.Gap != 0 {
+		t.Errorf("outcome %+v, want exact winning proved at II 3", out)
+	}
+	if len(out.Canceled) != 1 || out.Canceled[0] != "slow" {
+		t.Errorf("Canceled = %v, want [slow]", out.Canceled)
+	}
+	if len(out.Lost) != 1 || out.Lost[0] != "dms" {
+		t.Errorf("Lost = %v, want [dms]", out.Lost)
+	}
+	checkPartition(t, out, len(entrants))
+}
+
+// TestTieKeepsHeuristicWinner: when exact matches the heuristic's II,
+// the heuristic keeps the win (its output is what the caller gets,
+// byte-identical to running it alone) but the result is now proved.
+func TestTieKeepsHeuristicWinner(t *testing.T) {
+	slowGone := make(chan struct{})
+	entrants := []Entrant{
+		{Name: "dms", Run: immediate(RunResult{MII: 2, II: 3, Payload: "dms-schedule"})},
+		{Name: "slow", Run: blockUntilCancel(slowGone)},
+		{Name: "exact", Exact: true, Run: afterGate(slowGone, RunResult{MII: 2, II: 3}, nil)},
+	}
+	out, err := Race(context.Background(), entrants, Options{Grace: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "dms" || !out.Proved || out.Gap != 0 || out.OptimalII != 3 {
+		t.Errorf("outcome %+v, want dms keeping the win, proved, gap 0", out)
+	}
+	if out.Result.Payload != "dms-schedule" {
+		t.Errorf("Result.Payload = %v, want the heuristic's own payload", out.Result.Payload)
+	}
+	checkPartition(t, out, len(entrants))
+}
+
+// TestBoundOnlyExactNeverWins: a bound-only exact entrant with a
+// better II contributes the optimality bound but not the schedule.
+func TestBoundOnlyExactNeverWins(t *testing.T) {
+	exactDone := make(chan struct{})
+	entrants := []Entrant{
+		{Name: "exact", Exact: true, BoundOnly: true, Run: func(context.Context) (RunResult, error) {
+			defer close(exactDone)
+			return RunResult{MII: 2, II: 2}, nil
+		}},
+		{Name: "dms", Run: afterGate(exactDone, RunResult{MII: 2, II: 4}, nil)},
+	}
+	out, err := Race(context.Background(), entrants, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "dms" || !out.Proved || out.OptimalII != 2 || out.Gap != 2 {
+		t.Errorf("outcome %+v, want dms winning with proved gap 2", out)
+	}
+	if len(out.Lost) != 1 || out.Lost[0] != "exact" {
+		t.Errorf("Lost = %v, want [exact]", out.Lost)
+	}
+	checkPartition(t, out, len(entrants))
+}
+
+// TestGraceExpiryCancelsExact: the proof window runs out, the exact
+// entrant is canceled, and the heuristic win stands unproved.
+func TestGraceExpiryCancelsExact(t *testing.T) {
+	entrants := []Entrant{
+		{Name: "dms", Run: immediate(RunResult{MII: 2, II: 4})},
+		{Name: "exact", Exact: true, Run: blockUntilCancel(nil)},
+	}
+	out, err := Race(context.Background(), entrants, Options{Grace: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "dms" || out.Proved || out.Gap != 0 {
+		t.Errorf("outcome %+v, want unproved dms win", out)
+	}
+	if len(out.Canceled) != 1 || out.Canceled[0] != "exact" {
+		t.Errorf("Canceled = %v, want [exact]", out.Canceled)
+	}
+	checkPartition(t, out, len(entrants))
+}
+
+// TestNegativeGraceSkipsProofWait: Grace < 0 cancels exact the moment
+// a heuristic wins instead of waiting for the proof.
+func TestNegativeGraceSkipsProofWait(t *testing.T) {
+	entrants := []Entrant{
+		{Name: "dms", Run: immediate(RunResult{MII: 2, II: 4})},
+		{Name: "exact", Exact: true, Run: blockUntilCancel(nil)},
+	}
+	out, err := Race(context.Background(), entrants, Options{Grace: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "dms" || out.Proved {
+		t.Errorf("outcome %+v, want immediate unproved dms win", out)
+	}
+	if len(out.Canceled) != 1 || out.Canceled[0] != "exact" {
+		t.Errorf("Canceled = %v, want [exact]", out.Canceled)
+	}
+	checkPartition(t, out, len(entrants))
+}
+
+// TestExactFirstWinsOutright: exact finishing before any heuristic is
+// already optimal; everyone else is canceled.
+func TestExactFirstWinsOutright(t *testing.T) {
+	entrants := []Entrant{
+		{Name: "dms", Run: blockUntilCancel(nil)},
+		{Name: "exact", Exact: true, Run: immediate(RunResult{MII: 2, II: 2})},
+	}
+	out, err := Race(context.Background(), entrants, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "exact" || !out.Proved || out.Gap != 0 {
+		t.Errorf("outcome %+v, want exact winning proved", out)
+	}
+	if len(out.Canceled) != 1 || out.Canceled[0] != "dms" {
+		t.Errorf("Canceled = %v, want [dms]", out.Canceled)
+	}
+	checkPartition(t, out, len(entrants))
+}
+
+// TestExactErrorLeavesWinUnproved: exact failing on its own (budget
+// exhausted) can't prove anything; the heuristic win stands unproved.
+func TestExactErrorLeavesWinUnproved(t *testing.T) {
+	slowGone := make(chan struct{})
+	entrants := []Entrant{
+		{Name: "dms", Run: immediate(RunResult{MII: 2, II: 4})},
+		{Name: "slow", Run: blockUntilCancel(slowGone)},
+		{Name: "exact", Exact: true, Run: afterGate(slowGone, RunResult{}, errors.New("budget exhausted"))},
+	}
+	out, err := Race(context.Background(), entrants, Options{Grace: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "dms" || out.Proved {
+		t.Errorf("outcome %+v, want unproved dms win", out)
+	}
+	if len(out.Lost) != 1 || out.Lost[0] != "exact" {
+		t.Errorf("Lost = %v, want [exact]", out.Lost)
+	}
+	checkPartition(t, out, len(entrants))
+}
+
+// TestAllEntrantsFail: no winner means an error carrying the entrant
+// failures.
+func TestAllEntrantsFail(t *testing.T) {
+	boom := errors.New("boom")
+	entrants := []Entrant{
+		{Name: "a", Run: func(context.Context) (RunResult, error) { return RunResult{}, boom }},
+		{Name: "b", Run: func(context.Context) (RunResult, error) { return RunResult{}, boom }},
+	}
+	_, err := Race(context.Background(), entrants, Options{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped entrant failure", err)
+	}
+}
+
+// TestParentCancel: a canceled caller context aborts the race with
+// context.Canceled even though entrants would otherwise block.
+func TestParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	entrants := []Entrant{
+		{Name: "dms", Run: blockUntilCancel(nil)},
+		{Name: "exact", Exact: true, Run: blockUntilCancel(nil)},
+	}
+	_, err := Race(ctx, entrants, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRaceValidation covers the malformed-entrant errors.
+func TestRaceValidation(t *testing.T) {
+	run := immediate(RunResult{MII: 1, II: 1})
+	cases := []struct {
+		name     string
+		entrants []Entrant
+	}{
+		{"empty", nil},
+		{"all bound-only", []Entrant{{Name: "x", BoundOnly: true, Run: run}}},
+		{"duplicate names", []Entrant{{Name: "x", Run: run}, {Name: "x", Run: run}}},
+		{"two exact", []Entrant{
+			{Name: "a", Exact: true, Run: run},
+			{Name: "b", Exact: true, Run: run},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := Race(context.Background(), tc.entrants, Options{}); err == nil {
+			t.Errorf("%s: Race accepted invalid entrants", tc.name)
+		}
+	}
+}

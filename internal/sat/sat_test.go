@@ -1,0 +1,381 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// refSolve is a naive DPLL reference: exhaustive branch-and-prune over
+// variables in index order. Exponential, but trustworthy — the CDCL
+// solver is validated against it on randomized instances.
+func refSolve(n int, clauses [][]Lit) (bool, []bool) {
+	assign := make([]int8, n)
+	val := func(l Lit) int8 {
+		v := assign[l.Var()]
+		if l&1 == 1 {
+			return -v
+		}
+		return v
+	}
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		for _, c := range clauses {
+			sat, undef := false, false
+			for _, l := range c {
+				switch val(l) {
+				case 1:
+					sat = true
+				case 0:
+					undef = true
+				}
+			}
+			if !sat && !undef {
+				return false
+			}
+		}
+		if v == n {
+			return true
+		}
+		assign[v] = 1
+		if rec(v + 1) {
+			return true
+		}
+		assign[v] = -1
+		if rec(v + 1) {
+			return true
+		}
+		assign[v] = 0
+		return false
+	}
+	if !rec(0) {
+		return false, nil
+	}
+	model := make([]bool, n)
+	for v := range model {
+		model[v] = assign[v] == 1
+	}
+	return true, model
+}
+
+// modelSatisfies checks the solver's model against the original
+// (unsimplified) clauses.
+func modelSatisfies(s *Solver, clauses [][]Lit) bool {
+	for _, c := range clauses {
+		sat := false
+		for _, l := range c {
+			if s.Value(l.Var()) != (l&1 == 1) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// pigeonhole encodes "p pigeons into h holes": at least one hole per
+// pigeon, at most one pigeon per hole. UNSAT iff p > h, and for p = h+1
+// it is the classic hard instance for resolution — a conflict-rich
+// workload for learning and restarts.
+func pigeonhole(s *Solver, p, h int) {
+	s.Reset(p * h)
+	lit := func(i, j int) Lit { return Pos(i*h + j) }
+	for i := 0; i < p; i++ {
+		row := make([]Lit, h)
+		for j := 0; j < h; j++ {
+			row[j] = lit(i, j)
+		}
+		s.AddClause(row...)
+	}
+	for j := 0; j < h; j++ {
+		for i1 := 0; i1 < p; i1++ {
+			for i2 := i1 + 1; i2 < p; i2++ {
+				s.AddClause(lit(i1, j).Not(), lit(i2, j).Not())
+			}
+		}
+	}
+}
+
+// TestRandomAgainstReference cross-checks the CDCL solver against the
+// DPLL reference on hundreds of random instances spanning the
+// under/over-constrained range, asserting sat/unsat agreement and
+// model validity. The generator is seeded, so a failure reproduces.
+func TestRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(19990109))
+	s := New()
+	sats, unsats := 0, 0
+	for trial := 0; trial < 600; trial++ {
+		n := 3 + rng.Intn(8)
+		nclauses := 1 + rng.Intn(9*n/2)
+		clauses := make([][]Lit, nclauses)
+		for i := range clauses {
+			clen := 1 + rng.Intn(3)
+			c := make([]Lit, clen)
+			for k := range c {
+				c[k] = Lit(rng.Intn(2 * n))
+			}
+			clauses[i] = c
+		}
+		s.Reset(n)
+		for _, c := range clauses {
+			s.AddClause(c...)
+		}
+		got, err := s.Solve(context.Background())
+		if err != nil {
+			t.Fatalf("trial %d: unexpected error: %v", trial, err)
+		}
+		want, _ := refSolve(n, clauses)
+		if got != want {
+			t.Fatalf("trial %d (n=%d, %d clauses): CDCL says sat=%v, DPLL reference says sat=%v\nclauses: %v",
+				trial, n, nclauses, got, want, clauses)
+		}
+		if got {
+			sats++
+			if !modelSatisfies(s, clauses) {
+				t.Fatalf("trial %d: model does not satisfy the instance\nclauses: %v", trial, clauses)
+			}
+		} else {
+			unsats++
+		}
+	}
+	if sats == 0 || unsats == 0 {
+		t.Fatalf("degenerate workload: %d sat / %d unsat instances; generator needs retuning", sats, unsats)
+	}
+}
+
+// TestUnitPropagationChain is the unit-propagation regression fixture:
+// a unit root and an implication chain must be fully assigned by
+// top-level propagation, so the search makes zero decisions.
+func TestUnitPropagationChain(t *testing.T) {
+	const n = 20
+	s := New()
+	s.Reset(n)
+	s.AddClause(Pos(0))
+	for v := 0; v+1 < n; v++ {
+		s.AddClause(Neg(v), Pos(v+1)) // v → v+1
+	}
+	ok, err := s.Solve(context.Background())
+	if err != nil || !ok {
+		t.Fatalf("Solve = %v, %v; want sat", ok, err)
+	}
+	for v := 0; v < n; v++ {
+		if !s.Value(v) {
+			t.Errorf("x%d = false, want true (chain propagation)", v)
+		}
+	}
+	st := s.Stats()
+	if st.Decisions != 0 {
+		t.Errorf("Decisions = %d, want 0: the chain must resolve by propagation alone", st.Decisions)
+	}
+	if st.Propagations == 0 {
+		t.Error("Propagations = 0, want > 0")
+	}
+}
+
+// TestConflictAnalysisLearns is the conflict-analysis regression
+// fixture. The default decision phase (false) walks straight into
+// conflicts on an instance whose only model is all-true, so the solver
+// must learn clauses to steer out — and still answer SAT.
+func TestConflictAnalysisLearns(t *testing.T) {
+	s := New()
+	s.Reset(3)
+	clauses := [][]Lit{
+		{Pos(0), Pos(1)},
+		{Pos(0), Neg(1)},
+		{Neg(0), Pos(1)},
+		{Neg(1), Pos(2)},
+		{Neg(0), Neg(1), Pos(2)},
+	}
+	for _, c := range clauses {
+		s.AddClause(c...)
+	}
+	ok, err := s.Solve(context.Background())
+	if err != nil || !ok {
+		t.Fatalf("Solve = %v, %v; want sat", ok, err)
+	}
+	if !modelSatisfies(s, clauses) {
+		t.Fatal("model does not satisfy the instance")
+	}
+	if st := s.Stats(); st.Conflicts == 0 {
+		t.Errorf("Conflicts = 0, want > 0: phase-false decisions must conflict on this fixture")
+	}
+}
+
+// TestUnsatPigeonhole: p = h+1 pigeons cannot fit, and proving it
+// requires real clause learning (the learnt counter must move).
+func TestUnsatPigeonhole(t *testing.T) {
+	s := New()
+	pigeonhole(s, 4, 3)
+	ok, err := s.Solve(context.Background())
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if ok {
+		t.Fatal("PHP(4,3) reported sat; it is unsatisfiable")
+	}
+	st := s.Stats()
+	if st.Conflicts == 0 || st.Learnt == 0 {
+		t.Errorf("Conflicts = %d, Learnt = %d; PHP(4,3) must exercise conflict analysis", st.Conflicts, st.Learnt)
+	}
+}
+
+// TestSatPigeonhole: p = h pigeons fit exactly; the model must place
+// every pigeon in a distinct hole.
+func TestSatPigeonhole(t *testing.T) {
+	const p, h = 4, 4
+	s := New()
+	pigeonhole(s, p, h)
+	ok, err := s.Solve(context.Background())
+	if err != nil || !ok {
+		t.Fatalf("Solve = %v, %v; want sat", ok, err)
+	}
+	used := make([]bool, h)
+	for i := 0; i < p; i++ {
+		placed := false
+		for j := 0; j < h; j++ {
+			if s.Value(i*h + j) {
+				if used[j] {
+					t.Fatalf("hole %d used twice", j)
+				}
+				used[j] = true
+				placed = true
+			}
+		}
+		if !placed {
+			t.Fatalf("pigeon %d unplaced", i)
+		}
+	}
+}
+
+// TestRestartBehavior is the restart regression fixture: with the
+// restart interval floored to one conflict the solver restarts on a
+// Luby cadence and must still prove UNSAT — restarts may discard the
+// trail but never learnt clauses.
+func TestRestartBehavior(t *testing.T) {
+	s := New()
+	s.restartBase = 1
+	pigeonhole(s, 4, 3)
+	ok, err := s.Solve(context.Background())
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if ok {
+		t.Fatal("PHP(4,3) reported sat under aggressive restarts")
+	}
+	st := s.Stats()
+	if st.Restarts == 0 {
+		t.Errorf("Restarts = 0 with restartBase=1 and %d conflicts; restart scheduling is broken", st.Conflicts)
+	}
+}
+
+// TestLubySequence pins the restart pacing sequence.
+func TestLubySequence(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestConflictBudget: a one-conflict cap on a conflict-heavy instance
+// must surface ErrBudget, the driver's timeout signal.
+func TestConflictBudget(t *testing.T) {
+	s := New()
+	pigeonhole(s, 4, 3)
+	s.MaxConflicts = 1
+	_, err := s.Solve(context.Background())
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("Solve error = %v, want ErrBudget", err)
+	}
+	s.MaxConflicts = 0
+}
+
+// TestDecisionBudget: the decision cap fires on the first decision of
+// an instance that propagation alone cannot finish.
+func TestDecisionBudget(t *testing.T) {
+	s := New()
+	s.Reset(2)
+	s.AddClause(Pos(0), Pos(1))
+	s.MaxDecisions = 1
+	_, err := s.Solve(context.Background())
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("Solve error = %v, want ErrBudget", err)
+	}
+}
+
+// TestContextCancel: an already-canceled context aborts a long search
+// at the next cooperative check and reports the context's error.
+func TestContextCancel(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7, 6) // far more than one ctx-check interval of conflicts
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ok, err := s.Solve(ctx)
+	if ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Solve = %v, %v; want false, context.Canceled", ok, err)
+	}
+}
+
+// TestAddClauseSimplification covers the level-0 clause intake rules:
+// tautologies vanish, duplicates collapse, contradictory units make
+// the instance trivially unsat, and the empty clause does too.
+func TestAddClauseSimplification(t *testing.T) {
+	s := New()
+	s.Reset(2)
+	s.AddClause(Pos(0), Neg(0)) // tautology: no clause stored
+	if len(s.hdrs) != 0 {
+		t.Errorf("tautology stored as clause")
+	}
+	s.AddClause(Pos(0), Pos(0), Pos(1)) // duplicates collapse to 2 lits
+	if n := s.hdrs[len(s.hdrs)-1].n; n != 2 {
+		t.Errorf("deduped clause has %d lits, want 2", n)
+	}
+	if ok, _ := s.Solve(context.Background()); !ok {
+		t.Fatal("simplified instance must be sat")
+	}
+
+	s.Reset(1)
+	s.AddClause(Pos(0))
+	s.AddClause(Neg(0)) // contradicts the level-0 unit
+	if ok, err := s.Solve(context.Background()); ok || err != nil {
+		t.Fatalf("Solve = %v, %v; want false, nil", ok, err)
+	}
+
+	s.Reset(1)
+	s.AddClause() // empty clause
+	if ok, err := s.Solve(context.Background()); ok || err != nil {
+		t.Fatalf("Solve after empty clause = %v, %v; want false, nil", ok, err)
+	}
+}
+
+// TestResetReuse: one solver across instances of varying size, with
+// NewVar growth in between — answers stay correct and independent.
+func TestResetReuse(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 4)
+	if ok, err := s.Solve(context.Background()); ok || err != nil {
+		t.Fatalf("PHP(5,4): Solve = %v, %v; want false, nil", ok, err)
+	}
+
+	s.Reset(1)
+	extra := s.NewVar()
+	s.AddClause(Pos(0), Pos(extra))
+	s.AddClause(Neg(0))
+	ok, err := s.Solve(context.Background())
+	if err != nil || !ok {
+		t.Fatalf("Solve = %v, %v; want sat", ok, err)
+	}
+	if !s.Value(extra) {
+		t.Error("forced NewVar variable not true in model")
+	}
+
+	pigeonhole(s, 3, 3)
+	if ok, err := s.Solve(context.Background()); !ok || err != nil {
+		t.Fatalf("PHP(3,3): Solve = %v, %v; want sat", ok, err)
+	}
+}

@@ -23,6 +23,11 @@ const (
 	DefaultLeaseTTL = 15 * time.Second
 	// DefaultLeaseChunk caps the compile units handed out per lease.
 	DefaultLeaseChunk = 8
+	// DefaultLeaseTTLExact is the stretched heartbeat deadline applied
+	// to leases carrying exact or portfolio units: an exhaustive SAT
+	// search can legitimately run past the default TTL without posting
+	// anything, and expiring it mid-solve just computes the proof twice.
+	DefaultLeaseTTLExact = 60 * time.Second
 	// DefaultWorkerPoll is the re-poll hint sent with empty leases.
 	DefaultWorkerPoll = 500 * time.Millisecond
 	// maxLeaseWait caps a lease request's long-poll budget.
@@ -41,11 +46,12 @@ var errLeaseExpired = errors.New("server: lease expired")
 // resolved exactly once: the queue Ack is the authoritative claim, so
 // a result raced by a lease expiry is discarded, never double-emitted.
 type dispatcher struct {
-	q     jobs.Queue
-	cache *Cache
-	ttl   time.Duration
-	chunk int
-	poll  time.Duration
+	q        jobs.Queue
+	cache    *Cache
+	ttl      time.Duration
+	ttlExact time.Duration // TTL for leases carrying exact/portfolio units
+	chunk    int
+	poll     time.Duration
 
 	mu         sync.Mutex
 	units      map[string]*unit    // live (pending or leased) units by ID
@@ -86,12 +92,18 @@ type dispatchBatch struct {
 	done    chan struct{}
 }
 
-func newDispatcher(cache *Cache, q jobs.Queue, ttl time.Duration, chunk int, poll time.Duration) *dispatcher {
+func newDispatcher(cache *Cache, q jobs.Queue, ttl, ttlExact time.Duration, chunk int, poll time.Duration) *dispatcher {
 	if q == nil {
 		q = jobs.NewMemQueue(0) // admission is bounded per batch upstream
 	}
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
+	}
+	if ttlExact <= 0 {
+		ttlExact = DefaultLeaseTTLExact
+	}
+	if ttlExact < ttl {
+		ttlExact = ttl // the exact TTL only ever stretches the deadline
 	}
 	if chunk <= 0 {
 		chunk = DefaultLeaseChunk
@@ -100,14 +112,15 @@ func newDispatcher(cache *Cache, q jobs.Queue, ttl time.Duration, chunk int, pol
 		poll = DefaultWorkerPoll
 	}
 	d := &dispatcher{
-		q:      q,
-		cache:  cache,
-		ttl:    ttl,
-		chunk:  chunk,
-		poll:   poll,
-		units:  make(map[string]*unit),
-		leases: make(map[string][]string),
-		stop:   make(chan struct{}),
+		q:        q,
+		cache:    cache,
+		ttl:      ttl,
+		ttlExact: ttlExact,
+		chunk:    chunk,
+		poll:     poll,
+		units:    make(map[string]*unit),
+		leases:   make(map[string][]string),
+		stop:     make(chan struct{}),
 	}
 	d.wg.Add(1)
 	go d.janitor()
@@ -280,6 +293,7 @@ func (d *dispatcher) lease(ctx context.Context, worker string, max int, wait tim
 			// its batch binding) is the adopted one under d.units.
 			units := make([]api.WorkUnit, 0, len(tasks))
 			ids := make([]string, 0, len(tasks))
+			longRunning := false
 			d.mu.Lock()
 			for _, t := range tasks {
 				u, live := d.units[t.ID]
@@ -291,6 +305,9 @@ func (d *dispatcher) lease(ctx context.Context, worker string, max int, wait tim
 				}
 				units = append(units, u.wire)
 				ids = append(ids, u.id)
+				if u.job.Scheduler == "exact" || u.job.Scheduler == "portfolio" {
+					longRunning = true
+				}
 			}
 			if len(ids) > 0 {
 				d.leases[id] = ids
@@ -299,7 +316,16 @@ func (d *dispatcher) lease(ctx context.Context, worker string, max int, wait tim
 			if len(ids) == 0 {
 				continue
 			}
-			return api.Lease{ID: id, Units: units, TTLMS: int(d.ttl / time.Millisecond)}
+			ttl := d.ttl
+			// Exact and portfolio units may run a SAT proof for the whole
+			// lease duration without posting anything; stretch the
+			// heartbeat deadline so the proof is not recomputed elsewhere.
+			if longRunning && d.ttlExact > ttl {
+				if s, ok := d.q.(jobs.LeaseTTLSetter); ok && s.SetLeaseTTL(id, d.ttlExact) {
+					ttl = d.ttlExact
+				}
+			}
+			return api.Lease{ID: id, Units: units, TTLMS: int(ttl / time.Millisecond)}
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {

@@ -54,6 +54,8 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -122,6 +124,11 @@ type Options struct {
 	// posts nothing for this long has its unresolved units requeued
 	// (0 = DefaultLeaseTTL).
 	LeaseTTL time.Duration
+	// LeaseTTLExact is the stretched heartbeat deadline for leases
+	// carrying exact or portfolio units, whose SAT search may
+	// legitimately post nothing for the whole solve
+	// (0 = DefaultLeaseTTLExact; never below LeaseTTL).
+	LeaseTTLExact time.Duration
 	// LeaseChunk caps the compile units handed out per lease
 	// (0 = DefaultLeaseChunk).
 	LeaseChunk int
@@ -168,6 +175,104 @@ type Server struct {
 	requests  atomic.Int64
 	jobs      atomic.Int64
 	jobErrors atomic.Int64
+	portfolio portfolioAgg
+}
+
+// portfolioAgg aggregates the portfolio meta-scheduler's results as
+// they land in job buffers. Aggregating at the emit point — rather
+// than inside the scheduler — makes the counters correct in every
+// execution mode: in-process batches, distributed batches resolved by
+// remote workers, even recovered batches, all flow through the same
+// per-record hook.
+type portfolioAgg struct {
+	mu      sync.Mutex
+	races   int64
+	gapObs  int64
+	gapSum  int64
+	gapMax  int64
+	proved  int64
+	wins    map[string]int64
+	losses  map[string]int64
+	cancels map[string]int64
+}
+
+// record folds one successful portfolio result into the aggregate.
+func (p *portfolioAgg) record(st *api.Stats) {
+	keys := make([]string, 0, len(st.Extra))
+	//dms:orderok keys are collected then sorted before any counter is touched
+	for k := range st.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.races++
+	if st.ProvedOptimal {
+		gap := int64(st.II - st.OptimalII)
+		p.gapObs++
+		p.gapSum += gap
+		if gap > p.gapMax {
+			p.gapMax = gap
+		}
+		if gap == 0 {
+			p.proved++
+		}
+	}
+	for _, k := range keys {
+		switch {
+		case strings.HasPrefix(k, "won_"):
+			if p.wins == nil {
+				p.wins = make(map[string]int64)
+			}
+			p.wins[strings.TrimPrefix(k, "won_")]++
+		case strings.HasPrefix(k, "lost_"):
+			if p.losses == nil {
+				p.losses = make(map[string]int64)
+			}
+			p.losses[strings.TrimPrefix(k, "lost_")]++
+		case strings.HasPrefix(k, "canceled_"):
+			if p.cancels == nil {
+				p.cancels = make(map[string]int64)
+			}
+			p.cancels[strings.TrimPrefix(k, "canceled_")]++
+		}
+	}
+}
+
+// snapshot renders the aggregate in its wire form.
+func (p *portfolioAgg) snapshot() api.PortfolioMetrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return api.PortfolioMetrics{
+		Races:         p.races,
+		GapObserved:   p.gapObs,
+		GapSum:        p.gapSum,
+		GapMax:        p.gapMax,
+		ProvedOptimal: p.proved,
+		Wins:          copyCounts(p.wins),
+		Losses:        copyCounts(p.losses),
+		Cancels:       copyCounts(p.cancels),
+	}
+}
+
+func copyCounts(src map[string]int64) map[string]int64 {
+	if len(src) == 0 {
+		return nil
+	}
+	dst := make(map[string]int64, len(src))
+	for k, v := range src { // map-to-map transfer keyed by the range key
+		dst[k] = v
+	}
+	return dst
+}
+
+// recordPortfolio feeds one emitted record into the portfolio
+// aggregate when it is a successful portfolio result.
+func (s *Server) recordPortfolio(scheduler string, rec api.JobResult) {
+	if scheduler != "portfolio" || rec.Error != "" || rec.Stats == nil {
+		return
+	}
+	s.portfolio.record(rec.Stats)
 }
 
 // New returns a service with the given options; its executor pool runs
@@ -215,7 +320,7 @@ func Open(opt Options) (*Server, error) {
 	// is always served (a worker attached to a non-distributing
 	// server just leases nothing) — but only Distribute routes
 	// batches through it.
-	s.dispatch = newDispatcher(cache, q, opt.LeaseTTL, opt.LeaseChunk, opt.WorkerPoll)
+	s.dispatch = newDispatcher(cache, q, opt.LeaseTTL, opt.LeaseTTLExact, opt.LeaseChunk, opt.WorkerPoll)
 	if durable != nil {
 		s.recoverDurable()
 	}
@@ -332,12 +437,14 @@ func driverOptions(o api.Options) driver.Options {
 // wireStats converts a driver scheduling report to the wire form.
 func wireStats(st driver.Stats) api.Stats {
 	return api.Stats{
-		MII:        st.MII,
-		II:         st.II,
-		IIsTried:   st.IIsTried,
-		Placements: st.Placements,
-		Evictions:  st.Evictions,
-		Extra:      st.Extra,
+		MII:           st.MII,
+		II:            st.II,
+		IIsTried:      st.IIsTried,
+		Placements:    st.Placements,
+		Evictions:     st.Evictions,
+		OptimalII:     st.OptimalII,
+		ProvedOptimal: st.ProvedOptimal,
+		Extra:         st.Extra,
 	}
 }
 
@@ -461,6 +568,7 @@ func (s *Server) submit(jobList []driver.Job, timeout time.Duration, noCache boo
 				if rec.Error != "" && ctx.Err() == nil {
 					s.jobErrors.Add(1)
 				}
+				s.recordPortfolio(jobList[rec.Index].Scheduler, rec)
 				emit(rec)
 			})
 		}
@@ -472,6 +580,7 @@ func (s *Server) submit(jobList []driver.Job, timeout time.Duration, noCache boo
 				if rec.Error != "" && ctx.Err() == nil {
 					s.jobErrors.Add(1)
 				}
+				s.recordPortfolio(jobList[i].Scheduler, rec)
 				emit(rec)
 			})
 		}
@@ -842,6 +951,7 @@ func errorCode4xx(err error) api.ErrorCode {
 // Snapshot collects the service counters.
 func (s *Server) Snapshot() api.ServerMetrics {
 	dm := s.dispatch.Metrics()
+	pm := s.portfolio.snapshot()
 	m := api.ServerMetrics{
 		Requests:  s.requests.Load(),
 		Jobs:      s.jobs.Load(),
@@ -849,6 +959,7 @@ func (s *Server) Snapshot() api.ServerMetrics {
 		Cache:     s.cache.Metrics(),
 		Queue:     s.engine.Metrics(),
 		Dispatch:  &dm,
+		Portfolio: &pm,
 	}
 	if s.durable != nil {
 		m.Durability = &api.DurabilityMetrics{
