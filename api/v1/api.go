@@ -77,9 +77,14 @@
 // chunk of units under a Lease with a heartbeat TTL; units are routed
 // by the canonical content hash of the unit (Hash), so identical loops
 // land on the same worker and its warm schedule cache, while an idle
-// worker steals unrouted or orphaned units rather than starving. The
-// worker posts each unit's result (which also heartbeats the lease) to
-// POST /v1/workers/{lease}/results; a lease whose heartbeat deadline
+// worker steals unrouted or orphaned units rather than starving. A
+// worker sizes MaxUnits itself from its observed per-unit service time
+// and the queue depth the previous Lease reported in Remaining, and may
+// advertise the schedulers it runs so expensive back-ends route to
+// capable workers only. The worker posts completed results — batched
+// into one results[] frame per flush window (which also heartbeats the
+// lease) — to POST /v1/workers/{lease}/results; a lease whose heartbeat
+// deadline
 // passes has its unresolved units returned to the queue — a crashed
 // worker never loses a job — and any later post under it is rejected
 // with lease_expired, which keeps results exactly-once:
@@ -530,6 +535,36 @@ type DispatchMetrics struct {
 	Dispatched uint64 `json:"dispatched"`
 	Resolved   uint64 `json:"resolved"`
 	Requeued   uint64 `json:"requeued"`
+	// Workers aggregates per-worker gauges, keyed by the worker
+	// identity leases are requested under (absent before any worker
+	// has leased).
+	//dms:wireok pre-analyzer name: QueueMetrics.Workers (pool size) and DispatchMetrics.Workers (gauge table) never share an envelope
+	Workers map[string]WorkerMetrics `json:"workers,omitempty"`
+}
+
+// WorkerMetrics is one worker's row in the coordinator's dispatch
+// table: throughput and chunk-sizing gauges aggregated from the
+// worker's lease requests and result posts.
+type WorkerMetrics struct {
+	// UnitsPerSec is the worker's resolved-unit throughput since it
+	// first leased.
+	UnitsPerSec float64 `json:"units_per_sec"`
+	// EWMAUnitMS is the per-unit service time the worker self-reported
+	// with its latest lease request (0 until its calculator warms up).
+	EWMAUnitMS float64 `json:"ewma_unit_ms,omitempty"`
+	// CacheHitRate is the fraction of the worker's resolved units that
+	// were served from its local schedule cache.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CurrentChunk is the MaxUnits the worker asked for in its latest
+	// lease request, after coordinator clamping — the live output of
+	// its self-scheduling formula.
+	CurrentChunk int `json:"current_chunk"`
+	// ResolvedUnits counts results of this worker accepted as
+	// authoritative.
+	ResolvedUnits uint64 `json:"resolved_units"`
+	// Schedulers is the worker's latest capability advertisement
+	// (empty = everything).
+	Schedulers []string `json:"schedulers,omitempty"`
 }
 
 // DurabilityMetrics reports the disk-backed control plane of a
@@ -601,12 +636,25 @@ type LeaseRequest struct {
 	// affinitizes identical loops onto its warm cache. Required.
 	Worker string `json:"worker"`
 	// MaxUnits bounds the chunk (0 = server default; the server may
-	// cap it lower).
+	// cap it lower). Self-scheduling workers size it from their own
+	// observed per-unit service time and the Remaining depth of their
+	// previous Lease, so fast workers draw large chunks and slow ones
+	// small — the coordinator only clamps.
 	MaxUnits int `json:"max_units,omitempty"`
 	// WaitMS long-polls: with no work queued the server holds the
 	// request up to this long before answering with an empty lease
 	// (0 = answer immediately; the server caps the wait).
 	WaitMS int `json:"wait_ms,omitempty"`
+	// Schedulers advertises the scheduler names this worker can run.
+	// The coordinator routes units of an advertised-anywhere scheduler
+	// only to workers advertising it (falling back to anyone when no
+	// live worker does). Empty advertises everything — the
+	// pre-advertisement behavior.
+	Schedulers []string `json:"schedulers,omitempty"`
+	// EWMAUnitMS self-reports the worker's smoothed per-unit service
+	// time in milliseconds (0 = not yet warmed up); the coordinator
+	// republishes it on the per-worker dispatch gauges.
+	EWMAUnitMS float64 `json:"ewma_unit_ms,omitempty"`
 }
 
 // WorkUnit is one leasable compile unit: a single (loop, machine,
@@ -647,6 +695,10 @@ type Lease struct {
 	TTLMS int `json:"ttl_ms,omitempty"`
 	// PollMS is the coordinator's re-poll hint for an empty lease.
 	PollMS int `json:"poll_ms,omitempty"`
+	// Remaining is the queue depth left after this lease was carved
+	// out — the self-scheduling signal a worker's next MaxUnits request
+	// factors against, reported here so sizing needs no second call.
+	Remaining int `json:"remaining,omitempty"`
 }
 
 // UnitResult pairs one leased unit with its compile outcome. The

@@ -133,6 +133,17 @@ func goldenDoc() any {
 			Dispatch: &DispatchMetrics{
 				PendingUnits: 12, LeasedUnits: 8, ActiveLeases: 2,
 				Dispatched: 960, Resolved: 940, Requeued: 6,
+				Workers: map[string]WorkerMetrics{
+					"worker-7f3a": {
+						UnitsPerSec: 118.4, EWMAUnitMS: 8.2, CacheHitRate: 0.25,
+						CurrentChunk: 48, ResolvedUnits: 512,
+						Schedulers: []string{"dms", "exact", "ims", "portfolio", "sms", "twophase"},
+					},
+					"worker-slow": {
+						UnitsPerSec: 29.1, EWMAUnitMS: 33.7, CacheHitRate: 0.25,
+						CurrentChunk: 12, ResolvedUnits: 428,
+					},
+				},
 			},
 			Portfolio: &PortfolioMetrics{
 				Races: 40, GapObserved: 38, GapSum: 9, GapMax: 2, ProvedOptimal: 31,
@@ -143,10 +154,12 @@ func goldenDoc() any {
 		},
 		Health: Health{Status: "ok", Protocol: Version},
 		LeaseRequest: LeaseRequest{
-			Protocol: Version,
-			Worker:   "worker-7f3a",
-			MaxUnits: 8,
-			WaitMS:   2000,
+			Protocol:   Version,
+			Worker:     "worker-7f3a",
+			MaxUnits:   8,
+			WaitMS:     2000,
+			Schedulers: []string{"dms", "exact", "ims", "portfolio", "sms", "twophase"},
+			EWMAUnitMS: 8.2,
 		},
 		Lease: Lease{
 			ID: "9c1e4b22aa30dd41",
@@ -159,7 +172,8 @@ func goldenDoc() any {
 				Options:   Options{BudgetRatio: 6},
 				TimeoutMS: 30000,
 			}},
-			TTLMS: 15000,
+			TTLMS:     15000,
+			Remaining: 42,
 		},
 		EmptyLease: Lease{PollMS: 500},
 		WorkResults: WorkResultsRequest{
@@ -257,6 +271,9 @@ func TestGoldenDecodes(t *testing.T) {
 	}
 	if len(doc.Lease.Units) != 1 || doc.Lease.Units[0].Hash == "" || doc.Lease.TTLMS != 15000 {
 		t.Errorf("golden lease decoded wrong: %+v", doc.Lease)
+	}
+	if doc.Lease.Remaining != 42 {
+		t.Errorf("golden lease remaining = %d, want 42", doc.Lease.Remaining)
 	}
 	if doc.EmptyLease.ID != "" || doc.EmptyLease.PollMS != 500 {
 		t.Errorf("golden empty lease decoded wrong: %+v", doc.EmptyLease)

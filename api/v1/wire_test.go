@@ -30,6 +30,7 @@ func wireTypes() []any {
 		CacheMetrics{},
 		QueueMetrics{},
 		DispatchMetrics{},
+		WorkerMetrics{},
 		DurabilityMetrics{},
 		ServerMetrics{},
 		Health{},

@@ -22,7 +22,13 @@
 //
 // A worker is the other half: a headless pull loop (internal/worker)
 // against the coordinator named by -coordinator, compiling with the
-// local driver through a local schedule cache.
+// local driver through a local schedule cache. Workers self-schedule:
+// after a warm-up at -chunk units per lease, each sizes its next
+// request from its own service-time EWMA and the backlog the
+// coordinator reports, capped by the coordinator's -chunk-max; -fixed-
+// chunk pins the old fixed-size behavior. Completed results batch
+// into -post-window flushes instead of one POST per unit, and
+// -schedulers restricts which units the coordinator routes here.
 //
 // Both serving roles accept -data-dir, which makes the control plane
 // durable: the unit queue is write-ahead logged and result buffers
@@ -69,6 +75,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -99,7 +106,11 @@ func main() {
 		// Distribution (coordinator/worker roles).
 		coordinator = flag.String("coordinator", "http://localhost:8080", "coordinator base URL (worker role)")
 		workerID    = flag.String("worker-id", "", "stable worker identity for hash routing (worker role; default hostname+random)")
-		chunk       = flag.Int("chunk", 0, "max compile units per lease (coordinator: hand-out cap; worker: request size; 0 = default)")
+		chunk       = flag.Int("chunk", 0, "initial compile units per lease before the worker's EWMA warms up (coordinator: default hand-out; worker: warm-up request size; 0 = default). Deprecated as a cap: use -chunk-max")
+		chunkMax    = flag.Int("chunk-max", 0, "hard cap on compile units per lease regardless of worker requests (coordinator; 0 = default)")
+		fixedChunk  = flag.Bool("fixed-chunk", false, "disable adaptive chunk sizing: request exactly -chunk units per lease (worker)")
+		postWindow  = flag.Duration("post-window", 0, "result-batching flush window (worker; 0 = default, negative = post every unit immediately)")
+		schedulers  = flag.String("schedulers", "", "comma-separated scheduler names this worker advertises; the coordinator routes others elsewhere (worker; empty = all registered)")
 		leaseTTL    = flag.Duration("lease-ttl", server.DefaultLeaseTTL, "worker lease heartbeat deadline before units requeue (coordinator)")
 		leaseExact  = flag.Duration("lease-ttl-exact", server.DefaultLeaseTTLExact, "stretched lease deadline for exact/portfolio units whose SAT solve may post nothing for a while (coordinator)")
 		workerPoll  = flag.Duration("worker-poll", server.DefaultWorkerPoll, "re-poll hint sent with empty leases (coordinator)")
@@ -115,11 +126,34 @@ func main() {
 
 	switch *role {
 	case "worker":
-		log.Printf("worker pulling from %s (chunk %d, cache %d entries)", *coordinator, *chunk, *cacheSize)
+		var advertise []string
+		if *schedulers != "" {
+			for _, s := range strings.Split(*schedulers, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					advertise = append(advertise, s)
+				}
+			}
+		}
+		// DMS_UNIT_DELAY stalls every unit by a fixed duration — a fault
+		// and heterogeneity injection hook for smoke tests and benchmarks
+		// (a worker started with it models a machine that slow).
+		var unitDelay time.Duration
+		if v := os.Getenv("DMS_UNIT_DELAY"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				log.Fatalf("bad DMS_UNIT_DELAY %q: %v", v, err)
+			}
+			unitDelay = d
+		}
+		log.Printf("worker pulling from %s (initial chunk %d, cache %d entries)", *coordinator, *chunk, *cacheSize)
 		err := worker.Run(ctx, worker.Options{
 			Coordinator: *coordinator,
 			ID:          *workerID,
 			Chunk:       *chunk,
+			FixedChunk:  *fixedChunk,
+			PostWindow:  *postWindow,
+			Schedulers:  advertise,
+			UnitDelay:   unitDelay,
 			Parallelism: *par,
 			CacheSize:   *cacheSize,
 			Logf:        log.Printf,
@@ -150,6 +184,7 @@ func main() {
 		LeaseTTL:         *leaseTTL,
 		LeaseTTLExact:    *leaseExact,
 		LeaseChunk:       *chunk,
+		LeaseChunkMax:    *chunkMax,
 		WorkerPoll:       *workerPoll,
 		DataDir:          *dataDir,
 		Fsync:            *fsync,

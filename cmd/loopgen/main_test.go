@@ -1,6 +1,8 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"os"
 	"path/filepath"
 	"testing"
@@ -94,5 +96,64 @@ func TestWriteCorpusRoundTrip(t *testing.T) {
 	}
 	if same {
 		t.Error("dumps from different seeds are identical")
+	}
+}
+
+// corpusDigest hashes a generated corpus's canonical text, name by
+// name in order — a cheap byte-identity fingerprint at scales where
+// dumping and diffing every file would be wasteful.
+func corpusDigest(loops []*loop.Loop) string {
+	h := sha256.New()
+	for _, l := range loops {
+		h.Write([]byte(l.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(loop.Format(l)))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestScaledCorpusDeterminism pins the -n/-seed scaled-corpus mode the
+// distributed-drain benchmark feeds on: at thousands of loops —
+// including sizes past the paper's 1258-loop corpus — generation is a
+// pure function of (seed, n), names stay unique, and CorpusN(seed, k)
+// is a byte-identical prefix of CorpusN(seed, n) for k < n, so a
+// benchmark sampling the first k loops of a large corpus measures
+// exactly the corpus a -n k run would dump.
+func TestScaledCorpusDeterminism(t *testing.T) {
+	const n = 1500 // past CorpusSize: -n is not capped at the paper's scale
+	big := perfect.CorpusN(perfect.DefaultSeed, n)
+	if len(big) != n {
+		t.Fatalf("CorpusN returned %d loops, want %d", len(big), n)
+	}
+	seen := make(map[string]bool, n)
+	for _, l := range big {
+		if seen[l.Name] {
+			t.Fatalf("duplicate loop name %s at scale %d", l.Name, n)
+		}
+		seen[l.Name] = true
+	}
+	if d1, d2 := corpusDigest(big), corpusDigest(perfect.CorpusN(perfect.DefaultSeed, n)); d1 != d2 {
+		t.Fatalf("two same-seed generations diverge at scale %d:\n%s\n%s", n, d1, d2)
+	}
+	if corpusDigest(big) == corpusDigest(perfect.CorpusN(perfect.DefaultSeed+1, n)) {
+		t.Error("different seeds generate identical corpora")
+	}
+	const k = 300
+	if got, want := corpusDigest(perfect.CorpusN(perfect.DefaultSeed, k)), corpusDigest(big[:k]); got != want {
+		t.Errorf("CorpusN(seed, %d) is not a prefix of CorpusN(seed, %d)", k, n)
+	}
+
+	// The dump path holds at scale too: every loop lands as its own
+	// canonical file (writeCorpus rejects duplicates internally).
+	dir := t.TempDir()
+	if err := writeCorpus(dir, big); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Errorf("scaled dump has %d files, want %d", len(entries), n)
 	}
 }

@@ -276,6 +276,97 @@ func testQueueConformance(t *testing.T, mk func(capacity int) Queue) {
 		}
 	})
 
+	t.Run("AckBatchMatchesPerTaskAck", func(t *testing.T) {
+		q := mk(0)
+		ba, ok := q.(BatchAcker)
+		if !ok {
+			t.Fatal("queue does not implement BatchAcker")
+		}
+		q.Enqueue(Task{ID: "a"})
+		q.Enqueue(Task{ID: "b"})
+		q.Enqueue(Task{ID: "c"})
+		lease, tasks := q.Lease("w", 3, 0)
+		if len(tasks) != 3 {
+			t.Fatal("no lease")
+		}
+		// Each element has per-task Ack semantics: unknown IDs fail
+		// without poisoning the rest of the batch.
+		got := ba.AckBatch(lease, []string{"a", "nope", "b"})
+		want := []bool{true, false, true}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("AckBatch = %v, want %v", got, want)
+			}
+		}
+		// Exactly-once holds across batches: a re-ack fails, the still
+		// unacked task succeeds.
+		got = ba.AckBatch(lease, []string{"a", "c"})
+		if got[0] || !got[1] {
+			t.Fatalf("re-ack batch = %v, want [false true]", got)
+		}
+		if st := q.Stats(); st.Pending != 0 || st.Leased != 0 || st.Leases != 0 {
+			t.Errorf("Stats after full batch ack = %+v, want empty", st)
+		}
+	})
+
+	t.Run("AckBatchRefusedAfterExpiry", func(t *testing.T) {
+		q := mk(0)
+		ba := q.(BatchAcker)
+		q.Enqueue(Task{ID: "a"})
+		q.Enqueue(Task{ID: "b"})
+		lease, _ := q.Lease("w", 2, 10*time.Millisecond)
+		if n := q.Expire(time.Now().Add(time.Minute)); n != 2 {
+			t.Fatalf("expiry requeued %d, want 2", n)
+		}
+		for i, ok := range ba.AckBatch(lease, []string{"a", "b"}) {
+			if ok {
+				t.Errorf("expired lease batch-acked element %d", i)
+			}
+		}
+		if _, tasks := q.Lease("w2", 2, 0); len(tasks) != 2 {
+			t.Fatal("requeued tasks lost to a dead batch ack")
+		}
+	})
+
+	t.Run("LeaseFilteredSkipsIneligible", func(t *testing.T) {
+		q := mk(0)
+		fl, ok := q.(FilteredLeaser)
+		if !ok {
+			t.Fatal("queue does not implement FilteredLeaser")
+		}
+		q.Enqueue(Task{ID: "a", Payload: "exact"})
+		q.Enqueue(Task{ID: "b", Payload: "dms"})
+		q.Enqueue(Task{ID: "c", Payload: "exact"})
+		onlyDMS := func(task Task) bool { return task.Payload == "dms" }
+		_, tasks := fl.LeaseFiltered("w1", 3, 0, onlyDMS)
+		if len(tasks) != 1 || tasks[0].ID != "b" {
+			t.Fatalf("filtered lease = %v, want just b", tasks)
+		}
+		// The skipped tasks are untouched: a wildcard worker still gets
+		// them, in admission order.
+		_, rest := fl.LeaseFiltered("w2", 3, 0, nil)
+		if len(rest) != 2 || rest[0].ID != "a" || rest[1].ID != "c" {
+			t.Fatalf("unfiltered lease = %v, want [a c]", rest)
+		}
+	})
+
+	t.Run("LeaseFilteredRespectsAffinity", func(t *testing.T) {
+		q := mk(0)
+		fl := q.(FilteredLeaser)
+		// w1 owns hash h via a plain lease; filtered leases must not
+		// hand w2 the affinitized follow-up while other work exists.
+		q.Enqueue(Task{ID: "a", Hash: "h"})
+		if _, tasks := q.Lease("w1", 1, 0); len(tasks) != 1 {
+			t.Fatal("no lease")
+		}
+		q.Enqueue(Task{ID: "b", Hash: "h"})
+		q.Enqueue(Task{ID: "c", Hash: "other"})
+		_, tasks := fl.LeaseFiltered("w2", 1, 0, func(Task) bool { return true })
+		if len(tasks) != 1 || tasks[0].ID != "c" {
+			t.Fatalf("filtered lease = %v, want the unclaimed c", tasks)
+		}
+	})
+
 	t.Run("ConcurrentLeaseNoDuplicates", func(t *testing.T) {
 		q := mk(0)
 		const n = 200

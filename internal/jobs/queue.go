@@ -99,6 +99,33 @@ type Queue interface {
 	Stats() QueueStats
 }
 
+// BatchAcker is the optional Queue extension for resolving several
+// tasks of one lease in a single call — the coordinator's batched
+// result path acks a whole posted results[] frame at once instead of
+// taking the queue lock (and, on a durable queue, writing a WAL frame)
+// per unit. Semantics are per task and identical to Ack: each entry of
+// the returned slice reports whether the lease still owned that task,
+// atomically under one lock acquisition, and any true entry implies a
+// heartbeat. Queues without it are acked one task at a time.
+type BatchAcker interface {
+	// AckBatch acks taskIDs under the lease, returning one Ack result
+	// per ID in order.
+	AckBatch(lease string, taskIDs []string) []bool
+}
+
+// FilteredLeaser is the optional Queue extension for capability-aware
+// hand-out: Lease restricted to tasks the eligible predicate accepts.
+// The coordinator uses it to route units of an advertised scheduler
+// only to workers advertising that scheduler. The predicate is called
+// with the queue's internal lock held, so it must be fast, side-effect
+// free, and MUST NOT call back into the queue or take locks ordered
+// after it.
+type FilteredLeaser interface {
+	// LeaseFiltered is Lease over only the pending tasks for which
+	// eligible returns true (nil = every task, i.e. plain Lease).
+	LeaseFiltered(owner string, max int, ttl time.Duration, eligible func(Task) bool) (lease string, tasks []Task)
+}
+
 // LeaseTTLSetter is the optional Queue extension for per-lease TTL
 // overrides. The coordinator uses it to stretch the heartbeat deadline
 // of leases carrying long-running schedulers (exact, portfolio), whose
@@ -222,6 +249,10 @@ func (q *memQueue) Enqueue(t Task) error {
 }
 
 func (q *memQueue) Lease(owner string, max int, ttl time.Duration) (string, []Task) {
+	return q.LeaseFiltered(owner, max, ttl, nil)
+}
+
+func (q *memQueue) LeaseFiltered(owner string, max int, ttl time.Duration, eligible func(Task) bool) (string, []Task) {
 	if max < 1 {
 		max = 1
 	}
@@ -235,11 +266,16 @@ func (q *memQueue) Lease(owner string, max int, ttl time.Duration) (string, []Ta
 	// (the claimed owner is not draining them: crashed, or swamped).
 	// Claiming affinity here is what dedupes identical content onto
 	// one owner's warm cache; the wait bound is what keeps that a
-	// preference rather than a starvation hazard.
+	// preference rather than a starvation hazard. Ineligible tasks are
+	// invisible to this owner in both passes — they wait for a capable
+	// one.
 	var picked []*qtask
 	for _, qt := range q.pending {
 		if len(picked) >= max {
 			break
+		}
+		if eligible != nil && !eligible(qt.task) {
+			continue
 		}
 		h := qt.task.Hash
 		if h == "" {
@@ -260,6 +296,9 @@ func (q *memQueue) Lease(owner string, max int, ttl time.Duration) (string, []Ta
 		for _, qt := range q.pending {
 			if len(picked) >= max {
 				break
+			}
+			if eligible != nil && !eligible(qt.task) {
+				continue
 			}
 			if h := qt.task.Hash; h != "" {
 				q.affinityLocked(h, owner)
@@ -354,6 +393,24 @@ func (q *memQueue) Ack(lease, taskID string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expireLocked(now)
+	return q.ackLocked(lease, taskID, now)
+}
+
+func (q *memQueue) AckBatch(lease string, taskIDs []string) []bool {
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(now)
+	acked := make([]bool, len(taskIDs))
+	for i, id := range taskIDs {
+		acked[i] = q.ackLocked(lease, id, now)
+	}
+	return acked
+}
+
+// ackLocked resolves one task of the lease (the shared core of Ack and
+// AckBatch). Requires q.mu, with expiry already applied for now.
+func (q *memQueue) ackLocked(lease, taskID string, now time.Time) bool {
 	l, ok := q.leases[lease]
 	if !ok {
 		return false

@@ -57,9 +57,10 @@ type WALQueue struct {
 
 // WAL frame ops.
 const (
-	opWALEnqueue = 'E' // payload: walRecord JSON
-	opWALAck     = 'A' // payload: raw task ID
-	opWALRemove  = 'W' // payload: raw task ID (withdraw or drain)
+	opWALEnqueue  = 'E' // payload: walRecord JSON
+	opWALAck      = 'A' // payload: raw task ID
+	opWALRemove   = 'W' // payload: raw task ID (withdraw or drain)
+	opWALAckBatch = 'B' // payload: JSON array of task IDs (one batched ack)
 )
 
 const (
@@ -185,6 +186,17 @@ func (w *WALQueue) applyFrame(op byte, payload []byte) error {
 			wt.gone = true
 			delete(w.live, string(payload))
 		}
+	case opWALAckBatch:
+		var ids []string
+		if err := json.Unmarshal(payload, &ids); err != nil {
+			return fmt.Errorf("jobs: wal ack-batch frame: %w", err)
+		}
+		for _, id := range ids {
+			if wt, ok := w.live[id]; ok {
+				wt.gone = true
+				delete(w.live, id)
+			}
+		}
 	}
 	return nil
 }
@@ -295,6 +307,42 @@ func (w *WALQueue) Ack(lease, taskID string) bool {
 	return true
 }
 
+// AckBatch resolves a whole posted results frame in one WAL write: the
+// inner queue acks the batch atomically, and every task it actually
+// owned is tombstoned under a single 'B' frame (one fsync per post
+// instead of one per unit). Per-task semantics match Ack exactly — a
+// task lost to expiry stays in the log for the next recovery.
+func (w *WALQueue) AckBatch(lease string, taskIDs []string) []bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var acked []bool
+	if ba, ok := w.inner.(BatchAcker); ok {
+		acked = ba.AckBatch(lease, taskIDs)
+	} else {
+		acked = make([]bool, len(taskIDs))
+		for i, id := range taskIDs {
+			acked[i] = w.inner.Ack(lease, id)
+		}
+	}
+	resolved := make([]string, 0, len(taskIDs))
+	for i, ok := range acked {
+		if !ok {
+			continue
+		}
+		id := taskIDs[i]
+		resolved = append(resolved, id)
+		if wt, live := w.live[id]; live {
+			wt.gone = true
+			delete(w.live, id)
+		}
+	}
+	if len(resolved) > 0 {
+		w.logFrame(opWALAckBatch, mustJSON(resolved)) //dms:lockok w.mu is the WAL serialization point; frames must match queue-op order
+		w.maybeCompactLocked()
+	}
+	return acked
+}
+
 func (w *WALQueue) Withdraw(taskID string) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -330,6 +378,16 @@ func (w *WALQueue) removeLocked(op byte, taskID string) {
 // heartbeats and requeues are liveness state, deliberately unlogged.
 
 func (w *WALQueue) Lease(owner string, max int, ttl time.Duration) (string, []Task) {
+	return w.inner.Lease(owner, max, ttl)
+}
+
+// LeaseFiltered forwards capability-aware hand-out to the inner queue
+// when it supports one; otherwise it degrades to a plain Lease (the
+// filter is a routing preference, never a correctness property).
+func (w *WALQueue) LeaseFiltered(owner string, max int, ttl time.Duration, eligible func(Task) bool) (string, []Task) {
+	if fl, ok := w.inner.(FilteredLeaser); ok {
+		return fl.LeaseFiltered(owner, max, ttl, eligible)
+	}
 	return w.inner.Lease(owner, max, ttl)
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,8 +22,15 @@ const (
 	// lease that posts nothing for this long has its unresolved units
 	// returned to the queue.
 	DefaultLeaseTTL = 15 * time.Second
-	// DefaultLeaseChunk caps the compile units handed out per lease.
+	// DefaultLeaseChunk is the units handed out to a lease request that
+	// names no size of its own (MaxUnits 0) — the warm-up size before a
+	// self-scheduling worker's chunk calculator has observations.
 	DefaultLeaseChunk = 8
+	// DefaultLeaseChunkMax caps the units handed out per lease no
+	// matter how many the worker asks for: the requeue cost of a lost
+	// lease (and the coordinator's exposure to one slow worker hoarding
+	// the queue) stays bounded.
+	DefaultLeaseChunkMax = 256
 	// DefaultLeaseTTLExact is the stretched heartbeat deadline applied
 	// to leases carrying exact or portfolio units: an exhaustive SAT
 	// search can legitimately run past the default TTL without posting
@@ -50,12 +58,14 @@ type dispatcher struct {
 	cache    *Cache
 	ttl      time.Duration
 	ttlExact time.Duration // TTL for leases carrying exact/portfolio units
-	chunk    int
+	chunk    int           // hand-out size for requests that name none
+	chunkMax int           // hard cap on any hand-out
 	poll     time.Duration
 
 	mu         sync.Mutex
-	units      map[string]*unit    // live (pending or leased) units by ID
-	leases     map[string][]string // lease → unit IDs handed out under it
+	units      map[string]*unit        // live (pending or leased) units by ID
+	leases     map[string]*leaseState  // lease → units handed out under it
+	workers    map[string]*workerState // per-worker dispatch gauges, keyed by worker ID
 	dispatched uint64
 	resolved   uint64
 
@@ -64,6 +74,45 @@ type dispatcher struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// leaseState records what one live lease holds and which worker holds
+// it, so a results post can be attributed back to the worker's gauges.
+type leaseState struct {
+	worker string
+	units  []string // unit IDs handed out under this lease
+}
+
+// workerState is the dispatch table row of one worker: what it
+// advertises, how it is pacing itself, and what it has resolved. The
+// coordinator builds this table passively from lease traffic — a
+// worker is "live" while its last lease request is recent — and the
+// janitor prunes rows that have gone quiet.
+type workerState struct {
+	firstSeen  time.Time
+	lastSeen   time.Time
+	schedulers []string // advertised scheduler names, sorted; nil = everything
+	chunk      int      // last granted chunk size (post-clamp)
+	ewmaMS     float64  // worker's self-reported per-unit EWMA, milliseconds
+	resolved   uint64   // units this worker resolved
+	cached     uint64   // resolved units that were worker-cache hits
+}
+
+// wire renders the row as the /v1/metrics gauge entry.
+func (w *workerState) wire(now time.Time) api.WorkerMetrics {
+	m := api.WorkerMetrics{
+		EWMAUnitMS:    w.ewmaMS,
+		CurrentChunk:  w.chunk,
+		ResolvedUnits: w.resolved,
+		Schedulers:    w.schedulers,
+	}
+	if elapsed := now.Sub(w.firstSeen).Seconds(); elapsed > 0 && w.resolved > 0 {
+		m.UnitsPerSec = float64(w.resolved) / elapsed
+	}
+	if w.resolved > 0 {
+		m.CacheHitRate = float64(w.cached) / float64(w.resolved)
+	}
+	return m
 }
 
 // unit is one dispatched compile unit: the in-process job plus its
@@ -92,7 +141,7 @@ type dispatchBatch struct {
 	done    chan struct{}
 }
 
-func newDispatcher(cache *Cache, q jobs.Queue, ttl, ttlExact time.Duration, chunk int, poll time.Duration) *dispatcher {
+func newDispatcher(cache *Cache, q jobs.Queue, ttl, ttlExact time.Duration, chunk, chunkMax int, poll time.Duration) *dispatcher {
 	if q == nil {
 		q = jobs.NewMemQueue(0) // admission is bounded per batch upstream
 	}
@@ -108,6 +157,12 @@ func newDispatcher(cache *Cache, q jobs.Queue, ttl, ttlExact time.Duration, chun
 	if chunk <= 0 {
 		chunk = DefaultLeaseChunk
 	}
+	if chunkMax <= 0 {
+		chunkMax = DefaultLeaseChunkMax
+	}
+	if chunkMax < chunk {
+		chunkMax = chunk // the cap never undercuts the default hand-out
+	}
 	if poll <= 0 {
 		poll = DefaultWorkerPoll
 	}
@@ -117,9 +172,11 @@ func newDispatcher(cache *Cache, q jobs.Queue, ttl, ttlExact time.Duration, chun
 		ttl:      ttl,
 		ttlExact: ttlExact,
 		chunk:    chunk,
+		chunkMax: chunkMax,
 		poll:     poll,
 		units:    make(map[string]*unit),
-		leases:   make(map[string][]string),
+		leases:   make(map[string]*leaseState),
+		workers:  make(map[string]*workerState),
 		stop:     make(chan struct{}),
 	}
 	d.wg.Add(1)
@@ -142,12 +199,13 @@ func (d *dispatcher) janitor() {
 	for {
 		select {
 		case <-t.C:
-			d.q.Expire(time.Now())
+			now := time.Now()
+			d.q.Expire(now)
 			d.mu.Lock()
 			//dms:orderok janitor prune: each lease entry is filtered independently
-			for id, unitIDs := range d.leases {
-				kept := unitIDs[:0]
-				for _, uid := range unitIDs {
+			for id, ls := range d.leases {
+				kept := ls.units[:0]
+				for _, uid := range ls.units {
 					if _, live := d.units[uid]; live {
 						kept = append(kept, uid)
 					}
@@ -155,7 +213,15 @@ func (d *dispatcher) janitor() {
 				if len(kept) == 0 {
 					delete(d.leases, id)
 				} else {
-					d.leases[id] = kept
+					ls.units = kept
+				}
+			}
+			// Drop worker rows that have gone quiet for many TTLs: the
+			// gauge table tracks the current fleet, not its whole history.
+			//dms:orderok janitor prune: each worker row is aged independently
+			for id, ws := range d.workers {
+				if now.Sub(ws.lastSeen) > workerRetention(d.ttl) {
+					delete(d.workers, id)
 				}
 			}
 			d.mu.Unlock()
@@ -163,6 +229,28 @@ func (d *dispatcher) janitor() {
 			return
 		}
 	}
+}
+
+// workerRetention is how long a quiet worker keeps its gauge row, and
+// workerLiveness is how recently a worker must have leased for its
+// scheduler advertisement to count toward fleet coverage. Both scale
+// with the lease TTL (a worker busy on a full chunk legitimately stays
+// quiet for most of one), with floors that keep short test TTLs from
+// flapping the table.
+func workerRetention(ttl time.Duration) time.Duration {
+	r := 40 * ttl
+	if r < time.Minute {
+		r = time.Minute
+	}
+	return r
+}
+
+func workerLiveness(ttl time.Duration) time.Duration {
+	l := 4 * ttl
+	if l < 2*time.Second {
+		l = 2 * time.Second
+	}
+	return l
 }
 
 // Close stops the janitor; in-flight RunBatch calls are ended by their
@@ -269,23 +357,111 @@ func (d *dispatcher) beginShutdown() {
 	d.shutdown.Store(true)
 }
 
+// noteWorker records the lease request into the worker's dispatch
+// table row and returns the eligibility predicate routing should apply
+// for it: nil when the worker takes anything (no advertisement), else
+// a closure over a snapshot of the advertisement and the fleet's
+// current coverage — deliberately lock-free, because the queue invokes
+// it under its own lock and the dispatcher's lock order is d.mu before
+// q.mu.
+func (d *dispatcher) noteWorker(req api.LeaseRequest, granted int) func(jobs.Task) bool {
+	now := time.Now()
+	d.mu.Lock()
+	ws := d.workers[req.Worker]
+	if ws == nil {
+		ws = &workerState{firstSeen: now}
+		d.workers[req.Worker] = ws
+	}
+	ws.lastSeen = now
+	ws.chunk = granted
+	if req.EWMAUnitMS > 0 {
+		ws.ewmaMS = req.EWMAUnitMS
+	}
+	if len(req.Schedulers) > 0 {
+		ws.schedulers = append([]string(nil), req.Schedulers...)
+		sort.Strings(ws.schedulers)
+	} else {
+		ws.schedulers = nil
+	}
+	var adv map[string]bool
+	if ws.schedulers != nil {
+		adv = make(map[string]bool, len(ws.schedulers))
+		for _, s := range ws.schedulers {
+			adv[s] = true
+		}
+	}
+	covered := make(map[string]bool)
+	live := workerLiveness(d.ttl)
+	//dms:orderok set union over live advertisements: insertion order is irrelevant
+	for _, w := range d.workers {
+		if now.Sub(w.lastSeen) > live {
+			continue
+		}
+		for _, s := range w.schedulers {
+			covered[s] = true
+		}
+	}
+	d.mu.Unlock()
+	if adv == nil {
+		return nil // wildcard worker: plain unfiltered lease
+	}
+	return func(t jobs.Task) bool {
+		s := taskScheduler(t.Payload)
+		if s == "" || adv[s] {
+			return true
+		}
+		// Fallback: a scheduler no live worker advertises must not
+		// strand its units — anyone may take them.
+		return !covered[s]
+	}
+}
+
+// taskScheduler extracts the scheduler name of a queued unit without
+// taking any lock: a live task's payload is the *unit the dispatcher
+// enqueued; a task replayed from the durable queue carries its wire
+// form until adoption swaps the payload back.
+func taskScheduler(payload any) string {
+	switch p := payload.(type) {
+	case *unit:
+		return p.job.Scheduler
+	case api.WorkUnit:
+		return p.Scheduler
+	}
+	return ""
+}
+
 // lease hands the calling worker a chunk of units, long-polling up to
-// wait when the queue is empty. The tick that re-arms the wait also
-// drives lease expiry, so requeued units of a crashed worker become
-// leasable without separate traffic.
-func (d *dispatcher) lease(ctx context.Context, worker string, max int, wait time.Duration) api.Lease {
-	if max <= 0 || max > d.chunk {
+// wait when the queue is empty. The chunk size is the worker's own
+// request (self-scheduling workers size it from their service-time
+// EWMA and the reported backlog), clamped to [1, chunkMax]; a request
+// that names no size gets the warm-up default. The tick that re-arms
+// the wait also drives lease expiry, so requeued units of a crashed
+// worker become leasable without separate traffic.
+func (d *dispatcher) lease(ctx context.Context, req api.LeaseRequest, wait time.Duration) api.Lease {
+	max := req.MaxUnits
+	if max <= 0 {
 		max = d.chunk
+	}
+	if max > d.chunkMax {
+		max = d.chunkMax
 	}
 	if wait > maxLeaseWait {
 		wait = maxLeaseWait
 	}
+	eligible := d.noteWorker(req, max)
+	fl, filterable := d.q.(jobs.FilteredLeaser)
 	deadline := time.Now().Add(wait)
 	empty := api.Lease{PollMS: int(d.poll / time.Millisecond)}
 	for {
 		d.q.Expire(time.Now())
 		ch := d.q.Changed()
-		id, tasks := d.q.Lease(worker, max, d.ttl)
+		var id string
+		var tasks []jobs.Task
+		if eligible != nil && filterable {
+			id, tasks = fl.LeaseFiltered(req.Worker, max, d.ttl, eligible)
+		} else {
+			id, tasks = d.q.Lease(req.Worker, max, d.ttl)
+		}
 		if len(tasks) > 0 {
 			// Resolve units through the dispatcher's own index, not the
 			// task payload: a task replayed from the durable queue
@@ -310,7 +486,7 @@ func (d *dispatcher) lease(ctx context.Context, worker string, max int, wait tim
 				}
 			}
 			if len(ids) > 0 {
-				d.leases[id] = ids
+				d.leases[id] = &leaseState{worker: req.Worker, units: ids}
 			}
 			d.mu.Unlock()
 			if len(ids) == 0 {
@@ -325,7 +501,10 @@ func (d *dispatcher) lease(ctx context.Context, worker string, max int, wait tim
 					ttl = d.ttlExact
 				}
 			}
-			return api.Lease{ID: id, Units: units, TTLMS: int(ttl / time.Millisecond)}
+			// Remaining reports the backlog left after this lease was
+			// carved out: the input to the worker's next chunk decision.
+			remaining := d.q.Stats().Pending
+			return api.Lease{ID: id, Units: units, TTLMS: int(ttl / time.Millisecond), Remaining: remaining}
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -350,11 +529,15 @@ func (d *dispatcher) lease(ctx context.Context, worker string, max int, wait tim
 	}
 }
 
-// postResults applies one worker post: every result whose queue Ack
-// succeeds resolves its unit (exactly once — an Ack that fails lost
-// the unit to expiry and the result is discarded); an empty post is a
-// pure heartbeat. It returns errLeaseExpired when the lease itself is
-// no longer honored. The response lists the lease's still-outstanding
+// postResults applies one worker post — a batch of zero or more unit
+// results under one lease. Every result whose queue Ack succeeds
+// resolves its unit (exactly once — an Ack that fails lost the unit to
+// expiry and the result is discarded); an empty post is a pure
+// heartbeat. The acks are claimed in one batch (one WAL frame on a
+// durable queue) but each remains individually atomic under the lease
+// check, so a post raced by expiry keeps exactly-once semantics
+// per unit. It returns errLeaseExpired when the lease itself is no
+// longer honored. The response lists the lease's still-outstanding
 // units whose batch has been canceled, so the worker skips them.
 func (d *dispatcher) postResults(lease string, results []api.UnitResult) (*api.WorkResultsResponse, error) {
 	if !d.q.Heartbeat(lease) {
@@ -364,43 +547,80 @@ func (d *dispatcher) postResults(lease string, results []api.UnitResult) (*api.W
 		return nil, errLeaseExpired
 	}
 	resp := &api.WorkResultsResponse{}
-	for _, ur := range results {
-		if !d.q.Ack(lease, ur.Unit) {
+	var acked []bool
+	if len(results) > 0 {
+		ids := make([]string, len(results))
+		for i, ur := range results {
+			ids[i] = ur.Unit
+		}
+		if ba, ok := d.q.(jobs.BatchAcker); ok {
+			acked = ba.AckBatch(lease, ids)
+		} else {
+			acked = make([]bool, len(ids))
+			for i, id := range ids {
+				acked[i] = d.q.Ack(lease, id)
+			}
+		}
+	}
+	// One pass under d.mu claims every acked unit and attributes it to
+	// the posting worker's gauges; the batch resolution (cache adds and
+	// emit calls) runs outside the lock in post order.
+	type resolvedUnit struct {
+		u   *unit
+		rec api.JobResult
+	}
+	var done []resolvedUnit
+	d.mu.Lock()
+	var ws *workerState
+	if ls := d.leases[lease]; ls != nil {
+		ws = d.workers[ls.worker]
+	}
+	now := time.Now()
+	for i, ur := range results {
+		if !acked[i] {
 			continue // lost to expiry: another worker owns this unit now
 		}
-		d.mu.Lock()
 		u := d.units[ur.Unit]
 		delete(d.units, ur.Unit)
-		if u != nil {
-			d.resolved++
-		}
-		d.mu.Unlock()
 		if u == nil {
 			continue
 		}
-		d.resolve(u, ur.Result)
+		d.resolved++
 		resp.Acked++
+		if ws != nil {
+			ws.lastSeen = now
+			ws.resolved++
+			if ur.Result.Cached {
+				ws.cached++
+			}
+		}
+		done = append(done, resolvedUnit{u, ur.Result})
+	}
+	d.mu.Unlock()
+	for _, r := range done {
+		d.resolve(r.u, r.rec)
 	}
 	d.mu.Lock()
-	outstanding := d.leases[lease]
-	kept := outstanding[:0]
-	for _, uid := range outstanding {
-		u, live := d.units[uid]
-		if !live {
-			continue
+	if ls := d.leases[lease]; ls != nil {
+		kept := ls.units[:0]
+		for _, uid := range ls.units {
+			u, live := d.units[uid]
+			if !live {
+				continue
+			}
+			kept = append(kept, uid)
+			u.batch.mu.Lock() //dms:lockok established lock order: dispatcher.mu before batch.mu
+			closed := u.batch.closed
+			u.batch.mu.Unlock()
+			if closed {
+				resp.Canceled = append(resp.Canceled, uid)
+			}
 		}
-		kept = append(kept, uid)
-		u.batch.mu.Lock() //dms:lockok established lock order: dispatcher.mu before batch.mu
-		closed := u.batch.closed
-		u.batch.mu.Unlock()
-		if closed {
-			resp.Canceled = append(resp.Canceled, uid)
+		if len(kept) == 0 {
+			delete(d.leases, lease)
+		} else {
+			ls.units = kept
 		}
-	}
-	if len(kept) == 0 {
-		delete(d.leases, lease)
-	} else {
-		d.leases[lease] = kept
 	}
 	d.mu.Unlock()
 	return resp, nil
@@ -506,11 +726,20 @@ func (d *dispatcher) adopt(unitList []adoptedUnit) jobs.RunFunc {
 	}
 }
 
-// Metrics snapshots the dispatcher in its wire form.
+// Metrics snapshots the dispatcher in its wire form, including the
+// per-worker gauge table built from lease traffic.
 func (d *dispatcher) Metrics() api.DispatchMetrics {
 	qs := d.q.Stats()
+	now := time.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	var workers map[string]api.WorkerMetrics
+	if len(d.workers) > 0 {
+		workers = make(map[string]api.WorkerMetrics, len(d.workers))
+		for id, ws := range d.workers { // map-to-map transfer keyed by the range key
+			workers[id] = ws.wire(now)
+		}
+	}
 	return api.DispatchMetrics{
 		PendingUnits: qs.Pending,
 		LeasedUnits:  qs.Leased,
@@ -518,6 +747,7 @@ func (d *dispatcher) Metrics() api.DispatchMetrics {
 		Dispatched:   d.dispatched,
 		Resolved:     d.resolved,
 		Requeued:     qs.Requeued,
+		Workers:      workers,
 	}
 }
 

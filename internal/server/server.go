@@ -129,9 +129,15 @@ type Options struct {
 	// legitimately post nothing for the whole solve
 	// (0 = DefaultLeaseTTLExact; never below LeaseTTL).
 	LeaseTTLExact time.Duration
-	// LeaseChunk caps the compile units handed out per lease
+	// LeaseChunk is the units handed out to a lease request that names
+	// no size of its own — the warm-up hand-out before a
+	// self-scheduling worker sizes its own requests
 	// (0 = DefaultLeaseChunk).
 	LeaseChunk int
+	// LeaseChunkMax caps the units handed out per lease regardless of
+	// how many the worker requests (0 = DefaultLeaseChunkMax; never
+	// below LeaseChunk).
+	LeaseChunkMax int
 	// WorkerPoll is the re-poll hint sent with empty leases
 	// (0 = DefaultWorkerPoll).
 	WorkerPoll time.Duration
@@ -320,7 +326,7 @@ func Open(opt Options) (*Server, error) {
 	// is always served (a worker attached to a non-distributing
 	// server just leases nothing) — but only Distribute routes
 	// batches through it.
-	s.dispatch = newDispatcher(cache, q, opt.LeaseTTL, opt.LeaseTTLExact, opt.LeaseChunk, opt.WorkerPoll)
+	s.dispatch = newDispatcher(cache, q, opt.LeaseTTL, opt.LeaseTTLExact, opt.LeaseChunk, opt.LeaseChunkMax, opt.WorkerPoll)
 	if durable != nil {
 		s.recoverDurable()
 	}
@@ -789,7 +795,7 @@ func (s *Server) handleWorkerLease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.CodeInvalidRequest, "lease request needs a worker identity")
 		return
 	}
-	lease := s.dispatch.lease(r.Context(), req.Worker, req.MaxUnits, time.Duration(req.WaitMS)*time.Millisecond)
+	lease := s.dispatch.lease(r.Context(), req, time.Duration(req.WaitMS)*time.Millisecond)
 	writeJSON(w, lease)
 }
 

@@ -6,13 +6,24 @@
 //
 // The protocol is the repro/api/v1 worker-pull surface:
 //
-//	POST /v1/workers/lease           — lease up to Chunk units, routed
-//	                                   by content hash so loops this
-//	                                   worker compiled before come back
-//	                                   to its warm cache
-//	POST /v1/workers/{lease}/results — append results; every post (and
-//	                                   the idle-lease heartbeat ticker)
-//	                                   extends the lease's deadline
+//	POST /v1/workers/lease           — lease a self-sized chunk of
+//	                                   units, routed by content hash so
+//	                                   loops this worker compiled
+//	                                   before come back to its warm
+//	                                   cache; the request advertises
+//	                                   the worker's schedulers and its
+//	                                   service-time EWMA
+//	POST /v1/workers/{lease}/results — append a batch of results;
+//	                                   every post (and the idle-lease
+//	                                   heartbeat ticker) extends the
+//	                                   lease's deadline
+//
+// The worker self-schedules its chunk size: per-unit service times
+// feed a cost-class-aware EWMA (see chunkCalc), and each lease
+// request asks for the units that fit the target lease time at the
+// observed rate, bounded by half the coordinator-reported backlog.
+// Completed results batch into flush-window posts instead of one
+// round trip per unit.
 //
 // Crash safety is the coordinator's lease expiry: a worker that stops
 // posting — killed, partitioned, wedged — loses its lease and the
@@ -35,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -49,6 +61,12 @@ const (
 	DefaultWait    = 2 * time.Second
 	DefaultBackoff = 250 * time.Millisecond
 	maxBackoff     = 5 * time.Second
+	// DefaultPostWindow is the result-batching flush window: completed
+	// unit results accumulate for up to this long before going out as
+	// one results[] post. Long enough to coalesce a burst of cheap
+	// units into one round trip, short enough that the coordinator's
+	// emit stream stays visibly live.
+	DefaultPostWindow = 25 * time.Millisecond
 )
 
 // Options configure a worker.
@@ -60,9 +78,33 @@ type Options struct {
 	// loops are routed by. "" derives one from the hostname plus a
 	// random suffix.
 	ID string
-	// Chunk bounds the units requested per lease (0 = the
-	// coordinator's default).
+	// Chunk is the units requested per lease before the worker's
+	// service-time EWMA has warmed up (0 = the coordinator's default).
+	// Once warm, the worker sizes its own requests from the EWMA and
+	// the coordinator-reported backlog — unless FixedChunk pins it.
 	Chunk int
+	// FixedChunk disables adaptive chunk sizing: every lease requests
+	// exactly Chunk units, the pre-self-scheduling behavior.
+	FixedChunk bool
+	// PostWindow is the result-batching flush window: completed unit
+	// results accumulate for up to this long (or until the lease
+	// drains, whichever is first) before being posted as one results[]
+	// batch (0 = DefaultPostWindow; negative = post every unit
+	// immediately, the pre-batching behavior).
+	PostWindow time.Duration
+	// ChunkTarget is the wall-clock one self-sized chunk should take
+	// to drain (0 = DefaultChunkTarget); smaller chunks adapt faster
+	// and shrink the tail a slow worker can hold, larger ones amortize
+	// more lease round trips.
+	ChunkTarget time.Duration
+	// Schedulers advertises the scheduler names this worker accepts;
+	// the coordinator routes units it cannot run to other workers
+	// (nil = everything the Registry resolves).
+	Schedulers []string
+	// UnitDelay stalls each unit's compile by this much — a test and
+	// benchmark hook for modeling slow workers (see DMS_UNIT_DELAY in
+	// cmd/dmsserve).
+	UnitDelay time.Duration
 	// Parallelism is the worker pool compiling a chunk
 	// (0 = GOMAXPROCS).
 	Parallelism int
@@ -109,6 +151,30 @@ func (o Options) logf(format string, args ...any) {
 	}
 }
 
+func (o Options) postWindow() time.Duration {
+	if o.PostWindow < 0 {
+		return -1 // per-unit posting
+	}
+	if o.PostWindow == 0 {
+		return DefaultPostWindow
+	}
+	return o.PostWindow
+}
+
+func (o Options) registry() *driver.Registry {
+	if o.Registry != nil {
+		return o.Registry
+	}
+	return driver.Default
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Run pulls and compiles work until ctx ends, returning ctx's error.
 // Transport failures back off exponentially and never abort the loop —
 // a worker outlives coordinator restarts.
@@ -119,16 +185,28 @@ func (w Options) run(ctx context.Context) error {
 	}
 	id := w.id()
 	cache := server.NewCache(w.CacheSize)
+	schedulers := normalizeSchedulers(w.Schedulers)
+	if schedulers == nil {
+		schedulers = normalizeSchedulers(w.registry().Names())
+	}
+	calc := newChunkCalc(w.Chunk, w.parallelism(), w.ChunkTarget)
+	remaining := -1 // backlog after the last lease; negative = unknown
 	w.logf("worker %s pulling from %s", id, w.Coordinator)
 	backoff := DefaultBackoff
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		maxUnits := w.Chunk
+		if !w.FixedChunk {
+			maxUnits = calc.Next(remaining)
+		}
 		lease, err := cli.LeaseWork(ctx, api.LeaseRequest{
-			Worker:   id,
-			MaxUnits: w.Chunk,
-			WaitMS:   int(w.wait() / time.Millisecond),
+			Worker:     id,
+			MaxUnits:   maxUnits,
+			WaitMS:     int(w.wait() / time.Millisecond),
+			Schedulers: schedulers,
+			EWMAUnitMS: calc.EWMA(),
 		})
 		if err != nil {
 			if ctx.Err() != nil {
@@ -145,6 +223,7 @@ func (w Options) run(ctx context.Context) error {
 		}
 		backoff = DefaultBackoff
 		if lease.ID == "" || len(lease.Units) == 0 {
+			remaining = -1 // an empty lease carries no backlog signal
 			poll := time.Duration(lease.PollMS) * time.Millisecond
 			if poll <= 0 {
 				poll = server.DefaultWorkerPoll
@@ -154,19 +233,21 @@ func (w Options) run(ctx context.Context) error {
 			}
 			continue
 		}
-		w.runLease(ctx, cli, cache, id, lease)
+		remaining = lease.Remaining
+		w.runLease(ctx, cli, cache, id, lease, calc)
 	}
 }
 
 // Run pulls and compiles work until ctx ends, returning ctx's error.
 func Run(ctx context.Context, opt Options) error { return opt.run(ctx) }
 
-// runLease compiles one leased chunk, posting each unit's result as it
-// completes (which heartbeats the lease) plus an idle heartbeat ticker
-// for units that outlast the TTL. The lease context is canceled the
-// moment the coordinator reports the lease expired, so the worker
-// stops burning cycles on work that has been requeued elsewhere.
-func (w Options) runLease(ctx context.Context, cli *dmsclient.Client, cache *server.Cache, id string, lease *api.Lease) {
+// runLease compiles one leased chunk, batching completed results into
+// flush-window posts (each of which heartbeats the lease) plus an idle
+// heartbeat ticker for units that outlast the TTL. The lease context
+// is canceled the moment the coordinator reports the lease expired, so
+// the worker stops burning cycles on work that has been requeued
+// elsewhere. Completed units feed calc's service-time EWMA.
+func (w Options) runLease(ctx context.Context, cli *dmsclient.Client, cache *server.Cache, id string, lease *api.Lease, calc *chunkCalc) {
 	leaseCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -203,14 +284,22 @@ func (w Options) runLease(ctx context.Context, cli *dmsclient.Client, cache *ser
 	}
 
 	// Unit results and idle heartbeats are serialized behind postMu
-	// with a remaining-units counter, and the post of the last unit
+	// with a remaining-units counter, and the flush of the last unit
 	// stops the heartbeat ticker before releasing the mutex. The
 	// coordinator forgets a lease the moment its final unit is acked,
 	// so a heartbeat racing (or following) that final post would draw a
 	// spurious 410 lease_expired and cancel work that drained cleanly.
+	//
+	// Completed results accumulate in buf for up to the flush window
+	// before going out as one results[] post; the lease boundary (last
+	// unit) and the heartbeat ticker both force a flush, so nothing
+	// buffered outlives either the lease or a TTL third.
 	hbStop := make(chan struct{})
 	var postMu sync.Mutex
 	remaining := len(lease.Units)
+	var buf []api.UnitResult
+	var flushTimer *time.Timer
+	window := w.postWindow()
 	stopHeartbeatLocked := func() {
 		select {
 		case <-hbStop:
@@ -218,11 +307,37 @@ func (w Options) runLease(ctx context.Context, cli *dmsclient.Client, cache *ser
 			close(hbStop)
 		}
 	}
+	flushLocked := func() {
+		if flushTimer != nil {
+			flushTimer.Stop()
+			flushTimer = nil
+		}
+		if len(buf) == 0 {
+			return
+		}
+		batch := buf
+		buf = nil
+		post(batch)
+	}
 	postUnit := func(r api.UnitResult) {
 		postMu.Lock()
 		defer postMu.Unlock()
-		post([]api.UnitResult{r})
-		if remaining--; remaining == 0 {
+		remaining--
+		if window < 0 {
+			post([]api.UnitResult{r})
+		} else {
+			buf = append(buf, r)
+			if remaining == 0 {
+				flushLocked()
+			} else if flushTimer == nil {
+				flushTimer = time.AfterFunc(window, func() {
+					postMu.Lock()
+					defer postMu.Unlock()
+					flushLocked()
+				})
+			}
+		}
+		if remaining == 0 {
 			stopHeartbeatLocked()
 		}
 	}
@@ -231,6 +346,10 @@ func (w Options) runLease(ctx context.Context, cli *dmsclient.Client, cache *ser
 		defer postMu.Unlock()
 		if remaining == 0 {
 			return // lease already completed by its final unit result
+		}
+		if len(buf) > 0 {
+			flushLocked() // a results flush is the stronger heartbeat
+			return
 		}
 		post(nil)
 	}
@@ -265,10 +384,18 @@ func (w Options) runLease(ctx context.Context, cli *dmsclient.Client, cache *ser
 		var rec api.JobResult
 		if isCanceled(u.ID) {
 			// The batch is gone; a cheap canceled record releases the
-			// unit from the queue without scheduling anything.
+			// unit from the queue without scheduling anything. It does
+			// not feed the EWMA — it measured nothing.
 			rec = api.JobResult{Job: u.Scheduler, Error: "canceled by coordinator", ErrorCode: api.CodeCanceled}
 		} else {
+			start := time.Now()
+			if w.UnitDelay > 0 {
+				sleepCtx(leaseCtx, w.UnitDelay)
+			}
 			rec = w.compileUnit(leaseCtx, cache, u)
+			if leaseCtx.Err() == nil {
+				calc.Observe(u.Scheduler, time.Since(start))
+			}
 		}
 		if leaseCtx.Err() != nil {
 			return
@@ -276,6 +403,7 @@ func (w Options) runLease(ctx context.Context, cli *dmsclient.Client, cache *ser
 		postUnit(api.UnitResult{Unit: u.ID, Result: rec})
 	})
 	postMu.Lock()
+	flushLocked()         // results buffered when the lease died post (and fail) harmlessly
 	stopHeartbeatLocked() // units may have been skipped on a dead lease
 	postMu.Unlock()
 	hbWG.Wait()
